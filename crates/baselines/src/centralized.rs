@@ -1,0 +1,153 @@
+//! Centralized single-device deployment (the paper's Cloud / Local /
+//! Desktop / Laptop baselines, Tables VI, VII and IX).
+
+use s2m3_core::error::CoreError;
+use s2m3_core::problem::Instance;
+use s2m3_models::module::ModuleKind;
+use s2m3_net::device::DeviceId;
+
+/// Latency of serving one request of `model` with every module on
+/// `device`: raw inputs travel from the requester, then modules run
+/// **sequentially** (a monolithic model executes its towers one after
+/// another — no per-request module parallelism, which is exactly what
+/// S2M3 adds).
+///
+/// # Errors
+///
+/// [`CoreError::UnknownModel`] / [`CoreError::UnknownDevice`] on bad
+/// names; [`CoreError::Infeasible`] when the model does not fit on the
+/// device (the "–" cells of Table VI).
+pub fn centralized_latency(
+    instance: &Instance,
+    model: &str,
+    device: &str,
+) -> Result<f64, CoreError> {
+    let deployment = instance
+        .deployment(model)
+        .ok_or_else(|| CoreError::UnknownModel(model.to_string()))?;
+    let dev_id: DeviceId = device.into();
+    let dev = instance.device(&dev_id)?;
+
+    // Memory feasibility: all modules resident at once.
+    let needed: u64 = deployment.model.modules().map(|m| m.memory_bytes()).sum();
+    if needed > dev.usable_memory_bytes() {
+        return Err(CoreError::Infeasible {
+            module: deployment.model.head().id.clone(),
+            required_bytes: needed,
+            best_remaining_bytes: dev.usable_memory_bytes(),
+        });
+    }
+
+    let requester = instance.fleet().requester().clone();
+    let profile = deployment.profile;
+
+    // All raw inputs ship together to the device.
+    let input_bytes: u64 = deployment
+        .model
+        .encoders()
+        .iter()
+        .map(|m| profile.input_bytes(m.kind))
+        .sum::<u64>()
+        + if deployment.model.head().kind == ModuleKind::LanguageModel {
+            profile.input_bytes(ModuleKind::LanguageModel)
+        } else {
+            0
+        };
+    let tx = instance
+        .fleet()
+        .topology()
+        .transfer_time(&requester, &dev_id, input_bytes)
+        .map_err(CoreError::UnknownDevice)?;
+
+    // Sequential module execution.
+    let mut compute = 0.0;
+    for m in deployment.model.modules() {
+        compute += dev.compute_time(m, profile.units(m.kind));
+    }
+    Ok(tx + compute)
+}
+
+/// End-to-end centralized latency: inference plus loading the monolithic
+/// checkpoint onto the device (Table VII's second latency column).
+///
+/// # Errors
+///
+/// See [`centralized_latency`].
+pub fn centralized_e2e(instance: &Instance, model: &str, device: &str) -> Result<f64, CoreError> {
+    let inference = centralized_latency(instance, model, device)?;
+    let loading = s2m3_sim::loading::centralized_loading(instance, model, device)
+        .ok_or_else(|| CoreError::UnknownModel(model.to_string()))?;
+    Ok(inference + loading)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2m3_net::fleet::Fleet;
+
+    fn instance() -> Instance {
+        Instance::on_fleet(Fleet::standard_testbed(), &[("CLIP ViT-B/16", 101)]).unwrap()
+    }
+
+    #[test]
+    fn cloud_and_local_match_table_vii_regime() {
+        let i = instance();
+        let cloud = centralized_latency(&i, "CLIP ViT-B/16", "server").unwrap();
+        let local = centralized_latency(&i, "CLIP ViT-B/16", "jetson-a").unwrap();
+        let desktop = centralized_latency(&i, "CLIP ViT-B/16", "desktop").unwrap();
+        let laptop = centralized_latency(&i, "CLIP ViT-B/16", "laptop").unwrap();
+        // Paper: 2.44 / 45.19 / 3.46 / 3.02.
+        assert!((1.8..3.0).contains(&cloud), "cloud {cloud:.2}");
+        assert!((38.0..50.0).contains(&local), "local {local:.2}");
+        assert!(laptop < desktop, "laptop {laptop:.2} vs desktop {desktop:.2}");
+        assert!(cloud < laptop);
+        assert!(desktop < 5.0 && laptop > 2.0);
+    }
+
+    #[test]
+    fn infeasible_models_rejected_like_table_vi_dashes() {
+        let i = Instance::on_fleet(Fleet::standard_testbed(), &[("CLIP ResNet-50x16", 101)]).unwrap();
+        // Jetson cannot host RN50x16 centralized (Table VI "–").
+        assert!(matches!(
+            centralized_latency(&i, "CLIP ResNet-50x16", "jetson-a"),
+            Err(CoreError::Infeasible { .. })
+        ));
+        // The server can.
+        assert!(centralized_latency(&i, "CLIP ResNet-50x16", "server").is_ok());
+    }
+
+    #[test]
+    fn e2e_adds_loading() {
+        let i = instance();
+        let inf = centralized_latency(&i, "CLIP ViT-B/16", "server").unwrap();
+        let e2e = centralized_e2e(&i, "CLIP ViT-B/16", "server").unwrap();
+        // Paper: 2.44 → 13.53 (≈11 s of loading on the P40 host).
+        assert!(e2e - inf > 8.0, "loading delta {:.2}", e2e - inf);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let i = instance();
+        assert!(centralized_latency(&i, "ghost", "server").is_err());
+        assert!(centralized_latency(&i, "CLIP ViT-B/16", "ghost").is_err());
+    }
+
+    #[test]
+    fn server_without_gpu_is_slower() {
+        // Table VII: 2.44 vs 6.70.
+        let mut fleet = Fleet::standard_testbed();
+        let i_gpu = Instance::on_fleet(fleet.clone(), &[("CLIP ViT-B/16", 101)]).unwrap();
+        let gpu = centralized_latency(&i_gpu, "CLIP ViT-B/16", "server").unwrap();
+        // Swap in the CPU-only server.
+        let mut devices: Vec<_> = fleet.devices().to_vec();
+        for d in &mut devices {
+            if d.id.as_str() == "server" {
+                *d = s2m3_net::device::DeviceSpec::server_without_gpu();
+            }
+        }
+        fleet = Fleet::new(devices, fleet.topology().clone(), fleet.requester().clone()).unwrap();
+        let i_cpu = Instance::on_fleet(fleet, &[("CLIP ViT-B/16", 101)]).unwrap();
+        let cpu = centralized_latency(&i_cpu, "CLIP ViT-B/16", "server").unwrap();
+        assert!(cpu > 2.0 * gpu, "gpu {gpu:.2} vs cpu {cpu:.2}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the placement and routing algorithms.
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2m3_core::placement::greedy_place;
+use s2m3_core::plan::Plan;
+use s2m3_core::problem::Instance;
+use s2m3_core::routing::route_request;
+use s2m3_core::upper::optimal_placement;
+use s2m3_net::fleet::Fleet;
+use std::hint::black_box;
+
+fn single_instance() -> Instance {
+    Instance::single_model("CLIP ViT-B/16", 101).unwrap()
+}
+
+fn multi_instance() -> Instance {
+    Instance::on_fleet(
+        Fleet::standard_testbed(),
+        &[
+            ("CLIP ViT-B/16", 101),
+            ("Encoder-only VQA (Small)", 1),
+            ("AlignBind-B", 16),
+            ("CLIP-Classifier Food-101", 0),
+            ("Flint-v0.5-1B", 1),
+        ],
+    )
+    .unwrap()
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let single = single_instance();
+    let multi = multi_instance();
+    c.bench_function("greedy_place/single-model", |b| {
+        b.iter(|| greedy_place(black_box(&single)).unwrap())
+    });
+    c.bench_function("greedy_place/five-task", |b| {
+        b.iter(|| greedy_place(black_box(&multi)).unwrap())
+    });
+    c.bench_function("optimal_placement/single-model", |b| {
+        b.iter(|| optimal_placement(black_box(&single)).unwrap())
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let i = multi_instance();
+    let requests: Vec<_> = i
+        .deployments()
+        .iter()
+        .enumerate()
+        .map(|(k, d)| i.request(k as u64, &d.model.name).unwrap())
+        .collect();
+    let placement = greedy_place(&i).unwrap();
+    c.bench_function("route_request/five-task", |b| {
+        b.iter(|| {
+            for q in &requests {
+                route_request(black_box(&i), black_box(&placement), q).unwrap();
+            }
+        })
+    });
+    c.bench_function("plan_greedy/five-task", |b| {
+        b.iter(|| Plan::greedy(black_box(&i), requests.clone()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_placement, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion benchmark for the in-process distributed runtime.
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2m3_core::plan::Plan;
+use s2m3_core::problem::Instance;
+use s2m3_runtime::{RequestInput, Runtime};
+use std::hint::black_box;
+
+fn bench_runtime(c: &mut Criterion) {
+    let i = Instance::single_model("CLIP ViT-B/16", 16).unwrap();
+    let q = i.request(0, "CLIP ViT-B/16").unwrap();
+    let plan = Plan::greedy(&i, vec![q.clone()]).unwrap();
+    let model = &i.deployment("CLIP ViT-B/16").unwrap().model;
+    let input = RequestInput::synthetic(model, "bench", 16);
+    let rt = Runtime::start(&i, &plan).unwrap();
+    c.bench_function("runtime_infer/clip-b16-16c", |b| {
+        b.iter(|| {
+            rt.infer(black_box(&q), black_box(&plan.routed[0].1), black_box(&input))
+                .unwrap()
+        })
+    });
+    rt.shutdown();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

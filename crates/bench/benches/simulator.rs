@@ -1,0 +1,22 @@
+//! Criterion benchmarks for the discrete-event simulator.
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2m3_core::plan::Plan;
+use s2m3_core::problem::Instance;
+use s2m3_sim::{simulate, SimConfig};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+    for n in [1usize, 16, 128] {
+        let requests: Vec<_> = (0..n as u64)
+            .map(|k| i.request(k, "CLIP ViT-B/16").unwrap())
+            .collect();
+        let plan = Plan::greedy(&i, requests).unwrap();
+        c.bench_function(&format!("simulate/{n}-requests"), |b| {
+            b.iter(|| simulate(black_box(&i), black_box(&plan), &SimConfig::default()).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

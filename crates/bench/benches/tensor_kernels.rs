@@ -1,0 +1,29 @@
+//! Criterion benchmarks for the tensor kernels backing module execution.
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2m3_tensor::{ops, Matrix};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let a = Matrix::seeded_gaussian("bench/a", 64, 64, 1.0);
+    let b = Matrix::seeded_gaussian("bench/b", 64, 512, 1.0);
+    let big = Matrix::seeded_gaussian("bench/big", 211, 512, 1.0);
+    c.bench_function("matmul/64x64x512", |bch| {
+        bch.iter(|| ops::matmul(black_box(&a), black_box(&b)).unwrap())
+    });
+    c.bench_function("softmax/211x512", |bch| {
+        bch.iter(|| ops::softmax(black_box(&big)))
+    });
+    c.bench_function("l2_normalize/211x512", |bch| {
+        bch.iter(|| ops::l2_normalize(black_box(&big)))
+    });
+    c.bench_function("cosine_similarity/1x512-vs-211x512", |bch| {
+        let q = Matrix::seeded_gaussian("bench/q", 1, 512, 1.0);
+        bch.iter(|| ops::cosine_similarity(black_box(&q), black_box(&big)).unwrap())
+    });
+    c.bench_function("seeded_gaussian/64x512", |bch| {
+        bch.iter(|| Matrix::seeded_gaussian(black_box("bench/seed"), 64, 512, 1.0))
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

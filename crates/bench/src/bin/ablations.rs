@@ -1,0 +1,5 @@
+//! Regenerates the mechanism-ablation table (replication, batching,
+//! partitioning, energy).
+fn main() {
+    println!("{}", s2m3_bench::ablations::run().render());
+}

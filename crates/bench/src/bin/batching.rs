@@ -1,0 +1,4 @@
+//! Regenerates batching of the paper.
+fn main() {
+    println!("{}", s2m3_bench::batching::run().render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 3: the inference timeline.
+fn main() {
+    let (table, gantt) = s2m3_bench::fig3::run();
+    println!("{}", table.render());
+    println!("{gantt}");
+}

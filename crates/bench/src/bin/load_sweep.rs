@@ -1,0 +1,4 @@
+//! Regenerates the sustained-load sweep (shared vs dedicated vs batched).
+fn main() {
+    println!("{}", s2m3_bench::load_sweep::run().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the 19x5 greedy-vs-optimal sweep of Sec. VI-A.
+fn main() {
+    println!("{}", s2m3_bench::optimality::run().render());
+}

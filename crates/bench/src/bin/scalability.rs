@@ -1,0 +1,4 @@
+//! Regenerates the placement-scalability sweep (fleet size 2..32).
+fn main() {
+    println!("{}", s2m3_bench::scalability::run().render());
+}

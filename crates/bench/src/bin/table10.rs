@@ -1,0 +1,4 @@
+//! Regenerates table10 of the paper.
+fn main() {
+    println!("{}", s2m3_bench::table10::run().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates table11 of the paper.
+fn main() {
+    println!("{}", s2m3_bench::table11::run().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates table6 of the paper.
+fn main() {
+    println!("{}", s2m3_bench::table6::run().render());
+}

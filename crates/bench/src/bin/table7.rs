@@ -1,0 +1,4 @@
+//! Regenerates table7 of the paper.
+fn main() {
+    println!("{}", s2m3_bench::table7::run().render());
+}

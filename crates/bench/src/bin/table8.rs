@@ -1,0 +1,4 @@
+//! Regenerates Table VIII (accuracy; ~1 min in release mode).
+fn main() {
+    println!("{}", s2m3_bench::table8::run().render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates table9 of the paper.
+fn main() {
+    println!("{}", s2m3_bench::table9::run().render());
+}

@@ -1,0 +1,147 @@
+//! Scalability of the placement algorithms with fleet size (the paper's
+//! Sec. VII: "our greedy solution becomes more non-trivial depending on
+//! the number and capacity of devices").
+//!
+//! Sweeps fleets from 2 to 32 devices (the home testbed plus extra Jetson
+//! Nanos, the realistic way an edge fleet grows), measuring greedy
+//! placement wall-clock, brute-force Upper wall-clock where tractable,
+//! and whether greedy stays optimal as device count grows.
+
+use std::time::Instant;
+
+use s2m3_core::objective::total_latency;
+use s2m3_core::plan::Plan;
+use s2m3_core::problem::Instance;
+use s2m3_core::upper::optimal_placement;
+use s2m3_net::calibration as cal;
+use s2m3_net::device::DeviceSpec;
+use s2m3_net::fleet::Fleet;
+use s2m3_net::link::LinkSpec;
+use s2m3_net::topology::Topology;
+
+use crate::table::Table;
+
+/// Fleet sizes to sweep.
+pub const SIZES: [usize; 5] = [2, 4, 8, 16, 32];
+/// Brute force is `|N|^|M|`; cap it where it stays sub-second.
+pub const UPPER_TRACTABLE_MAX: usize = 16;
+
+/// Builds the home testbed extended with extra Jetson Nanos up to `n`
+/// devices total (requester stays Jetson A).
+pub fn grown_fleet(n: usize) -> Fleet {
+    assert!(n >= 2, "need at least requester + one helper");
+    let mut devices = vec![DeviceSpec::jetson("jetson-a"), DeviceSpec::laptop()];
+    let mut topology = Topology::new();
+    topology.set_access("jetson-a".into(), LinkSpec::new(cal::PAN_WIFI.0, cal::PAN_WIFI.1));
+    topology.set_access("laptop".into(), LinkSpec::new(cal::PAN_WIFI.0, cal::PAN_WIFI.1));
+    if n >= 3 {
+        devices.push(DeviceSpec::desktop());
+        topology.set_access("desktop".into(), LinkSpec::new(cal::PAN_WIRED.0, cal::PAN_WIRED.1));
+    }
+    for k in devices.len()..n {
+        let name = format!("jetson-x{k}");
+        devices.push(DeviceSpec::jetson(&name));
+        topology.set_access(
+            name.as_str().into(),
+            LinkSpec::new(cal::PAN_WIFI.0, cal::PAN_WIFI.1),
+        );
+    }
+    Fleet::new(devices, topology, "jetson-a".into()).expect("grown fleet is valid")
+}
+
+/// One sweep point: (greedy µs, upper µs or None, greedy==optimal or None).
+pub fn point(n: usize) -> (f64, Option<f64>, Option<bool>) {
+    let fleet = grown_fleet(n);
+    let instance = Instance::on_fleet(fleet, &[("CLIP ViT-B/16", 101)]).unwrap();
+    let request = instance.request(0, "CLIP ViT-B/16").unwrap();
+
+    let t0 = Instant::now();
+    let plan = Plan::greedy(&instance, vec![request.clone()]).unwrap();
+    let greedy_us = t0.elapsed().as_secs_f64() * 1e6;
+    let greedy_latency = total_latency(&instance, &plan.routed[0].1, &request).unwrap();
+
+    if n > UPPER_TRACTABLE_MAX {
+        return (greedy_us, None, None);
+    }
+    let t1 = Instant::now();
+    let upper = optimal_placement(&instance).unwrap();
+    let upper_us = t1.elapsed().as_secs_f64() * 1e6;
+    let optimal = (greedy_latency - upper.latency).abs() < 1e-6;
+    (greedy_us, Some(upper_us), Some(optimal))
+}
+
+/// Regenerates the scalability sweep.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "Scalability — placement cost vs fleet size (CLIP ViT-B/16)",
+        &["Devices", "Greedy (µs)", "Brute-force Upper (µs)", "Greedy optimal?"],
+    );
+    for n in SIZES {
+        let (g, u, opt) = point(n);
+        t.push_row(vec![
+            n.to_string(),
+            format!("{g:.0}"),
+            u.map(|v| format!("{v:.0}")).unwrap_or_else(|| "intractable".into()),
+            opt.map(|o| if o { "yes" } else { "no" }.to_string())
+                .unwrap_or_else(|| "—".into()),
+        ]);
+    }
+    t.push_note(
+        "Greedy scales linearly in |N|·|M| (microseconds even at 32 devices); the exhaustive \
+         Upper grows as |N|^|M| and stops being checkable past ~16 devices — the gap the \
+         paper's Sec. VII flags as future work.",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grown_fleets_are_valid_and_sized() {
+        for n in SIZES {
+            let f = grown_fleet(n);
+            assert_eq!(f.len(), n);
+            assert_eq!(f.requester().as_str(), "jetson-a");
+        }
+    }
+
+    #[test]
+    fn greedy_stays_fast_and_optimal_while_checkable() {
+        // With >=3 devices (desktop present) greedy matches the optimum;
+        // the degenerate 2-device fleet is one of the rare miss cases
+        // (both encoders pile onto the laptop — a ~5% gap).
+        for n in [3, 4, 8] {
+            let (g_us, u_us, opt) = point(n);
+            assert!(g_us < 50_000.0, "greedy took {g_us:.0} µs at {n} devices");
+            assert!(u_us.is_some());
+            assert_eq!(opt, Some(true), "greedy suboptimal at {n} devices");
+        }
+        let (g_us, _, _) = point(2);
+        assert!(g_us < 50_000.0);
+    }
+
+    #[test]
+    fn big_fleets_skip_brute_force() {
+        let (_, u, opt) = point(32);
+        assert!(u.is_none());
+        assert!(opt.is_none());
+    }
+
+    #[test]
+    fn adding_jetsons_never_hurts_latency() {
+        // More (slow) devices never make the greedy placement worse: the
+        // fast devices still win the modules.
+        let lat = |n: usize| {
+            let instance =
+                Instance::on_fleet(grown_fleet(n), &[("CLIP ViT-B/16", 101)]).unwrap();
+            let request = instance.request(0, "CLIP ViT-B/16").unwrap();
+            let plan = Plan::greedy(&instance, vec![request.clone()]).unwrap();
+            total_latency(&instance, &plan.routed[0].1, &request).unwrap()
+        };
+        let three = lat(3);
+        let sixteen = lat(16);
+        assert!(sixteen <= three + 1e-9, "{sixteen:.2} vs {three:.2}");
+    }
+}

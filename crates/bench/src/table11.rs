@@ -1,0 +1,133 @@
+//! Table XI: comparison to Optimus, DistMM and Megatron-LM.
+
+use s2m3_baselines::ablations::{s2m3_latency, shared_burst};
+use s2m3_baselines::estimators::{distmm_estimate, optimus_estimate};
+use s2m3_baselines::megatron::{megatron_latency, megatron_params};
+use s2m3_core::problem::Instance;
+use s2m3_net::fleet::Fleet;
+
+use crate::table::{fmt_params, fmt_secs, Table};
+
+fn single(model: &str, candidates: usize) -> Instance {
+    Instance::on_fleet(Fleet::edge_testbed(), &[(model, candidates)]).unwrap()
+}
+
+/// Regenerates Table XI.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "Table XI — baseline comparison (edge fleet)",
+        &[
+            "Workload",
+            "Optimus (s)",
+            "DistMM (s)",
+            "Megatron (s)",
+            "S2M3 (s)",
+            "Megatron #Param",
+            "S2M3 #Param",
+        ],
+    );
+
+    // VQA: Flint-v0.5-1B (the paper's 1.2B VQA row).
+    let vqa = single("Flint-v0.5-1B", 1);
+    t.push_row(vec![
+        "VQA (Flint-v0.5-1B)".into(),
+        fmt_secs(optimus_estimate(&vqa, "Flint-v0.5-1B").ok()),
+        "–".into(),
+        fmt_secs(megatron_latency(&vqa, "Flint-v0.5-1B").ok()),
+        fmt_secs(s2m3_latency(&vqa, "Flint-v0.5-1B").ok()),
+        fmt_params(megatron_params(&vqa)),
+        fmt_params(vqa.distinct_modules().iter().map(|m| m.params).sum()),
+    ]);
+
+    // Retrieval: CLIP ViT-B/16.
+    let ret = single("CLIP ViT-B/16", 101);
+    t.push_row(vec![
+        "Retrieval (CLIP ViT-B/16)".into(),
+        "–".into(),
+        fmt_secs(distmm_estimate(&ret, "CLIP ViT-B/16").ok()),
+        fmt_secs(megatron_latency(&ret, "CLIP ViT-B/16").ok()),
+        fmt_secs(s2m3_latency(&ret, "CLIP ViT-B/16").ok()),
+        fmt_params(megatron_params(&ret)),
+        fmt_params(ret.distinct_modules().iter().map(|m| m.params).sum()),
+    ]);
+
+    // Alignment: the shared-CLIP tri-modal model (209M as in the paper).
+    let ali = single("AlignBind-B", 16);
+    t.push_row(vec![
+        "Alignment (AlignBind-B)".into(),
+        "–".into(),
+        "–".into(),
+        fmt_secs(megatron_latency(&ali, "AlignBind-B").ok()),
+        fmt_secs(s2m3_latency(&ali, "AlignBind-B").ok()),
+        fmt_params(megatron_params(&ali)),
+        fmt_params(ali.distinct_modules().iter().map(|m| m.params).sum()),
+    ]);
+
+    // Retrieval + Alignment multi-task.
+    let multi = Instance::on_fleet(
+        Fleet::edge_testbed(),
+        &[("CLIP ViT-B/16", 101), ("AlignBind-B", 16)],
+    )
+    .unwrap();
+    // Megatron executes each module across the whole TP group, so two
+    // simultaneous requests serialize end-to-end.
+    let mega_multi = ["CLIP ViT-B/16", "AlignBind-B"]
+        .iter()
+        .filter_map(|m| megatron_latency(&multi, m).ok())
+        .sum::<f64>();
+    let s2m3_multi = shared_burst(&multi).ok().map(|r| r.max_latency());
+    t.push_row(vec![
+        "Retrieval + Alignment".into(),
+        "–".into(),
+        "–".into(),
+        fmt_secs(Some(mega_multi)),
+        fmt_secs(s2m3_multi),
+        fmt_params(megatron_params(&multi)),
+        fmt_params(multi.distinct_modules().iter().map(|m| m.params).sum()),
+    ]);
+
+    t.push_note(
+        "Paper: VQA — Optimus 1.57 / Mega 2.71 / S2M3 2.71; Retrieval — DistMM 2.48 / Mega \
+         3.03 / S2M3 2.48; Alignment — Mega 0.99 / S2M3 0.55; Retrieval+Alignment — Mega 3.03 \
+         (333M) / S2M3 2.80 (209M). Optimus/DistMM are footnote-3 ideal estimates; '–' = the \
+         system does not support the task.",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_rows_with_paper_shape() {
+        let t = run();
+        assert_eq!(t.rows.len(), 4);
+        let cell = |r: usize, c: usize| t.rows[r][c].clone();
+        // Optimus beats S2M3 on VQA (ideal TP).
+        let optimus: f64 = cell(0, 1).parse().unwrap();
+        let s2m3_vqa: f64 = cell(0, 4).parse().unwrap();
+        assert!(optimus < s2m3_vqa);
+        // DistMM ties S2M3 on retrieval.
+        assert_eq!(cell(1, 2), cell(1, 4));
+        // Megatron never beats S2M3.
+        for r in 0..4 {
+            let mega: f64 = cell(r, 3).parse().unwrap();
+            let ours: f64 = cell(r, 4).parse().unwrap();
+            assert!(mega >= ours * 0.95, "row {r}: mega {mega} vs s2m3 {ours}");
+        }
+        // Memory: multi-task sharing wins (333M vs 209M).
+        assert_eq!(cell(3, 5), "333M");
+        assert_eq!(cell(3, 6), "209M");
+    }
+
+    #[test]
+    fn alignment_row_shape() {
+        let t = run();
+        let mega: f64 = t.rows[2][3].parse().unwrap();
+        let ours: f64 = t.rows[2][4].parse().unwrap();
+        // Paper: 0.99 vs 0.55 — Megatron ~2x slower on alignment.
+        assert!(mega > 1.3 * ours, "mega {mega:.2} vs s2m3 {ours:.2}");
+        assert!(ours < 1.2, "alignment S2M3 should be sub-second-ish: {ours:.2}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal dependency-free argument parsing.
+//!
+//! Grammar: `s2m3 <command> [--flag value]... [--switch]...`. Flags take
+//! exactly one value unless listed as boolean switches by the caller.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first positional).
+    pub command: String,
+    /// `--flag value` pairs.
+    pub flags: BTreeMap<String, String>,
+    /// Bare `--switch` occurrences.
+    pub switches: Vec<String>,
+}
+
+/// Parse errors with enough context for a usage message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` that expected a value hit the end of input or another
+    /// flag.
+    MissingValue(String),
+    /// A positional argument appeared after the subcommand.
+    UnexpectedPositional(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} expects a value"),
+            ArgError::UnexpectedPositional(p) => write!(f, "unexpected argument '{p}'"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parses `argv` (without the program name). `switches` names the
+/// boolean flags that take no value.
+pub fn parse(argv: &[String], switches: &[&str]) -> Result<Args, ArgError> {
+    let mut it = argv.iter().peekable();
+    let command = it.next().ok_or(ArgError::MissingCommand)?.clone();
+    let mut args = Args {
+        command,
+        ..Default::default()
+    };
+    while let Some(tok) = it.next() {
+        if let Some(name) = tok.strip_prefix("--") {
+            if switches.contains(&name) {
+                args.switches.push(name.to_string());
+            } else {
+                let value = it
+                    .next()
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+                args.flags.insert(name.to_string(), value.clone());
+            }
+        } else {
+            return Err(ArgError::UnexpectedPositional(tok.clone()));
+        }
+    }
+    Ok(args)
+}
+
+impl Args {
+    /// A string flag with a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A parsed numeric flag with a default.
+    pub fn get_num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.flags
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let a = parse(
+            &v(&["plan", "--model", "CLIP ViT-B/16", "--candidates", "101", "--upper"]),
+            &["upper"],
+        )
+        .unwrap();
+        assert_eq!(a.command, "plan");
+        assert_eq!(a.get_or("model", ""), "CLIP ViT-B/16");
+        assert_eq!(a.get_num("candidates", 0usize), 101);
+        assert!(a.has("upper"));
+        assert!(!a.has("replicate"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&v(&["zoo"]), &[]).unwrap();
+        assert_eq!(a.get_or("fleet", "edge"), "edge");
+        assert_eq!(a.get_num("samples", 300usize), 300);
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        assert_eq!(parse(&v(&[]), &[]), Err(ArgError::MissingCommand));
+        assert_eq!(
+            parse(&v(&["plan", "--model"]), &[]),
+            Err(ArgError::MissingValue("model".into()))
+        );
+        assert_eq!(
+            parse(&v(&["plan", "oops"]), &[]),
+            Err(ArgError::UnexpectedPositional("oops".into()))
+        );
+        // A flag followed by another flag is also a missing value.
+        assert_eq!(
+            parse(&v(&["plan", "--model", "--upper"]), &["upper"]),
+            Err(ArgError::MissingValue("model".into()))
+        );
+    }
+}

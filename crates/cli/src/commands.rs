@@ -1,0 +1,374 @@
+//! CLI command implementations. Every command returns its output as a
+//! `String` so tests can exercise it without spawning processes.
+
+use std::fmt::Write as _;
+
+use s2m3_baselines::centralized::centralized_latency;
+use s2m3_core::objective::total_latency;
+use s2m3_core::placement::{greedy_place_with, PlacementOptions};
+use s2m3_core::plan::Plan;
+use s2m3_core::problem::Instance;
+use s2m3_core::upper::optimal_placement;
+use s2m3_data::{evaluate, Benchmark, Dataset};
+use s2m3_models::zoo::Zoo;
+use s2m3_net::fleet::Fleet;
+use s2m3_runtime::{reference, RequestInput, Runtime};
+use s2m3_sim::workload::{latency_stats, mixed_stream, ArrivalProcess};
+use s2m3_sim::{simulate, SimConfig};
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+s2m3 — split-and-share multi-modal inference on the edge
+
+USAGE: s2m3 <command> [options]
+
+COMMANDS:
+  zoo                          list the model zoo (Table II)
+  fleet      [--fleet F]       show devices and network (Table III)
+  plan       --model M [--candidates N] [--fleet F] [--replicate] [--upper]
+                               greedy placement + predicted latency
+  simulate   --model M [--requests N] [--rate R] [--batch B] [--candidates N]
+                               sustained-load simulation with p50/p95/p99
+  evaluate   --model M --benchmark B [--samples N]
+                               zero-shot accuracy on a synthetic benchmark
+  infer      --model M [--label L] [--candidates N]
+                               one distributed inference on the runtime,
+                               verified bit-identical vs centralized
+  compare    --model M [--candidates N]
+                               S2M3 vs every centralized deployment
+  experiments                  list the paper-reproduction binaries
+
+FLEETS: edge (default; desktop+laptop+2 Jetsons) | standard (adds the GPU server)
+";
+
+/// Command errors (message-carrying).
+pub type CmdResult = Result<String, String>;
+
+fn fleet_for(args: &Args) -> Result<Fleet, String> {
+    match args.get_or("fleet", "edge") {
+        "edge" => Ok(Fleet::edge_testbed()),
+        "standard" => Ok(Fleet::standard_testbed()),
+        other => Err(format!("unknown fleet '{other}' (edge|standard)")),
+    }
+}
+
+fn instance_for(args: &Args) -> Result<(Instance, String, usize), String> {
+    let model = args
+        .flags
+        .get("model")
+        .ok_or("--model is required (see `s2m3 zoo`)")?
+        .clone();
+    let candidates = args.get_num("candidates", 101usize);
+    let instance = Instance::on_fleet(fleet_for(args)?, &[(&model, candidates)])
+        .map_err(|e| e.to_string())?;
+    Ok((instance, model, candidates))
+}
+
+/// `s2m3 zoo`.
+pub fn zoo(_args: &Args) -> CmdResult {
+    let zoo = Zoo::standard();
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<28} {:<22} {:>9} {:>10}", "model", "task", "params", "max module");
+    for m in zoo.models() {
+        let _ = writeln!(
+            out,
+            "{:<28} {:<22} {:>8}M {:>9}M",
+            m.name,
+            m.task.to_string(),
+            m.total_params() / 1_000_000,
+            m.max_module_params() / 1_000_000
+        );
+    }
+    Ok(out)
+}
+
+/// `s2m3 fleet`.
+pub fn fleet(args: &Args) -> CmdResult {
+    let f = fleet_for(args)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "requester: {}", f.requester());
+    for d in f.devices() {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>7.0} GFLOP/s  {:>5.1} GB  x{}  {}",
+            d.id.as_str(),
+            d.speed_gflops,
+            d.memory_bytes as f64 / 1e9,
+            d.parallelism,
+            d.description
+        );
+    }
+    Ok(out)
+}
+
+/// `s2m3 plan`.
+pub fn plan(args: &Args) -> CmdResult {
+    let (instance, model, _) = instance_for(args)?;
+    let placement = greedy_place_with(
+        &instance,
+        PlacementOptions {
+            replicate: args.has("replicate"),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let request = instance.request(0, &model).map_err(|e| e.to_string())?;
+    let plan = Plan::route_all(&instance, placement, vec![request.clone()])
+        .map_err(|e| e.to_string())?;
+    let latency =
+        total_latency(&instance, &plan.routed[0].1, &request).map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "placement (greedy, Algorithm 1):");
+    for (m, d) in plan.placement.iter() {
+        let _ = writeln!(out, "  {m} -> {d}");
+    }
+    let _ = writeln!(out, "predicted latency: {latency:.2} s");
+    if args.has("upper") {
+        let opt = optimal_placement(&instance).map_err(|e| e.to_string())?;
+        let tag = if (latency - opt.latency).abs() < 1e-6 {
+            "greedy = optimal"
+        } else {
+            "greedy > optimal"
+        };
+        let _ = writeln!(out, "brute-force optimum: {:.2} s  ({tag})", opt.latency);
+    }
+    Ok(out)
+}
+
+/// `s2m3 simulate`.
+pub fn simulate_cmd(args: &Args) -> CmdResult {
+    let (instance, _, _) = instance_for(args)?;
+    let n = args.get_num("requests", 20usize);
+    let rate = args.get_num("rate", 0.5f64);
+    let batch = args.flags.get("batch").and_then(|v| v.parse().ok());
+    let requests = mixed_stream(&instance, n).map_err(|e| e.to_string())?;
+    let plan = Plan::greedy(&instance, requests).map_err(|e| e.to_string())?;
+    let arrivals = ArrivalProcess::Poisson { rate_per_s: rate }.arrivals(n, "cli");
+    let report = simulate(
+        &instance,
+        &plan,
+        &SimConfig {
+            arrivals: Some(arrivals),
+            max_batch: batch,
+            ..SimConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let stats = latency_stats(&report);
+    Ok(format!(
+        "{n} requests @ {rate:.2} req/s{}\n\
+         mean {:.2} s   p50 {:.2}   p95 {:.2}   p99 {:.2}   max {:.2}\n\
+         throughput {:.2} req/s over {:.2} s of virtual time\n",
+        batch.map(|b: usize| format!("  (batching x{b})")).unwrap_or_default(),
+        stats.mean, stats.p50, stats.p95, stats.p99, stats.max,
+        stats.throughput, report.makespan
+    ))
+}
+
+/// `s2m3 evaluate`.
+pub fn evaluate_cmd(args: &Args) -> CmdResult {
+    let model_name = args
+        .flags
+        .get("model")
+        .ok_or("--model is required")?
+        .clone();
+    let bench_name = args.get_or("benchmark", "cifar10");
+    let samples = args.get_num("samples", 300usize);
+    let bench = Benchmark::by_name(bench_name)
+        .ok_or_else(|| format!("unknown benchmark '{bench_name}'"))?;
+    let zoo = Zoo::standard();
+    let model = zoo
+        .model(&model_name)
+        .ok_or_else(|| format!("unknown model '{model_name}'"))?;
+    let dataset = Dataset::generate(&bench, samples);
+    let result = evaluate(model, &dataset).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{model_name} on {bench_name}: {:.1}% ({}/{} over synthetic samples)\n",
+        result.percent(),
+        result.correct,
+        result.total
+    ))
+}
+
+/// `s2m3 infer`.
+pub fn infer(args: &Args) -> CmdResult {
+    let (instance, model_name, candidates) = instance_for(args)?;
+    let label = args.get_or("label", "cli-input");
+    let request = instance.request(0, &model_name).map_err(|e| e.to_string())?;
+    let plan = Plan::greedy(&instance, vec![request.clone()]).map_err(|e| e.to_string())?;
+    let model = instance
+        .deployment(&model_name)
+        .ok_or("model not deployed")?
+        .model
+        .clone();
+    let input = RequestInput::synthetic(&model, label, candidates.max(1));
+    let runtime = Runtime::start(&instance, &plan).map_err(|e| e.to_string())?;
+    let output = runtime
+        .infer(&request, &plan.routed[0].1, &input)
+        .map_err(|e| e.to_string())?;
+    runtime.shutdown();
+    let central = reference::run_model(&model, &input).map_err(|e| e.to_string())?;
+    let identical = output == central;
+    let top = s2m3_tensor::ops::argmax_rows(&output).map_err(|e| e.to_string())?[0];
+    Ok(format!(
+        "distributed inference complete: top-1 index {top} over {} candidates\n\
+         split == centralized (bit-identical): {identical}\n",
+        output.cols()
+    ))
+}
+
+/// `s2m3 compare`.
+pub fn compare(args: &Args) -> CmdResult {
+    let model = args
+        .flags
+        .get("model")
+        .ok_or("--model is required")?
+        .clone();
+    let candidates = args.get_num("candidates", 101usize);
+    let full = Instance::on_fleet(Fleet::standard_testbed(), &[(&model, candidates)])
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for dev in ["server", "desktop", "laptop", "jetson-a"] {
+        match centralized_latency(&full, &model, dev) {
+            Ok(t) => {
+                let _ = writeln!(out, "centralized {dev:<10} {t:>7.2} s");
+            }
+            Err(_) => {
+                let _ = writeln!(out, "centralized {dev:<10}       – (does not fit)");
+            }
+        }
+    }
+    let edge = Instance::on_fleet(Fleet::edge_testbed(), &[(&model, candidates)])
+        .map_err(|e| e.to_string())?;
+    let request = edge.request(0, &model).map_err(|e| e.to_string())?;
+    let plan = Plan::greedy(&edge, vec![request.clone()]).map_err(|e| e.to_string())?;
+    let t = total_latency(&edge, &plan.routed[0].1, &request).map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "S2M3 (edge fleet)     {t:>7.2} s");
+    Ok(out)
+}
+
+/// `s2m3 experiments`.
+pub fn experiments(_args: &Args) -> CmdResult {
+    Ok("The evaluation lives in the s2m3-bench crate; regenerate any artifact with:
+
+  cargo run --release -p s2m3-bench --bin table6        Table VI   cost & latency per architecture
+  cargo run --release -p s2m3-bench --bin table7        Table VII  deployment comparison (+ loading)
+  cargo run --release -p s2m3-bench --bin fig3          Fig. 3     inference timeline (ASCII Gantt)
+  cargo run --release -p s2m3-bench --bin table8        Table VIII zero-shot accuracy
+  cargo run --release -p s2m3-bench --bin table9        Table IX   device availability
+  cargo run --release -p s2m3-bench --bin table10       Table X    multi-task sharing
+  cargo run --release -p s2m3-bench --bin table11       Table XI   baseline comparison
+  cargo run --release -p s2m3-bench --bin optimality    Sec. VI-A  greedy vs brute force (19x5)
+  cargo run --release -p s2m3-bench --bin batching      footnote 4 batch scaling
+  cargo run --release -p s2m3-bench --bin ablations     mechanism ablations
+  cargo run --release -p s2m3-bench --bin load_sweep    queuing knee under Poisson load
+  cargo run --release -p s2m3-bench --bin scalability   placement cost vs fleet size
+  cargo run --release -p s2m3-bench --bin all_experiments  everything + markdown export
+"
+    .to_string())
+}
+
+/// Dispatches a parsed command.
+pub fn dispatch(args: &Args) -> CmdResult {
+    match args.command.as_str() {
+        "zoo" => zoo(args),
+        "experiments" => experiments(args),
+        "fleet" => fleet(args),
+        "plan" => plan(args),
+        "simulate" => simulate_cmd(args),
+        "evaluate" => evaluate_cmd(args),
+        "infer" => infer(args),
+        "compare" => compare(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run(argv: &[&str]) -> CmdResult {
+        let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let args = parse(&v, &["replicate", "upper"]).map_err(|e| e.to_string())?;
+        dispatch(&args)
+    }
+
+    #[test]
+    fn zoo_lists_models() {
+        let out = run(&["zoo"]).unwrap();
+        assert!(out.contains("CLIP ViT-B/16"));
+        assert!(out.contains("ImageBind"));
+        assert!(out.lines().count() > 15);
+    }
+
+    #[test]
+    fn fleet_shows_devices() {
+        let out = run(&["fleet", "--fleet", "standard"]).unwrap();
+        assert!(out.contains("server"));
+        assert!(out.contains("jetson-a"));
+        let edge = run(&["fleet"]).unwrap();
+        assert!(!edge.contains("server"));
+        assert!(run(&["fleet", "--fleet", "mars"]).is_err());
+    }
+
+    #[test]
+    fn plan_places_and_optionally_compares_upper() {
+        let out = run(&["plan", "--model", "CLIP ViT-B/16", "--upper"]).unwrap();
+        assert!(out.contains("vision/ViT-B-16"));
+        assert!(out.contains("predicted latency"));
+        assert!(out.contains("greedy = optimal"));
+        assert!(run(&["plan"]).is_err(), "--model required");
+    }
+
+    #[test]
+    fn simulate_reports_stats() {
+        let out = run(&[
+            "simulate", "--model", "CLIP ViT-B/16", "--requests", "8", "--rate", "0.5",
+        ])
+        .unwrap();
+        assert!(out.contains("p95"));
+        assert!(out.contains("throughput"));
+        let batched = run(&[
+            "simulate", "--model", "CLIP ViT-B/16", "--requests", "8", "--batch", "4",
+        ])
+        .unwrap();
+        assert!(batched.contains("batching x4"));
+    }
+
+    #[test]
+    fn evaluate_and_infer_roundtrip() {
+        let out = run(&[
+            "evaluate", "--model", "CLIP ViT-B/16", "--benchmark", "cifar10", "--samples", "60",
+        ])
+        .unwrap();
+        assert!(out.contains('%'));
+        let inf = run(&["infer", "--model", "CLIP ViT-B/16", "--candidates", "8"]).unwrap();
+        assert!(inf.contains("bit-identical): true"));
+    }
+
+    #[test]
+    fn compare_includes_infeasible_dashes() {
+        let out = run(&["compare", "--model", "ImageBind", "--candidates", "8"]).unwrap();
+        assert!(out.contains("does not fit"));
+        assert!(out.contains("S2M3"));
+    }
+
+    #[test]
+    fn experiments_lists_all_binaries() {
+        let out = run(&["experiments"]).unwrap();
+        for bin in ["table6", "table11", "optimality", "scalability", "all_experiments"] {
+            assert!(out.contains(bin), "missing {bin}");
+        }
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&["help"]).unwrap().contains("USAGE"));
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown command"));
+    }
+}

@@ -1,0 +1,26 @@
+//! `s2m3` — the command-line face of the reproduction.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&argv, &["replicate", "upper"]) {
+        Ok(a) => a,
+        Err(args::ArgError::MissingCommand) => {
+            print!("{}", commands::USAGE);
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for placement / routing / evaluation.
+
+use s2m3_models::module::ModuleId;
+use s2m3_net::device::DeviceId;
+
+/// Errors from the core algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A model name was not found in the instance's zoo.
+    UnknownModel(String),
+    /// A device name was not found in the fleet.
+    UnknownDevice(DeviceId),
+    /// The instance has no devices.
+    EmptyFleet,
+    /// No device has enough free memory to host this module.
+    Infeasible {
+        /// Module that could not be placed.
+        module: ModuleId,
+        /// Its memory requirement, bytes.
+        required_bytes: u64,
+        /// The largest remaining budget among devices, bytes.
+        best_remaining_bytes: u64,
+    },
+    /// A request's route references a module on a device that does not
+    /// host it (violates constraint 4b).
+    NotHosted {
+        /// The module in question.
+        module: ModuleId,
+        /// The device the route pointed at.
+        device: DeviceId,
+    },
+    /// A request requires a module the route does not cover (violates
+    /// constraint 4c).
+    Unrouted(ModuleId),
+    /// A placement exceeds a device's memory budget (violates 4d).
+    OverCapacity {
+        /// Overloaded device.
+        device: DeviceId,
+        /// Bytes placed on it.
+        placed_bytes: u64,
+        /// Its budget `R_n`.
+        budget_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::UnknownModel(m) => write!(f, "unknown model {m}"),
+            CoreError::UnknownDevice(d) => write!(f, "unknown device {d}"),
+            CoreError::EmptyFleet => write!(f, "the fleet has no devices"),
+            CoreError::Infeasible {
+                module,
+                required_bytes,
+                best_remaining_bytes,
+            } => write!(
+                f,
+                "module {module} needs {required_bytes} B but the best device has {best_remaining_bytes} B free \
+                 (consider compression or intra-module partitioning, Sec. V-B)"
+            ),
+            CoreError::NotHosted { module, device } => {
+                write!(f, "route sends {module} to {device}, which does not host it")
+            }
+            CoreError::Unrouted(m) => write!(f, "request requires {m} but the route omits it"),
+            CoreError::OverCapacity {
+                device,
+                placed_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "device {device} holds {placed_bytes} B > budget {budget_bytes} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_actionable() {
+        let e = CoreError::Infeasible {
+            module: ModuleId::new("llm/Vicuna-13B"),
+            required_bytes: 26_000_000_000,
+            best_remaining_bytes: 24_000_000_000,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("llm/Vicuna-13B"));
+        assert!(s.contains("partitioning"));
+        assert!(format!("{}", CoreError::EmptyFleet).contains("no devices"));
+    }
+}

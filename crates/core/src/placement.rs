@@ -1,0 +1,243 @@
+//! Greedy module placement — Algorithm 1, lines 2–12, plus the
+//! leftover-memory replication pass described in Sec. V-B.
+
+use std::collections::BTreeMap;
+
+use s2m3_net::device::DeviceId;
+
+use crate::error::CoreError;
+use crate::problem::{Instance, Placement};
+
+/// Options for the greedy placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlacementOptions {
+    /// After the initial pass, replicate modules (largest first) onto any
+    /// device with leftover memory. Replicas never hurt single-request
+    /// latency and relieve queuing under concurrent load (Sec. V-B).
+    pub replicate: bool,
+}
+
+/// Greedy placement with default options (no replication — the literal
+/// Algorithm 1).
+///
+/// # Errors
+///
+/// [`CoreError::Infeasible`] when some module fits on no device;
+/// [`CoreError::EmptyFleet`] on an empty fleet.
+pub fn greedy_place(instance: &Instance) -> Result<Placement, CoreError> {
+    greedy_place_with(instance, PlacementOptions::default())
+}
+
+/// Greedy placement, configurable.
+///
+/// Modules are visited in descending memory order (`max_m r_m` first,
+/// Sec. V-B: compute-intensive modules are prioritized). Each is placed
+/// on the feasible device with the shortest *completion time*:
+///
+/// - encoders (Eq. 5): `t_comp(m, n)` plus the accumulated compute of all
+///   modules already placed on `n` — spreading heavy encoders apart so
+///   they can run in parallel;
+/// - heads (Eq. 6): pure `t_comp(m, n)` — heads run after all encoders,
+///   so accumulated encoder load does not delay them.
+///
+/// # Errors
+///
+/// See [`greedy_place`].
+pub fn greedy_place_with(
+    instance: &Instance,
+    opts: PlacementOptions,
+) -> Result<Placement, CoreError> {
+    let devices = instance.fleet().devices();
+    if devices.is_empty() {
+        return Err(CoreError::EmptyFleet);
+    }
+
+    let mut remaining: BTreeMap<DeviceId, u64> = devices
+        .iter()
+        .map(|d| (d.id.clone(), d.usable_memory_bytes()))
+        .collect();
+    // Accumulated compute time of *encoder* modules already placed per
+    // device (the Σ_{m'} x_{m',n} t_comp(m',n) term of Eq. 5). Only
+    // encoders accumulate: they are the modules that contend for the
+    // per-request parallel phase, whereas heads run strictly after all
+    // encodings and so do not delay a co-located encoder. (Summing heads
+    // too would push encoders off any device hosting an LLM head and
+    // lose the co-location the paper's measured placements exhibit.)
+    let mut accum: BTreeMap<DeviceId, f64> = devices.iter().map(|d| (d.id.clone(), 0.0)).collect();
+
+    let mut modules = instance.distinct_modules();
+    // Descending memory requirement; module id breaks ties determinately.
+    modules.sort_by(|a, b| {
+        b.memory_bytes()
+            .cmp(&a.memory_bytes())
+            .then_with(|| a.id.cmp(&b.id))
+    });
+
+    let mut placement = Placement::new();
+    for m in &modules {
+        // Score each device by completion time t_place (Eqs. 5/6).
+        let mut scored: Vec<(f64, &DeviceId)> = Vec::with_capacity(devices.len());
+        for d in devices {
+            let t_comp = instance.compute_time(m, &d.id)?;
+            let t_place = if m.kind.is_encoder() {
+                t_comp + accum[&d.id]
+            } else {
+                t_comp
+            };
+            scored.push((t_place, &d.id));
+        }
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.1.cmp(b.1)));
+
+        let need = m.memory_bytes();
+        let mut placed = false;
+        for (_, n) in &scored {
+            if need <= remaining[*n] {
+                placement.place(m.id.clone(), (*n).clone());
+                *remaining.get_mut(*n).expect("known device") -= need;
+                if m.kind.is_encoder() {
+                    *accum.get_mut(*n).expect("known device") += instance.compute_time(m, n)?;
+                }
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            return Err(CoreError::Infeasible {
+                module: m.id.clone(),
+                required_bytes: need,
+                best_remaining_bytes: remaining.values().copied().max().unwrap_or(0),
+            });
+        }
+    }
+
+    if opts.replicate {
+        // Largest modules first, any device with leftover room.
+        for m in &modules {
+            let need = m.memory_bytes();
+            for d in devices {
+                if !placement.is_placed(&m.id, &d.id) && need <= remaining[&d.id] {
+                    placement.place(m.id.clone(), d.id.clone());
+                    *remaining.get_mut(&d.id).expect("known device") -= need;
+                }
+            }
+        }
+    }
+
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2m3_net::fleet::Fleet;
+
+    #[test]
+    fn places_every_distinct_module_exactly_once() {
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        let p = greedy_place(&i).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.modules().count(), 3);
+    }
+
+    #[test]
+    fn compute_heavy_modules_land_on_fast_devices() {
+        // With 101 candidate prompts the text encoder is the heaviest
+        // compute; greedy must keep it off the Jetsons.
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        let p = greedy_place(&i).unwrap();
+        let text_host = p.hosts(&"text/CLIP-B-16".into()).next().unwrap();
+        assert!(
+            text_host.as_str() == "laptop" || text_host.as_str() == "desktop",
+            "text encoder on {text_host}"
+        );
+        let vision_host = p.hosts(&"vision/ViT-B-16".into()).next().unwrap();
+        assert_ne!(
+            vision_host, text_host,
+            "parallel encoders should spread across devices"
+        );
+    }
+
+    #[test]
+    fn encoders_spread_for_parallelism_eq5() {
+        // Eq. 5's accumulation term: once the desktop holds the vision
+        // encoder, the text encoder's completion time there includes it,
+        // pushing the text encoder to the laptop (or vice versa).
+        let i = Instance::single_model("CLIP ViT-L/14", 101).unwrap();
+        let p = greedy_place(&i).unwrap();
+        let v = p.hosts(&"vision/ViT-L-14".into()).next().unwrap();
+        let t = p.hosts(&"text/CLIP-L-14".into()).next().unwrap();
+        assert_ne!(v, t);
+    }
+
+    #[test]
+    fn respects_memory_budgets() {
+        let i = Instance::single_model("ImageBind", 16).unwrap();
+        let p = greedy_place(&i).unwrap();
+        // Jetson (1.1 GB) cannot hold the 630M-param ViT-H tower.
+        for jetson in ["jetson-a", "jetson-b"] {
+            assert!(
+                !p.is_placed(&"vision/OpenCLIP-ViT-H-14".into(), &jetson.into()),
+                "ViT-H placed on {jetson}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_when_nothing_fits() {
+        // Two Jetsons alone cannot host Vicuna-13B (26 GB fp16).
+        let fleet = Fleet::standard_testbed()
+            .restricted_to(&["jetson-a", "jetson-b"])
+            .unwrap();
+        let i = Instance::on_fleet(fleet, &[("LLaVA-v1.5-13B", 1)]).unwrap();
+        match greedy_place(&i) {
+            Err(CoreError::Infeasible { module, .. }) => {
+                assert!(module.as_str().contains("Vicuna-13B") || module.as_str().contains("ViT-L"));
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replication_fills_leftover_memory() {
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        let base = greedy_place(&i).unwrap();
+        let replicated =
+            greedy_place_with(&i, PlacementOptions { replicate: true }).unwrap();
+        assert!(replicated.len() > base.len());
+        // Every base assignment survives replication.
+        for (m, d) in base.iter() {
+            assert!(replicated.is_placed(m, d));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let i = Instance::on_fleet(
+            Fleet::standard_testbed(),
+            &[("CLIP ViT-B/16", 101), ("ImageBind", 16), ("Flint-v0.5-1B", 1)],
+        )
+        .unwrap();
+        let a = greedy_place(&i).unwrap();
+        let b = greedy_place(&i).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_task_shared_modules_placed_once() {
+        let i = Instance::on_fleet(
+            Fleet::edge_testbed(),
+            &[
+                ("CLIP ViT-B/16", 101),
+                ("Encoder-only VQA (Small)", 1),
+                ("AlignBind-B", 16),
+                ("CLIP-Classifier Food-101", 0),
+            ],
+        )
+        .unwrap();
+        let p = greedy_place(&i).unwrap();
+        // 3 encoders + 4 heads... distinct modules: vision, text, audio,
+        // cosine, vqa classifier, infonce, food classifier = 7.
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.hosts(&"vision/ViT-B-16".into()).count(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! A complete executable plan: placement plus per-request routes.
+//!
+//! Plans are the hand-off between the core algorithms and the execution
+//! substrates (`s2m3-sim` replays them in virtual time; `s2m3-runtime`
+//! executes them with real computation).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::objective::validate;
+use crate::placement::{greedy_place_with, PlacementOptions};
+use crate::problem::{Instance, Placement, Request, Route};
+use crate::routing::route_request;
+
+/// Placement + routed requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    /// The module placement `x`.
+    pub placement: Placement,
+    /// Requests with their routes `y^q`, in arrival order.
+    pub routed: Vec<(Request, Route)>,
+}
+
+impl Plan {
+    /// Builds a plan: greedy placement, then Eq. 7 routing per request.
+    /// The result is validated against constraints (4b)–(4d).
+    ///
+    /// # Errors
+    ///
+    /// Placement/routing/validation errors as typed [`CoreError`]s.
+    pub fn greedy(instance: &Instance, requests: Vec<Request>) -> Result<Self, CoreError> {
+        Self::greedy_with(instance, requests, PlacementOptions::default())
+    }
+
+    /// Builds a greedy plan with explicit placement options.
+    ///
+    /// # Errors
+    ///
+    /// See [`Plan::greedy`].
+    pub fn greedy_with(
+        instance: &Instance,
+        requests: Vec<Request>,
+        opts: PlacementOptions,
+    ) -> Result<Self, CoreError> {
+        let placement = greedy_place_with(instance, opts)?;
+        Self::route_all(instance, placement, requests)
+    }
+
+    /// Routes `requests` over an existing placement and validates.
+    ///
+    /// # Errors
+    ///
+    /// See [`Plan::greedy`].
+    pub fn route_all(
+        instance: &Instance,
+        placement: Placement,
+        requests: Vec<Request>,
+    ) -> Result<Self, CoreError> {
+        let mut routed = Vec::with_capacity(requests.len());
+        for q in requests {
+            let r = route_request(instance, &placement, &q)?;
+            routed.push((q, r));
+        }
+        validate(instance, &placement, &routed)?;
+        Ok(Plan { placement, routed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2m3_net::fleet::Fleet;
+
+    #[test]
+    fn greedy_plan_roundtrip() {
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        let q = i.request(0, "CLIP ViT-B/16").unwrap();
+        let plan = Plan::greedy(&i, vec![q]).unwrap();
+        assert_eq!(plan.routed.len(), 1);
+        assert_eq!(plan.placement.len(), 3);
+    }
+
+    #[test]
+    fn multi_request_multi_task_plan() {
+        let i = Instance::on_fleet(
+            Fleet::edge_testbed(),
+            &[
+                ("CLIP ViT-B/16", 101),
+                ("Encoder-only VQA (Small)", 1),
+                ("AlignBind-B", 16),
+                ("CLIP-Classifier Food-101", 0),
+            ],
+        )
+        .unwrap();
+        let requests: Vec<_> = i
+            .deployments()
+            .iter()
+            .enumerate()
+            .map(|(n, d)| i.request(n as u64, &d.model.name).unwrap())
+            .collect();
+        let plan = Plan::greedy(&i, requests).unwrap();
+        assert_eq!(plan.routed.len(), 4);
+    }
+
+    #[test]
+    fn plan_serializes() {
+        let i = Instance::single_model("CLIP ViT-B/16", 10).unwrap();
+        let q = i.request(0, "CLIP ViT-B/16").unwrap();
+        let plan = Plan::greedy(&i, vec![q]).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: Plan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

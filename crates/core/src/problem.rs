@@ -1,0 +1,487 @@
+//! Problem formulation: instances, requests, placements, routes (Sec. V-A).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use s2m3_models::module::{ModuleId, ModuleKind, ModuleSpec};
+use s2m3_models::zoo::{ModelSpec, Task, Zoo};
+use s2m3_net::device::{DeviceId, DeviceSpec};
+use s2m3_net::fleet::Fleet;
+
+use crate::error::CoreError;
+
+/// Default number of tokens a generative head processes per request
+/// (prompt prefill plus decoded answer).
+pub const DEFAULT_LLM_TOKENS: f64 = 128.0;
+
+/// Per-request workload profile: how many work units each module kind
+/// performs for one inference of this model.
+///
+/// Zero-shot retrieval/alignment encode one prompt per candidate class;
+/// encoder-VQA encodes a single question; generative heads process
+/// `llm_tokens` tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestProfile {
+    /// Work units for the text encoder (candidate prompts or questions).
+    pub text_units: f64,
+    /// Tokens processed by a generative (LLM) head.
+    pub llm_tokens: f64,
+}
+
+impl RequestProfile {
+    /// The canonical profile for `task` with `candidates` classes.
+    pub fn for_task(task: Task, candidates: usize) -> Self {
+        match task {
+            Task::ImageTextRetrieval | Task::CrossModalAlignment => RequestProfile {
+                text_units: candidates as f64,
+                llm_tokens: 0.0,
+            },
+            Task::EncoderVqa => RequestProfile {
+                text_units: 1.0,
+                llm_tokens: 0.0,
+            },
+            Task::DecoderVqa | Task::ImageCaptioning => RequestProfile {
+                text_units: 0.0,
+                llm_tokens: DEFAULT_LLM_TOKENS,
+            },
+            Task::ImageClassification => RequestProfile {
+                text_units: 0.0,
+                llm_tokens: 0.0,
+            },
+        }
+    }
+
+    /// Work units module kind `kind` performs under this profile.
+    pub fn units(&self, kind: ModuleKind) -> f64 {
+        match kind {
+            ModuleKind::VisionEncoder | ModuleKind::AudioEncoder => 1.0,
+            ModuleKind::TextEncoder => self.text_units.max(1.0),
+            ModuleKind::LanguageModel => self.llm_tokens.max(1.0),
+            ModuleKind::DistanceHead | ModuleKind::ClassifierHead => 1.0,
+        }
+    }
+
+    /// Bytes of raw user data shipped to a remote device hosting an
+    /// encoder of `kind` (`t_comm(m, n_q, n)`'s payload).
+    pub fn input_bytes(&self, kind: ModuleKind) -> u64 {
+        match kind {
+            ModuleKind::VisionEncoder => 500 * 1024,
+            ModuleKind::AudioEncoder => 320 * 1024,
+            ModuleKind::TextEncoder => 256 * self.text_units.max(1.0) as u64,
+            // Generative heads receive the raw question/prompt.
+            ModuleKind::LanguageModel => 256,
+            _ => 0,
+        }
+    }
+}
+
+/// One model deployed in an instance, with its canonical workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deployment {
+    /// The model.
+    pub model: ModelSpec,
+    /// Canonical per-request workload.
+    pub profile: RequestProfile,
+}
+
+/// An inference request `q`: which model it needs, where it originates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Request identifier.
+    pub id: u64,
+    /// Model name (`k(q)`).
+    pub model: String,
+    /// Source device (`n_q`).
+    pub source: DeviceId,
+    /// Workload of this request.
+    pub profile: RequestProfile,
+}
+
+/// Placement decision `x`: which devices host each module. A module may
+/// be replicated on several devices.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    assignments: BTreeMap<ModuleId, BTreeSet<DeviceId>>,
+}
+
+impl Placement {
+    /// Creates an empty placement.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Places module `m` on device `n` (`x_{m,n} = 1`).
+    pub fn place(&mut self, m: ModuleId, n: DeviceId) {
+        self.assignments.entry(m).or_default().insert(n);
+    }
+
+    /// Devices hosting `m` (`N_m`), empty if unplaced.
+    pub fn hosts(&self, m: &ModuleId) -> impl Iterator<Item = &DeviceId> {
+        self.assignments.get(m).into_iter().flatten()
+    }
+
+    /// Whether `x_{m,n} = 1`.
+    pub fn is_placed(&self, m: &ModuleId, n: &DeviceId) -> bool {
+        self.assignments.get(m).is_some_and(|s| s.contains(n))
+    }
+
+    /// All `(module, device)` pairs with `x = 1`, in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ModuleId, &DeviceId)> {
+        self.assignments
+            .iter()
+            .flat_map(|(m, ds)| ds.iter().map(move |d| (m, d)))
+    }
+
+    /// Distinct modules placed.
+    pub fn modules(&self) -> impl Iterator<Item = &ModuleId> {
+        self.assignments.keys()
+    }
+
+    /// Number of `(module, device)` assignments.
+    pub fn len(&self) -> usize {
+        self.assignments.values().map(|s| s.len()).sum()
+    }
+
+    /// Whether nothing is placed.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+}
+
+/// Routing decision `y^q` for one request: exactly one hosting device per
+/// required module.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Route {
+    /// The request this route serves.
+    pub request_id: u64,
+    assignments: BTreeMap<ModuleId, DeviceId>,
+}
+
+impl Route {
+    /// Creates an empty route for a request.
+    pub fn new(request_id: u64) -> Self {
+        Route {
+            request_id,
+            assignments: BTreeMap::new(),
+        }
+    }
+
+    /// Routes module `m` to device `n` (`y^q_{m,n} = 1`).
+    pub fn assign(&mut self, m: ModuleId, n: DeviceId) {
+        self.assignments.insert(m, n);
+    }
+
+    /// The device serving `m`, if routed.
+    pub fn device_for(&self, m: &ModuleId) -> Option<&DeviceId> {
+        self.assignments.get(m)
+    }
+
+    /// All `(module, device)` routing pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&ModuleId, &DeviceId)> {
+        self.assignments.iter()
+    }
+}
+
+/// A complete problem instance: the fleet `N` and the deployed models `K`
+/// with their workload profiles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instance {
+    fleet: Fleet,
+    deployments: Vec<Deployment>,
+}
+
+impl Instance {
+    /// Builds an instance.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyFleet`] on an empty fleet.
+    pub fn new(fleet: Fleet, deployments: Vec<Deployment>) -> Result<Self, CoreError> {
+        if fleet.is_empty() {
+            return Err(CoreError::EmptyFleet);
+        }
+        Ok(Instance { fleet, deployments })
+    }
+
+    /// Convenience: one standard-zoo model on the paper's edge-only fleet
+    /// (desktop, laptop, two Jetsons; requester Jetson A), `candidates`
+    /// benchmark classes.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownModel`] for names outside the standard zoo.
+    pub fn single_model(name: &str, candidates: usize) -> Result<Self, CoreError> {
+        Self::on_fleet(Fleet::edge_testbed(), &[(name, candidates)])
+    }
+
+    /// Convenience: several standard-zoo models on a given fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownModel`] for names outside the standard zoo.
+    pub fn on_fleet(fleet: Fleet, models: &[(&str, usize)]) -> Result<Self, CoreError> {
+        let zoo = Zoo::standard();
+        let mut deployments = Vec::new();
+        for (name, candidates) in models {
+            let model = zoo
+                .model(name)
+                .ok_or_else(|| CoreError::UnknownModel((*name).to_string()))?
+                .clone();
+            let profile = RequestProfile::for_task(model.task, *candidates);
+            deployments.push(Deployment { model, profile });
+        }
+        Instance::new(fleet, deployments)
+    }
+
+    /// The device fleet.
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// A copy of this instance on a different fleet (Table IX sweeps).
+    pub fn with_fleet(&self, fleet: Fleet) -> Result<Self, CoreError> {
+        Instance::new(fleet, self.deployments.clone())
+    }
+
+    /// Deployed models with profiles.
+    pub fn deployments(&self) -> &[Deployment] {
+        &self.deployments
+    }
+
+    /// Looks up a deployment by model name.
+    pub fn deployment(&self, model: &str) -> Option<&Deployment> {
+        self.deployments.iter().find(|d| d.model.name == model)
+    }
+
+    /// The distinct module set `M = ∪_k M_k`, in stable id order.
+    pub fn distinct_modules(&self) -> Vec<&ModuleSpec> {
+        let mut seen = BTreeMap::new();
+        for d in &self.deployments {
+            for m in d.model.modules() {
+                seen.entry(m.id.clone()).or_insert(m);
+            }
+        }
+        seen.into_values().collect()
+    }
+
+    /// Work units to assume for `module` at *placement* time: the maximum
+    /// over deployed models that use it (conservative for shared modules).
+    pub fn placement_units(&self, module: &ModuleSpec) -> f64 {
+        self.deployments
+            .iter()
+            .filter(|d| d.model.modules().any(|m| m.id == module.id))
+            .map(|d| d.profile.units(module.kind))
+            .fold(1.0, f64::max)
+    }
+
+    /// `t_comp(m, n)` with placement-time units, seconds.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownDevice`] for devices outside the fleet.
+    pub fn compute_time(&self, module: &ModuleSpec, device: &DeviceId) -> Result<f64, CoreError> {
+        let d = self.device(device)?;
+        Ok(d.compute_time(module, self.placement_units(module)))
+    }
+
+    /// `t_comp(m, n)` for a specific request profile, seconds.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownDevice`] for devices outside the fleet.
+    pub fn compute_time_for(
+        &self,
+        module: &ModuleSpec,
+        device: &DeviceId,
+        profile: &RequestProfile,
+    ) -> Result<f64, CoreError> {
+        let d = self.device(device)?;
+        Ok(d.compute_time(module, profile.units(module.kind)))
+    }
+
+    /// Looks up a device spec.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownDevice`] if absent from the fleet.
+    pub fn device(&self, id: &DeviceId) -> Result<&DeviceSpec, CoreError> {
+        self.fleet
+            .device(id.as_str())
+            .ok_or_else(|| CoreError::UnknownDevice(id.clone()))
+    }
+
+    /// Builds a request for `model` originating at the fleet's requester.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownModel`] if `model` is not deployed here.
+    pub fn request(&self, id: u64, model: &str) -> Result<Request, CoreError> {
+        let d = self
+            .deployment(model)
+            .ok_or_else(|| CoreError::UnknownModel(model.to_string()))?;
+        Ok(Request {
+            id,
+            model: d.model.name.clone(),
+            source: self.fleet.requester().clone(),
+            profile: d.profile,
+        })
+    }
+
+    /// A *dedicated* (no-sharing) variant of this instance: every model's
+    /// modules get model-qualified ids, so nothing is shared. Used for
+    /// the Table X "w/o sharing" comparison.
+    pub fn dedicated(&self) -> Self {
+        let deployments = self
+            .deployments
+            .iter()
+            .map(|d| {
+                let encoders = d
+                    .model
+                    .encoders()
+                    .iter()
+                    .map(|m| qualify(m, &d.model.name))
+                    .collect();
+                let head = qualify(d.model.head(), &d.model.name);
+                Deployment {
+                    model: ModelSpec::new(d.model.name.clone(), d.model.task, encoders, head)
+                        .expect("requalified model stays valid"),
+                    profile: d.profile,
+                }
+            })
+            .collect();
+        Instance {
+            fleet: self.fleet.clone(),
+            deployments,
+        }
+    }
+}
+
+fn qualify(m: &ModuleSpec, owner: &str) -> ModuleSpec {
+    let mut q = m.clone();
+    q.id = ModuleId::new(format!("{owner}::{}", m.id));
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_task_semantics() {
+        let retrieval = RequestProfile::for_task(Task::ImageTextRetrieval, 101);
+        assert_eq!(retrieval.units(ModuleKind::TextEncoder), 101.0);
+        assert_eq!(retrieval.units(ModuleKind::VisionEncoder), 1.0);
+        let vqa = RequestProfile::for_task(Task::EncoderVqa, 101);
+        assert_eq!(vqa.units(ModuleKind::TextEncoder), 1.0);
+        let dec = RequestProfile::for_task(Task::DecoderVqa, 0);
+        assert_eq!(dec.units(ModuleKind::LanguageModel), DEFAULT_LLM_TOKENS);
+        let cls = RequestProfile::for_task(Task::ImageClassification, 0);
+        assert_eq!(cls.units(ModuleKind::ClassifierHead), 1.0);
+    }
+
+    #[test]
+    fn input_bytes_scale_with_prompts() {
+        let p = RequestProfile::for_task(Task::ImageTextRetrieval, 10);
+        assert_eq!(p.input_bytes(ModuleKind::TextEncoder), 2560);
+        assert_eq!(p.input_bytes(ModuleKind::VisionEncoder), 500 * 1024);
+        assert_eq!(p.input_bytes(ModuleKind::DistanceHead), 0);
+    }
+
+    #[test]
+    fn single_model_instance_builds() {
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        assert_eq!(i.fleet().len(), 4); // edge-only fleet
+        assert_eq!(i.distinct_modules().len(), 3);
+        assert!(Instance::single_model("CLIP ViT-Z/99", 10).is_err());
+    }
+
+    #[test]
+    fn distinct_modules_dedupe_across_models() {
+        let i = Instance::on_fleet(
+            Fleet::edge_testbed(),
+            &[("CLIP ViT-B/16", 101), ("Encoder-only VQA (Small)", 1)],
+        )
+        .unwrap();
+        // Shared vision+text, cosine head + classifier head = 4 distinct.
+        assert_eq!(i.distinct_modules().len(), 4);
+    }
+
+    #[test]
+    fn dedicated_variant_unshares_modules() {
+        let i = Instance::on_fleet(
+            Fleet::edge_testbed(),
+            &[("CLIP ViT-B/16", 101), ("Encoder-only VQA (Small)", 1)],
+        )
+        .unwrap();
+        let d = i.dedicated();
+        assert_eq!(d.distinct_modules().len(), 6);
+        assert!(d
+            .distinct_modules()
+            .iter()
+            .all(|m| m.id.as_str().contains("::")));
+    }
+
+    #[test]
+    fn placement_units_take_max_over_sharing_models() {
+        // Text encoder shared between retrieval (101 prompts) and
+        // encoder-VQA (1 question): placement assumes 101.
+        let i = Instance::on_fleet(
+            Fleet::edge_testbed(),
+            &[("CLIP ViT-B/16", 101), ("Encoder-only VQA (Small)", 1)],
+        )
+        .unwrap();
+        let text = i
+            .distinct_modules()
+            .into_iter()
+            .find(|m| m.kind == ModuleKind::TextEncoder)
+            .unwrap()
+            .clone();
+        assert_eq!(i.placement_units(&text), 101.0);
+    }
+
+    #[test]
+    fn placement_and_route_bookkeeping() {
+        let mut p = Placement::new();
+        p.place("vision/ViT-B-16".into(), "desktop".into());
+        p.place("vision/ViT-B-16".into(), "laptop".into());
+        p.place("head/cosine".into(), "jetson-a".into());
+        assert_eq!(p.len(), 3);
+        assert!(p.is_placed(&"vision/ViT-B-16".into(), &"laptop".into()));
+        assert!(!p.is_placed(&"vision/ViT-B-16".into(), &"jetson-a".into()));
+        assert_eq!(p.hosts(&"vision/ViT-B-16".into()).count(), 2);
+        assert_eq!(p.modules().count(), 2);
+
+        let mut r = Route::new(7);
+        r.assign("vision/ViT-B-16".into(), "desktop".into());
+        assert_eq!(r.device_for(&"vision/ViT-B-16".into()).unwrap().as_str(), "desktop");
+        assert!(r.device_for(&"head/cosine".into()).is_none());
+    }
+
+    #[test]
+    fn requests_originate_at_the_requester() {
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        let q = i.request(3, "CLIP ViT-B/16").unwrap();
+        assert_eq!(q.source.as_str(), "jetson-a");
+        assert_eq!(q.profile.text_units, 101.0);
+        assert!(i.request(4, "nope").is_err());
+    }
+
+    #[test]
+    fn compute_time_distinguishes_profiles() {
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        let text = i
+            .distinct_modules()
+            .into_iter()
+            .find(|m| m.kind == ModuleKind::TextEncoder)
+            .unwrap()
+            .clone();
+        let dev: DeviceId = "laptop".into();
+        let full = i.compute_time(&text, &dev).unwrap();
+        let single = i
+            .compute_time_for(&text, &dev, &RequestProfile { text_units: 1.0, llm_tokens: 0.0 })
+            .unwrap();
+        assert!(full > 20.0 * single);
+        assert!(i.compute_time(&text, &"ghost".into()).is_err());
+    }
+}

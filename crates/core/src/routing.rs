@@ -1,0 +1,235 @@
+//! Per-request parallel routing — Algorithm 1, lines 13–19.
+
+use s2m3_models::module::{ModuleId, ModuleSpec};
+use s2m3_net::device::DeviceId;
+
+use crate::error::CoreError;
+use crate::problem::{Instance, Placement, Request, Route};
+
+/// Routes one request: every required module goes to the hosting device
+/// with the smallest `t_comp(m, n)` for this request's workload (Eq. 7).
+///
+/// # Errors
+///
+/// [`CoreError::UnknownModel`] if the request's model is not deployed;
+/// [`CoreError::Unrouted`] if a required module is placed nowhere.
+pub fn route_request(
+    instance: &Instance,
+    placement: &Placement,
+    request: &Request,
+) -> Result<Route, CoreError> {
+    let deployment = instance
+        .deployment(&request.model)
+        .ok_or_else(|| CoreError::UnknownModel(request.model.clone()))?;
+    let mut route = Route::new(request.id);
+    for m in deployment.model.modules() {
+        let mut best: Option<(f64, &DeviceId)> = None;
+        for n in placement.hosts(&m.id) {
+            let t = instance.compute_time_for(m, n, &request.profile)?;
+            let better = match best {
+                None => true,
+                Some((bt, bn)) => t < bt || (t == bt && n < bn),
+            };
+            if better {
+                best = Some((t, n));
+            }
+        }
+        let (_, n) = best.ok_or_else(|| CoreError::Unrouted(m.id.clone()))?;
+        route.assign(m.id.clone(), n.clone());
+    }
+    Ok(route)
+}
+
+/// Routes a *sequence* of requests with load awareness: each module goes
+/// to the hosting device minimizing `accumulated load + t_comp` — the
+/// queue-conscious refinement that makes Sec. V-B's replicas useful under
+/// bursts (plain Eq. 7 always picks the single fastest host, so replicas
+/// would never absorb overflow).
+///
+/// # Errors
+///
+/// As [`route_request`].
+pub fn route_requests_balanced(
+    instance: &Instance,
+    placement: &Placement,
+    requests: &[Request],
+) -> Result<Vec<Route>, CoreError> {
+    let mut load: std::collections::BTreeMap<DeviceId, f64> = instance
+        .fleet()
+        .devices()
+        .iter()
+        .map(|d| (d.id.clone(), 0.0))
+        .collect();
+    let mut routes = Vec::with_capacity(requests.len());
+    for request in requests {
+        let deployment = instance
+            .deployment(&request.model)
+            .ok_or_else(|| CoreError::UnknownModel(request.model.clone()))?;
+        let mut route = Route::new(request.id);
+        for m in deployment.model.modules() {
+            let mut best: Option<(f64, f64, &DeviceId)> = None;
+            for n in placement.hosts(&m.id) {
+                let t = instance.compute_time_for(m, n, &request.profile)?;
+                let score = load.get(n).copied().unwrap_or(0.0) + t;
+                let better = match &best {
+                    None => true,
+                    Some((bs, _, bn)) => score < *bs || (score == *bs && n < *bn),
+                };
+                if better {
+                    best = Some((score, t, n));
+                }
+            }
+            let (_, t, n) = best.ok_or_else(|| CoreError::Unrouted(m.id.clone()))?;
+            let n = n.clone();
+            *load.entry(n.clone()).or_default() += t;
+            route.assign(m.id.clone(), n);
+        }
+        routes.push(route);
+    }
+    Ok(routes)
+}
+
+/// The dispatch order for a routed request's encoders: *longest first*
+/// ("we send the data with a modality that takes longer in the encoding
+/// first to initiate the longest encoding as early as possible").
+///
+/// Returns `(module id, device, t_comp)` triples, slowest encoder first.
+///
+/// # Errors
+///
+/// [`CoreError::UnknownModel`] / [`CoreError::Unrouted`] as in
+/// [`route_request`].
+pub fn dispatch_order(
+    instance: &Instance,
+    route: &Route,
+    request: &Request,
+) -> Result<Vec<(ModuleId, DeviceId, f64)>, CoreError> {
+    let deployment = instance
+        .deployment(&request.model)
+        .ok_or_else(|| CoreError::UnknownModel(request.model.clone()))?;
+    let mut order = Vec::new();
+    for m in deployment.model.encoders() {
+        let n = route
+            .device_for(&m.id)
+            .ok_or_else(|| CoreError::Unrouted(m.id.clone()))?;
+        let t = instance.compute_time_for(m, n, &request.profile)?;
+        order.push((m.id.clone(), n.clone(), t));
+    }
+    order.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0)));
+    Ok(order)
+}
+
+/// Looks up the head module and its routed device for a request.
+///
+/// # Errors
+///
+/// [`CoreError::UnknownModel`] / [`CoreError::Unrouted`] as in
+/// [`route_request`].
+pub fn head_assignment<'a>(
+    instance: &'a Instance,
+    route: &Route,
+    request: &Request,
+) -> Result<(&'a ModuleSpec, DeviceId), CoreError> {
+    let deployment = instance
+        .deployment(&request.model)
+        .ok_or_else(|| CoreError::UnknownModel(request.model.clone()))?;
+    let head = deployment.model.head();
+    let n = route
+        .device_for(&head.id)
+        .ok_or_else(|| CoreError::Unrouted(head.id.clone()))?;
+    Ok((head, n.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{greedy_place, greedy_place_with, PlacementOptions};
+
+    #[test]
+    fn routes_cover_every_model_module() {
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        let p = greedy_place(&i).unwrap();
+        let q = i.request(0, "CLIP ViT-B/16").unwrap();
+        let r = route_request(&i, &p, &q).unwrap();
+        assert_eq!(r.iter().count(), 3);
+        for (m, n) in r.iter() {
+            assert!(p.is_placed(m, n), "{m} routed to non-hosting {n}");
+        }
+    }
+
+    #[test]
+    fn routing_picks_fastest_replica() {
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        // With replication the vision encoder exists on several devices;
+        // routing must pick the fastest one for this profile.
+        let p = greedy_place_with(&i, PlacementOptions { replicate: true }).unwrap();
+        let q = i.request(0, "CLIP ViT-B/16").unwrap();
+        let r = route_request(&i, &p, &q).unwrap();
+        let vision: ModuleId = "vision/ViT-B-16".into();
+        let chosen = r.device_for(&vision).unwrap();
+        let t_chosen = i
+            .compute_time_for(
+                i.distinct_modules().iter().find(|m| m.id == vision).unwrap(),
+                chosen,
+                &q.profile,
+            )
+            .unwrap();
+        for host in p.hosts(&vision) {
+            let t = i
+                .compute_time_for(
+                    i.distinct_modules().iter().find(|m| m.id == vision).unwrap(),
+                    host,
+                    &q.profile,
+                )
+                .unwrap();
+            assert!(t_chosen <= t + 1e-12);
+        }
+    }
+
+    #[test]
+    fn unplaced_module_is_unrouted_error() {
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        let p = Placement::new();
+        let q = i.request(0, "CLIP ViT-B/16").unwrap();
+        assert!(matches!(
+            route_request(&i, &p, &q),
+            Err(CoreError::Unrouted(_))
+        ));
+    }
+
+    #[test]
+    fn dispatch_order_is_longest_encoder_first() {
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        let p = greedy_place(&i).unwrap();
+        let q = i.request(0, "CLIP ViT-B/16").unwrap();
+        let r = route_request(&i, &p, &q).unwrap();
+        let order = dispatch_order(&i, &r, &q).unwrap();
+        assert_eq!(order.len(), 2);
+        // 101-prompt text encoding dominates single-image vision encoding.
+        assert_eq!(order[0].0.as_str(), "text/CLIP-B-16");
+        assert!(order[0].2 >= order[1].2);
+    }
+
+    #[test]
+    fn head_assignment_resolves() {
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        let p = greedy_place(&i).unwrap();
+        let q = i.request(0, "CLIP ViT-B/16").unwrap();
+        let r = route_request(&i, &p, &q).unwrap();
+        let (head, dev) = head_assignment(&i, &r, &q).unwrap();
+        assert_eq!(head.id.as_str(), "head/cosine");
+        assert!(p.is_placed(&head.id, &dev));
+    }
+
+    #[test]
+    fn unknown_model_rejected() {
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        let p = greedy_place(&i).unwrap();
+        let mut q = i.request(0, "CLIP ViT-B/16").unwrap();
+        q.model = "ghost".into();
+        assert!(matches!(
+            route_request(&i, &p, &q),
+            Err(CoreError::UnknownModel(_))
+        ));
+    }
+}

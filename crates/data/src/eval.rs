@@ -1,0 +1,159 @@
+//! Zero-shot evaluation: runs a model over a dataset and measures
+//! accuracy (centralized reference execution; the distributed runtime is
+//! certified bit-identical in `s2m3-runtime`).
+
+use s2m3_models::exec::{ExecError, Executable};
+use s2m3_models::input::Modality;
+use s2m3_models::zoo::ModelSpec;
+use s2m3_tensor::ops;
+
+use crate::dataset::Dataset;
+
+/// Evaluation outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalResult {
+    /// Correctly predicted samples.
+    pub correct: usize,
+    /// Total samples.
+    pub total: usize,
+}
+
+impl EvalResult {
+    /// Accuracy in [0, 1].
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.total as f64
+    }
+
+    /// Accuracy in percent.
+    pub fn percent(&self) -> f64 {
+        self.accuracy() * 100.0
+    }
+}
+
+/// Evaluates `model` on `dataset`.
+///
+/// Candidate text prompts are identical across samples of a retrieval /
+/// alignment benchmark, so their encoding is computed once and reused —
+/// mirroring how zero-shot CLIP evaluation caches class embeddings.
+///
+/// # Errors
+///
+/// [`ExecError`] if the model's modalities do not match the dataset.
+pub fn evaluate(model: &ModelSpec, dataset: &Dataset) -> Result<EvalResult, ExecError> {
+    let encoders: Vec<Executable> = model
+        .encoders()
+        .iter()
+        .map(Executable::for_spec)
+        .collect::<Result<_, _>>()?;
+    let head = Executable::for_spec(model.head())?;
+
+    // Cache the candidate-prompt encoding if every sample shares it.
+    let mut cached_text: Option<(s2m3_models::input::ModalityInput, s2m3_tensor::Matrix)> = None;
+
+    let mut correct = 0;
+    for sample in &dataset.samples {
+        let mut encodings = Vec::with_capacity(encoders.len());
+        for enc in &encoders {
+            let kind = enc.spec().kind;
+            let modality = kind.modality().expect("encoders have modalities");
+            let payload = sample
+                .modality(modality)
+                .ok_or(ExecError::MissingEncoding(kind))?;
+            let emb = if modality == Modality::Text {
+                match &cached_text {
+                    Some((cached_in, cached_out)) if cached_in == payload => cached_out.clone(),
+                    _ => {
+                        let out = enc.encode(payload)?;
+                        cached_text = Some((payload.clone(), out.clone()));
+                        out
+                    }
+                }
+            } else {
+                enc.encode(payload)?
+            };
+            encodings.push((kind, emb));
+        }
+        let scores = head.run_head(&encodings, sample.query.as_ref())?;
+        let pred = ops::argmax_rows(&scores)?[0];
+        if pred == sample.label {
+            correct += 1;
+        }
+    }
+    Ok(EvalResult {
+        correct,
+        total: dataset.samples.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::Benchmark;
+    use s2m3_models::zoo::Zoo;
+
+    fn acc(model: &str, bench: &Benchmark, n: usize) -> f64 {
+        let zoo = Zoo::standard();
+        let d = Dataset::generate(bench, n);
+        evaluate(zoo.model(model).unwrap(), &d).unwrap().percent()
+    }
+
+    #[test]
+    fn noiseless_datasets_score_nearly_perfect() {
+        let mut b = Benchmark::cifar10();
+        b.noise = 0.0;
+        let a = acc("CLIP ViT-B/16", &b, 40);
+        assert!(a > 95.0, "clean accuracy {a:.1}");
+    }
+
+    #[test]
+    fn larger_towers_score_higher() {
+        // CIFAR-10 has the most stable measured gap (~6 points).
+        let b = Benchmark::cifar10();
+        let small = acc("CLIP ViT-B/16", &b, 300);
+        let large = acc("CLIP ViT-L/14@336", &b, 300);
+        assert!(
+            large > small,
+            "ViT-L ({large:.1}) must beat ViT-B ({small:.1})"
+        );
+    }
+
+    #[test]
+    fn more_classes_is_harder() {
+        let easy = acc("CLIP ViT-B/16", &Benchmark::cifar10(), 150);
+        let hard = acc("CLIP ViT-B/16", &Benchmark::country211(), 150);
+        assert!(easy > hard + 20.0, "cifar10 {easy:.1} vs country211 {hard:.1}");
+    }
+
+    #[test]
+    fn better_llms_answer_more_questions() {
+        let b = Benchmark::science_qa();
+        let flint = acc("Flint-v0.5-1B", &b, 150);
+        let llava = acc("LLaVA-v1.5-7B", &b, 150);
+        assert!(llava > flint, "LLaVA {llava:.1} vs Flint {flint:.1}");
+    }
+
+    #[test]
+    fn alignment_and_classification_evaluate() {
+        let a = acc("AlignBind-B", &Benchmark::audio_set(), 100);
+        assert!(a > 30.0, "alignment accuracy {a:.1}");
+        let c = acc("CLIP-Classifier Food-101", &Benchmark::food101_classification(), 100);
+        assert!(c > 30.0, "classification accuracy {c:.1}");
+    }
+
+    #[test]
+    fn eval_result_arithmetic() {
+        let r = EvalResult { correct: 3, total: 4 };
+        assert_eq!(r.accuracy(), 0.75);
+        assert_eq!(r.percent(), 75.0);
+        assert_eq!(EvalResult { correct: 0, total: 0 }.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_evaluation() {
+        let b = Benchmark::cifar100();
+        assert_eq!(acc("CLIP ViT-B/16", &b, 40), acc("CLIP ViT-B/16", &b, 40));
+    }
+}

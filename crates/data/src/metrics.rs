@@ -1,0 +1,161 @@
+//! Ranking metrics beyond top-1 accuracy: recall@k and per-class error
+//! analysis for the retrieval/alignment benchmarks.
+//!
+//! CLIP-style zero-shot evaluation is a ranking task; top-1 accuracy
+//! (Table VIII) is recall@1. This module generalizes the harness so a
+//! deployment can be judged at the operating points retrieval products
+//! actually use (top-5 suggestions, top-10 search results).
+
+use std::collections::BTreeMap;
+
+use s2m3_models::exec::{ExecError, Executable};
+use s2m3_models::input::Modality;
+use s2m3_models::zoo::ModelSpec;
+use s2m3_tensor::Matrix;
+
+use crate::dataset::Dataset;
+
+/// Ranking evaluation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankingResult {
+    /// Total ranked samples.
+    pub total: usize,
+    /// Hits within each requested cutoff, keyed by k.
+    pub hits_at: BTreeMap<usize, usize>,
+    /// Per-class top-1 error counts (class → misses).
+    pub misses_by_class: BTreeMap<usize, usize>,
+}
+
+impl RankingResult {
+    /// recall@k in [0, 1]; 0 for unrequested cutoffs.
+    pub fn recall_at(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.hits_at.get(&k).map(|&h| h as f64 / self.total as f64).unwrap_or(0.0)
+    }
+
+    /// The classes with the most top-1 misses, worst first.
+    pub fn hardest_classes(&self, n: usize) -> Vec<(usize, usize)> {
+        let mut v: Vec<_> = self.misses_by_class.iter().map(|(&c, &m)| (c, m)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+}
+
+/// Ranks each sample's candidates and scores recall at the given cutoffs.
+///
+/// Only meaningful for models whose head produces one score per candidate
+/// (retrieval, alignment, classification).
+///
+/// # Errors
+///
+/// [`ExecError`] on modality mismatches.
+pub fn rank(model: &ModelSpec, dataset: &Dataset, ks: &[usize]) -> Result<RankingResult, ExecError> {
+    let encoders: Vec<Executable> = model
+        .encoders()
+        .iter()
+        .map(Executable::for_spec)
+        .collect::<Result<_, _>>()?;
+    let head = Executable::for_spec(model.head())?;
+    let mut cached_text: Option<(s2m3_models::input::ModalityInput, Matrix)> = None;
+
+    let mut result = RankingResult {
+        total: 0,
+        hits_at: ks.iter().map(|&k| (k, 0)).collect(),
+        misses_by_class: BTreeMap::new(),
+    };
+
+    for sample in &dataset.samples {
+        let mut encodings = Vec::with_capacity(encoders.len());
+        for enc in &encoders {
+            let kind = enc.spec().kind;
+            let modality = kind.modality().expect("encoders have modalities");
+            let payload = sample
+                .modality(modality)
+                .ok_or(ExecError::MissingEncoding(kind))?;
+            let emb = if modality == Modality::Text {
+                match &cached_text {
+                    Some((cin, cout)) if cin == payload => cout.clone(),
+                    _ => {
+                        let out = enc.encode(payload)?;
+                        cached_text = Some((payload.clone(), out.clone()));
+                        out
+                    }
+                }
+            } else {
+                enc.encode(payload)?
+            };
+            encodings.push((kind, emb));
+        }
+        let scores = head.run_head(&encodings, sample.query.as_ref())?;
+        let row = scores.row(0)?;
+        // Rank of the true label = number of strictly better candidates.
+        let true_score = row.get(sample.label).copied().unwrap_or(f32::NEG_INFINITY);
+        let rank = row.iter().filter(|&&s| s > true_score).count();
+
+        result.total += 1;
+        for (&k, hits) in result.hits_at.iter_mut() {
+            if rank < k {
+                *hits += 1;
+            }
+        }
+        if rank >= 1 {
+            *result.misses_by_class.entry(sample.label).or_default() += 1;
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::Benchmark;
+    use crate::evaluate;
+    use s2m3_models::zoo::Zoo;
+
+    #[test]
+    fn recall_is_monotone_in_k() {
+        let zoo = Zoo::standard();
+        let d = Dataset::generate(&Benchmark::cifar100(), 200);
+        let r = rank(zoo.model("CLIP ViT-B/16").unwrap(), &d, &[1, 5, 10]).unwrap();
+        let (r1, r5, r10) = (r.recall_at(1), r.recall_at(5), r.recall_at(10));
+        assert!(r1 <= r5 && r5 <= r10, "{r1} {r5} {r10}");
+        assert!(r10 <= 1.0 && r1 > 0.2);
+        // Top-5 materially beats top-1 on a 100-class benchmark.
+        assert!(r5 > r1 + 0.05, "r5 {r5} vs r1 {r1}");
+    }
+
+    #[test]
+    fn recall_at_1_equals_accuracy() {
+        let zoo = Zoo::standard();
+        let model = zoo.model("CLIP ViT-B/16").unwrap();
+        let d = Dataset::generate(&Benchmark::cifar10(), 150);
+        let acc = evaluate(model, &d).unwrap().accuracy();
+        let r = rank(model, &d, &[1]).unwrap();
+        assert!((r.recall_at(1) - acc).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hardest_classes_are_reported() {
+        let zoo = Zoo::standard();
+        let d = Dataset::generate(&Benchmark::country211(), 300);
+        let r = rank(zoo.model("CLIP ViT-B/16").unwrap(), &d, &[1]).unwrap();
+        let hardest = r.hardest_classes(5);
+        assert!(!hardest.is_empty());
+        assert!(hardest.len() <= 5);
+        // Sorted worst-first.
+        for w in hardest.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn unrequested_cutoffs_read_zero() {
+        let zoo = Zoo::standard();
+        let d = Dataset::generate(&Benchmark::cifar10(), 20);
+        let r = rank(zoo.model("CLIP ViT-B/16").unwrap(), &d, &[1]).unwrap();
+        assert_eq!(r.recall_at(7), 0.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Builder API for custom modules and models.
+//!
+//! The standard zoo covers the paper's Table II, but S2M3's whole point is
+//! that functional modules are *interchangeable* (Insight 3): a deployment
+//! should be able to register its own encoder variants (compressed,
+//! fine-tuned, partitioned) and compose new models from them. This module
+//! provides validated builders for both.
+//!
+//! ```
+//! use s2m3_models::builder::{ModelBuilder, ModuleBuilder};
+//! use s2m3_models::module::ModuleKind;
+//! use s2m3_models::zoo::Task;
+//!
+//! // A hypothetical distilled vision tower…
+//! let tiny_vit = ModuleBuilder::new("vision/TinyViT", ModuleKind::VisionEncoder)
+//!     .params(22_000_000)
+//!     .gflops_per_unit(4.8)
+//!     .embed_dim(512)
+//!     .build()
+//!     .unwrap();
+//! // …composed with the stock CLIP text tower into a retrieval model.
+//! let model = ModelBuilder::new("TinyCLIP", Task::ImageTextRetrieval)
+//!     .encoder(tiny_vit)
+//!     .encoder_from_catalog("text/CLIP-B-16")
+//!     .unwrap()
+//!     .head_from_catalog("head/cosine")
+//!     .unwrap()
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(model.total_params(), 60_000_000);
+//! ```
+
+use crate::catalog::Catalog;
+use crate::module::{ModuleId, ModuleKind, ModuleSpec, Precision};
+use crate::zoo::{ModelSpec, Task};
+
+/// Errors from the builders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A required field was never set.
+    Missing(&'static str),
+    /// A referenced catalog module does not exist.
+    UnknownCatalogModule(String),
+    /// The composition is invalid (from [`ModelSpec::new`]'s validation).
+    InvalidComposition(String),
+    /// A numeric field is out of range.
+    OutOfRange {
+        /// Offending field.
+        field: &'static str,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Missing(field) => write!(f, "missing required field '{field}'"),
+            BuildError::UnknownCatalogModule(m) => write!(f, "catalog has no module '{m}'"),
+            BuildError::InvalidComposition(m) => write!(f, "invalid model: {m}"),
+            BuildError::OutOfRange { field, constraint } => {
+                write!(f, "field '{field}' out of range: {constraint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builder for a custom [`ModuleSpec`].
+#[derive(Debug, Clone)]
+pub struct ModuleBuilder {
+    id: ModuleId,
+    kind: ModuleKind,
+    params: Option<u64>,
+    embed_dim: usize,
+    gflops_per_unit: Option<f64>,
+    precision: Precision,
+}
+
+impl ModuleBuilder {
+    /// Starts a module with its identity and kind.
+    pub fn new(id: impl Into<String>, kind: ModuleKind) -> Self {
+        ModuleBuilder {
+            id: ModuleId::new(id),
+            kind,
+            params: None,
+            embed_dim: 512,
+            gflops_per_unit: None,
+            precision: Precision::Fp32,
+        }
+    }
+
+    /// Parameter count (required).
+    pub fn params(mut self, params: u64) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// GFLOPs per work unit (required; see [`ModuleSpec`] for the unit).
+    pub fn gflops_per_unit(mut self, gflops: f64) -> Self {
+        self.gflops_per_unit = Some(gflops);
+        self
+    }
+
+    /// Output embedding dimension (default 512).
+    pub fn embed_dim(mut self, dim: usize) -> Self {
+        self.embed_dim = dim;
+        self
+    }
+
+    /// Weight precision (default fp32).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Missing`] / [`BuildError::OutOfRange`] on bad input.
+    pub fn build(self) -> Result<ModuleSpec, BuildError> {
+        let params = self.params.ok_or(BuildError::Missing("params"))?;
+        let gflops = self
+            .gflops_per_unit
+            .ok_or(BuildError::Missing("gflops_per_unit"))?;
+        if !(gflops >= 0.0 && gflops.is_finite()) {
+            return Err(BuildError::OutOfRange {
+                field: "gflops_per_unit",
+                constraint: "must be finite and non-negative",
+            });
+        }
+        if self.embed_dim == 0 && self.kind.is_encoder() {
+            return Err(BuildError::OutOfRange {
+                field: "embed_dim",
+                constraint: "encoders need a positive embedding dimension",
+            });
+        }
+        Ok(ModuleSpec {
+            id: self.id,
+            kind: self.kind,
+            params,
+            embed_dim: self.embed_dim,
+            gflops_per_unit: gflops,
+            precision: self.precision,
+        })
+    }
+}
+
+/// Builder for a custom [`ModelSpec`], mixing custom and catalog modules.
+#[derive(Debug, Clone)]
+pub struct ModelBuilder {
+    name: String,
+    task: Task,
+    catalog: Catalog,
+    encoders: Vec<ModuleSpec>,
+    head: Option<ModuleSpec>,
+}
+
+impl ModelBuilder {
+    /// Starts a model with its name and task (uses the standard catalog
+    /// for `*_from_catalog` lookups).
+    pub fn new(name: impl Into<String>, task: Task) -> Self {
+        ModelBuilder {
+            name: name.into(),
+            task,
+            catalog: Catalog::standard(),
+            encoders: Vec::new(),
+            head: None,
+        }
+    }
+
+    /// Replaces the lookup catalog (e.g. one extended with custom modules).
+    pub fn with_catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Adds a custom encoder.
+    pub fn encoder(mut self, spec: ModuleSpec) -> Self {
+        self.encoders.push(spec);
+        self
+    }
+
+    /// Adds an encoder from the catalog by name.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::UnknownCatalogModule`] on a bad name.
+    pub fn encoder_from_catalog(mut self, name: &str) -> Result<Self, BuildError> {
+        let spec = self
+            .catalog
+            .get_by_name(name)
+            .ok_or_else(|| BuildError::UnknownCatalogModule(name.to_string()))?
+            .clone();
+        self.encoders.push(spec);
+        Ok(self)
+    }
+
+    /// Sets a custom head.
+    pub fn head(mut self, spec: ModuleSpec) -> Self {
+        self.head = Some(spec);
+        self
+    }
+
+    /// Sets the head from the catalog by name.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::UnknownCatalogModule`] on a bad name.
+    pub fn head_from_catalog(mut self, name: &str) -> Result<Self, BuildError> {
+        let spec = self
+            .catalog
+            .get_by_name(name)
+            .ok_or_else(|| BuildError::UnknownCatalogModule(name.to_string()))?
+            .clone();
+        self.head = Some(spec);
+        Ok(self)
+    }
+
+    /// Validates and builds the model.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Missing`] without a head;
+    /// [`BuildError::InvalidComposition`] for kind violations.
+    pub fn build(self) -> Result<ModelSpec, BuildError> {
+        let head = self.head.ok_or(BuildError::Missing("head"))?;
+        ModelSpec::new(self.name, self.task, self.encoders, head)
+            .map_err(BuildError::InvalidComposition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_vision() -> ModuleSpec {
+        ModuleBuilder::new("vision/TinyViT", ModuleKind::VisionEncoder)
+            .params(22_000_000)
+            .gflops_per_unit(4.8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn module_builder_requires_core_fields() {
+        let e = ModuleBuilder::new("x", ModuleKind::VisionEncoder)
+            .gflops_per_unit(1.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(e, BuildError::Missing("params"));
+        let e = ModuleBuilder::new("x", ModuleKind::VisionEncoder)
+            .params(1)
+            .build()
+            .unwrap_err();
+        assert_eq!(e, BuildError::Missing("gflops_per_unit"));
+        let e = ModuleBuilder::new("x", ModuleKind::VisionEncoder)
+            .params(1)
+            .gflops_per_unit(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, BuildError::OutOfRange { field: "gflops_per_unit", .. }));
+    }
+
+    #[test]
+    fn custom_model_composes_with_catalog_modules() {
+        let model = ModelBuilder::new("TinyCLIP", Task::ImageTextRetrieval)
+            .encoder(tiny_vision())
+            .encoder_from_catalog("text/CLIP-B-16")
+            .unwrap()
+            .head_from_catalog("head/cosine")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(model.encoders().len(), 2);
+        assert_eq!(model.total_params(), 60_000_000);
+        assert!(model.is_parallelizable());
+    }
+
+    #[test]
+    fn composition_errors_are_surfaced() {
+        // Head in encoder position.
+        let head = Catalog::standard().get_by_name("head/cosine").unwrap().clone();
+        let e = ModelBuilder::new("bad", Task::ImageTextRetrieval)
+            .encoder(head.clone())
+            .head(head)
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, BuildError::InvalidComposition(_)));
+        // Missing head.
+        let e = ModelBuilder::new("bad", Task::ImageTextRetrieval)
+            .encoder(tiny_vision())
+            .build()
+            .unwrap_err();
+        assert_eq!(e, BuildError::Missing("head"));
+        // Unknown catalog name.
+        let e = ModelBuilder::new("bad", Task::ImageTextRetrieval)
+            .encoder_from_catalog("vision/DoesNotExist")
+            .unwrap_err();
+        assert!(matches!(e, BuildError::UnknownCatalogModule(_)));
+    }
+
+    #[test]
+    fn custom_models_flow_through_placement_and_execution() {
+        // End-to-end sanity: a custom model is placeable and executable —
+        // Insight 3's interchangeability, demonstrated.
+        let model = ModelBuilder::new("TinyCLIP", Task::ImageTextRetrieval)
+            .encoder(tiny_vision())
+            .encoder_from_catalog("text/CLIP-B-16")
+            .unwrap()
+            .head_from_catalog("head/cosine")
+            .unwrap()
+            .build()
+            .unwrap();
+        // Executable instances build for every module.
+        for m in model.modules() {
+            crate::exec::Executable::for_spec(m).unwrap();
+        }
+    }
+}

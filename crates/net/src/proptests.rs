@@ -1,0 +1,52 @@
+//! Property-based tests for links and topology.
+
+use proptest::prelude::*;
+
+use crate::device::DeviceId;
+use crate::link::LinkSpec;
+use crate::topology::Topology;
+
+fn arb_link() -> impl Strategy<Value = LinkSpec> {
+    (1.0e6..1.0e9f64, 1.0e-4..0.05f64).prop_map(|(bw, lat)| LinkSpec::new(bw, lat))
+}
+
+proptest! {
+    /// Transfer time is monotone in payload size.
+    #[test]
+    fn transfer_time_monotone(link in arb_link(), a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(link.transfer_time(lo) <= link.transfer_time(hi) + 1e-12);
+    }
+
+    /// Composition bottlenecks bandwidth and adds latency, symmetrically.
+    #[test]
+    fn compose_properties(a in arb_link(), b in arb_link()) {
+        let ab = a.compose(&b);
+        let ba = b.compose(&a);
+        prop_assert_eq!(ab, ba);
+        prop_assert!(ab.bandwidth_bps <= a.bandwidth_bps.min(b.bandwidth_bps) + 1e-9);
+        prop_assert!((ab.latency_s - (a.latency_s + b.latency_s)).abs() < 1e-12);
+        // A composed path is never faster than either hop alone.
+        prop_assert!(ab.transfer_time(4096) + 1e-12 >= a.transfer_time(4096));
+    }
+
+    /// Topology paths are symmetric and loopback-free for every pair.
+    #[test]
+    fn topology_symmetry(links in proptest::collection::vec(arb_link(), 2..6)) {
+        let mut topo = Topology::new();
+        let ids: Vec<DeviceId> = (0..links.len())
+            .map(|i| DeviceId::new(format!("dev-{i}")))
+            .collect();
+        for (id, l) in ids.iter().zip(&links) {
+            topo.set_access(id.clone(), *l);
+        }
+        for a in &ids {
+            prop_assert_eq!(topo.transfer_time(a, a, 1 << 20).unwrap(), 0.0);
+            for b in &ids {
+                let ab = topo.transfer_time(a, b, 9999).unwrap();
+                let ba = topo.transfer_time(b, a, 9999).unwrap();
+                prop_assert!((ab - ba).abs() < 1e-12);
+            }
+        }
+    }
+}

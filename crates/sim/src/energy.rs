@@ -1,0 +1,169 @@
+//! Energy accounting over simulated timelines (the paper's future-work
+//! metric, Sec. VII: "the power consumption is still one of the key
+//! factors for the battery life of edge devices").
+//!
+//! Per-device power is modeled as `idle + (active − idle)` during busy
+//! spans; transfers charge the radio at a fixed power on both endpoints.
+//! The profile numbers are typical published figures for the Table III
+//! hardware class (Jetson Nano 10 W mode, M-series laptop package power,
+//! desktop CPU under AVX load, P40 server board + host).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use s2m3_net::device::DeviceId;
+
+use crate::report::{Phase, SimReport};
+
+/// Power profile of one device, watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    /// Idle draw.
+    pub idle_w: f64,
+    /// Draw while executing a module.
+    pub active_w: f64,
+    /// Extra draw while transmitting/receiving.
+    pub radio_w: f64,
+}
+
+/// Typical profiles for the Table III device classes.
+pub fn default_profiles() -> BTreeMap<DeviceId, PowerProfile> {
+    let mut m = BTreeMap::new();
+    m.insert(
+        "server".into(),
+        PowerProfile { idle_w: 90.0, active_w: 320.0, radio_w: 5.0 },
+    );
+    m.insert(
+        "desktop".into(),
+        PowerProfile { idle_w: 35.0, active_w: 150.0, radio_w: 3.0 },
+    );
+    m.insert(
+        "laptop".into(),
+        PowerProfile { idle_w: 8.0, active_w: 40.0, radio_w: 2.0 },
+    );
+    m.insert(
+        "jetson-a".into(),
+        PowerProfile { idle_w: 2.0, active_w: 10.0, radio_w: 1.5 },
+    );
+    m.insert(
+        "jetson-b".into(),
+        PowerProfile { idle_w: 2.0, active_w: 10.0, radio_w: 1.5 },
+    );
+    m
+}
+
+/// Energy breakdown of one simulation, joules.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Active (compute + load) energy per device.
+    pub active_j: BTreeMap<DeviceId, f64>,
+    /// Radio energy per device.
+    pub radio_j: BTreeMap<DeviceId, f64>,
+    /// Idle energy per device over the makespan.
+    pub idle_j: BTreeMap<DeviceId, f64>,
+}
+
+impl EnergyReport {
+    /// Total energy across devices and categories.
+    pub fn total_j(&self) -> f64 {
+        self.active_j.values().sum::<f64>()
+            + self.radio_j.values().sum::<f64>()
+            + self.idle_j.values().sum::<f64>()
+    }
+
+    /// Total *marginal* energy (excluding idle draw — what the inference
+    /// itself cost).
+    pub fn marginal_j(&self) -> f64 {
+        self.active_j.values().sum::<f64>() + self.radio_j.values().sum::<f64>()
+    }
+
+    /// Energy consumed on a specific device (all categories).
+    pub fn device_j(&self, d: &DeviceId) -> f64 {
+        self.active_j.get(d).copied().unwrap_or(0.0)
+            + self.radio_j.get(d).copied().unwrap_or(0.0)
+            + self.idle_j.get(d).copied().unwrap_or(0.0)
+    }
+}
+
+/// Computes the energy of a simulated timeline under `profiles`.
+/// Devices missing from `profiles` contribute nothing.
+pub fn energy(report: &SimReport, profiles: &BTreeMap<DeviceId, PowerProfile>) -> EnergyReport {
+    let mut out = EnergyReport::default();
+    for span in &report.spans {
+        let Some(p) = profiles.get(&span.device) else { continue };
+        let dur = (span.end - span.start).max(0.0);
+        match span.phase {
+            Phase::Encode(_) | Phase::Head(_) | Phase::ModelLoading(_) => {
+                *out.active_j.entry(span.device.clone()).or_default() +=
+                    (p.active_w - p.idle_w) * dur;
+            }
+            Phase::InputTx(_) | Phase::OutputTx(_) => {
+                *out.radio_j.entry(span.device.clone()).or_default() += p.radio_w * dur;
+            }
+        }
+    }
+    for (d, p) in profiles {
+        *out.idle_j.entry(d.clone()).or_default() += p.idle_w * report.makespan;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, SimConfig};
+    use s2m3_core::plan::Plan;
+    use s2m3_core::problem::Instance;
+
+    fn run(name: &str, candidates: usize) -> (SimReport, EnergyReport) {
+        let i = Instance::single_model(name, candidates).unwrap();
+        let q = i.request(0, name).unwrap();
+        let plan = Plan::greedy(&i, vec![q]).unwrap();
+        let r = simulate(&i, &plan, &SimConfig::default()).unwrap();
+        let e = energy(&r, &default_profiles());
+        (r, e)
+    }
+
+    #[test]
+    fn energy_is_positive_and_dominated_by_compute() {
+        let (_, e) = run("CLIP ViT-B/16", 101);
+        assert!(e.total_j() > 0.0);
+        let active: f64 = e.active_j.values().sum();
+        let radio: f64 = e.radio_j.values().sum();
+        assert!(active > 10.0 * radio, "active {active:.1} J vs radio {radio:.1} J");
+    }
+
+    #[test]
+    fn edge_marginal_energy_below_cloud_active_power_budget() {
+        // A ~2.5 s inference on laptop+desktop draws far less marginal
+        // energy than 2.1 s on a 320 W server — the battery-life argument
+        // of the paper's future work.
+        let (_, edge) = run("CLIP ViT-B/16", 101);
+        let server_profile = default_profiles()[&"server".into()];
+        let cloud_joules = (server_profile.active_w - server_profile.idle_w) * 2.1;
+        assert!(
+            edge.marginal_j() < cloud_joules,
+            "edge {:.1} J vs cloud {cloud_joules:.1} J",
+            edge.marginal_j()
+        );
+    }
+
+    #[test]
+    fn unknown_devices_are_ignored() {
+        let (r, _) = run("CLIP ViT-B/16", 10);
+        let e = energy(&r, &BTreeMap::new());
+        assert_eq!(e.total_j(), 0.0);
+    }
+
+    #[test]
+    fn per_device_accounting_sums_to_total() {
+        let (r, e) = run("AlignBind-B", 16);
+        let _ = r;
+        let by_device: f64 = default_profiles()
+            .keys()
+            .map(|d| e.device_j(d))
+            .sum();
+        assert!((by_device - e.total_j()).abs() < 1e-9);
+    }
+}

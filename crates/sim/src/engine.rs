@@ -1,0 +1,698 @@
+//! The discrete-event engine.
+//!
+//! Devices are modeled as `parallelism`-lane executors with FIFO module
+//! queues; transfers are pure delays computed from the topology. Requests
+//! fan their encoders out at arrival (longest-first dispatch), the head
+//! fires when the last embedding lands, and the next request's work enters
+//! a queue the moment the previous one leaves it — the paper's pipelining.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use s2m3_core::error::CoreError;
+use s2m3_core::plan::Plan;
+use s2m3_core::problem::Instance;
+use s2m3_core::routing::{dispatch_order, head_assignment};
+use s2m3_models::module::{ModuleId, ModuleKind};
+use s2m3_net::device::DeviceId;
+
+use crate::report::{GanttSpan, Phase, RequestTiming, SimReport};
+
+/// Simulation options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimConfig {
+    /// Simulate model loading before serving (end-to-end mode). Each
+    /// device streams its placed modules' weights sequentially from t=0.
+    pub include_loading: bool,
+    /// Arrival times aligned with `plan.routed`; `None` = all at t=0
+    /// (the Table X "simultaneous requests" setting).
+    pub arrivals: Option<Vec<f64>>,
+    /// Module-level batch inference (Sec. VI-C): when a device lane
+    /// frees, up to this many queued executions of the *same module* are
+    /// merged into one batched run, paying the per-execution overhead
+    /// once. `None` disables batching (the Table X default).
+    pub max_batch: Option<usize>,
+}
+
+/// Simulator errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An underlying core lookup failed (malformed plan).
+    Core(CoreError),
+    /// `arrivals` length does not match the plan's request count.
+    ArrivalsMismatch {
+        /// Requests in the plan.
+        expected: usize,
+        /// Arrival entries supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Core(e) => write!(f, "core error: {e}"),
+            SimError::ArrivalsMismatch { expected, got } => {
+                write!(f, "plan has {expected} requests but {got} arrivals were given")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+const NS: f64 = 1.0e9;
+
+fn ns(t: f64) -> u64 {
+    (t * NS).round() as u64
+}
+
+fn secs(t: u64) -> f64 {
+    t as f64 / NS
+}
+
+#[derive(Debug, Clone)]
+struct Task {
+    request: u64,
+    module: ModuleId,
+    device: usize,
+    dur: f64,
+    /// For encoders: embedding transfer time to the head device.
+    output_tx: f64,
+    is_head: bool,
+}
+
+#[derive(Debug)]
+struct DeviceState {
+    id: DeviceId,
+    lanes_total: usize,
+    lanes_busy: usize,
+    /// Per-execution overhead, amortized when batching merges runs.
+    exec_overhead_s: f64,
+    /// Head tasks: dispatched before queued encoder work, so in-flight
+    /// requests complete before the next request's encoding begins (the
+    /// paper's one-by-one processing with opportunistic pipelining).
+    fifo_heads: VecDeque<usize>,
+    fifo: VecDeque<usize>,
+    open_at: u64,
+}
+
+#[derive(Debug)]
+struct RequestState {
+    pending_encoders: usize,
+    /// Max over (encoder completion + output transfer) and the raw-query
+    /// arrival at the head device.
+    head_ready: u64,
+    head_task: usize,
+    arrival: f64,
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    Ready(usize),
+    Done { task: usize },
+    /// A batched follower finishing alongside its leader: completes the
+    /// task's request bookkeeping without freeing a lane.
+    BatchedDone { task: usize },
+    DeviceOpen(usize),
+}
+
+/// Runs a plan to completion in virtual time.
+///
+/// # Errors
+///
+/// [`SimError::ArrivalsMismatch`] on bad config; [`SimError::Core`] if the
+/// plan references unknown models/devices (a validated plan cannot).
+pub fn simulate(instance: &Instance, plan: &Plan, config: &SimConfig) -> Result<SimReport, SimError> {
+    let arrivals: Vec<f64> = match &config.arrivals {
+        Some(a) => {
+            if a.len() != plan.routed.len() {
+                return Err(SimError::ArrivalsMismatch {
+                    expected: plan.routed.len(),
+                    got: a.len(),
+                });
+            }
+            a.clone()
+        }
+        None => vec![0.0; plan.routed.len()],
+    };
+
+    let devices = instance.fleet().devices();
+    let dev_index: BTreeMap<&DeviceId, usize> =
+        devices.iter().enumerate().map(|(i, d)| (&d.id, i)).collect();
+
+    let mut report = SimReport::default();
+
+    // --- Model loading: each device streams its placed modules (largest
+    //     first, deterministic) sequentially from t=0.
+    let mut open_at = vec![0u64; devices.len()];
+    if config.include_loading {
+        let specs: BTreeMap<_, _> = instance
+            .distinct_modules()
+            .into_iter()
+            .map(|m| (m.id.clone(), m.clone()))
+            .collect();
+        for (m, n) in plan.placement.iter() {
+            let Some(spec) = specs.get(m) else { continue };
+            let di = *dev_index
+                .get(n)
+                .ok_or_else(|| CoreError::UnknownDevice(n.clone()))?;
+            let dur = devices[di].load_time(spec);
+            if dur <= 0.0 {
+                continue;
+            }
+            let start = secs(open_at[di]);
+            report.spans.push(GanttSpan {
+                device: n.clone(),
+                request: None,
+                phase: Phase::ModelLoading(m.clone()),
+                start,
+                end: start + dur,
+            });
+            open_at[di] = ns(start + dur);
+        }
+        report.loading_done = open_at.iter().copied().map(secs).fold(0.0, f64::max);
+    }
+
+    let mut dev_states: Vec<DeviceState> = devices
+        .iter()
+        .enumerate()
+        .map(|(i, d)| DeviceState {
+            id: d.id.clone(),
+            lanes_total: d.parallelism.max(1),
+            lanes_busy: 0,
+            exec_overhead_s: d.exec_overhead_s,
+            fifo_heads: VecDeque::new(),
+            fifo: VecDeque::new(),
+            open_at: open_at[i],
+        })
+        .collect();
+
+    // --- Build tasks and initial events.
+    let mut tasks: Vec<Task> = Vec::new();
+    let mut req_states: BTreeMap<u64, RequestState> = BTreeMap::new();
+    let mut queue: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |q: &mut BinaryHeap<Reverse<(u64, u64, Event)>>, t: u64, s: &mut u64, e: Event| {
+        *s += 1;
+        q.push(Reverse((t, *s, e)));
+    };
+
+    for ((request, route), &arrival) in plan.routed.iter().zip(&arrivals) {
+        let (head, head_dev) = head_assignment(instance, route, request)?;
+        let head_di = *dev_index
+            .get(&head_dev)
+            .ok_or_else(|| CoreError::UnknownDevice(head_dev.clone()))?;
+        let head_dur = instance.compute_time_for(head, &head_dev, &request.profile)?;
+        let head_task = tasks.len();
+        tasks.push(Task {
+            request: request.id,
+            module: head.id.clone(),
+            device: head_di,
+            dur: head_dur,
+            output_tx: 0.0,
+            is_head: true,
+        });
+
+        // Raw-query transfer for generative heads (travels immediately).
+        let mut head_ready = ns(arrival);
+        if head.kind == ModuleKind::LanguageModel {
+            let q_tx = instance
+                .fleet()
+                .topology()
+                .transfer_time(
+                    &request.source,
+                    &head_dev,
+                    request.profile.input_bytes(ModuleKind::LanguageModel),
+                )
+                .map_err(CoreError::UnknownDevice)?;
+            head_ready = ns(arrival + q_tx);
+        }
+
+        let order = dispatch_order(instance, route, request)?;
+        let deployment = instance
+            .deployment(&request.model)
+            .ok_or_else(|| CoreError::UnknownModel(request.model.clone()))?;
+        let mut pending = 0usize;
+        for (module_id, dev, dur) in &order {
+            let spec = deployment
+                .model
+                .encoders()
+                .iter()
+                .find(|m| &m.id == module_id)
+                .expect("dispatch order yields model encoders");
+            let di = *dev_index
+                .get(dev)
+                .ok_or_else(|| CoreError::UnknownDevice(dev.clone()))?;
+            let input_tx = instance
+                .fleet()
+                .topology()
+                .transfer_time(&request.source, dev, request.profile.input_bytes(spec.kind))
+                .map_err(CoreError::UnknownDevice)?;
+            let output_tx = instance
+                .fleet()
+                .topology()
+                .transfer_time(dev, &head_dev, spec.output_bytes(request.profile.units(spec.kind)))
+                .map_err(CoreError::UnknownDevice)?;
+            if input_tx > 0.0 {
+                report.spans.push(GanttSpan {
+                    device: dev.clone(),
+                    request: Some(request.id),
+                    phase: Phase::InputTx(module_id.clone()),
+                    start: arrival,
+                    end: arrival + input_tx,
+                });
+            }
+            let tid = tasks.len();
+            tasks.push(Task {
+                request: request.id,
+                module: module_id.clone(),
+                device: di,
+                dur: *dur,
+                output_tx,
+                is_head: false,
+            });
+            push(&mut queue, ns(arrival + input_tx), &mut seq, Event::Ready(tid));
+            pending += 1;
+        }
+
+        req_states.insert(
+            request.id,
+            RequestState {
+                pending_encoders: pending,
+                head_ready,
+                head_task,
+                arrival,
+            },
+        );
+        // Encoder-less models cannot exist (ModelSpec validates ≥1), but
+        // guard anyway: head fires directly.
+        if pending == 0 {
+            push(&mut queue, head_ready, &mut seq, Event::Ready(head_task));
+        }
+    }
+
+    for (i, d) in dev_states.iter().enumerate() {
+        if d.open_at > 0 {
+            push(&mut queue, d.open_at, &mut seq, Event::DeviceOpen(i));
+        }
+    }
+
+    // --- Event loop.
+    let mut task_done_at: Vec<u64> = vec![0; tasks.len()];
+    while let Some(Reverse((now, _, event))) = queue.pop() {
+        match event {
+            Event::Ready(tid) => {
+                let di = tasks[tid].device;
+                if tasks[tid].is_head {
+                    dev_states[di].fifo_heads.push_back(tid);
+                } else {
+                    dev_states[di].fifo.push_back(tid);
+                }
+                try_dispatch(di, now, &mut dev_states, &tasks, &mut queue, &mut seq, &mut report, config.max_batch);
+            }
+            Event::DeviceOpen(di) => {
+                try_dispatch(di, now, &mut dev_states, &tasks, &mut queue, &mut seq, &mut report, config.max_batch);
+            }
+            Event::Done { task: tid } | Event::BatchedDone { task: tid } => {
+                let di = tasks[tid].device;
+                if matches!(event, Event::Done { .. }) {
+                    dev_states[di].lanes_busy -= 1;
+                }
+                task_done_at[tid] = now;
+                let t = &tasks[tid];
+                if t.is_head {
+                    let rs = req_states.get(&t.request).expect("request exists");
+                    report.requests.insert(
+                        t.request,
+                        RequestTiming {
+                            arrival: rs.arrival,
+                            completion: secs(now),
+                        },
+                    );
+                } else {
+                    // Embedding transfer to the head device.
+                    if t.output_tx > 0.0 {
+                        report.spans.push(GanttSpan {
+                            device: dev_states[tasks[req_states[&t.request].head_task].device]
+                                .id
+                                .clone(),
+                            request: Some(t.request),
+                            phase: Phase::OutputTx(t.module.clone()),
+                            start: secs(now),
+                            end: secs(now) + t.output_tx,
+                        });
+                    }
+                    let ready_contrib = ns(secs(now) + t.output_tx);
+                    let rs = req_states.get_mut(&t.request).expect("request exists");
+                    rs.head_ready = rs.head_ready.max(ready_contrib);
+                    rs.pending_encoders -= 1;
+                    if rs.pending_encoders == 0 {
+                        if rs.head_ready <= now {
+                            // Enqueue directly so the head wins the lane
+                            // this task just freed, ahead of later
+                            // requests' queued encoder work.
+                            let head_task = rs.head_task;
+                            let hdi = tasks[head_task].device;
+                            dev_states[hdi].fifo_heads.push_back(head_task);
+                            if hdi != di {
+                                try_dispatch(hdi, now, &mut dev_states, &tasks, &mut queue, &mut seq, &mut report, config.max_batch);
+                            }
+                        } else {
+                            push(&mut queue, rs.head_ready, &mut seq, Event::Ready(rs.head_task));
+                        }
+                    }
+                }
+                try_dispatch(di, now, &mut dev_states, &tasks, &mut queue, &mut seq, &mut report, config.max_batch);
+            }
+        }
+    }
+
+    report.spans.sort_by(|a, b| {
+        a.start
+            .partial_cmp(&b.start)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.device.cmp(&b.device))
+    });
+    report.makespan = report
+        .requests
+        .values()
+        .map(|r| r.completion)
+        .fold(report.loading_done, f64::max);
+    Ok(report)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_dispatch(
+    di: usize,
+    now: u64,
+    dev_states: &mut [DeviceState],
+    tasks: &[Task],
+    queue: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
+    seq: &mut u64,
+    report: &mut SimReport,
+    max_batch: Option<usize>,
+) {
+    let d = &mut dev_states[di];
+    if now < d.open_at {
+        return;
+    }
+    while d.lanes_busy < d.lanes_total {
+        let Some(tid) = d.fifo_heads.pop_front().or_else(|| d.fifo.pop_front()) else {
+            break;
+        };
+        let t = &tasks[tid];
+
+        // Module-level batching (Sec. VI-C): absorb queued runs of the
+        // same module into this execution, paying exec_overhead once.
+        let mut group = vec![tid];
+        if let Some(cap) = max_batch {
+            while group.len() < cap {
+                let Some(&next) = d.fifo.front() else { break };
+                if tasks[next].is_head != t.is_head || tasks[next].module != t.module {
+                    break;
+                }
+                group.push(d.fifo.pop_front().expect("front exists"));
+            }
+        }
+        let dur: f64 = group.iter().map(|&g| tasks[g].dur).sum::<f64>()
+            - (group.len() as f64 - 1.0) * d.exec_overhead_s;
+
+        d.lanes_busy += 1;
+        let start = secs(now);
+        let end = start + dur;
+        for &g in &group {
+            let gt = &tasks[g];
+            report.spans.push(GanttSpan {
+                device: d.id.clone(),
+                request: Some(gt.request),
+                phase: if gt.is_head {
+                    Phase::Head(gt.module.clone())
+                } else {
+                    Phase::Encode(gt.module.clone())
+                },
+                start,
+                end,
+            });
+        }
+        // All batched members complete together; only the lane of the
+        // leader is occupied, and it frees once.
+        for (i, &g) in group.iter().enumerate() {
+            *seq += 1;
+            if i == 0 {
+                queue.push(Reverse((ns(end), *seq, Event::Done { task: g })));
+            } else {
+                queue.push(Reverse((ns(end), *seq, Event::BatchedDone { task: g })));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2m3_core::objective::total_latency;
+    use s2m3_net::fleet::Fleet;
+
+    fn plan_for(name: &str, candidates: usize, n_requests: usize) -> (Instance, Plan) {
+        let i = Instance::single_model(name, candidates).unwrap();
+        let requests: Vec<_> = (0..n_requests)
+            .map(|k| i.request(k as u64, name).unwrap())
+            .collect();
+        let plan = Plan::greedy(&i, requests).unwrap();
+        (i, plan)
+    }
+
+    #[test]
+    fn single_request_matches_analytic_objective() {
+        for (name, c) in [
+            ("CLIP ViT-B/16", 101),
+            ("CLIP ResNet-50", 10),
+            ("Encoder-only VQA (Small)", 1),
+            ("Flint-v0.5-1B", 1),
+            ("CLIP-Classifier Food-101", 0),
+        ] {
+            let (i, plan) = plan_for(name, c, 1);
+            let report = simulate(&i, &plan, &SimConfig::default()).unwrap();
+            let analytic = total_latency(&i, &plan.routed[0].1, &plan.routed[0].0).unwrap();
+            let simulated = report.request_latency(0).unwrap();
+            assert!(
+                (simulated - analytic).abs() < 0.05,
+                "{name}: sim {simulated:.3} vs analytic {analytic:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn loading_gates_inference() {
+        let (i, plan) = plan_for("CLIP ViT-B/16", 101, 1);
+        let without = simulate(&i, &plan, &SimConfig::default()).unwrap();
+        let with = simulate(
+            &i,
+            &plan,
+            &SimConfig {
+                include_loading: true,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(with.loading_done > 0.5);
+        assert!(
+            with.request_latency(0).unwrap()
+                > without.request_latency(0).unwrap() + 0.5
+        );
+        assert!(with.spans.iter().any(|s| matches!(s.phase, Phase::ModelLoading(_))));
+    }
+
+    #[test]
+    fn simultaneous_requests_queue_on_shared_modules() {
+        // Two identical retrieval requests at t=0 share one text encoder:
+        // the second must wait (Table X's queuing observation).
+        let (i, plan) = plan_for("CLIP ViT-B/16", 101, 2);
+        let r = simulate(&i, &plan, &SimConfig::default()).unwrap();
+        let l0 = r.request_latency(0).unwrap();
+        let l1 = r.request_latency(1).unwrap();
+        assert!(
+            (l1 - l0).abs() > 0.5 || l1 > l0 + 0.5 || l0 > l1 + 0.5,
+            "one of the colliding requests must queue: {l0:.2} vs {l1:.2}"
+        );
+        assert!(r.max_latency() > r.mean_latency());
+    }
+
+    #[test]
+    fn pipelining_beats_serial_submission() {
+        // 4 requests submitted together finish earlier than 4 submitted
+        // each after the previous completes (encoders overlap).
+        let (i, plan) = plan_for("CLIP ViT-B/16", 101, 4);
+        let together = simulate(&i, &plan, &SimConfig::default()).unwrap();
+        let single = simulate(
+            &i,
+            &Plan {
+                placement: plan.placement.clone(),
+                routed: vec![plan.routed[0].clone()],
+            },
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let serial_makespan = 4.0 * single.request_latency(0).unwrap();
+        assert!(
+            together.makespan < serial_makespan,
+            "pipelined {} vs serial {}",
+            together.makespan,
+            serial_makespan
+        );
+    }
+
+    #[test]
+    fn staggered_arrivals_respected() {
+        let (i, plan) = plan_for("CLIP ViT-B/16", 10, 2);
+        let r = simulate(
+            &i,
+            &plan,
+            &SimConfig {
+                arrivals: Some(vec![0.0, 100.0]),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let t1 = r.requests[&1];
+        assert!(t1.arrival == 100.0 && t1.completion > 100.0);
+        // Far-apart arrivals do not queue on each other.
+        assert!((r.request_latency(0).unwrap() - r.request_latency(1).unwrap()).abs() < 0.05);
+    }
+
+    #[test]
+    fn arrivals_mismatch_is_an_error() {
+        let (i, plan) = plan_for("CLIP ViT-B/16", 10, 2);
+        let err = simulate(
+            &i,
+            &plan,
+            &SimConfig {
+                arrivals: Some(vec![0.0]),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::ArrivalsMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn multi_task_simultaneous_burst_runs_all() {
+        let i = Instance::on_fleet(
+            Fleet::edge_testbed(),
+            &[
+                ("CLIP ViT-B/16", 101),
+                ("Encoder-only VQA (Small)", 1),
+                ("AlignBind-B", 16),
+                ("CLIP-Classifier Food-101", 0),
+            ],
+        )
+        .unwrap();
+        let requests: Vec<_> = i
+            .deployments()
+            .iter()
+            .enumerate()
+            .map(|(k, d)| i.request(k as u64, &d.model.name).unwrap())
+            .collect();
+        let plan = Plan::greedy(&i, requests).unwrap();
+        let r = simulate(&i, &plan, &SimConfig::default()).unwrap();
+        assert_eq!(r.requests.len(), 4);
+        assert!(r.makespan > 0.0);
+        // Gantt renders with something on multiple devices.
+        let g = r.render_gantt(60);
+        assert!(g.matches('|').count() >= 4);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let (i, plan) = plan_for("CLIP ViT-B/16", 101, 3);
+        let a = simulate(&i, &plan, &SimConfig::default()).unwrap();
+        let b = simulate(&i, &plan, &SimConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod batching_tests {
+    use super::*;
+
+    fn burst_plan(n: usize) -> (Instance, Plan) {
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        let requests: Vec<_> = (0..n as u64)
+            .map(|k| i.request(k, "CLIP ViT-B/16").unwrap())
+            .collect();
+        let plan = Plan::greedy(&i, requests).unwrap();
+        (i, plan)
+    }
+
+    #[test]
+    fn batching_reduces_burst_makespan() {
+        // Sec. VI-C: aggregating queued requests at the shared text
+        // encoder amortizes the per-execution overhead.
+        let (i, plan) = burst_plan(6);
+        let plain = simulate(&i, &plan, &SimConfig::default()).unwrap();
+        let batched = simulate(
+            &i,
+            &plan,
+            &SimConfig {
+                max_batch: Some(8),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            batched.makespan < plain.makespan,
+            "batched {:.2} vs plain {:.2}",
+            batched.makespan,
+            plain.makespan
+        );
+        assert_eq!(batched.requests.len(), 6);
+    }
+
+    #[test]
+    fn batch_of_one_changes_nothing() {
+        let (i, plan) = burst_plan(3);
+        let plain = simulate(&i, &plan, &SimConfig::default()).unwrap();
+        let b1 = simulate(
+            &i,
+            &plan,
+            &SimConfig {
+                max_batch: Some(1),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.requests, b1.requests);
+    }
+
+    #[test]
+    fn batched_members_complete_together() {
+        let (i, plan) = burst_plan(4);
+        let batched = simulate(
+            &i,
+            &plan,
+            &SimConfig {
+                max_batch: Some(4),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        // The four text encodings batch into overlapping spans on the
+        // text host: at least two encode spans share an end time.
+        let mut ends: Vec<u64> = batched
+            .spans
+            .iter()
+            .filter(|s| matches!(s.phase, Phase::Encode(_)))
+            .map(|s| ns(s.end))
+            .collect();
+        ends.sort_unstable();
+        let shared = ends.windows(2).any(|w| w[0] == w[1]);
+        assert!(shared, "expected batched completions: {ends:?}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the simulator's scheduling invariants.
+
+use proptest::prelude::*;
+
+use s2m3_core::plan::Plan;
+use s2m3_core::problem::Instance;
+
+use crate::workload::{latency_stats, mixed_stream, ArrivalProcess};
+use crate::{simulate, SimConfig};
+
+fn instance() -> Instance {
+    Instance::single_model("CLIP ViT-B/16", 32).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batching never increases the burst makespan (it only merges queued
+    /// work, amortizing per-execution overhead).
+    #[test]
+    fn batching_never_hurts_makespan(n in 1usize..10, cap in 1usize..8) {
+        let i = instance();
+        let requests = mixed_stream(&i, n).unwrap();
+        let plan = Plan::greedy(&i, requests).unwrap();
+        let plain = simulate(&i, &plan, &SimConfig::default()).unwrap();
+        let batched = simulate(
+            &i,
+            &plan,
+            &SimConfig { max_batch: Some(cap), ..SimConfig::default() },
+        )
+        .unwrap();
+        prop_assert!(batched.makespan <= plain.makespan + 1e-6,
+            "batched {} vs plain {}", batched.makespan, plain.makespan);
+        prop_assert_eq!(batched.requests.len(), n);
+    }
+
+    /// Later arrivals never finish before they arrive, and all requests
+    /// complete.
+    #[test]
+    fn arrivals_respected(n in 1usize..8, interval in 0.01f64..5.0) {
+        let i = instance();
+        let requests = mixed_stream(&i, n).unwrap();
+        let plan = Plan::greedy(&i, requests).unwrap();
+        let arrivals = ArrivalProcess::Uniform { interval_s: interval }.arrivals(n, "prop");
+        let r = simulate(
+            &i,
+            &plan,
+            &SimConfig { arrivals: Some(arrivals.clone()), ..SimConfig::default() },
+        )
+        .unwrap();
+        prop_assert_eq!(r.requests.len(), n);
+        for (k, t) in &r.requests {
+            prop_assert!((t.arrival - arrivals[*k as usize]).abs() < 1e-9);
+            prop_assert!(t.completion > t.arrival);
+        }
+    }
+
+    /// Slower arrival rates never increase mean latency (less queuing).
+    #[test]
+    fn load_monotonicity(n in 4usize..10) {
+        let i = instance();
+        let requests = mixed_stream(&i, n).unwrap();
+        let plan = Plan::greedy(&i, requests).unwrap();
+        let run = |interval: f64, tag: &str| {
+            let arrivals = ArrivalProcess::Uniform { interval_s: interval }.arrivals(n, tag);
+            latency_stats(
+                &simulate(
+                    &i,
+                    &plan,
+                    &SimConfig { arrivals: Some(arrivals), ..SimConfig::default() },
+                )
+                .unwrap(),
+            )
+        };
+        let fast = run(0.05, "fast");
+        let slow = run(60.0, "slow");
+        prop_assert!(slow.mean <= fast.mean + 1e-6,
+            "slow mean {} vs fast mean {}", slow.mean, fast.mean);
+    }
+
+    /// Spans never overlap beyond a device's lane count (no phantom
+    /// parallelism), checking compute spans only.
+    #[test]
+    fn lane_capacity_respected(n in 1usize..8) {
+        let i = instance();
+        let requests = mixed_stream(&i, n).unwrap();
+        let plan = Plan::greedy(&i, requests).unwrap();
+        let r = simulate(&i, &plan, &SimConfig::default()).unwrap();
+        for dev in i.fleet().devices() {
+            let lanes = dev.parallelism.max(1);
+            let mut spans: Vec<(f64, f64)> = r
+                .spans
+                .iter()
+                .filter(|s| {
+                    s.device == dev.id
+                        && matches!(
+                            s.phase,
+                            crate::Phase::Encode(_) | crate::Phase::Head(_)
+                        )
+                })
+                .map(|s| (s.start, s.end))
+                .collect();
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            // Sweep: count concurrent spans at each start point. The
+            // engine quantizes event times to nanoseconds, so allow a
+            // microsecond of slack at span boundaries.
+            for &(start, _) in &spans {
+                let live = spans
+                    .iter()
+                    .filter(|&&(s, e)| s <= start + 1e-6 && e > start + 1e-6)
+                    .count();
+                prop_assert!(
+                    live <= lanes,
+                    "{}: {live} concurrent spans > {lanes} lanes",
+                    dev.id
+                );
+            }
+        }
+    }
+}

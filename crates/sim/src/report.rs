@@ -1,0 +1,219 @@
+//! Simulation output: per-request timings and Gantt timelines.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use s2m3_models::module::ModuleId;
+use s2m3_net::device::DeviceId;
+
+/// What a Gantt span represents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Loading a module's weights onto the device.
+    ModelLoading(ModuleId),
+    /// Raw user input travelling to an encoder device.
+    InputTx(ModuleId),
+    /// Encoder computation.
+    Encode(ModuleId),
+    /// Encoded embeddings travelling to the head device.
+    OutputTx(ModuleId),
+    /// Head (distance / classifier / LLM) computation.
+    Head(ModuleId),
+}
+
+impl Phase {
+    /// Short label for timeline rendering (matches Fig. 3's legend).
+    pub fn label(&self) -> String {
+        match self {
+            Phase::ModelLoading(_) => "load".into(),
+            Phase::InputTx(_) => "tx-in".into(),
+            Phase::Encode(m) => format!("encode {}", short(m)),
+            Phase::OutputTx(_) => "tx-out".into(),
+            Phase::Head(m) => format!("head {}", short(m)),
+        }
+    }
+}
+
+fn short(m: &ModuleId) -> &str {
+    m.as_str().rsplit('/').next().unwrap_or(m.as_str())
+}
+
+/// One bar of the timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GanttSpan {
+    /// Device the span occurred on (transfers are attributed to the
+    /// receiving device).
+    pub device: DeviceId,
+    /// Owning request, if any (loading spans have none).
+    pub request: Option<u64>,
+    /// What happened.
+    pub phase: Phase,
+    /// Start time, seconds of virtual time.
+    pub start: f64,
+    /// End time, seconds of virtual time.
+    pub end: f64,
+}
+
+/// Per-request timing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestTiming {
+    /// Arrival (submission) time.
+    pub arrival: f64,
+    /// Completion time (head output produced).
+    pub completion: f64,
+}
+
+impl RequestTiming {
+    /// Request latency (completion − arrival).
+    pub fn latency(&self) -> f64 {
+        self.completion - self.arrival
+    }
+}
+
+/// The full simulation result.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// All timeline spans, in start order.
+    pub spans: Vec<GanttSpan>,
+    /// Per-request timings.
+    pub requests: BTreeMap<u64, RequestTiming>,
+    /// When model loading finished across all devices (0 when loading is
+    /// not simulated).
+    pub loading_done: f64,
+    /// Completion time of the last request.
+    pub makespan: f64,
+}
+
+impl SimReport {
+    /// Latency of request `id`, if it ran.
+    pub fn request_latency(&self, id: u64) -> Option<f64> {
+        self.requests.get(&id).map(RequestTiming::latency)
+    }
+
+    /// Mean latency over all requests (objective 4a normalized).
+    pub fn mean_latency(&self) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        self.requests.values().map(RequestTiming::latency).sum::<f64>() / self.requests.len() as f64
+    }
+
+    /// Maximum latency over all requests.
+    pub fn max_latency(&self) -> f64 {
+        self.requests
+            .values()
+            .map(RequestTiming::latency)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders an ASCII Gantt chart (one row per device), the textual
+    /// form of Fig. 3.
+    pub fn render_gantt(&self, width: usize) -> String {
+        let horizon = self.makespan.max(1e-9);
+        let mut by_device: BTreeMap<&DeviceId, Vec<&GanttSpan>> = BTreeMap::new();
+        for s in &self.spans {
+            by_device.entry(&s.device).or_default().push(s);
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "virtual time: 0 .. {horizon:.2}s  ({width} cols)\n"
+        ));
+        for (dev, spans) in by_device {
+            let mut row = vec![' '; width];
+            for s in spans {
+                let a = ((s.start / horizon) * width as f64).floor() as usize;
+                let b = (((s.end / horizon) * width as f64).ceil() as usize).min(width);
+                let ch = match s.phase {
+                    Phase::ModelLoading(_) => 'L',
+                    Phase::InputTx(_) | Phase::OutputTx(_) => 't',
+                    Phase::Encode(_) => 'E',
+                    Phase::Head(_) => 'H',
+                };
+                for c in row.iter_mut().take(b).skip(a.min(width)) {
+                    *c = ch;
+                }
+            }
+            out.push_str(&format!("{:>10} |{}|\n", dev.as_str(), row.iter().collect::<String>()));
+        }
+        out.push_str("legend: L=model loading  t=transfer  E=encode  H=task head\n");
+        out
+    }
+
+    /// JSON export of the timeline (for external plotting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failure (should not happen for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(dev: &str, phase: Phase, start: f64, end: f64) -> GanttSpan {
+        GanttSpan {
+            device: dev.into(),
+            request: Some(0),
+            phase,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let mut r = SimReport::default();
+        r.requests.insert(0, RequestTiming { arrival: 1.0, completion: 3.5 });
+        r.requests.insert(1, RequestTiming { arrival: 1.0, completion: 2.0 });
+        assert_eq!(r.request_latency(0), Some(2.5));
+        assert_eq!(r.request_latency(9), None);
+        assert!((r.mean_latency() - 1.75).abs() < 1e-12);
+        assert!((r.max_latency() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_mean_is_zero() {
+        assert_eq!(SimReport::default().mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn gantt_renders_all_devices_and_legend() {
+        let r = SimReport {
+            spans: vec![
+                span("jetson-a", Phase::Encode("vision/ViT-B-16".into()), 0.0, 1.0),
+                span("laptop", Phase::Encode("text/CLIP-B-16".into()), 0.0, 2.0),
+                span("jetson-a", Phase::Head("head/cosine".into()), 2.0, 2.2),
+            ],
+            makespan: 2.2,
+            ..Default::default()
+        };
+        let g = r.render_gantt(40);
+        assert!(g.contains("jetson-a"));
+        assert!(g.contains("laptop"));
+        assert!(g.contains('E'));
+        assert!(g.contains('H'));
+        assert!(g.contains("legend"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = SimReport {
+            spans: vec![span("laptop", Phase::InputTx("text/CLIP-B-16".into()), 0.0, 0.1)],
+            makespan: 0.1,
+            ..Default::default()
+        };
+        let j = r.to_json().unwrap();
+        let back: SimReport = serde_json::from_str(&j).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn phase_labels_are_short() {
+        assert_eq!(Phase::Encode("vision/ViT-B-16".into()).label(), "encode ViT-B-16");
+        assert_eq!(Phase::ModelLoading("x".into()).label(), "load");
+    }
+}

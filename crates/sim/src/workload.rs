@@ -1,0 +1,227 @@
+//! Request-arrival workloads and latency statistics.
+//!
+//! The paper evaluates single requests and a simultaneous four-task burst
+//! (Table X). This module generalizes to sustained load: seeded arrival
+//! processes (Poisson / uniform / burst), mixed multi-task request
+//! streams, and percentile statistics — the instrument behind the
+//! `load_sweep` experiment, which asks where the shared deployment's
+//! queuing knee sits as the offered rate grows (Sec. VI-C's concern,
+//! quantified).
+
+use rand_chacha::rand_core::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use s2m3_core::error::CoreError;
+use s2m3_core::problem::{Instance, Request};
+use s2m3_tensor::seed::seed_from_label;
+
+use crate::report::SimReport;
+
+/// An arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// All requests at t = 0 (the Table X burst).
+    Simultaneous,
+    /// Evenly spaced at the given interval, seconds.
+    Uniform {
+        /// Gap between consecutive arrivals.
+        interval_s: f64,
+    },
+    /// Poisson arrivals at the given mean rate, requests/second.
+    Poisson {
+        /// Mean arrival rate λ.
+        rate_per_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generates `n` deterministic arrival times (sorted, starting at 0),
+    /// seeded by `label`.
+    pub fn arrivals(&self, n: usize, label: &str) -> Vec<f64> {
+        match self {
+            ArrivalProcess::Simultaneous => vec![0.0; n],
+            ArrivalProcess::Uniform { interval_s } => {
+                (0..n).map(|i| i as f64 * interval_s).collect()
+            }
+            ArrivalProcess::Poisson { rate_per_s } => {
+                let mut rng =
+                    ChaCha8Rng::from_seed(seed_from_label(&format!("arrivals/{label}")));
+                let mut t = 0.0;
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    // Exponential inter-arrival via inverse CDF.
+                    let u = ((rng.next_u32() >> 8) as f64 + 0.5) / (1u32 << 24) as f64;
+                    t += -u.ln() / rate_per_s.max(1e-9);
+                    out.push(t);
+                }
+                // Shift so the first arrival is at 0.
+                let t0 = out[0];
+                for v in &mut out {
+                    *v -= t0;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A mixed request stream over an instance's deployed models.
+///
+/// Requests round-robin over the deployments (a uniform task mix) with
+/// ids `0..n` and the fleet requester as source.
+///
+/// # Errors
+///
+/// [`CoreError`] if a deployment cannot build requests.
+pub fn mixed_stream(instance: &Instance, n: usize) -> Result<Vec<Request>, CoreError> {
+    let models: Vec<_> = instance
+        .deployments()
+        .iter()
+        .map(|d| d.model.name.clone())
+        .collect();
+    (0..n)
+        .map(|i| instance.request(i as u64, &models[i % models.len()]))
+        .collect()
+}
+
+/// Latency distribution summary of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Number of completed requests.
+    pub n: usize,
+    /// Mean latency, seconds.
+    pub mean: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Completed requests per second of virtual time.
+    pub throughput: f64,
+}
+
+/// Computes latency statistics from a simulation report.
+pub fn latency_stats(report: &SimReport) -> LatencyStats {
+    let mut latencies: Vec<f64> = report.requests.values().map(|r| r.latency()).collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = latencies.len();
+    if n == 0 {
+        return LatencyStats {
+            n: 0,
+            mean: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            max: 0.0,
+            throughput: 0.0,
+        };
+    }
+    let pct = |p: f64| -> f64 {
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        latencies[idx]
+    };
+    LatencyStats {
+        n,
+        mean: latencies.iter().sum::<f64>() / n as f64,
+        p50: pct(0.50),
+        p95: pct(0.95),
+        p99: pct(0.99),
+        max: latencies[n - 1],
+        throughput: n as f64 / report.makespan.max(1e-9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, SimConfig};
+    use s2m3_core::plan::Plan;
+
+    #[test]
+    fn arrival_processes_are_deterministic_and_sorted() {
+        for p in [
+            ArrivalProcess::Simultaneous,
+            ArrivalProcess::Uniform { interval_s: 0.5 },
+            ArrivalProcess::Poisson { rate_per_s: 2.0 },
+        ] {
+            let a = p.arrivals(32, "t");
+            let b = p.arrivals(32, "t");
+            assert_eq!(a, b);
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "{p:?} unsorted");
+            assert_eq!(a[0], 0.0);
+        }
+        assert_ne!(
+            ArrivalProcess::Poisson { rate_per_s: 2.0 }.arrivals(8, "x"),
+            ArrivalProcess::Poisson { rate_per_s: 2.0 }.arrivals(8, "y")
+        );
+    }
+
+    #[test]
+    fn poisson_rate_approximates_lambda() {
+        let rate = 4.0;
+        let a = ArrivalProcess::Poisson { rate_per_s: rate }.arrivals(400, "rate");
+        let measured = 399.0 / a.last().unwrap();
+        assert!(
+            (measured - rate).abs() < 0.8,
+            "measured rate {measured:.2} vs λ {rate}"
+        );
+    }
+
+    #[test]
+    fn mixed_stream_round_robins_tasks() {
+        let i = Instance::on_fleet(
+            s2m3_net::fleet::Fleet::edge_testbed(),
+            &[("CLIP ViT-B/16", 16), ("CLIP-Classifier Food-101", 0)],
+        )
+        .unwrap();
+        let stream = mixed_stream(&i, 6).unwrap();
+        assert_eq!(stream.len(), 6);
+        assert_eq!(stream[0].model, "CLIP ViT-B/16");
+        assert_eq!(stream[1].model, "CLIP-Classifier Food-101");
+        assert_eq!(stream[4].model, "CLIP ViT-B/16");
+    }
+
+    #[test]
+    fn stats_reflect_queueing_under_load() {
+        let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        let requests = mixed_stream(&i, 12).unwrap();
+        let plan = Plan::greedy(&i, requests).unwrap();
+        // Slow arrivals: no queuing, p99 ≈ p50.
+        let slow = simulate(
+            &i,
+            &plan,
+            &SimConfig {
+                arrivals: Some(ArrivalProcess::Uniform { interval_s: 10.0 }.arrivals(12, "s")),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let slow_stats = latency_stats(&slow);
+        assert!(slow_stats.p99 < slow_stats.p50 * 1.3);
+        // Saturating arrivals: the queue builds, p99 >> p50 of slow case.
+        let fast = simulate(
+            &i,
+            &plan,
+            &SimConfig {
+                arrivals: Some(ArrivalProcess::Uniform { interval_s: 0.2 }.arrivals(12, "f")),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let fast_stats = latency_stats(&fast);
+        assert!(fast_stats.p99 > 2.0 * slow_stats.p99);
+        assert_eq!(fast_stats.n, 12);
+        assert!(fast_stats.throughput > 0.0);
+    }
+
+    #[test]
+    fn empty_report_yields_zero_stats() {
+        let s = latency_stats(&SimReport::default());
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+}

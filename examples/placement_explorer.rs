@@ -1,0 +1,63 @@
+//! Placement explorer: compare the greedy placement against the
+//! brute-force optimum and every centralized alternative for a model of
+//! your choice, under varying device availability (the Table IX study).
+//!
+//! ```sh
+//! cargo run --release -p s2m3 --example placement_explorer -- "CLIP ViT-L/14" 101
+//! ```
+
+use s2m3::baselines::centralized::centralized_latency;
+use s2m3::core::upper::optimal_placement;
+use s2m3::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let model = args.next().unwrap_or_else(|| "CLIP ViT-B/16".to_string());
+    let candidates: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(101);
+
+    println!("model: {model}  (candidate prompts: {candidates})\n");
+
+    // Centralized options on the full testbed.
+    let full = Instance::on_fleet(Fleet::standard_testbed(), &[(&model, candidates)])?;
+    println!("centralized deployments:");
+    for dev in ["server", "desktop", "laptop", "jetson-a"] {
+        match centralized_latency(&full, &model, dev) {
+            Ok(t) => println!("  {dev:10} {t:>8.2} s"),
+            Err(e) => println!("  {dev:10}        – ({e})"),
+        }
+    }
+
+    // S2M3 under shrinking fleets.
+    println!("\nS2M3 under device availability (requester jetson-a):");
+    for names in [
+        vec!["jetson-b", "jetson-a"],
+        vec!["desktop", "laptop", "jetson-a"],
+        vec!["desktop", "laptop", "jetson-b", "jetson-a"],
+        vec!["server", "desktop", "laptop", "jetson-b", "jetson-a"],
+    ] {
+        let fleet = Fleet::standard_testbed().restricted_to(&names)?;
+        let instance = Instance::on_fleet(fleet, &[(&model, candidates)])?;
+        let request = instance.request(0, &model)?;
+        match Plan::greedy(&instance, vec![request.clone()]) {
+            Ok(plan) => {
+                let greedy = total_latency(&instance, &plan.routed[0].1, &request)?;
+                let upper = optimal_placement(&instance)?;
+                let tag = if (greedy - upper.latency).abs() < 1e-6 {
+                    "= optimal"
+                } else {
+                    "> optimal"
+                };
+                println!(
+                    "  {:38} greedy {greedy:>6.2} s   upper {:>6.2} s  {tag}",
+                    names.join("+"),
+                    upper.latency
+                );
+                for (m, d) in plan.placement.iter() {
+                    println!("      {m} -> {d}");
+                }
+            }
+            Err(e) => println!("  {:38} infeasible: {e}", names.join("+")),
+        }
+    }
+    Ok(())
+}

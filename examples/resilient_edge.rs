@@ -1,0 +1,76 @@
+//! Resilient edge deployment: device loss, adaptive reallocation with
+//! switching costs, and the intra-module partitioning fallback — the
+//! Sec. V-B / VI-C mechanisms in one scenario.
+//!
+//! ```sh
+//! cargo run --release -p s2m3 --example resilient_edge
+//! ```
+
+use s2m3::core::adaptive::replan;
+use s2m3::core::partition::greedy_place_partitioned;
+use s2m3::core::placement::greedy_place;
+use s2m3::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A retrieval service runs on the edge fleet.
+    let instance = Instance::single_model("CLIP ViT-B/16", 101)?;
+    let placement = greedy_place(&instance)?;
+    println!("initial placement:");
+    for (m, d) in placement.iter() {
+        println!("  {m} -> {d}");
+    }
+
+    // --- Scenario 1: the laptop leaves the network.
+    let degraded = instance.with_fleet(instance.fleet().without(&["laptop"]))?;
+    let decision = replan(&degraded, &placement)?;
+    println!("\nlaptop lost — replanning:");
+    for m in &decision.migrations {
+        println!(
+            "  migrate {} {} -> {}  (load cost {:.2} s)",
+            m.module,
+            m.from.as_ref().map(|d| d.as_str()).unwrap_or("(gone)"),
+            m.to,
+            m.cost_s
+        );
+    }
+    println!(
+        "  switching cost {:.2} s, new latency {:.2} s, mandatory: {}",
+        decision.switching_cost_s, decision.new_latency_s, decision.mandatory()
+    );
+
+    // --- Scenario 2: the GPU server joins; is migrating worth it?
+    let upgraded = instance.with_fleet(Fleet::standard_testbed())?;
+    let decision = replan(&upgraded, &placement)?;
+    println!("\nGPU server joined — replanning:");
+    println!(
+        "  old latency {:.2} s -> new latency {:.2} s, switching cost {:.2} s",
+        decision.old_latency_s.unwrap_or(f64::NAN),
+        decision.new_latency_s,
+        decision.switching_cost_s
+    );
+    match decision.break_even_requests() {
+        Some(n) => println!("  switch pays for itself after {n} requests"),
+        None => println!("  not worth switching"),
+    }
+
+    // --- Scenario 3: a 13B model that fits nowhere — Sec. V-B fallback.
+    let big = Instance::single_model("LLaVA-v1.5-13B", 1)?;
+    println!("\nLLaVA-v1.5-13B on the edge fleet:");
+    match greedy_place(&big) {
+        Ok(_) => println!("  unexpectedly feasible"),
+        Err(e) => println!("  whole-module placement: {e}"),
+    }
+    let pp = greedy_place_partitioned(&big)?;
+    for plan in &pp.sharded {
+        println!("  partitioned {} into {} pipeline stages:", plan.base.id, plan.shard_count());
+        for (shard, dev) in &plan.stages {
+            println!("    {} -> {dev}", shard.id);
+        }
+        let profile = big.deployments()[0].profile;
+        println!(
+            "  pipelined head latency: {:.2} s (per-token activation hops included)",
+            plan.pipeline_latency(&big, &profile)?
+        );
+    }
+    Ok(())
+}

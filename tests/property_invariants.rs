@@ -1,0 +1,230 @@
+//! Property-based invariants over randomized instances: the constraints
+//! of Problem (4) hold for every greedy plan, greedy never beats the
+//! brute-force optimum, parallel never loses to sequential, and the
+//! simulator agrees with the analytic objective in the single-request
+//! case.
+
+use proptest::prelude::*;
+
+use s2m3::core::objective::{total_latency, total_latency_sequential, validate};
+use s2m3::core::upper::optimal_placement;
+use s2m3::prelude::*;
+
+/// Models spanning all task families, paired with sensible candidate
+/// ranges.
+fn arb_model() -> impl Strategy<Value = (&'static str, usize)> {
+    prop_oneof![
+        (Just("CLIP ResNet-50"), 2usize..128),
+        (Just("CLIP ViT-B/16"), 2usize..128),
+        (Just("CLIP ViT-L/14"), 2usize..64),
+        (Just("CLIP ResNet-50x16"), 2usize..64),
+        (Just("Encoder-only VQA (Small)"), Just(1usize)),
+        (Just("Encoder-only VQA (Large)"), Just(1usize)),
+        (Just("Flint-v0.5-1B"), Just(1usize)),
+        (Just("xtuner-Phi-3-Mini"), Just(1usize)),
+        (Just("AlignBind-B"), 2usize..32),
+        (Just("CLIP-Classifier Food-101"), Just(1usize)),
+        (Just("NLP Connect ViT-GPT2"), Just(1usize)),
+    ]
+}
+
+/// Fleet subsets that always contain the requester.
+fn arb_fleet() -> impl Strategy<Value = Fleet> {
+    prop_oneof![
+        Just(vec!["jetson-a", "jetson-b"]),
+        Just(vec!["desktop", "laptop", "jetson-a"]),
+        Just(vec!["desktop", "laptop", "jetson-b", "jetson-a"]),
+        Just(vec!["server", "desktop", "laptop", "jetson-b", "jetson-a"]),
+        Just(vec!["laptop", "jetson-a"]),
+        Just(vec!["server", "jetson-a"]),
+    ]
+    .prop_map(|names| Fleet::standard_testbed().restricted_to(&names).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Constraints (4b)–(4d) hold for every feasible greedy plan.
+    #[test]
+    fn greedy_plans_satisfy_problem_constraints(
+        (model, candidates) in arb_model(),
+        fleet in arb_fleet(),
+    ) {
+        let Ok(instance) = Instance::on_fleet(fleet, &[(model, candidates)]) else { return Ok(()); };
+        let Ok(request) = instance.request(0, model) else { return Ok(()); };
+        match Plan::greedy(&instance, vec![request]) {
+            Ok(plan) => {
+                validate(&instance, &plan.placement, &plan.routed).unwrap();
+                // Every model module is placed exactly once (no replication
+                // by default).
+                prop_assert_eq!(
+                    plan.placement.len(),
+                    instance.distinct_modules().len()
+                );
+            }
+            Err(s2m3::core::CoreError::Infeasible { .. }) => {} // fine: small fleet
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+        }
+    }
+
+    /// The brute-force optimum lower-bounds the greedy everywhere, and
+    /// both agree on feasibility.
+    #[test]
+    fn optimal_lower_bounds_greedy(
+        (model, candidates) in arb_model(),
+        fleet in arb_fleet(),
+    ) {
+        let Ok(instance) = Instance::on_fleet(fleet, &[(model, candidates)]) else { return Ok(()); };
+        let Ok(request) = instance.request(0, model) else { return Ok(()); };
+        let greedy = Plan::greedy(&instance, vec![request.clone()]);
+        let upper = optimal_placement(&instance);
+        prop_assert_eq!(greedy.is_ok(), upper.is_ok());
+        if let (Ok(plan), Ok(opt)) = (greedy, upper) {
+            let g = total_latency(&instance, &plan.routed[0].1, &request).unwrap();
+            prop_assert!(
+                g + 1e-9 >= opt.latency,
+                "greedy {} beat 'optimal' {}", g, opt.latency
+            );
+        }
+    }
+
+    /// Parallel routing never loses to sequential routing, and both are
+    /// strictly positive.
+    #[test]
+    fn parallel_never_slower_than_sequential(
+        (model, candidates) in arb_model(),
+        fleet in arb_fleet(),
+    ) {
+        let Ok(instance) = Instance::on_fleet(fleet, &[(model, candidates)]) else { return Ok(()); };
+        let Ok(request) = instance.request(0, model) else { return Ok(()); };
+        let Ok(plan) = Plan::greedy(&instance, vec![request.clone()]) else { return Ok(()); };
+        let par = total_latency(&instance, &plan.routed[0].1, &request).unwrap();
+        let seq = total_latency_sequential(&instance, &plan.routed[0].1, &request).unwrap();
+        prop_assert!(par > 0.0);
+        prop_assert!(par <= seq + 1e-9, "parallel {} > sequential {}", par, seq);
+    }
+
+    /// Single-request simulation matches the analytic objective within
+    /// scheduler resolution, for any model and fleet.
+    #[test]
+    fn simulator_agrees_with_objective(
+        (model, candidates) in arb_model(),
+        fleet in arb_fleet(),
+    ) {
+        let Ok(instance) = Instance::on_fleet(fleet, &[(model, candidates)]) else { return Ok(()); };
+        let Ok(request) = instance.request(0, model) else { return Ok(()); };
+        let Ok(plan) = Plan::greedy(&instance, vec![request.clone()]) else { return Ok(()); };
+        let analytic = total_latency(&instance, &plan.routed[0].1, &request).unwrap();
+        let report = simulate(&instance, &plan, &SimConfig::default()).unwrap();
+        let simulated = report.request_latency(0).unwrap();
+        prop_assert!(
+            (simulated - analytic).abs() < 0.05 + 0.01 * analytic,
+            "sim {} vs analytic {}", simulated, analytic
+        );
+    }
+
+    /// Sharing accounting: shared params never exceed dedicated params,
+    /// and equal them exactly when models share nothing.
+    #[test]
+    fn sharing_is_monotone(extra in proptest::sample::subsequence(
+        vec!["Encoder-only VQA (Small)", "AlignBind-B", "CLIP-Classifier Food-101", "NLP Connect ViT-GPT2"], 0..4))
+    {
+        let mut models: Vec<(&str, usize)> = vec![("CLIP ViT-B/16", 16)];
+        models.extend(extra.iter().map(|m| (*m, 16)));
+        let instance = Instance::on_fleet(Fleet::edge_testbed(), &models).unwrap();
+        let report = s2m3::core::sharing::SharingReport::for_instance(&instance);
+        let last = report.rows.last().unwrap();
+        prop_assert!(last.cumulative_shared_params <= last.cumulative_dedicated_params);
+        let dedicated = instance.dedicated();
+        let dreport = s2m3::core::sharing::SharingReport::for_instance(&dedicated);
+        let dlast = dreport.rows.last().unwrap();
+        prop_assert_eq!(dlast.cumulative_shared_params, dlast.cumulative_dedicated_params);
+    }
+
+    /// Simulated multi-request makespan is monotone in the request count
+    /// and bounded by serial execution.
+    #[test]
+    fn pipelining_bounds(n in 1usize..6) {
+        let instance = Instance::single_model("CLIP ViT-B/16", 32).unwrap();
+        let requests: Vec<_> = (0..n as u64)
+            .map(|k| instance.request(k, "CLIP ViT-B/16").unwrap())
+            .collect();
+        let plan = Plan::greedy(&instance, requests).unwrap();
+        let report = simulate(&instance, &plan, &SimConfig::default()).unwrap();
+        let single = {
+            let one = Plan {
+                placement: plan.placement.clone(),
+                routed: vec![plan.routed[0].clone()],
+            };
+            simulate(&instance, &one, &SimConfig::default())
+                .unwrap()
+                .makespan
+        };
+        prop_assert!(report.makespan + 1e-9 >= single);
+        prop_assert!(report.makespan <= n as f64 * single + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sharding conserves weights and FLOPs and keeps shard ids distinct.
+    #[test]
+    fn sharding_conserves_resources(k in 1usize..8) {
+        let zoo = Zoo::standard();
+        let llm = zoo.catalog().get_by_name("llm/Vicuna-7B").unwrap().clone();
+        let shards = s2m3::core::partition::shard_module(&llm, k);
+        prop_assert_eq!(shards.len(), k);
+        let params: u64 = shards.iter().map(|s| s.params).sum();
+        prop_assert!(params <= llm.params && params >= llm.params - k as u64);
+        let flops: f64 = shards.iter().map(|s| s.gflops_per_unit).sum();
+        prop_assert!((flops - llm.gflops_per_unit).abs() < 1e-6);
+        let ids: std::collections::BTreeSet<_> = shards.iter().map(|s| s.id.clone()).collect();
+        prop_assert_eq!(ids.len(), k);
+    }
+
+    /// Balanced routing still satisfies constraint (4b): every assignment
+    /// targets a hosting device; and it never uses more devices than the
+    /// placement offers.
+    #[test]
+    fn balanced_routing_respects_hosting(n in 1usize..8) {
+        let instance = Instance::single_model("CLIP ViT-B/16", 16).unwrap();
+        let placement = s2m3::core::placement::greedy_place_with(
+            &instance,
+            s2m3::core::placement::PlacementOptions { replicate: true },
+        )
+        .unwrap();
+        let requests: Vec<_> = (0..n as u64)
+            .map(|k| instance.request(k, "CLIP ViT-B/16").unwrap())
+            .collect();
+        let routes =
+            s2m3::core::routing::route_requests_balanced(&instance, &placement, &requests)
+                .unwrap();
+        prop_assert_eq!(routes.len(), n);
+        for route in &routes {
+            for (m, d) in route.iter() {
+                prop_assert!(placement.is_placed(m, d), "{} on non-host {}", m, d);
+            }
+        }
+    }
+
+    /// Replanning onto an unchanged fleet is a no-op; replanning onto a
+    /// strictly larger fleet never increases latency.
+    #[test]
+    fn replanning_is_monotone(candidates in 4usize..128) {
+        let edge = Instance::single_model("CLIP ViT-B/16", candidates).unwrap();
+        let old = s2m3::core::placement::greedy_place(&edge).unwrap();
+        let same = s2m3::core::adaptive::replan(&edge, &old).unwrap();
+        prop_assert!(same.migrations.is_empty());
+        let bigger = edge.with_fleet(Fleet::standard_testbed()).unwrap();
+        let up = s2m3::core::adaptive::replan(&bigger, &old).unwrap();
+        // Greedy is a heuristic: adding a device usually helps and never
+        // regresses by more than its myopia allows (bounded, not strict,
+        // monotonicity — the server's per-execution overhead can make it
+        // a bad home for mid-size batches the greedy still picks).
+        prop_assert!(
+            up.new_latency_s <= up.old_latency_s.unwrap() * 1.3 + 0.2,
+            "grew fleet, latency {} -> {}", up.old_latency_s.unwrap(), up.new_latency_s
+        );
+    }
+}
