@@ -116,7 +116,12 @@ mod tests {
     fn dedicated_burst_uses_more_memory() {
         let i = table_x_instance();
         let shared_params: u64 = i.distinct_modules().iter().map(|m| m.params).sum();
-        let dedicated_params: u64 = i.dedicated().distinct_modules().iter().map(|m| m.params).sum();
+        let dedicated_params: u64 = i
+            .dedicated()
+            .distinct_modules()
+            .iter()
+            .map(|m| m.params)
+            .sum();
         // 209M vs 543M (Table X).
         assert_eq!(shared_params / 1_000_000, 209);
         assert_eq!(dedicated_params / 1_000_000, 543);

@@ -99,14 +99,18 @@ mod tests {
         // Paper: 2.44 / 45.19 / 3.46 / 3.02.
         assert!((1.8..3.0).contains(&cloud), "cloud {cloud:.2}");
         assert!((38.0..50.0).contains(&local), "local {local:.2}");
-        assert!(laptop < desktop, "laptop {laptop:.2} vs desktop {desktop:.2}");
+        assert!(
+            laptop < desktop,
+            "laptop {laptop:.2} vs desktop {desktop:.2}"
+        );
         assert!(cloud < laptop);
         assert!(desktop < 5.0 && laptop > 2.0);
     }
 
     #[test]
     fn infeasible_models_rejected_like_table_vi_dashes() {
-        let i = Instance::on_fleet(Fleet::standard_testbed(), &[("CLIP ResNet-50x16", 101)]).unwrap();
+        let i =
+            Instance::on_fleet(Fleet::standard_testbed(), &[("CLIP ResNet-50x16", 101)]).unwrap();
         // Jetson cannot host RN50x16 centralized (Table VI "–").
         assert!(matches!(
             centralized_latency(&i, "CLIP ResNet-50x16", "jetson-a"),

@@ -99,7 +99,9 @@ pub fn megatron_latency(instance: &Instance, model: &str) -> Result<f64, CoreErr
             .fold(0.0, f64::max);
         let group: Vec<_> = devices
             .iter()
-            .filter(|d| d.speed_gflops * d.efficiency.factor(m.kind) >= STRAGGLER_FRACTION * fastest)
+            .filter(|d| {
+                d.speed_gflops * d.efficiency.factor(m.kind) >= STRAGGLER_FRACTION * fastest
+            })
             .collect();
         let agg_speed: f64 = group
             .iter()
@@ -114,7 +116,7 @@ pub fn megatron_latency(instance: &Instance, model: &str) -> Result<f64, CoreErr
         // Per-layer allreduce: 2 syncs per block, ring over the slowest
         // link, activation slab of up to SYNC_ROWS rows.
         let n = group.len().max(2) as f64;
-        let rows = units.min(SYNC_ROWS).max(1.0);
+        let rows = units.clamp(1.0, SYNC_ROWS);
         let bytes = rows * m.embed_dim.max(64) as f64 * 4.0;
         let ring = 2.0 * (n - 1.0) / n * bytes * 8.0 / min_bw;
         let per_sync = SYNC_FIXED_S + 2.0 * max_lat + ring;
@@ -185,9 +187,10 @@ mod tests {
         .unwrap();
         assert_eq!(megatron_params(&i) / 1_000_000, 333);
         let zoo = s2m3_models::zoo::Zoo::standard();
-        let shared = zoo.shared_params(
-            [zoo.model("CLIP ViT-B/16").unwrap(), zoo.model("AlignBind-B").unwrap()],
-        ) / 1_000_000;
+        let shared = zoo.shared_params([
+            zoo.model("CLIP ViT-B/16").unwrap(),
+            zoo.model("AlignBind-B").unwrap(),
+        ]) / 1_000_000;
         assert_eq!(shared, 209);
     }
 

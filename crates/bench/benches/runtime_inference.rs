@@ -14,8 +14,12 @@ fn bench_runtime(c: &mut Criterion) {
     let rt = Runtime::start(&i, &plan).unwrap();
     c.bench_function("runtime_infer/clip-b16-16c", |b| {
         b.iter(|| {
-            rt.infer(black_box(&q), black_box(&plan.routed[0].1), black_box(&input))
-                .unwrap()
+            rt.infer(
+                black_box(&q),
+                black_box(&plan.routed[0].1),
+                black_box(&input),
+            )
+            .unwrap()
         })
     });
     rt.shutdown();

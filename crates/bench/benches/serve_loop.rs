@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the serving control plane's hot path:
+//! admission + dispatch throughput of the online discrete-event loop,
+//! measured as whole scenario runs per simulated workload shape.
+use criterion::{criterion_group, criterion_main, Criterion};
+use s2m3_serve::{serve, AdmissionPolicy, ServeScenario};
+use s2m3_sim::workload::ArrivalProcess;
+use std::hint::black_box;
+
+fn steady_scenario(n: usize, policy: AdmissionPolicy) -> ServeScenario {
+    ServeScenario {
+        requests: n,
+        admission: policy,
+        events: vec![],
+        ..ServeScenario::churn_default()
+    }
+}
+
+fn bench_serve_loop(c: &mut Criterion) {
+    // The pure scheduler path: steady Poisson load, no churn.
+    let fifo = steady_scenario(500, AdmissionPolicy::Fifo);
+    c.bench_function("serve_loop/500req_fifo", |b| {
+        b.iter(|| serve(black_box(&fifo)).unwrap())
+    });
+
+    // EDF pays an O(queue) scan per dispatch — the policy's hot-path tax.
+    let edf = steady_scenario(500, AdmissionPolicy::EarliestDeadlineFirst);
+    c.bench_function("serve_loop/500req_edf", |b| {
+        b.iter(|| serve(black_box(&edf)).unwrap())
+    });
+
+    // Overload: admission queues stay full, shedding active every arrival.
+    let overload = ServeScenario {
+        arrivals: ArrivalProcess::Poisson { rate_per_s: 3.0 },
+        deadline_s: 10.0,
+        ..steady_scenario(500, AdmissionPolicy::ShedOnOverload { max_queue: 16 })
+    };
+    c.bench_function("serve_loop/500req_overload_shed", |b| {
+        b.iter(|| serve(black_box(&overload)).unwrap())
+    });
+
+    // Churn: fleet events + replans + request re-admission on top.
+    let churn = ServeScenario {
+        requests: 500,
+        ..ServeScenario::churn_default()
+    };
+    c.bench_function("serve_loop/500req_churn_replan", |b| {
+        b.iter(|| serve(black_box(&churn)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_serve_loop);
+criterion_main!(benches);

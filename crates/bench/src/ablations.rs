@@ -22,8 +22,7 @@ fn burst_plan(replicate: bool) -> (Instance, Plan) {
     let requests: Vec<_> = (0..BURST as u64)
         .map(|k| i.request(k, MODEL).unwrap())
         .collect();
-    let plan =
-        Plan::greedy_with(&i, requests, PlacementOptions { replicate }).unwrap();
+    let plan = Plan::greedy_with(&i, requests, PlacementOptions { replicate }).unwrap();
     (i, plan)
 }
 
@@ -33,13 +32,11 @@ fn burst_plan(replicate: bool) -> (Instance, Plan) {
 /// [`route_requests_balanced`].
 pub fn replication_gain() -> (f64, f64) {
     let (i, plain) = burst_plan(false);
-    let a = simulate(&i, &plain, &SimConfig::default()).unwrap().makespan;
+    let a = simulate(&i, &plain, &SimConfig::default())
+        .unwrap()
+        .makespan;
 
-    let replicated_placement = greedy_place_with(
-        &i,
-        PlacementOptions { replicate: true },
-    )
-    .unwrap();
+    let replicated_placement = greedy_place_with(&i, PlacementOptions { replicate: true }).unwrap();
     let requests: Vec<_> = (0..BURST as u64)
         .map(|k| i.request(k, MODEL).unwrap())
         .collect();
@@ -164,7 +161,10 @@ mod tests {
     fn partitioning_makes_13b_feasible_at_sane_latency() {
         let (shards, latency) = partitioning_result();
         assert!(shards >= 2);
-        assert!(latency.is_finite() && latency > 1.0 && latency < 120.0, "{latency}");
+        assert!(
+            latency.is_finite() && latency > 1.0 && latency < 120.0,
+            "{latency}"
+        );
     }
 
     #[test]

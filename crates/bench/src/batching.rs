@@ -20,7 +20,12 @@ pub fn run() -> Table {
     let gpu = l40s();
     let mut t = Table::new(
         "Footnote 4 — batch inference scaling (LLaVA-Next-7B on L40S)",
-        &["Batch size", "Latency (s)", "Paper (s)", "Throughput (req/s)"],
+        &[
+            "Batch size",
+            "Latency (s)",
+            "Paper (s)",
+            "Throughput (req/s)",
+        ],
     );
     for (batch, paper) in [(1usize, 1.28), (10, 4.90), (20, 9.16)] {
         let lat = batch_latency(&gpu, &vicuna, batch, TOKENS);

@@ -1,0 +1,4 @@
+//! Regenerates the churn-under-load serving experiment.
+fn main() {
+    println!("{}", s2m3_bench::churn::run().render());
+}

@@ -50,7 +50,10 @@ pub fn run() -> (Table, String) {
         "Fig. 3 — inference timeline summary (CLIP ViT-B/16)",
         &["Deployment", "Loading (s)", "Serving (s)", "Total (s)"],
     );
-    for (label, dev) in [("Centralized Cloud", "server"), ("Centralized Local", "jetson-a")] {
+    for (label, dev) in [
+        ("Centralized Cloud", "server"),
+        ("Centralized Local", "jetson-a"),
+    ] {
         let inf = centralized_latency(&full, MODEL, dev).ok();
         let e2e = centralized_e2e(&full, MODEL, dev).ok();
         let load = match (inf, e2e) {

@@ -21,10 +21,11 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod batching;
+pub mod churn;
 pub mod fig3;
 pub mod load_sweep;
 pub mod optimality;
-pub mod batching;
 pub mod perturb;
 pub mod scalability;
 pub mod table;

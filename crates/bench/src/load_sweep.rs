@@ -64,12 +64,7 @@ pub fn run() -> Table {
     let dedicated = shared.dedicated();
     let mut t = Table::new(
         "Load sweep — four-task deployment under Poisson load (p50 / p95 s)",
-        &[
-            "Rate (req/s)",
-            "Shared",
-            "Dedicated",
-            "Shared+Batching(8)",
-        ],
+        &["Rate (req/s)", "Shared", "Dedicated", "Shared+Batching(8)"],
     );
     for rate in RATES {
         let s = point(&shared, rate, None);

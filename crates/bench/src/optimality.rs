@@ -104,9 +104,11 @@ pub fn sweep(trials: usize) -> OptimalityResult {
             per_combo.push((label, 0));
             continue;
         };
-        let Ok(upper_plan) =
-            Plan::route_all(&base_instance, upper.placement.clone(), vec![request.clone()])
-        else {
+        let Ok(upper_plan) = Plan::route_all(
+            &base_instance,
+            upper.placement.clone(),
+            vec![request.clone()],
+        ) else {
             per_combo.push((label, 0));
             continue;
         };
@@ -114,7 +116,9 @@ pub fn sweep(trials: usize) -> OptimalityResult {
         let mut combo_optimal = 0;
         for trial in 0..trials {
             let fleet = perturbed_fleet(&base, &format!("{label}/trial/{trial}"));
-            let Ok(instance) = base_instance.with_fleet(fleet) else { continue };
+            let Ok(instance) = base_instance.with_fleet(fleet) else {
+                continue;
+            };
             let (Ok(g), Ok(o)) = (
                 total_latency(&instance, &greedy_plan.routed[0].1, &request),
                 total_latency(&instance, &upper_plan.routed[0].1, &request),

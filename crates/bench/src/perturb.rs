@@ -45,7 +45,8 @@ pub fn perturbed_fleet(fleet: &Fleet, label: &str) -> Fleet {
             ),
         );
     }
-    Fleet::new(devices, topology, fleet.requester().clone()).expect("perturbation keeps the fleet valid")
+    Fleet::new(devices, topology, fleet.requester().clone())
+        .expect("perturbation keeps the fleet valid")
 }
 
 #[cfg(test)]

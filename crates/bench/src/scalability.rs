@@ -32,11 +32,20 @@ pub fn grown_fleet(n: usize) -> Fleet {
     assert!(n >= 2, "need at least requester + one helper");
     let mut devices = vec![DeviceSpec::jetson("jetson-a"), DeviceSpec::laptop()];
     let mut topology = Topology::new();
-    topology.set_access("jetson-a".into(), LinkSpec::new(cal::PAN_WIFI.0, cal::PAN_WIFI.1));
-    topology.set_access("laptop".into(), LinkSpec::new(cal::PAN_WIFI.0, cal::PAN_WIFI.1));
+    topology.set_access(
+        "jetson-a".into(),
+        LinkSpec::new(cal::PAN_WIFI.0, cal::PAN_WIFI.1),
+    );
+    topology.set_access(
+        "laptop".into(),
+        LinkSpec::new(cal::PAN_WIFI.0, cal::PAN_WIFI.1),
+    );
     if n >= 3 {
         devices.push(DeviceSpec::desktop());
-        topology.set_access("desktop".into(), LinkSpec::new(cal::PAN_WIRED.0, cal::PAN_WIRED.1));
+        topology.set_access(
+            "desktop".into(),
+            LinkSpec::new(cal::PAN_WIRED.0, cal::PAN_WIRED.1),
+        );
     }
     for k in devices.len()..n {
         let name = format!("jetson-x{k}");
@@ -74,14 +83,20 @@ pub fn point(n: usize) -> (f64, Option<f64>, Option<bool>) {
 pub fn run() -> Table {
     let mut t = Table::new(
         "Scalability — placement cost vs fleet size (CLIP ViT-B/16)",
-        &["Devices", "Greedy (µs)", "Brute-force Upper (µs)", "Greedy optimal?"],
+        &[
+            "Devices",
+            "Greedy (µs)",
+            "Brute-force Upper (µs)",
+            "Greedy optimal?",
+        ],
     );
     for n in SIZES {
         let (g, u, opt) = point(n);
         t.push_row(vec![
             n.to_string(),
             format!("{g:.0}"),
-            u.map(|v| format!("{v:.0}")).unwrap_or_else(|| "intractable".into()),
+            u.map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "intractable".into()),
             opt.map(|o| if o { "yes" } else { "no" }.to_string())
                 .unwrap_or_else(|| "—".into()),
         ]);
@@ -134,8 +149,7 @@ mod tests {
         // More (slow) devices never make the greedy placement worse: the
         // fast devices still win the modules.
         let lat = |n: usize| {
-            let instance =
-                Instance::on_fleet(grown_fleet(n), &[("CLIP ViT-B/16", 101)]).unwrap();
+            let instance = Instance::on_fleet(grown_fleet(n), &[("CLIP ViT-B/16", 101)]).unwrap();
             let request = instance.request(0, "CLIP ViT-B/16").unwrap();
             let plan = Plan::greedy(&instance, vec![request.clone()]).unwrap();
             total_latency(&instance, &plan.routed[0].1, &request).unwrap()

@@ -52,7 +52,13 @@ impl Table {
             cells
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len()) + 2))
+                .map(|(i, c)| {
+                    format!(
+                        "{:<width$}",
+                        c,
+                        width = widths.get(i).copied().unwrap_or(c.len()) + 2
+                    )
+                })
                 .collect::<String>()
                 .trim_end()
                 .to_string()
@@ -80,7 +86,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));

@@ -36,7 +36,12 @@ pub fn run() -> Table {
             "Latency w/ Sharing (s)",
         ],
     );
-    let labels = ["Retrieval", "+ Encoder VQA", "+ Alignment", "+ Classification"];
+    let labels = [
+        "Retrieval",
+        "+ Encoder VQA",
+        "+ Alignment",
+        "+ Classification",
+    ];
     for k in 1..=4 {
         let i = instance_with(k);
         let report = SharingReport::for_instance(&i);

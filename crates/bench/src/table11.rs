@@ -128,6 +128,9 @@ mod tests {
         let ours: f64 = t.rows[2][4].parse().unwrap();
         // Paper: 0.99 vs 0.55 — Megatron ~2x slower on alignment.
         assert!(mega > 1.3 * ours, "mega {mega:.2} vs s2m3 {ours:.2}");
-        assert!(ours < 1.2, "alignment S2M3 should be sub-second-ish: {ours:.2}");
+        assert!(
+            ours < 1.2,
+            "alignment S2M3 should be sub-second-ish: {ours:.2}"
+        );
     }
 }

@@ -39,7 +39,12 @@ pub fn run() -> Table {
 
     let mut t = Table::new(
         "Table VII — deployment comparison (CLIP ViT-B/16, Food-101 prompts)",
-        &["Deployment", "#Param/device", "Inference (s)", "End-to-End (s)"],
+        &[
+            "Deployment",
+            "#Param/device",
+            "Inference (s)",
+            "End-to-End (s)",
+        ],
     );
 
     let model = &full.deployment(MODEL).unwrap().model;
@@ -107,10 +112,7 @@ mod tests {
         let t = run();
         assert_eq!(t.rows.len(), 7);
         let get = |label: &str, col: usize| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == label)
-                .unwrap()[col]
+            t.rows.iter().find(|r| r[0] == label).unwrap()[col]
                 .parse()
                 .unwrap()
         };
@@ -124,7 +126,10 @@ mod tests {
         // Table VII orderings.
         assert!(server < laptop && laptop < desktop && desktop < server_cpu && server_cpu < jetson);
         assert!(s2m3 < s2m3_seq);
-        assert!(s2m3 < laptop, "S2M3 {s2m3} must beat the best edge centralization {laptop}");
+        assert!(
+            s2m3 < laptop,
+            "S2M3 {s2m3} must beat the best edge centralization {laptop}"
+        );
     }
 
     #[test]

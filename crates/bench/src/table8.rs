@@ -29,8 +29,7 @@ pub fn split_equality_check(
     n: usize,
 ) -> Result<usize, String> {
     let candidates = dataset.benchmark.n_classes;
-    let instance =
-        Instance::single_model(model_name, candidates).map_err(|e| e.to_string())?;
+    let instance = Instance::single_model(model_name, candidates).map_err(|e| e.to_string())?;
     let request = instance.request(0, model_name).map_err(|e| e.to_string())?;
     let plan = Plan::greedy(&instance, vec![request.clone()]).map_err(|e| e.to_string())?;
     let model = &instance.deployment(model_name).unwrap().model;
@@ -79,8 +78,8 @@ pub fn run() -> Table {
         let dataset = datasets
             .entry(row.benchmark.to_string())
             .or_insert_with(|| Dataset::generate(&bench, SAMPLES));
-        let result = evaluate(zoo.model(row.model).expect("zoo model"), dataset)
-            .expect("evaluation runs");
+        let result =
+            evaluate(zoo.model(row.model).expect("zoo model"), dataset).expect("evaluation runs");
         let identical = split_equality_check(row.model, dataset, SPLIT_CHECK_SAMPLES)
             .expect("split check runs");
         t.push_row(vec![
@@ -124,10 +123,20 @@ mod tests {
         // the full 500-sample grid is produced by the binary.
         let zoo = Zoo::standard();
         let d = Dataset::generate(&Benchmark::cifar10(), 250);
-        let b16 = evaluate(zoo.model("CLIP ViT-B/16").unwrap(), &d).unwrap().percent();
-        assert!((b16 - 90.8).abs() < 8.0, "cifar10 B/16 measured {b16:.1} vs paper 90.8");
+        let b16 = evaluate(zoo.model("CLIP ViT-B/16").unwrap(), &d)
+            .unwrap()
+            .percent();
+        assert!(
+            (b16 - 90.8).abs() < 8.0,
+            "cifar10 B/16 measured {b16:.1} vs paper 90.8"
+        );
         let d = Dataset::generate(&Benchmark::country211(), 250);
-        let c = evaluate(zoo.model("CLIP ViT-B/16").unwrap(), &d).unwrap().percent();
-        assert!((c - 22.4).abs() < 8.0, "country211 measured {c:.1} vs paper 22.4");
+        let c = evaluate(zoo.model("CLIP ViT-B/16").unwrap(), &d)
+            .unwrap()
+            .percent();
+        assert!(
+            (c - 22.4).abs() < 8.0,
+            "country211 measured {c:.1} vs paper 22.4"
+        );
     }
 }

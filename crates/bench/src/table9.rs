@@ -100,7 +100,10 @@ mod tests {
         let local = centralized_latency(&full, MODEL, "jetson-a").unwrap();
         let two = s2m3_on(&["jetson-b", "jetson-a"]).unwrap();
         assert!(two < local, "two jetsons {two:.2} vs one {local:.2}");
-        assert!(two > 0.8 * local, "gain should be modest: {two:.2} vs {local:.2}");
+        assert!(
+            two > 0.8 * local,
+            "gain should be modest: {two:.2} vs {local:.2}"
+        );
     }
 
     #[test]

@@ -98,7 +98,14 @@ mod tests {
     #[test]
     fn parses_flags_and_switches() {
         let a = parse(
-            &v(&["plan", "--model", "CLIP ViT-B/16", "--candidates", "101", "--upper"]),
+            &v(&[
+                "plan",
+                "--model",
+                "CLIP ViT-B/16",
+                "--candidates",
+                "101",
+                "--upper",
+            ]),
             &["upper"],
         )
         .unwrap();

@@ -13,6 +13,7 @@ use s2m3_data::{evaluate, Benchmark, Dataset};
 use s2m3_models::zoo::Zoo;
 use s2m3_net::fleet::Fleet;
 use s2m3_runtime::{reference, RequestInput, Runtime};
+use s2m3_serve::{serve as serve_scenario, AdmissionPolicy, ServeScenario};
 use s2m3_sim::workload::{latency_stats, mixed_stream, ArrivalProcess};
 use s2m3_sim::{simulate, SimConfig};
 
@@ -31,6 +32,12 @@ COMMANDS:
                                greedy placement + predicted latency
   simulate   --model M [--requests N] [--rate R] [--batch B] [--candidates N]
                                sustained-load simulation with p50/p95/p99
+  serve      [--config FILE] [--requests N] [--rate R] [--deadline S]
+             [--policy fifo|edf|shed] [--queue N] [--seed S] [--json]
+             [--print-config]
+                               online serving control plane: admission
+                               control, SLO windows, live replanning under
+                               fleet churn (default: 10k-request churn run)
   evaluate   --model M --benchmark B [--samples N]
                                zero-shot accuracy on a synthetic benchmark
   infer      --model M [--label L] [--candidates N]
@@ -61,8 +68,8 @@ fn instance_for(args: &Args) -> Result<(Instance, String, usize), String> {
         .ok_or("--model is required (see `s2m3 zoo`)")?
         .clone();
     let candidates = args.get_num("candidates", 101usize);
-    let instance = Instance::on_fleet(fleet_for(args)?, &[(&model, candidates)])
-        .map_err(|e| e.to_string())?;
+    let instance =
+        Instance::on_fleet(fleet_for(args)?, &[(&model, candidates)]).map_err(|e| e.to_string())?;
     Ok((instance, model, candidates))
 }
 
@@ -70,7 +77,11 @@ fn instance_for(args: &Args) -> Result<(Instance, String, usize), String> {
 pub fn zoo(_args: &Args) -> CmdResult {
     let zoo = Zoo::standard();
     let mut out = String::new();
-    let _ = writeln!(out, "{:<28} {:<22} {:>9} {:>10}", "model", "task", "params", "max module");
+    let _ = writeln!(
+        out,
+        "{:<28} {:<22} {:>9} {:>10}",
+        "model", "task", "params", "max module"
+    );
     for m in zoo.models() {
         let _ = writeln!(
             out,
@@ -114,8 +125,8 @@ pub fn plan(args: &Args) -> CmdResult {
     )
     .map_err(|e| e.to_string())?;
     let request = instance.request(0, &model).map_err(|e| e.to_string())?;
-    let plan = Plan::route_all(&instance, placement, vec![request.clone()])
-        .map_err(|e| e.to_string())?;
+    let plan =
+        Plan::route_all(&instance, placement, vec![request.clone()]).map_err(|e| e.to_string())?;
     let latency =
         total_latency(&instance, &plan.routed[0].1, &request).map_err(|e| e.to_string())?;
 
@@ -161,10 +172,76 @@ pub fn simulate_cmd(args: &Args) -> CmdResult {
         "{n} requests @ {rate:.2} req/s{}\n\
          mean {:.2} s   p50 {:.2}   p95 {:.2}   p99 {:.2}   max {:.2}\n\
          throughput {:.2} req/s over {:.2} s of virtual time\n",
-        batch.map(|b: usize| format!("  (batching x{b})")).unwrap_or_default(),
-        stats.mean, stats.p50, stats.p95, stats.p99, stats.max,
-        stats.throughput, report.makespan
+        batch
+            .map(|b: usize| format!("  (batching x{b})"))
+            .unwrap_or_default(),
+        stats.mean,
+        stats.p50,
+        stats.p95,
+        stats.p99,
+        stats.max,
+        stats.throughput,
+        report.makespan
     ))
+}
+
+/// `s2m3 serve`.
+pub fn serve_cmd(args: &Args) -> CmdResult {
+    let mut scenario = match args.flags.get("config") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read config `{path}`: {e}"))?;
+            ServeScenario::from_json(&text)?
+        }
+        None => ServeScenario::churn_default(),
+    };
+    // Flag overrides on top of the config (or the default scenario).
+    if let Some(n) = args.flags.get("requests") {
+        scenario.requests = n.parse().map_err(|_| "bad --requests")?;
+    }
+    if let Some(r) = args.flags.get("rate") {
+        let rate_per_s = r.parse().map_err(|_| "bad --rate")?;
+        scenario.arrivals = ArrivalProcess::Poisson { rate_per_s };
+    }
+    if let Some(d) = args.flags.get("deadline") {
+        scenario.deadline_s = d.parse().map_err(|_| "bad --deadline")?;
+    }
+    if let Some(s) = args.flags.get("seed") {
+        scenario.seed = s.clone();
+    }
+    if let Some(p) = args.flags.get("policy") {
+        scenario.admission = match p.as_str() {
+            "fifo" => AdmissionPolicy::Fifo,
+            "edf" => AdmissionPolicy::EarliestDeadlineFirst,
+            // Keep the scenario's existing bound; --queue overrides below.
+            "shed" => match scenario.admission {
+                AdmissionPolicy::ShedOnOverload { .. } => scenario.admission.clone(),
+                _ => AdmissionPolicy::ShedOnOverload { max_queue: 48 },
+            },
+            other => return Err(format!("unknown policy `{other}` (fifo|edf|shed)")),
+        };
+    }
+    if let Some(q) = args.flags.get("queue") {
+        let q = q.parse::<usize>().map_err(|_| "bad --queue")?;
+        match &mut scenario.admission {
+            AdmissionPolicy::ShedOnOverload { max_queue } => *max_queue = q,
+            _ => {
+                return Err(
+                    "--queue only applies to the shed admission policy (use --policy shed)"
+                        .to_string(),
+                )
+            }
+        }
+    }
+    if args.has("print-config") {
+        return scenario.to_json();
+    }
+    let report = serve_scenario(&scenario).map_err(|e| e.to_string())?;
+    if args.has("json") {
+        report.to_json().map_err(|e| e.to_string())
+    } else {
+        Ok(report.render_summary())
+    }
 }
 
 /// `s2m3 evaluate`.
@@ -196,7 +273,9 @@ pub fn evaluate_cmd(args: &Args) -> CmdResult {
 pub fn infer(args: &Args) -> CmdResult {
     let (instance, model_name, candidates) = instance_for(args)?;
     let label = args.get_or("label", "cli-input");
-    let request = instance.request(0, &model_name).map_err(|e| e.to_string())?;
+    let request = instance
+        .request(0, &model_name)
+        .map_err(|e| e.to_string())?;
     let plan = Plan::greedy(&instance, vec![request.clone()]).map_err(|e| e.to_string())?;
     let model = instance
         .deployment(&model_name)
@@ -251,7 +330,8 @@ pub fn compare(args: &Args) -> CmdResult {
 
 /// `s2m3 experiments`.
 pub fn experiments(_args: &Args) -> CmdResult {
-    Ok("The evaluation lives in the s2m3-bench crate; regenerate any artifact with:
+    Ok(
+        "The evaluation lives in the s2m3-bench crate; regenerate any artifact with:
 
   cargo run --release -p s2m3-bench --bin table6        Table VI   cost & latency per architecture
   cargo run --release -p s2m3-bench --bin table7        Table VII  deployment comparison (+ loading)
@@ -264,10 +344,12 @@ pub fn experiments(_args: &Args) -> CmdResult {
   cargo run --release -p s2m3-bench --bin batching      footnote 4 batch scaling
   cargo run --release -p s2m3-bench --bin ablations     mechanism ablations
   cargo run --release -p s2m3-bench --bin load_sweep    queuing knee under Poisson load
+  cargo run --release -p s2m3-bench --bin churn         serving SLOs under fleet churn
   cargo run --release -p s2m3-bench --bin scalability   placement cost vs fleet size
   cargo run --release -p s2m3-bench --bin all_experiments  everything + markdown export
 "
-    .to_string())
+        .to_string(),
+    )
 }
 
 /// Dispatches a parsed command.
@@ -278,6 +360,7 @@ pub fn dispatch(args: &Args) -> CmdResult {
         "fleet" => fleet(args),
         "plan" => plan(args),
         "simulate" => simulate_cmd(args),
+        "serve" => serve_cmd(args),
         "evaluate" => evaluate_cmd(args),
         "infer" => infer(args),
         "compare" => compare(args),
@@ -293,7 +376,8 @@ mod tests {
 
     fn run(argv: &[&str]) -> CmdResult {
         let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
-        let args = parse(&v, &["replicate", "upper"]).map_err(|e| e.to_string())?;
+        let args = parse(&v, &["replicate", "upper", "json", "print-config"])
+            .map_err(|e| e.to_string())?;
         dispatch(&args)
     }
 
@@ -327,22 +411,127 @@ mod tests {
     #[test]
     fn simulate_reports_stats() {
         let out = run(&[
-            "simulate", "--model", "CLIP ViT-B/16", "--requests", "8", "--rate", "0.5",
+            "simulate",
+            "--model",
+            "CLIP ViT-B/16",
+            "--requests",
+            "8",
+            "--rate",
+            "0.5",
         ])
         .unwrap();
         assert!(out.contains("p95"));
         assert!(out.contains("throughput"));
         let batched = run(&[
-            "simulate", "--model", "CLIP ViT-B/16", "--requests", "8", "--batch", "4",
+            "simulate",
+            "--model",
+            "CLIP ViT-B/16",
+            "--requests",
+            "8",
+            "--batch",
+            "4",
         ])
         .unwrap();
         assert!(batched.contains("batching x4"));
     }
 
     #[test]
+    fn serve_runs_summary_json_and_config_modes() {
+        // Small stream so the test stays fast; the default churn events
+        // still fire (after the last completion) and exercise replanning.
+        let out = run(&[
+            "serve",
+            "--requests",
+            "60",
+            "--rate",
+            "0.5",
+            "--deadline",
+            "30",
+            "--seed",
+            "cli-test",
+        ])
+        .unwrap();
+        assert!(out.contains("60 arrived"));
+        assert!(out.contains("p95"));
+        let json = run(&[
+            "serve",
+            "--requests",
+            "60",
+            "--rate",
+            "0.5",
+            "--deadline",
+            "30",
+            "--seed",
+            "cli-test",
+            "--json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"arrived\": 60"));
+        let config = run(&["serve", "--print-config"]).unwrap();
+        assert!(config.contains("\"requests\": 10000"));
+        assert!(run(&["serve", "--policy", "bogus"]).is_err());
+        assert!(run(&["serve", "--config", "/nonexistent.json"]).is_err());
+    }
+
+    #[test]
+    fn serve_queue_flag_requires_shed_policy() {
+        // --queue alone tightens the default shed bound.
+        let tight = run(&[
+            "serve",
+            "--requests",
+            "60",
+            "--rate",
+            "2.0",
+            "--queue",
+            "3",
+            "--seed",
+            "qq",
+        ])
+        .unwrap();
+        assert!(tight.contains("shed"));
+        // --queue with a non-shed policy is an error, not a silent no-op.
+        let err = run(&[
+            "serve",
+            "--requests",
+            "10",
+            "--policy",
+            "fifo",
+            "--queue",
+            "5",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--queue"), "{err}");
+    }
+
+    #[test]
+    fn serve_policies_parse() {
+        for policy in ["fifo", "edf", "shed"] {
+            let out = run(&[
+                "serve",
+                "--requests",
+                "20",
+                "--rate",
+                "1.0",
+                "--policy",
+                policy,
+                "--seed",
+                "p",
+            ])
+            .unwrap();
+            assert!(out.contains("20 arrived"), "{policy}: {out}");
+        }
+    }
+
+    #[test]
     fn evaluate_and_infer_roundtrip() {
         let out = run(&[
-            "evaluate", "--model", "CLIP ViT-B/16", "--benchmark", "cifar10", "--samples", "60",
+            "evaluate",
+            "--model",
+            "CLIP ViT-B/16",
+            "--benchmark",
+            "cifar10",
+            "--samples",
+            "60",
         ])
         .unwrap();
         assert!(out.contains('%'));
@@ -360,7 +549,13 @@ mod tests {
     #[test]
     fn experiments_lists_all_binaries() {
         let out = run(&["experiments"]).unwrap();
-        for bin in ["table6", "table11", "optimality", "scalability", "all_experiments"] {
+        for bin in [
+            "table6",
+            "table11",
+            "optimality",
+            "scalability",
+            "all_experiments",
+        ] {
             assert!(out.contains(bin), "missing {bin}");
         }
     }

@@ -12,6 +12,15 @@
 //! which [`ReplanDecision::break_even_requests`] says how many future
 //! requests amortize the switch (footnote 1's 20.44 s placement vs 2.44 s
 //! inference trade-off, generalized).
+//!
+//! This module is the *decision kernel*; the online loop around it lives
+//! in the `s2m3-serve` crate, whose replan controller calls [`replan`]
+//! on every fleet event, accepts the decision only when
+//! [`ReplanDecision::break_even_requests`] clears the requests expected
+//! at the observed arrival rate within its horizon, and charges
+//! [`ReplanDecision::switching_cost_s`] as simulated downtime on the
+//! migration targets. See `s2m3_serve::engine` for that integration and
+//! the `churn` experiment in `s2m3-bench` for its measured effect.
 
 use s2m3_models::module::ModuleId;
 use s2m3_net::device::DeviceId;
@@ -109,7 +118,9 @@ pub fn replan(
         if old_placement.is_placed(module, new_dev) {
             continue; // already there
         }
-        let Some(spec) = specs.get(module) else { continue };
+        let Some(spec) = specs.get(module) else {
+            continue;
+        };
         let from = old_placement.hosts(module).next().cloned();
         let cost_s = new_instance.device(new_dev)?.load_time(spec);
         switching_cost_s += cost_s;
@@ -192,7 +203,9 @@ mod tests {
         let decision = replan(&upgraded, &old).unwrap();
         assert!(!decision.mandatory());
         assert!(decision.new_latency_s < decision.old_latency_s.unwrap());
-        let be = decision.break_even_requests().expect("switching should pay off");
+        let be = decision
+            .break_even_requests()
+            .expect("switching should pay off");
         // Footnote 1 regime: placement ~20 s vs per-request gains ~1 s →
         // tens of requests.
         assert!((1..=200).contains(&be), "break-even after {be} requests");

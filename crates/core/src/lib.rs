@@ -68,8 +68,8 @@ pub mod upper;
 pub mod prelude {
     pub use crate::adaptive::{replan, ReplanDecision};
     pub use crate::error::CoreError;
-    pub use crate::partition::greedy_place_partitioned;
     pub use crate::objective::{total_latency, validate};
+    pub use crate::partition::greedy_place_partitioned;
     pub use crate::placement::greedy_place;
     pub use crate::plan::Plan;
     pub use crate::problem::{Instance, Placement, Request, RequestProfile, Route};

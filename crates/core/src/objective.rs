@@ -10,12 +10,7 @@ use crate::error::CoreError;
 use crate::problem::{Instance, Placement, Request, Route};
 use crate::routing::head_assignment;
 
-fn comm(
-    instance: &Instance,
-    from: &DeviceId,
-    to: &DeviceId,
-    bytes: u64,
-) -> Result<f64, CoreError> {
+fn comm(instance: &Instance, from: &DeviceId, to: &DeviceId, bytes: u64) -> Result<f64, CoreError> {
     instance
         .fleet()
         .topology()
@@ -67,7 +62,12 @@ pub fn encoder_paths(
             .device_for(&m.id)
             .ok_or_else(|| CoreError::Unrouted(m.id.clone()))?;
         let units = request.profile.units(m.kind);
-        let input_tx = comm(instance, &request.source, n, request.profile.input_bytes(m.kind))?;
+        let input_tx = comm(
+            instance,
+            &request.source,
+            n,
+            request.profile.input_bytes(m.kind),
+        )?;
         let compute = instance.compute_time_for(m, n, &request.profile)?;
         let output_tx = comm(instance, n, &head_dev, m.output_bytes(units))?;
         paths.push(EncoderPath {
@@ -295,7 +295,10 @@ mod tests {
         let par = total_latency(&i, &r, &q).unwrap();
         let seq = total_latency_sequential(&i, &r, &q).unwrap();
         assert!(par <= seq + 1e-12);
-        assert!(seq - par > 0.05, "two-encoder model must gain from parallelism");
+        assert!(
+            seq - par > 0.05,
+            "two-encoder model must gain from parallelism"
+        );
     }
 
     #[test]
@@ -346,7 +349,10 @@ mod tests {
 
         // Missing module → Unrouted.
         let mut partial = Route::new(q.id);
-        partial.assign("head/cosine".into(), p.hosts(&"head/cosine".into()).next().unwrap().clone());
+        partial.assign(
+            "head/cosine".into(),
+            p.hosts(&"head/cosine".into()).next().unwrap().clone(),
+        );
         assert!(matches!(
             validate(&i, &p, &[(q.clone(), partial)]),
             Err(CoreError::Unrouted(_))

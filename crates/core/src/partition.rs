@@ -169,7 +169,11 @@ pub fn greedy_place_partitioned(instance: &Instance) -> Result<PartitionedPlacem
         let mut scored: Vec<(f64, &DeviceId)> = Vec::new();
         for d in devices {
             let t = instance.compute_time(m, &d.id)?;
-            let t_place = if m.kind.is_encoder() { t + accum[&d.id] } else { t };
+            let t_place = if m.kind.is_encoder() {
+                t + accum[&d.id]
+            } else {
+                t
+            };
             scored.push((t_place, &d.id));
         }
         scored.sort_by(|a, b| {
@@ -310,19 +314,25 @@ mod tests {
         let whole = i
             .compute_time_for(&plan.base, &"laptop".into(), &profile)
             .unwrap_or(f64::INFINITY)
-            .min(i.compute_time_for(&plan.base, &"desktop".into(), &profile).unwrap());
+            .min(
+                i.compute_time_for(&plan.base, &"desktop".into(), &profile)
+                    .unwrap(),
+            );
         // The pipeline pays hop overhead: strictly more than ideal
         // sharded compute, and more than a (hypothetical) whole placement
         // minus overheads would be.
-        assert!(latency > 0.8 * whole, "latency {latency:.2} vs whole {whole:.2}");
+        assert!(
+            latency > 0.8 * whole,
+            "latency {latency:.2} vs whole {whole:.2}"
+        );
         // Per-token ping-pong across Wi-Fi should be visible (>0.3 s for
         // 128 tokens over multi-ms paths) whenever stages span devices.
-        let spans_devices = plan
-            .stages
-            .windows(2)
-            .any(|w| w[0].1 != w[1].1);
+        let spans_devices = plan.stages.windows(2).any(|w| w[0].1 != w[1].1);
         if spans_devices {
-            assert!(latency > whole, "hops must add cost: {latency:.2} vs {whole:.2}");
+            assert!(
+                latency > whole,
+                "hops must add cost: {latency:.2} vs {whole:.2}"
+            );
         }
     }
 
@@ -331,10 +341,7 @@ mod tests {
         let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
         let pp = greedy_place_partitioned(&i).unwrap();
         assert!(!pp.any_sharded());
-        assert_eq!(
-            pp.placement.modules().count(),
-            i.distinct_modules().len()
-        );
+        assert_eq!(pp.placement.modules().count(), i.distinct_modules().len());
     }
 
     #[test]
@@ -365,9 +372,10 @@ mod tests {
                 .find(|s| &s.id == m)
                 .map(|s| s.memory_bytes())
                 .or_else(|| {
-                    pp.sharded.iter().flat_map(|sp| &sp.stages).find_map(|(s, _)| {
-                        (&s.id == m).then(|| s.memory_bytes())
-                    })
+                    pp.sharded
+                        .iter()
+                        .flat_map(|sp| &sp.stages)
+                        .find_map(|(s, _)| (&s.id == m).then(|| s.memory_bytes()))
                 })
                 .unwrap();
             *used.entry(d.as_str()).or_default() += bytes;

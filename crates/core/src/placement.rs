@@ -86,7 +86,11 @@ pub fn greedy_place_with(
             };
             scored.push((t_place, &d.id));
         }
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.1.cmp(b.1)));
+        scored.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.1.cmp(b.1))
+        });
 
         let need = m.memory_bytes();
         let mut placed = false;
@@ -191,7 +195,9 @@ mod tests {
         let i = Instance::on_fleet(fleet, &[("LLaVA-v1.5-13B", 1)]).unwrap();
         match greedy_place(&i) {
             Err(CoreError::Infeasible { module, .. }) => {
-                assert!(module.as_str().contains("Vicuna-13B") || module.as_str().contains("ViT-L"));
+                assert!(
+                    module.as_str().contains("Vicuna-13B") || module.as_str().contains("ViT-L")
+                );
             }
             other => panic!("expected infeasible, got {other:?}"),
         }
@@ -201,8 +207,7 @@ mod tests {
     fn replication_fills_leftover_memory() {
         let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
         let base = greedy_place(&i).unwrap();
-        let replicated =
-            greedy_place_with(&i, PlacementOptions { replicate: true }).unwrap();
+        let replicated = greedy_place_with(&i, PlacementOptions { replicate: true }).unwrap();
         assert!(replicated.len() > base.len());
         // Every base assignment survives replication.
         for (m, d) in base.iter() {
@@ -214,7 +219,11 @@ mod tests {
     fn deterministic_across_runs() {
         let i = Instance::on_fleet(
             Fleet::standard_testbed(),
-            &[("CLIP ViT-B/16", 101), ("ImageBind", 16), ("Flint-v0.5-1B", 1)],
+            &[
+                ("CLIP ViT-B/16", 101),
+                ("ImageBind", 16),
+                ("Flint-v0.5-1B", 1),
+            ],
         )
         .unwrap();
         let a = greedy_place(&i).unwrap();

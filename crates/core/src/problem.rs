@@ -454,7 +454,10 @@ mod tests {
 
         let mut r = Route::new(7);
         r.assign("vision/ViT-B-16".into(), "desktop".into());
-        assert_eq!(r.device_for(&"vision/ViT-B-16".into()).unwrap().as_str(), "desktop");
+        assert_eq!(
+            r.device_for(&"vision/ViT-B-16".into()).unwrap().as_str(),
+            "desktop"
+        );
         assert!(r.device_for(&"head/cosine".into()).is_none());
     }
 
@@ -479,7 +482,14 @@ mod tests {
         let dev: DeviceId = "laptop".into();
         let full = i.compute_time(&text, &dev).unwrap();
         let single = i
-            .compute_time_for(&text, &dev, &RequestProfile { text_units: 1.0, llm_tokens: 0.0 })
+            .compute_time_for(
+                &text,
+                &dev,
+                &RequestProfile {
+                    text_units: 1.0,
+                    llm_tokens: 0.0,
+                },
+            )
             .unwrap();
         assert!(full > 20.0 * single);
         assert!(i.compute_time(&text, &"ghost".into()).is_err());

@@ -115,7 +115,11 @@ pub fn dispatch_order(
         let t = instance.compute_time_for(m, n, &request.profile)?;
         order.push((m.id.clone(), n.clone(), t));
     }
-    order.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.0.cmp(&b.0)));
+    order.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
     Ok(order)
 }
 
@@ -169,7 +173,10 @@ mod tests {
         let chosen = r.device_for(&vision).unwrap();
         let t_chosen = i
             .compute_time_for(
-                i.distinct_modules().iter().find(|m| m.id == vision).unwrap(),
+                i.distinct_modules()
+                    .iter()
+                    .find(|m| m.id == vision)
+                    .unwrap(),
                 chosen,
                 &q.profile,
             )
@@ -177,7 +184,10 @@ mod tests {
         for host in p.hosts(&vision) {
             let t = i
                 .compute_time_for(
-                    i.distinct_modules().iter().find(|m| m.id == vision).unwrap(),
+                    i.distinct_modules()
+                        .iter()
+                        .find(|m| m.id == vision)
+                        .unwrap(),
                     host,
                     &q.profile,
                 )

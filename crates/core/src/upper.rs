@@ -64,6 +64,7 @@ pub fn optimal_placement(instance: &Instance) -> Result<OptimalResult, CoreError
     let mut assignment: Vec<usize> = vec![usize::MAX; modules.len()];
     let mut best: Option<OptimalResult> = None;
 
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         idx: usize,
         instance: &Instance,
@@ -186,7 +187,11 @@ mod tests {
         let i = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
         let opt = optimal_placement(&i).unwrap();
         let greedy = greedy_latency(&i);
-        assert!((greedy - opt.latency).abs() < 1e-6, "greedy {greedy} vs optimal {}", opt.latency);
+        assert!(
+            (greedy - opt.latency).abs() < 1e-6,
+            "greedy {greedy} vs optimal {}",
+            opt.latency
+        );
     }
 
     #[test]

@@ -5,15 +5,23 @@ use s2m3_models::zoo::Zoo;
 
 fn main() {
     let zoo = Zoo::standard();
-    println!("{:<20} {:<12} {:>9} {:>9} {:>9}", "model", "benchmark", "measured", "paper", "reported");
+    println!(
+        "{:<20} {:<12} {:>9} {:>9} {:>9}",
+        "model", "benchmark", "measured", "paper", "reported"
+    );
     for row in table_viii::rows() {
         let b = table_viii::benchmark_for(&row);
         let d = Dataset::generate(&b, 500);
         let r = evaluate(zoo.model(row.model).unwrap(), &d).unwrap();
         println!(
             "{:<20} {:<12} {:>8.1}% {:>8.1}% {:>9}",
-            row.model, row.benchmark, r.percent(), row.paper_s2m3,
-            row.reported.map(|v| format!("{v:.1}%")).unwrap_or_else(|| "-".into())
+            row.model,
+            row.benchmark,
+            r.percent(),
+            row.paper_s2m3,
+            row.reported
+                .map(|v| format!("{v:.1}%"))
+                .unwrap_or_else(|| "-".into())
         );
     }
 }

@@ -149,7 +149,11 @@ mod tests {
     #[test]
     fn country211_is_hardest_retrieval() {
         let c = Benchmark::country211();
-        for b in [Benchmark::food101(), Benchmark::cifar10(), Benchmark::flowers102()] {
+        for b in [
+            Benchmark::food101(),
+            Benchmark::cifar10(),
+            Benchmark::flowers102(),
+        ] {
             assert!(c.noise > b.noise || c.n_classes > b.n_classes);
         }
     }

@@ -124,7 +124,10 @@ mod tests {
     fn more_classes_is_harder() {
         let easy = acc("CLIP ViT-B/16", &Benchmark::cifar10(), 150);
         let hard = acc("CLIP ViT-B/16", &Benchmark::country211(), 150);
-        assert!(easy > hard + 20.0, "cifar10 {easy:.1} vs country211 {hard:.1}");
+        assert!(
+            easy > hard + 20.0,
+            "cifar10 {easy:.1} vs country211 {hard:.1}"
+        );
     }
 
     #[test]
@@ -139,16 +142,30 @@ mod tests {
     fn alignment_and_classification_evaluate() {
         let a = acc("AlignBind-B", &Benchmark::audio_set(), 100);
         assert!(a > 30.0, "alignment accuracy {a:.1}");
-        let c = acc("CLIP-Classifier Food-101", &Benchmark::food101_classification(), 100);
+        let c = acc(
+            "CLIP-Classifier Food-101",
+            &Benchmark::food101_classification(),
+            100,
+        );
         assert!(c > 30.0, "classification accuracy {c:.1}");
     }
 
     #[test]
     fn eval_result_arithmetic() {
-        let r = EvalResult { correct: 3, total: 4 };
+        let r = EvalResult {
+            correct: 3,
+            total: 4,
+        };
         assert_eq!(r.accuracy(), 0.75);
         assert_eq!(r.percent(), 75.0);
-        assert_eq!(EvalResult { correct: 0, total: 0 }.accuracy(), 0.0);
+        assert_eq!(
+            EvalResult {
+                correct: 0,
+                total: 0
+            }
+            .accuracy(),
+            0.0
+        );
     }
 
     #[test]

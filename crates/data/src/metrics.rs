@@ -32,7 +32,10 @@ impl RankingResult {
         if self.total == 0 {
             return 0.0;
         }
-        self.hits_at.get(&k).map(|&h| h as f64 / self.total as f64).unwrap_or(0.0)
+        self.hits_at
+            .get(&k)
+            .map(|&h| h as f64 / self.total as f64)
+            .unwrap_or(0.0)
     }
 
     /// The classes with the most top-1 misses, worst first.
@@ -52,7 +55,11 @@ impl RankingResult {
 /// # Errors
 ///
 /// [`ExecError`] on modality mismatches.
-pub fn rank(model: &ModelSpec, dataset: &Dataset, ks: &[usize]) -> Result<RankingResult, ExecError> {
+pub fn rank(
+    model: &ModelSpec,
+    dataset: &Dataset,
+    ks: &[usize],
+) -> Result<RankingResult, ExecError> {
     let encoders: Vec<Executable> = model
         .encoders()
         .iter()

@@ -63,7 +63,11 @@ mod tests {
         let rows = rows();
         assert_eq!(rows.len(), 16);
         for row in &rows {
-            assert!(zoo.model(row.model).is_some(), "unknown model {}", row.model);
+            assert!(
+                zoo.model(row.model).is_some(),
+                "unknown model {}",
+                row.model
+            );
             let _ = benchmark_for(row);
         }
     }

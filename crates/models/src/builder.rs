@@ -261,7 +261,13 @@ mod tests {
             .gflops_per_unit(f64::NAN)
             .build()
             .unwrap_err();
-        assert!(matches!(e, BuildError::OutOfRange { field: "gflops_per_unit", .. }));
+        assert!(matches!(
+            e,
+            BuildError::OutOfRange {
+                field: "gflops_per_unit",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -282,7 +288,10 @@ mod tests {
     #[test]
     fn composition_errors_are_surfaced() {
         // Head in encoder position.
-        let head = Catalog::standard().get_by_name("head/cosine").unwrap().clone();
+        let head = Catalog::standard()
+            .get_by_name("head/cosine")
+            .unwrap()
+            .clone();
         let e = ModelBuilder::new("bad", Task::ImageTextRetrieval)
             .encoder(head.clone())
             .head(head)

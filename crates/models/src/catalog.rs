@@ -205,18 +205,44 @@ mod tests {
         let c = Catalog::standard();
         // 10 vision + 10 text + 1 audio + 5 LLM + 2 distance + 3 classifiers.
         assert_eq!(c.len(), 31);
-        assert_eq!(c.iter().filter(|m| m.kind == ModuleKind::VisionEncoder).count(), 10);
-        assert_eq!(c.iter().filter(|m| m.kind == ModuleKind::TextEncoder).count(), 10);
-        assert_eq!(c.iter().filter(|m| m.kind == ModuleKind::AudioEncoder).count(), 1);
-        assert_eq!(c.iter().filter(|m| m.kind == ModuleKind::LanguageModel).count(), 5);
+        assert_eq!(
+            c.iter()
+                .filter(|m| m.kind == ModuleKind::VisionEncoder)
+                .count(),
+            10
+        );
+        assert_eq!(
+            c.iter()
+                .filter(|m| m.kind == ModuleKind::TextEncoder)
+                .count(),
+            10
+        );
+        assert_eq!(
+            c.iter()
+                .filter(|m| m.kind == ModuleKind::AudioEncoder)
+                .count(),
+            1
+        );
+        assert_eq!(
+            c.iter()
+                .filter(|m| m.kind == ModuleKind::LanguageModel)
+                .count(),
+            5
+        );
     }
 
     #[test]
     fn param_counts_match_table_v() {
         let c = Catalog::standard();
         let check = |name: &str, mparams: f64| {
-            let m = c.get_by_name(name).unwrap_or_else(|| panic!("missing {name}"));
-            assert!((m.mparams() - mparams).abs() < 1e-6, "{name}: {}", m.mparams());
+            let m = c
+                .get_by_name(name)
+                .unwrap_or_else(|| panic!("missing {name}"));
+            assert!(
+                (m.mparams() - mparams).abs() < 1e-6,
+                "{name}: {}",
+                m.mparams()
+            );
         };
         check("vision/RN50", 38.0);
         check("vision/RN50x64", 421.0);

@@ -19,8 +19,6 @@
 //! class-structured raw features, and zero-shot accuracy emerges from the
 //! interplay of dataset noise and module distortion.
 
-
-
 use s2m3_tensor::{ops, Matrix, TensorError};
 
 use crate::input::{ModalityInput, RAW_FEATURE_DIM};
@@ -322,7 +320,10 @@ impl SyntheticLlm {
                 let noise = ops::matmul(&hidden, &self.w2)?;
                 let mut acc = ops::l2_normalize(&q_emb);
                 acc = ops::add(&acc, &ops::scale(&v_emb, IMAGE_BLEND))?;
-                acc = ops::add(&acc, &ops::scale(&ops::l2_normalize(&noise), self.distortion))?;
+                acc = ops::add(
+                    &acc,
+                    &ops::scale(&ops::l2_normalize(&noise), self.distortion),
+                )?;
                 ops::l2_normalize(&acc)
             }
             None => v_emb,
@@ -354,10 +355,10 @@ pub struct ClassifierHead {
     benchmark: String,
 }
 
-fn find_encoding<'a>(
-    encodings: &'a [(ModuleKind, Matrix)],
+fn find_encoding(
+    encodings: &[(ModuleKind, Matrix)],
     kind: ModuleKind,
-) -> Result<&'a Matrix, ExecError> {
+) -> Result<&Matrix, ExecError> {
     encodings
         .iter()
         .find(|(k, _)| *k == kind)
@@ -606,14 +607,18 @@ mod tests {
         let mut prompts = Matrix::zeros(n_classes, RAW_FEATURE_DIM);
         for cl in 0..n_classes {
             let p = class_prototype("unit-bench", cl);
-            prompts.row_mut(cl).unwrap().copy_from_slice(p.row(0).unwrap());
+            prompts
+                .row_mut(cl)
+                .unwrap()
+                .copy_from_slice(p.row(0).unwrap());
         }
         let text_emb = t
             .encode(&ModalityInput::with_content(Modality::Text, prompts))
             .unwrap();
         let mut correct = 0;
         for cl in 0..n_classes {
-            let img = ModalityInput::with_content(Modality::Image, class_prototype("unit-bench", cl));
+            let img =
+                ModalityInput::with_content(Modality::Image, class_prototype("unit-bench", cl));
             let img_emb = v.encode(&img).unwrap();
             let scores = ops::cosine_similarity(&img_emb, &text_emb).unwrap();
             if ops::argmax_rows(&scores).unwrap()[0] == cl {
@@ -625,10 +630,14 @@ mod tests {
 
     #[test]
     fn better_towers_distort_less() {
-        assert!(distortion_for(&ModuleId::new("vision/ViT-L-14-336"))
-            < distortion_for(&ModuleId::new("vision/ViT-B-16")));
-        assert!(distortion_for(&ModuleId::new("llm/Vicuna-13B"))
-            < distortion_for(&ModuleId::new("llm/TinyLlama-1.1B")));
+        assert!(
+            distortion_for(&ModuleId::new("vision/ViT-L-14-336"))
+                < distortion_for(&ModuleId::new("vision/ViT-B-16"))
+        );
+        assert!(
+            distortion_for(&ModuleId::new("llm/Vicuna-13B"))
+                < distortion_for(&ModuleId::new("llm/TinyLlama-1.1B"))
+        );
     }
 
     #[test]
@@ -742,6 +751,9 @@ mod tests {
             Err(ExecError::NotAnEncoder(_))
         ));
         let enc = Executable::for_spec(c.get_by_name("vision/ViT-B-16").unwrap()).unwrap();
-        assert!(matches!(enc.run_head(&[], None), Err(ExecError::NotAHead(_))));
+        assert!(matches!(
+            enc.run_head(&[], None),
+            Err(ExecError::NotAHead(_))
+        ));
     }
 }

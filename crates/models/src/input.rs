@@ -75,7 +75,12 @@ impl ModalityInput {
             modality: Modality::Image,
             bytes: Modality::Image.typical_item_bytes(),
             units: 1.0,
-            content: Matrix::seeded_gaussian(&format!("input/image/{label}"), 1, RAW_FEATURE_DIM, 1.0),
+            content: Matrix::seeded_gaussian(
+                &format!("input/image/{label}"),
+                1,
+                RAW_FEATURE_DIM,
+                1.0,
+            ),
         }
     }
 
@@ -86,7 +91,12 @@ impl ModalityInput {
             modality: Modality::Text,
             bytes: Modality::Text.typical_item_bytes() * n as u64,
             units: n as f64,
-            content: Matrix::seeded_gaussian(&format!("input/text/{label}"), n.max(1), RAW_FEATURE_DIM, 1.0),
+            content: Matrix::seeded_gaussian(
+                &format!("input/text/{label}"),
+                n.max(1),
+                RAW_FEATURE_DIM,
+                1.0,
+            ),
         }
     }
 
@@ -96,7 +106,12 @@ impl ModalityInput {
             modality: Modality::Audio,
             bytes: Modality::Audio.typical_item_bytes(),
             units: 1.0,
-            content: Matrix::seeded_gaussian(&format!("input/audio/{label}"), 1, RAW_FEATURE_DIM, 1.0),
+            content: Matrix::seeded_gaussian(
+                &format!("input/audio/{label}"),
+                1,
+                RAW_FEATURE_DIM,
+                1.0,
+            ),
         }
     }
 

@@ -213,7 +213,10 @@ impl fmt::Display for ModuleSpec {
         write!(
             f,
             "{} [{}] {:.0}M params, {:.1} GFLOP/unit",
-            self.id, self.kind, self.mparams(), self.gflops_per_unit
+            self.id,
+            self.kind,
+            self.mparams(),
+            self.gflops_per_unit
         )
     }
 }

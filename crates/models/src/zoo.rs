@@ -174,7 +174,11 @@ impl Zoo {
     /// construction and covered by tests.
     pub fn standard() -> Self {
         let c = Catalog::standard();
-        let g = |name: &str| c.get_by_name(name).expect("standard catalog module").clone();
+        let g = |name: &str| {
+            c.get_by_name(name)
+                .expect("standard catalog module")
+                .clone()
+        };
         let mut models = Vec::new();
         let mut push = |m: Result<ModelSpec, String>| models.push(m.expect("valid standard model"));
 
@@ -188,7 +192,11 @@ impl Zoo {
             ("CLIP ViT-B/32", "vision/ViT-B-32", "text/CLIP-B-32"),
             ("CLIP ViT-B/16", "vision/ViT-B-16", "text/CLIP-B-16"),
             ("CLIP ViT-L/14", "vision/ViT-L-14", "text/CLIP-L-14"),
-            ("CLIP ViT-L/14@336", "vision/ViT-L-14-336", "text/CLIP-L-14-336"),
+            (
+                "CLIP ViT-L/14@336",
+                "vision/ViT-L-14-336",
+                "text/CLIP-L-14-336",
+            ),
         ];
         for (name, v, t) in clips {
             push(ModelSpec::new(
@@ -370,7 +378,10 @@ mod tests {
         assert!(zoo.model("CLIP ViT-B/16").unwrap().is_parallelizable());
         assert!(zoo.model("ImageBind").unwrap().is_parallelizable());
         assert!(!zoo.model("LLaVA-v1.5-7B").unwrap().is_parallelizable());
-        assert!(!zoo.model("NLP Connect ViT-GPT2").unwrap().is_parallelizable());
+        assert!(!zoo
+            .model("NLP Connect ViT-GPT2")
+            .unwrap()
+            .is_parallelizable());
         assert!(Task::ImageTextRetrieval.is_parallelizable());
         assert!(!Task::DecoderVqa.is_parallelizable());
     }
@@ -392,7 +403,7 @@ mod tests {
         assert_eq!(shared_m(2), 124); // +1K classifier only
         assert_eq!(shared_m(3), 209); // +85M audio encoder
         assert_eq!(shared_m(4), 209); // +52K classifier only
-        // Dedicated deployment grows with every task instead.
+                                      // Dedicated deployment grows with every task instead.
         let dedicated = Zoo::dedicated_params(models.iter().copied()) / 1_000_000;
         assert_eq!(dedicated, 124 + 124 + 209 + 86);
     }
@@ -405,7 +416,11 @@ mod tests {
         let users: Vec<_> = zoo
             .models()
             .iter()
-            .filter(|m| m.module_ids().iter().any(|id| id.as_str() == "vision/ViT-B-16"))
+            .filter(|m| {
+                m.module_ids()
+                    .iter()
+                    .any(|id| id.as_str() == "vision/ViT-B-16")
+            })
             .collect();
         assert!(users.len() >= 5, "ViT-B/16 used by {} models", users.len());
         let tasks: BTreeSet<_> = users.iter().map(|m| m.task).collect();
@@ -418,11 +433,21 @@ mod tests {
         let vision = c.get_by_name("vision/ViT-B-16").unwrap().clone();
         let head = c.get_by_name("head/cosine").unwrap().clone();
         // Head in encoder position.
-        assert!(ModelSpec::new("bad", Task::ImageTextRetrieval, vec![head.clone()], head.clone()).is_err());
+        assert!(ModelSpec::new(
+            "bad",
+            Task::ImageTextRetrieval,
+            vec![head.clone()],
+            head.clone()
+        )
+        .is_err());
         // Encoder in head position.
-        assert!(
-            ModelSpec::new("bad", Task::ImageTextRetrieval, vec![vision.clone()], vision.clone()).is_err()
-        );
+        assert!(ModelSpec::new(
+            "bad",
+            Task::ImageTextRetrieval,
+            vec![vision.clone()],
+            vision.clone()
+        )
+        .is_err());
         // Empty encoders.
         assert!(ModelSpec::new("bad", Task::ImageTextRetrieval, vec![], head).is_err());
     }
@@ -484,6 +509,9 @@ mod tests {
         let zoo = Zoo::standard();
         let m = zoo.model("CLIP ViT-B/16").unwrap();
         let ids: Vec<_> = m.modules().map(|s| s.id.as_str().to_string()).collect();
-        assert_eq!(ids, vec!["vision/ViT-B-16", "text/CLIP-B-16", "head/cosine"]);
+        assert_eq!(
+            ids,
+            vec!["vision/ViT-B-16", "text/CLIP-B-16", "head/cosine"]
+        );
     }
 }

@@ -296,8 +296,14 @@ mod tests {
             .iter()
             .map(|m| m.memory_bytes())
             .sum();
-        assert!(small <= jetson.usable_memory_bytes(), "RN50x4 must fit: {small}");
-        assert!(big > jetson.usable_memory_bytes(), "RN50x16 must not fit: {big}");
+        assert!(
+            small <= jetson.usable_memory_bytes(),
+            "RN50x4 must fit: {small}"
+        );
+        assert!(
+            big > jetson.usable_memory_bytes(),
+            "RN50x16 must not fit: {big}"
+        );
     }
 
     #[test]
@@ -306,7 +312,9 @@ mod tests {
         // laptop ~2.3 s, Jetson ~15.2 s for CLIP ViT-B/16 (496 MB).
         let vision = module("vision/ViT-B-16");
         let text = module("text/CLIP-B-16");
-        let full = |d: &DeviceSpec| d.load_time(&vision) + (text.weight_bytes() as f64 / 1.0e6) / d.load_rate_mbps;
+        let full = |d: &DeviceSpec| {
+            d.load_time(&vision) + (text.weight_bytes() as f64 / 1.0e6) / d.load_rate_mbps
+        };
         assert!((9.0..13.0).contains(&full(&DeviceSpec::server())));
         assert!((1.0..2.5).contains(&full(&DeviceSpec::desktop())));
         assert!((1.8..3.0).contains(&full(&DeviceSpec::laptop())));

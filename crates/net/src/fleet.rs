@@ -55,11 +55,26 @@ impl Fleet {
             DeviceSpec::jetson("jetson-a"),
         ];
         let mut topology = Topology::new();
-        topology.set_access("server".into(), LinkSpec::new(cal::MAN_ACCESS.0, cal::MAN_ACCESS.1));
-        topology.set_access("desktop".into(), LinkSpec::new(cal::PAN_WIRED.0, cal::PAN_WIRED.1));
-        topology.set_access("laptop".into(), LinkSpec::new(cal::PAN_WIFI.0, cal::PAN_WIFI.1));
-        topology.set_access("jetson-b".into(), LinkSpec::new(cal::PAN_WIRED.0, cal::PAN_WIRED.1));
-        topology.set_access("jetson-a".into(), LinkSpec::new(cal::PAN_WIFI.0, cal::PAN_WIFI.1));
+        topology.set_access(
+            "server".into(),
+            LinkSpec::new(cal::MAN_ACCESS.0, cal::MAN_ACCESS.1),
+        );
+        topology.set_access(
+            "desktop".into(),
+            LinkSpec::new(cal::PAN_WIRED.0, cal::PAN_WIRED.1),
+        );
+        topology.set_access(
+            "laptop".into(),
+            LinkSpec::new(cal::PAN_WIFI.0, cal::PAN_WIFI.1),
+        );
+        topology.set_access(
+            "jetson-b".into(),
+            LinkSpec::new(cal::PAN_WIRED.0, cal::PAN_WIRED.1),
+        );
+        topology.set_access(
+            "jetson-a".into(),
+            LinkSpec::new(cal::PAN_WIFI.0, cal::PAN_WIFI.1),
+        );
         Fleet::new(devices, topology, "jetson-a".into()).expect("standard testbed is valid")
     }
 

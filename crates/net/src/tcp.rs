@@ -203,7 +203,12 @@ mod tests {
             net.send(env).unwrap();
         }
         let mut got: Vec<u32> = (0..20)
-            .map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap().decode().unwrap())
+            .map(|_| {
+                rx.recv_timeout(Duration::from_secs(5))
+                    .unwrap()
+                    .decode()
+                    .unwrap()
+            })
             .collect();
         got.sort_unstable();
         assert_eq!(got, (0..20).collect::<Vec<_>>());

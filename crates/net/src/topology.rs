@@ -88,16 +88,29 @@ mod tests {
 
     fn topo() -> Topology {
         let mut t = Topology::new();
-        t.set_access("desktop".into(), LinkSpec::new(cal::PAN_WIRED.0, cal::PAN_WIRED.1));
-        t.set_access("laptop".into(), LinkSpec::new(cal::PAN_WIFI.0, cal::PAN_WIFI.1));
-        t.set_access("server".into(), LinkSpec::new(cal::MAN_ACCESS.0, cal::MAN_ACCESS.1));
+        t.set_access(
+            "desktop".into(),
+            LinkSpec::new(cal::PAN_WIRED.0, cal::PAN_WIRED.1),
+        );
+        t.set_access(
+            "laptop".into(),
+            LinkSpec::new(cal::PAN_WIFI.0, cal::PAN_WIFI.1),
+        );
+        t.set_access(
+            "server".into(),
+            LinkSpec::new(cal::MAN_ACCESS.0, cal::MAN_ACCESS.1),
+        );
         t
     }
 
     #[test]
     fn same_device_transfer_is_free() {
         let t = topo();
-        assert_eq!(t.transfer_time(&"laptop".into(), &"laptop".into(), 1 << 30).unwrap(), 0.0);
+        assert_eq!(
+            t.transfer_time(&"laptop".into(), &"laptop".into(), 1 << 30)
+                .unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -120,7 +133,11 @@ mod tests {
     #[test]
     fn overrides_take_precedence() {
         let mut t = topo();
-        t.set_override("desktop".into(), "laptop".into(), LinkSpec::new(1.0e9, 0.0001));
+        t.set_override(
+            "desktop".into(),
+            "laptop".into(),
+            LinkSpec::new(1.0e9, 0.0001),
+        );
         let p = t.path(&"laptop".into(), &"desktop".into()).unwrap();
         assert_eq!(p.latency_s, 0.0001);
     }
@@ -128,8 +145,12 @@ mod tests {
     #[test]
     fn man_hop_is_slowest_path() {
         let t = topo();
-        let to_server = t.transfer_time(&"laptop".into(), &"server".into(), 500 * 1024).unwrap();
-        let in_pan = t.transfer_time(&"laptop".into(), &"desktop".into(), 500 * 1024).unwrap();
+        let to_server = t
+            .transfer_time(&"laptop".into(), &"server".into(), 500 * 1024)
+            .unwrap();
+        let in_pan = t
+            .transfer_time(&"laptop".into(), &"desktop".into(), 500 * 1024)
+            .unwrap();
         assert!(to_server > in_pan);
     }
 }

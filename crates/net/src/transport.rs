@@ -183,7 +183,10 @@ mod tests {
         let rx = net.register("b".into());
         drop(rx);
         let env = Envelope::encode("a".into(), "b".into(), "ping", &1u32).unwrap();
-        assert!(matches!(net.send(env), Err(TransportError::Disconnected(_))));
+        assert!(matches!(
+            net.send(env),
+            Err(TransportError::Disconnected(_))
+        ));
     }
 
     #[test]
@@ -191,7 +194,11 @@ mod tests {
         let net = net();
         let _rx1 = net.register("b".into());
         let _rx2 = net.register("a".into());
-        let names: Vec<_> = net.registered().iter().map(|d| d.as_str().to_string()).collect();
+        let names: Vec<_> = net
+            .registered()
+            .iter()
+            .map(|d| d.as_str().to_string())
+            .collect();
         assert_eq!(names, vec!["a", "b"]);
     }
 

@@ -50,8 +50,7 @@ mod tests {
         let zoo = Zoo::standard();
         for model in zoo.models() {
             let input = RequestInput::synthetic(model, "ref", 8);
-            let out = run_model(model, &input)
-                .unwrap_or_else(|e| panic!("{}: {e}", model.name));
+            let out = run_model(model, &input).unwrap_or_else(|e| panic!("{}: {e}", model.name));
             assert!(out.rows() >= 1 && out.cols() >= 1, "{}", model.name);
         }
     }

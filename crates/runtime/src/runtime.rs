@@ -129,7 +129,8 @@ impl<B: NetworkBus> Runtime<B> {
                     continue;
                 }
                 let Some(spec) = specs.get(m) else { continue };
-                let exec = Executable::for_spec(spec).map_err(|e| RuntimeError::Exec(e.to_string()))?;
+                let exec =
+                    Executable::for_spec(spec).map_err(|e| RuntimeError::Exec(e.to_string()))?;
                 modules.insert(m.clone(), exec);
             }
             let mailbox = net.register(dev.id.clone());
@@ -278,12 +279,9 @@ impl<B: NetworkBus> Runtime<B> {
     /// Gracefully stops all workers.
     pub fn shutdown(self) {
         for dev in &self.devices {
-            if let Ok(env) = Envelope::encode(
-                COORDINATOR.into(),
-                dev.clone(),
-                TAG,
-                &RuntimeMsg::Shutdown,
-            ) {
+            if let Ok(env) =
+                Envelope::encode(COORDINATOR.into(), dev.clone(), TAG, &RuntimeMsg::Shutdown)
+            {
                 let _ = self.net.send(env);
             }
         }
@@ -351,11 +349,17 @@ mod tests {
     fn missing_payload_is_reported() {
         let (i, plan, q) = setup("CLIP ViT-B/16", 8);
         let rt = Runtime::start(&i, &plan).unwrap();
-        let mut input = RequestInput::synthetic(&i.deployment("CLIP ViT-B/16").unwrap().model, "x", 8);
-        input.modalities.retain(|m| m.modality != s2m3_models::input::Modality::Text);
+        let mut input =
+            RequestInput::synthetic(&i.deployment("CLIP ViT-B/16").unwrap().model, "x", 8);
+        input
+            .modalities
+            .retain(|m| m.modality != s2m3_models::input::Modality::Text);
         let err = rt.infer(&q, &plan.routed[0].1, &input).unwrap_err();
         rt.shutdown();
-        assert!(matches!(err, RuntimeError::MissingInput(ModuleKind::TextEncoder)));
+        assert!(matches!(
+            err,
+            RuntimeError::MissingInput(ModuleKind::TextEncoder)
+        ));
     }
 
     #[test]
@@ -408,8 +412,7 @@ mod tests {
         for m in i.distinct_modules() {
             all_desktop.place(m.id.clone(), "desktop".into());
         }
-        let plan_b =
-            Plan::route_all(&i, all_desktop, vec![q.clone()]).unwrap();
+        let plan_b = Plan::route_all(&i, all_desktop, vec![q.clone()]).unwrap();
 
         let rt_a = Runtime::start(&i, &plan_a).unwrap();
         let out_a = rt_a.infer(&q, &plan_a.routed[0].1, &input).unwrap();

@@ -87,7 +87,10 @@ impl<B: NetworkBus> Worker<B> {
         head: HeadContext,
     ) {
         let Some(exec) = self.modules.get(module) else {
-            self.fail(request, format!("{}: module {module} not hosted", self.device));
+            self.fail(
+                request,
+                format!("{}: module {module} not hosted", self.device),
+            );
             return;
         };
         let kind = exec.spec().kind;

@@ -13,6 +13,8 @@
 //!   and the brute-force Upper baseline;
 //! - [`sim`] — discrete-event execution (queuing, pipelining, loading,
 //!   Fig. 3 timelines);
+//! - [`serve`] — the online serving control plane: admission control,
+//!   rolling SLO windows, and live adaptive replanning under fleet churn;
 //! - [`runtime`] — an executable distributed runtime over real threads
 //!   and channels with bit-identical split-vs-centralized outputs;
 //! - [`data`] — ten synthetic benchmarks and the Table VIII accuracy
@@ -46,6 +48,7 @@ pub use s2m3_data as data;
 pub use s2m3_models as models;
 pub use s2m3_net as net;
 pub use s2m3_runtime as runtime;
+pub use s2m3_serve as serve;
 pub use s2m3_sim as sim;
 pub use s2m3_tensor as tensor;
 
@@ -56,5 +59,6 @@ pub mod prelude {
     pub use s2m3_models::zoo::{ModelSpec, Task, Zoo};
     pub use s2m3_net::fleet::Fleet;
     pub use s2m3_runtime::{reference, RequestInput, Runtime};
+    pub use s2m3_serve::{serve, AdmissionPolicy, ServeReport, ServeScenario};
     pub use s2m3_sim::{simulate, SimConfig, SimReport};
 }

@@ -1,0 +1,214 @@
+//! Serving-scenario configuration: what to deploy, how requests arrive,
+//! what the SLO is, and how the fleet churns.
+
+use serde::{Deserialize, Serialize};
+
+use s2m3_sim::workload::ArrivalProcess;
+
+/// How a device's admission queue orders and bounds waiting requests.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// First-in first-out, unbounded.
+    #[default]
+    Fifo,
+    /// Earliest deadline first, unbounded: the request whose SLO deadline
+    /// is nearest dispatches next.
+    EarliestDeadlineFirst,
+    /// FIFO with load shedding: an arrival finding `max_queue` requests
+    /// already waiting at its device is rejected immediately (and counted
+    /// as shed, which the SLO tracker treats as a deadline miss).
+    ShedOnOverload {
+        /// Queue-length bound per device.
+        max_queue: usize,
+    },
+}
+
+/// One model to deploy in the scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelDeployment {
+    /// Zoo model name (see `s2m3 zoo`).
+    pub name: String,
+    /// Benchmark candidate count (drives the text-encoder batch).
+    pub candidates: usize,
+}
+
+/// What happens to the fleet, and when.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FleetEventKind {
+    /// A device (named in the universe fleet) joins the active fleet.
+    DeviceJoin {
+        /// Device name, e.g. `"server"`.
+        device: String,
+    },
+    /// An active device leaves; its in-flight work is re-admitted.
+    DeviceLeave {
+        /// Device name, e.g. `"desktop"`.
+        device: String,
+    },
+    /// An active device's effective compute speed is scaled by `factor`
+    /// (e.g. `0.5` = half speed, thermal throttling; `1.0` restores).
+    DeviceSlowdown {
+        /// Device name.
+        device: String,
+        /// Speed multiplier applied to the device's base GFLOP/s.
+        factor: f64,
+    },
+}
+
+/// A scheduled fleet change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetEvent {
+    /// Simulated time at which the change takes effect, seconds.
+    pub at_s: f64,
+    /// The change.
+    pub kind: FleetEventKind,
+}
+
+/// Replan-controller knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanPolicy {
+    /// Horizon over which a switch must amortize, seconds: a replan is
+    /// accepted when its `break_even_requests` is at most the observed
+    /// arrival rate times this horizon (mandatory replans always apply).
+    pub horizon_s: f64,
+    /// Whether migration costs are charged as downtime on destination
+    /// devices (they cannot start new work while weights stream in).
+    pub charge_switching_downtime: bool,
+}
+
+impl Default for ReplanPolicy {
+    fn default() -> Self {
+        ReplanPolicy {
+            horizon_s: 600.0,
+            charge_switching_downtime: true,
+        }
+    }
+}
+
+/// A complete serving scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeScenario {
+    /// Universe fleet: `"edge"` (no server) or `"standard"`. Devices in
+    /// the universe but not in `initial_devices` may join later.
+    pub fleet: String,
+    /// Names of the devices active at t = 0.
+    pub initial_devices: Vec<String>,
+    /// Models deployed for the whole run.
+    pub models: Vec<ModelDeployment>,
+    /// The request arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Total number of requests in the stream.
+    pub requests: usize,
+    /// Seed label: equal labels ⇒ identical streams and reports.
+    pub seed: String,
+    /// Per-request latency SLO, seconds (deadline = arrival + this).
+    pub deadline_s: f64,
+    /// Admission queue policy.
+    pub admission: AdmissionPolicy,
+    /// Concurrent requests a device serves before queuing more.
+    pub max_inflight_per_device: usize,
+    /// Replan-controller knobs.
+    pub replan: ReplanPolicy,
+    /// Scheduled fleet churn.
+    pub events: Vec<FleetEvent>,
+    /// SLO ring-buffer window size, in completed requests.
+    pub slo_window: usize,
+    /// Emit a windowed SLO snapshot every this many completions.
+    pub snapshot_every: usize,
+}
+
+impl ServeScenario {
+    /// The default churn-under-load scenario: a 10,000-request Poisson
+    /// stream over the *standard* fleet universe, starting edge-only
+    /// (the GPU server exists but is initially absent), with the desktop
+    /// dropping out and the server joining mid-run — one mandatory
+    /// replan and one opportunity-driven replan.
+    pub fn churn_default() -> Self {
+        ServeScenario {
+            fleet: "standard".to_string(),
+            initial_devices: vec![
+                "desktop".to_string(),
+                "laptop".to_string(),
+                "jetson-b".to_string(),
+                "jetson-a".to_string(),
+            ],
+            models: vec![ModelDeployment {
+                name: "CLIP ViT-B/16".to_string(),
+                candidates: 101,
+            }],
+            arrivals: ArrivalProcess::Poisson { rate_per_s: 0.3 },
+            requests: 10_000,
+            seed: "serve/churn-default".to_string(),
+            deadline_s: 15.0,
+            admission: AdmissionPolicy::ShedOnOverload { max_queue: 48 },
+            max_inflight_per_device: 4,
+            replan: ReplanPolicy::default(),
+            events: vec![
+                FleetEvent {
+                    at_s: 1800.0,
+                    kind: FleetEventKind::DeviceLeave {
+                        device: "desktop".to_string(),
+                    },
+                },
+                FleetEvent {
+                    at_s: 4200.0,
+                    kind: FleetEventKind::DeviceJoin {
+                        device: "server".to_string(),
+                    },
+                },
+            ],
+            slo_window: 256,
+            snapshot_every: 500,
+        }
+    }
+
+    /// Parses a scenario from JSON.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on malformed JSON or shape mismatch.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("bad scenario config: {e}"))
+    }
+
+    /// Serializes the scenario to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message on serialization failure (not expected).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scenario_meets_acceptance_shape() {
+        let s = ServeScenario::churn_default();
+        assert!(s.requests >= 10_000);
+        assert!(matches!(s.arrivals, ArrivalProcess::Poisson { .. }));
+        let leaves = s
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FleetEventKind::DeviceLeave { .. }))
+            .count();
+        let joins = s
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, FleetEventKind::DeviceJoin { .. }))
+            .count();
+        assert!(leaves >= 1 && joins >= 1);
+    }
+
+    #[test]
+    fn scenario_json_roundtrip() {
+        let s = ServeScenario::churn_default();
+        let j = s.to_json().unwrap();
+        let back = ServeScenario::from_json(&j).unwrap();
+        assert_eq!(s, back);
+        assert!(ServeScenario::from_json("{not json").is_err());
+    }
+}

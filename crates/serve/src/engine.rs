@@ -1,0 +1,1292 @@
+//! The online serving loop: a discrete-event control plane that admits a
+//! continuous request stream, executes module tasks on per-device lanes
+//! (the same semantics as `s2m3_sim::engine`), applies scheduled fleet
+//! churn, and replans live through `s2m3_core::adaptive`.
+//!
+//! ## Control flow
+//!
+//! Requests arrive from a seeded
+//! [`ArrivalProcess`](s2m3_sim::workload::ArrivalProcess) and enter the
+//! admission queue of their route's *head* device. A device dispatches a
+//! queued request when it has a free request slot
+//! (`max_inflight_per_device`); dispatching expands the request into
+//! encoder tasks (with modeled input-transfer delays) plus one head task
+//! that fires when the last embedding lands, exactly as the offline
+//! simulator does. Lane counts, FIFO module queues, and head-priority
+//! dispatch mirror `s2m3_sim::engine`.
+//!
+//! [`FleetEvent`](crate::config::FleetEvent)s change the active fleet at
+//! simulated timestamps. Every event wakes the replan controller, which
+//! calls [`s2m3_core::adaptive::replan`] against the pre-event placement
+//! and accepts the migration when it is mandatory (the old placement lost
+//! a module) or when its
+//! [`break_even_requests`](s2m3_core::adaptive::ReplanDecision::break_even_requests)
+//! clears the requests expected within the configured horizon at the
+//! *observed* arrival rate. Accepted migrations charge their download +
+//! load cost as downtime on the destination devices. Requests caught on a
+//! leaving device are re-admitted (counted in
+//! [`ServeReport::retried`](crate::report::ServeReport)) — no request is
+//! ever silently lost: every arrival ends as exactly one completion or
+//! one shed.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+
+use s2m3_core::adaptive::replan;
+use s2m3_core::error::CoreError;
+use s2m3_core::placement::greedy_place;
+use s2m3_core::problem::{Instance, Placement, Request, RequestProfile, Route};
+use s2m3_core::routing::{dispatch_order, head_assignment, route_request};
+use s2m3_models::module::{ModuleId, ModuleKind, ModuleSpec};
+use s2m3_net::device::DeviceId;
+use s2m3_net::fleet::Fleet;
+
+use crate::config::{FleetEventKind, ServeScenario};
+use crate::queue::{Admission, AdmissionQueue, QueuedRequest};
+use crate::report::{DeviceReport, EventRecord, LatencySummary, ReplanRecord, ServeReport};
+use crate::slo::{DeviceUsage, Outcome, SloWindow};
+
+/// Errors surfaced by the serving loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The scenario is internally inconsistent.
+    BadScenario(String),
+    /// A core placement/routing operation failed.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadScenario(msg) => write!(f, "bad scenario: {msg}"),
+            ServeError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+const NS: f64 = 1.0e9;
+
+fn ns(t: f64) -> u64 {
+    (t * NS).round() as u64
+}
+
+fn secs(t: u64) -> f64 {
+    t as f64 / NS
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// A scheduled fleet change (index into the time-sorted event list).
+    Fleet(usize),
+    /// Request `rid` arrives.
+    Arrival(u64),
+    /// A module task becomes ready to queue on its device.
+    TaskReady(usize),
+    /// A module task finishes executing.
+    TaskDone(usize),
+    /// Wake a device's scheduler (end of migration downtime).
+    Kick(String),
+}
+
+#[derive(Debug, Clone)]
+struct TaskState {
+    rid: u64,
+    module: ModuleId,
+    device: DeviceId,
+    is_head: bool,
+    /// Embedding transfer time to the head device (encoders only), ns.
+    output_tx_ns: u64,
+    cancelled: bool,
+    /// The device's lane epoch when this task was dispatched; a stale
+    /// epoch means the device's lane counter was force-reset (it left
+    /// the fleet) and this task no longer holds a lane.
+    lane_epoch: u64,
+    /// Execution duration fixed at dispatch, ns (0 until dispatched).
+    dur_ns: u64,
+    /// Set when the task's `TaskDone` fires: its work (and output) has
+    /// left the device, so a later device-leave no longer disturbs it.
+    finished: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct RequestState {
+    arrival_ns: u64,
+    deadline_ns: u64,
+    model: String,
+    pending_encoders: usize,
+    head_ready_ns: u64,
+    head_task: usize,
+    /// Device charged with this request's in-flight slot, when dispatched.
+    inflight_on: Option<DeviceId>,
+    /// Task indices of the current attempt.
+    tasks: Vec<usize>,
+    /// Route computed at admission; consumed at dispatch. Every
+    /// placement change drains and re-admits the queues, so a stored
+    /// route is never stale when dispatch reads it.
+    route: Option<Route>,
+    done: bool,
+}
+
+#[derive(Debug)]
+struct DevState {
+    lanes_total: usize,
+    lanes_busy: usize,
+    /// Bumped whenever `lanes_busy` is force-reset (device leave), so
+    /// completions of tasks dispatched before the reset do not free
+    /// phantom lanes after a rejoin.
+    lane_epoch: u64,
+    /// The device cannot start new tasks before this time (weight loads
+    /// from accepted migrations).
+    open_at_ns: u64,
+    /// Head tasks dispatch before queued encoder work.
+    fifo_heads: VecDeque<usize>,
+    fifo: VecDeque<usize>,
+    /// Requests dispatched and not yet finished whose head lives here.
+    inflight: usize,
+    admission: AdmissionQueue,
+    usage: DeviceUsage,
+    executions: u64,
+}
+
+struct Loop {
+    universe: Fleet,
+    active: BTreeSet<String>,
+    slowdown: BTreeMap<String, f64>,
+    instance: Instance,
+    placement: Placement,
+    specs: BTreeMap<ModuleId, ModuleSpec>,
+    profiles: BTreeMap<String, RequestProfile>,
+    devices: BTreeMap<String, DevState>,
+    tasks: Vec<TaskState>,
+    requests: BTreeMap<u64, RequestState>,
+    queue: BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    seq: u64,
+    // --- workload ---
+    arrivals_ns: Vec<u64>,
+    model_cycle: Vec<String>,
+    deadline_ns: u64,
+    max_inflight: usize,
+    horizon_s: f64,
+    charge_switching_downtime: bool,
+    // --- accounting ---
+    slo: SloWindow,
+    snapshot_every: u64,
+    last_snapshot_seen: u64,
+    latencies: Vec<f64>,
+    report: ServeReport,
+    last_completion_ns: u64,
+}
+
+impl Loop {
+    fn push(&mut self, at: u64, ev: Ev) {
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, ev)));
+    }
+
+    /// Rebuilds the instance over the active fleet with slowdowns applied.
+    fn rebuild_instance(&mut self) -> Result<(), ServeError> {
+        let devices: Vec<_> = self
+            .universe
+            .devices()
+            .iter()
+            .filter(|d| self.active.contains(d.id.as_str()))
+            .map(|d| {
+                let mut spec = d.clone();
+                if let Some(factor) = self.slowdown.get(d.id.as_str()) {
+                    spec.speed_gflops = (d.speed_gflops * factor).max(1e-6);
+                }
+                spec
+            })
+            .collect();
+        let fleet = Fleet::new(
+            devices,
+            self.universe.topology().clone(),
+            self.universe.requester().clone(),
+        )
+        .map_err(ServeError::BadScenario)?;
+        self.instance = self.instance.with_fleet(fleet)?;
+        self.specs = self
+            .instance
+            .distinct_modules()
+            .into_iter()
+            .map(|m| (m.id.clone(), m.clone()))
+            .collect();
+        Ok(())
+    }
+
+    fn request_for(&self, rid: u64, model: &str) -> Request {
+        Request {
+            id: rid,
+            model: model.to_string(),
+            source: self.universe.requester().clone(),
+            profile: self.profiles[model],
+        }
+    }
+
+    /// Routes `rid` under the current placement and returns the route
+    /// plus its head device (`None` if the placement cannot serve the
+    /// model, in which case callers shed).
+    fn route_for(&self, rid: u64, model: &str) -> Option<(Route, DeviceId)> {
+        let request = self.request_for(rid, model);
+        let route = route_request(&self.instance, &self.placement, &request).ok()?;
+        let (_, head_dev) = head_assignment(&self.instance, &route, &request).ok()?;
+        Some((route, head_dev))
+    }
+
+    /// Offers a request to its head device's admission queue, caching
+    /// the computed route so dispatch does not route a second time.
+    fn admit(&mut self, rid: u64, now: u64) {
+        let (model, arrival_ns, deadline_ns) = {
+            let r = &self.requests[&rid];
+            (r.model.clone(), r.arrival_ns, r.deadline_ns)
+        };
+        let Some((route, head)) = self.route_for(rid, &model) else {
+            self.record_shed(rid, now);
+            return;
+        };
+        self.requests.get_mut(&rid).expect("request exists").route = Some(route);
+        let dev = self
+            .devices
+            .get_mut(head.as_str())
+            .expect("routed device exists");
+        let outcome = dev.admission.offer(QueuedRequest {
+            id: rid,
+            arrival_ns,
+            deadline_ns,
+        });
+        if outcome == Admission::Shed {
+            self.record_shed(rid, now);
+        } else {
+            self.drain_admission(head.as_str().to_string(), now);
+        }
+    }
+
+    /// Dispatches queued requests while the device has free request slots.
+    fn drain_admission(&mut self, device: String, now: u64) {
+        loop {
+            let popped = {
+                let Some(dev) = self.devices.get_mut(&device) else {
+                    return;
+                };
+                if !self.active.contains(&device) || dev.inflight >= self.max_inflight {
+                    return;
+                }
+                dev.admission.pop()
+            };
+            let Some(qr) = popped else { return };
+            self.dispatch_request(qr.id, now);
+        }
+    }
+
+    /// Expands a request into module tasks against the current placement.
+    fn dispatch_request(&mut self, rid: u64, now: u64) {
+        let (model, cached_route) = {
+            let r = self.requests.get_mut(&rid).expect("request exists");
+            (r.model.clone(), r.route.take())
+        };
+        let request = self.request_for(rid, &model);
+        // Use the admission-time route; placement changes drain and
+        // re-admit every queue, so a cached route is current. (The
+        // fallback re-route covers defensive paths only.)
+        let route = match cached_route {
+            Some(route) => route,
+            None => match route_request(&self.instance, &self.placement, &request) {
+                Ok(route) => route,
+                Err(_) => {
+                    self.record_shed(rid, now);
+                    return;
+                }
+            },
+        };
+        let (head_spec, head_dev) = match head_assignment(&self.instance, &route, &request) {
+            Ok((spec, dev)) => (spec.clone(), dev),
+            Err(_) => {
+                self.record_shed(rid, now);
+                return;
+            }
+        };
+        let Ok(order) = dispatch_order(&self.instance, &route, &request) else {
+            self.record_shed(rid, now);
+            return;
+        };
+
+        let mut head_ready = now;
+        if head_spec.kind == ModuleKind::LanguageModel {
+            let q_tx = self
+                .instance
+                .fleet()
+                .topology()
+                .transfer_time(
+                    &request.source,
+                    &head_dev,
+                    request.profile.input_bytes(ModuleKind::LanguageModel),
+                )
+                .unwrap_or(0.0);
+            head_ready = now + ns(q_tx);
+        }
+
+        let head_task = self.tasks.len();
+        self.tasks.push(TaskState {
+            rid,
+            module: head_spec.id.clone(),
+            device: head_dev.clone(),
+            is_head: true,
+            output_tx_ns: 0,
+            cancelled: false,
+            lane_epoch: 0,
+            dur_ns: 0,
+            finished: false,
+        });
+        let mut task_ids = vec![head_task];
+
+        let mut pending = 0usize;
+        let mut ready_events = Vec::new();
+        for (module_id, dev, _) in &order {
+            let Some(spec) = self.specs.get(module_id) else {
+                continue;
+            };
+            let input_tx = self
+                .instance
+                .fleet()
+                .topology()
+                .transfer_time(&request.source, dev, request.profile.input_bytes(spec.kind))
+                .unwrap_or(0.0);
+            let output_tx = self
+                .instance
+                .fleet()
+                .topology()
+                .transfer_time(
+                    dev,
+                    &head_dev,
+                    spec.output_bytes(request.profile.units(spec.kind)),
+                )
+                .unwrap_or(0.0);
+            let tid = self.tasks.len();
+            self.tasks.push(TaskState {
+                rid,
+                module: module_id.clone(),
+                device: dev.clone(),
+                is_head: false,
+                output_tx_ns: ns(output_tx),
+                cancelled: false,
+                lane_epoch: 0,
+                dur_ns: 0,
+                finished: false,
+            });
+            task_ids.push(tid);
+            ready_events.push((now + ns(input_tx), tid));
+            pending += 1;
+        }
+
+        {
+            let r = self.requests.get_mut(&rid).expect("request exists");
+            r.pending_encoders = pending;
+            r.head_ready_ns = head_ready;
+            r.head_task = head_task;
+            r.tasks = task_ids;
+            r.inflight_on = Some(head_dev.clone());
+        }
+        self.devices
+            .get_mut(head_dev.as_str())
+            .expect("head device exists")
+            .inflight += 1;
+
+        for (at, tid) in ready_events {
+            self.push(at, Ev::TaskReady(tid));
+        }
+        if pending == 0 {
+            self.push(head_ready, Ev::TaskReady(head_task));
+        }
+    }
+
+    /// Queues a ready task on its device and tries to dispatch.
+    fn task_ready(&mut self, tid: usize, now: u64) {
+        if self.tasks[tid].cancelled {
+            return;
+        }
+        let device = self.tasks[tid].device.as_str().to_string();
+        let is_head = self.tasks[tid].is_head;
+        if let Some(dev) = self.devices.get_mut(&device) {
+            if is_head {
+                dev.fifo_heads.push_back(tid);
+            } else {
+                dev.fifo.push_back(tid);
+            }
+        }
+        self.try_dispatch(&device, now);
+    }
+
+    /// The per-device lane scheduler (mirrors the offline engine).
+    fn try_dispatch(&mut self, device: &str, now: u64) {
+        if !self.active.contains(device) {
+            return;
+        }
+        loop {
+            // Find the next non-cancelled task while a lane is free.
+            let tid = {
+                let Some(dev) = self.devices.get_mut(device) else {
+                    return;
+                };
+                if now < dev.open_at_ns || dev.lanes_busy >= dev.lanes_total {
+                    return;
+                }
+                let mut next = None;
+                while let Some(t) = dev.fifo_heads.pop_front().or_else(|| dev.fifo.pop_front()) {
+                    if !self.tasks[t].cancelled {
+                        next = Some(t);
+                        break;
+                    }
+                }
+                match next {
+                    None => return,
+                    Some(t) => t,
+                }
+            };
+            let dur_s = {
+                let task = &self.tasks[tid];
+                let profile = self.profiles[&self.requests[&task.rid].model];
+                match self.specs.get(&task.module) {
+                    Some(spec) => self
+                        .instance
+                        .compute_time_for(spec, &task.device, &profile)
+                        .unwrap_or(0.1),
+                    None => 0.1,
+                }
+            };
+            let dev = self.devices.get_mut(device).expect("device exists");
+            dev.lanes_busy += 1;
+            self.tasks[tid].lane_epoch = dev.lane_epoch;
+            self.tasks[tid].dur_ns = ns(dur_s);
+            self.push(now + ns(dur_s), Ev::TaskDone(tid));
+        }
+    }
+
+    fn task_done(&mut self, tid: usize, now: u64) {
+        let (device, cancelled, is_head, rid, output_tx_ns, lane_epoch, dur_ns) = {
+            let t = &self.tasks[tid];
+            (
+                t.device.as_str().to_string(),
+                t.cancelled,
+                t.is_head,
+                t.rid,
+                t.output_tx_ns,
+                t.lane_epoch,
+                t.dur_ns,
+            )
+        };
+        self.tasks[tid].finished = true;
+        if let Some(dev) = self.devices.get_mut(&device) {
+            // Only account a task whose lane survived to completion: a
+            // leave resets the counter (and bumps the epoch), so stale
+            // completions neither free lanes after a rejoin nor charge
+            // busy seconds the departed device never finished serving.
+            if dev.lane_epoch == lane_epoch {
+                dev.lanes_busy = dev.lanes_busy.saturating_sub(1);
+                dev.usage.busy_s += secs(dur_ns);
+                dev.executions += 1;
+            }
+        }
+        if cancelled {
+            self.try_dispatch(&device, now);
+            return;
+        }
+        if is_head {
+            self.complete_request(rid, now);
+        } else {
+            let fire_head = {
+                let r = self.requests.get_mut(&rid).expect("request exists");
+                r.head_ready_ns = r.head_ready_ns.max(now + output_tx_ns);
+                r.pending_encoders -= 1;
+                (r.pending_encoders == 0).then_some((r.head_task, r.head_ready_ns))
+            };
+            if let Some((head_task, at)) = fire_head {
+                self.push(at.max(now), Ev::TaskReady(head_task));
+            }
+        }
+        self.try_dispatch(&device, now);
+    }
+
+    fn record_outcome(&mut self, outcome: Outcome) {
+        self.slo.push(outcome);
+        if self.slo.total_seen().is_multiple_of(self.snapshot_every) {
+            let snap = self.slo.snapshot(outcome.completed_at_s);
+            self.report.windows.push(snap);
+            self.last_snapshot_seen = self.slo.total_seen();
+        }
+    }
+
+    fn complete_request(&mut self, rid: u64, now: u64) {
+        let (arrival_ns, deadline_ns, head_dev) = {
+            let r = self.requests.get_mut(&rid).expect("request exists");
+            r.done = true;
+            (r.arrival_ns, r.deadline_ns, r.inflight_on.take())
+        };
+        if let Some(dev_id) = &head_dev {
+            if let Some(dev) = self.devices.get_mut(dev_id.as_str()) {
+                dev.inflight = dev.inflight.saturating_sub(1);
+            }
+        }
+        let latency = secs(now - arrival_ns);
+        let missed = now > deadline_ns;
+        self.report.completed += 1;
+        if missed {
+            self.report.late += 1;
+        }
+        self.latencies.push(latency);
+        self.last_completion_ns = self.last_completion_ns.max(now);
+        self.record_outcome(Outcome {
+            completed_at_s: secs(now),
+            latency_s: latency,
+            missed,
+        });
+        if let Some(dev_id) = head_dev {
+            self.drain_admission(dev_id.as_str().to_string(), now);
+        }
+    }
+
+    fn record_shed(&mut self, rid: u64, now: u64) {
+        let (deadline_ns, arrival_ns) = {
+            let r = self.requests.get_mut(&rid).expect("request exists");
+            r.done = true;
+            (r.deadline_ns, r.arrival_ns)
+        };
+        self.report.shed += 1;
+        // A shed request is an SLO miss; the window records it at the
+        // deadline bound so percentiles reflect the rejection.
+        self.record_outcome(Outcome {
+            completed_at_s: secs(now),
+            latency_s: secs(deadline_ns.saturating_sub(arrival_ns)),
+            missed: true,
+        });
+    }
+
+    /// Cancels a request's current attempt and re-admits it.
+    fn requeue_request(&mut self, rid: u64, now: u64) {
+        let (task_ids, inflight_on) = {
+            let r = self.requests.get_mut(&rid).expect("request exists");
+            if r.done {
+                return;
+            }
+            (std::mem::take(&mut r.tasks), r.inflight_on.take())
+        };
+        if let Some(dev_id) = inflight_on {
+            if let Some(dev) = self.devices.get_mut(dev_id.as_str()) {
+                dev.inflight = dev.inflight.saturating_sub(1);
+            }
+        }
+        for tid in task_ids {
+            self.tasks[tid].cancelled = true;
+        }
+        self.report.retried += 1;
+        self.admit(rid, now);
+    }
+
+    /// Applies one fleet event and runs the replan controller.
+    fn fleet_event(
+        &mut self,
+        kind: &FleetEventKind,
+        at_s: f64,
+        now: u64,
+    ) -> Result<(), ServeError> {
+        let description = match kind {
+            FleetEventKind::DeviceJoin { device } => {
+                if !self.devices.contains_key(device) {
+                    return Err(ServeError::BadScenario(format!(
+                        "unknown device `{device}` in join event"
+                    )));
+                }
+                if !self.active.insert(device.clone()) {
+                    return Err(ServeError::BadScenario(format!(
+                        "device `{device}` joined but was already active"
+                    )));
+                }
+                let dev = self.devices.get_mut(device).expect("checked above");
+                dev.usage.active = true;
+                dev.usage.active_since_s = at_s;
+                format!("{device} joins")
+            }
+            FleetEventKind::DeviceLeave { device } => {
+                if device == self.universe.requester().as_str() {
+                    return Err(ServeError::BadScenario(format!(
+                        "requester {device} cannot leave the fleet"
+                    )));
+                }
+                if !self.active.remove(device) {
+                    return Err(ServeError::BadScenario(format!(
+                        "device `{device}` left but was not active"
+                    )));
+                }
+                let dev = self.devices.get_mut(device).expect("was active");
+                if dev.usage.active {
+                    dev.usage.active = false;
+                    dev.usage.active_s += (at_s - dev.usage.active_since_s).max(0.0);
+                }
+                format!("{device} leaves")
+            }
+            FleetEventKind::DeviceSlowdown { device, factor } => {
+                if !self.active.contains(device) {
+                    return Err(ServeError::BadScenario(format!(
+                        "device `{device}` slowed but is not active"
+                    )));
+                }
+                self.slowdown.insert(device.clone(), factor.max(1e-3));
+                format!("{device} slows to {factor:.2}x")
+            }
+        };
+        self.report.events.push(EventRecord {
+            at_s,
+            description: description.clone(),
+        });
+
+        // Collect every request disturbed by a leave: queued in the
+        // departed device's admission queue, or with live tasks there.
+        let mut disturbed: BTreeSet<u64> = BTreeSet::new();
+        if let FleetEventKind::DeviceLeave { device } = kind {
+            let dev = self.devices.get_mut(device).expect("device exists");
+            for qr in dev.admission.drain() {
+                disturbed.insert(qr.id);
+            }
+            dev.fifo_heads.clear();
+            dev.fifo.clear();
+            dev.lanes_busy = 0;
+            dev.lane_epoch += 1;
+            dev.inflight = 0;
+            for t in &self.tasks {
+                if !t.cancelled
+                    && !t.finished
+                    && t.device.as_str() == device
+                    && !self.requests[&t.rid].done
+                {
+                    disturbed.insert(t.rid);
+                }
+            }
+        }
+
+        let old_placement = self.placement.clone();
+        self.rebuild_instance()?;
+
+        // Replan controller: mandatory switches always apply; optional
+        // ones must amortize within the horizon at the observed rate.
+        let decision = replan(&self.instance, &old_placement)?;
+        let observed_rate = if now == 0 {
+            0.0
+        } else {
+            self.report.arrived as f64 / secs(now)
+        };
+        let expected_in_horizon = observed_rate * self.horizon_s;
+        let break_even = decision.break_even_requests();
+        let accepted = decision.mandatory()
+            || matches!(break_even, Some(b) if (b as f64) <= expected_in_horizon);
+        self.report.replans.push(ReplanRecord {
+            at_s,
+            trigger: description,
+            mandatory: decision.mandatory(),
+            break_even_requests: break_even,
+            observed_rate_per_s: observed_rate,
+            accepted,
+            switching_cost_s: if accepted {
+                decision.switching_cost_s
+            } else {
+                0.0
+            },
+            migrations: if accepted {
+                decision.migrations.len()
+            } else {
+                0
+            },
+        });
+
+        if accepted {
+            self.placement = decision.placement;
+            if self.charge_switching_downtime {
+                let mut per_dev: BTreeMap<String, f64> = BTreeMap::new();
+                for m in &decision.migrations {
+                    *per_dev.entry(m.to.as_str().to_string()).or_default() += m.cost_s;
+                }
+                for (name, cost) in per_dev {
+                    let dev = self
+                        .devices
+                        .get_mut(&name)
+                        .expect("migration target exists");
+                    dev.open_at_ns = dev.open_at_ns.max(now + ns(cost));
+                    // Wake the scheduler when the weights finish loading;
+                    // without this, queued tasks could strand on a device
+                    // that receives no further events.
+                    let at = dev.open_at_ns;
+                    self.push(at, Ev::Kick(name));
+                }
+            }
+        } else {
+            // Keep serving on the surviving subset of the old placement.
+            let mut surviving = Placement::new();
+            for (m, d) in old_placement.iter() {
+                if self.active.contains(d.as_str()) {
+                    surviving.place(m.clone(), d.clone());
+                }
+            }
+            self.placement = surviving;
+        }
+
+        // Re-key every waiting request against the (possibly new)
+        // placement, oldest arrivals first, then re-admit the disturbed.
+        let mut waiting: Vec<QueuedRequest> = Vec::new();
+        for dev in self.devices.values_mut() {
+            waiting.extend(dev.admission.drain());
+        }
+        waiting.sort_by_key(|qr| (qr.arrival_ns, qr.id));
+        for qr in waiting {
+            self.admit(qr.id, now);
+        }
+        for rid in disturbed {
+            self.requeue_request(rid, now);
+        }
+        let names: Vec<String> = self.devices.keys().cloned().collect();
+        for name in names {
+            self.try_dispatch(&name, now);
+            self.drain_admission(name, now);
+        }
+        Ok(())
+    }
+
+    fn arrival(&mut self, rid: u64, now: u64) {
+        self.report.arrived += 1;
+        let model = self.model_cycle[(rid as usize) % self.model_cycle.len()].clone();
+        self.requests.insert(
+            rid,
+            RequestState {
+                arrival_ns: now,
+                deadline_ns: now + self.deadline_ns,
+                model,
+                ..RequestState::default()
+            },
+        );
+        // Schedule the next arrival lazily to keep the heap small.
+        let next = rid + 1;
+        if (next as usize) < self.arrivals_ns.len() {
+            self.push(self.arrivals_ns[next as usize], Ev::Arrival(next));
+        }
+        self.admit(rid, now);
+    }
+
+    fn finish(mut self) -> ServeReport {
+        let now = self.last_completion_ns;
+        // Defensive flush: anything still waiting (a bug if it happens)
+        // is recorded as shed so arrivals always balance.
+        let leftover: Vec<u64> = self
+            .devices
+            .values_mut()
+            .flat_map(|d| d.admission.drain())
+            .map(|qr| qr.id)
+            .collect();
+        for rid in leftover {
+            self.record_shed(rid, now);
+        }
+
+        let now_s = secs(now);
+        self.report.makespan_s = now_s;
+        self.report.latency = LatencySummary::from_latencies(std::mem::take(&mut self.latencies));
+        self.report.throughput_per_s = if now_s > 0.0 {
+            self.report.completed as f64 / now_s
+        } else {
+            0.0
+        };
+        self.report.miss_rate = if self.report.arrived == 0 {
+            0.0
+        } else {
+            (self.report.late + self.report.shed) as f64 / self.report.arrived as f64
+        };
+        // Final rolling-window snapshot (unless one just landed there).
+        if self.slo.total_seen() != self.last_snapshot_seen {
+            let final_snap = self.slo.snapshot(now_s);
+            self.report.windows.push(final_snap);
+        }
+        self.report.devices = self
+            .devices
+            .iter()
+            .map(|(name, d)| DeviceReport {
+                device: name.clone(),
+                executions: d.executions,
+                busy_s: d.usage.busy_s,
+                active_s: d.usage.active_total_s(now_s),
+                utilization: d.usage.utilization(now_s),
+            })
+            .collect();
+        self.report
+    }
+}
+
+/// Runs a serving scenario to completion and returns its deterministic
+/// report: same scenario (including seed) ⇒ byte-identical report.
+///
+/// # Errors
+///
+/// [`ServeError::BadScenario`] on inconsistent configuration (unknown
+/// fleet/devices/models, requester leaving, empty stream);
+/// [`ServeError::Core`] if placement or routing fails irrecoverably.
+pub fn serve(scenario: &ServeScenario) -> Result<ServeReport, ServeError> {
+    // --- Universe fleet and initial membership. ---
+    let universe = match scenario.fleet.as_str() {
+        "edge" => Fleet::edge_testbed(),
+        "standard" => Fleet::standard_testbed(),
+        other => {
+            return Err(ServeError::BadScenario(format!(
+                "unknown fleet `{other}` (edge|standard)"
+            )))
+        }
+    };
+    if scenario.models.is_empty() {
+        return Err(ServeError::BadScenario("no models deployed".into()));
+    }
+    if scenario.requests == 0 {
+        return Err(ServeError::BadScenario("empty request stream".into()));
+    }
+    let mut active: BTreeSet<String> = BTreeSet::new();
+    for name in &scenario.initial_devices {
+        if universe.device(name).is_none() {
+            return Err(ServeError::BadScenario(format!(
+                "initial device `{name}` is not in the {} fleet",
+                scenario.fleet
+            )));
+        }
+        active.insert(name.clone());
+    }
+    let requester = universe.requester().as_str().to_string();
+    if !active.contains(&requester) {
+        return Err(ServeError::BadScenario(format!(
+            "initial devices must include the requester `{requester}`"
+        )));
+    }
+
+    // --- Instance, placement, profiles. ---
+    let model_pairs: Vec<(&str, usize)> = scenario
+        .models
+        .iter()
+        .map(|m| (m.name.as_str(), m.candidates))
+        .collect();
+    let initial_fleet = {
+        let devices: Vec<_> = universe
+            .devices()
+            .iter()
+            .filter(|d| active.contains(d.id.as_str()))
+            .cloned()
+            .collect();
+        Fleet::new(
+            devices,
+            universe.topology().clone(),
+            universe.requester().clone(),
+        )
+        .map_err(ServeError::BadScenario)?
+    };
+    let instance = Instance::on_fleet(initial_fleet, &model_pairs)?;
+    let placement = greedy_place(&instance)?;
+    let specs: BTreeMap<ModuleId, ModuleSpec> = instance
+        .distinct_modules()
+        .into_iter()
+        .map(|m| (m.id.clone(), m.clone()))
+        .collect();
+    let profiles: BTreeMap<String, RequestProfile> = instance
+        .deployments()
+        .iter()
+        .map(|d| (d.model.name.clone(), d.profile))
+        .collect();
+    let model_cycle: Vec<String> = instance
+        .deployments()
+        .iter()
+        .map(|d| d.model.name.clone())
+        .collect();
+
+    // --- Device runtime state over the whole universe. ---
+    let devices: BTreeMap<String, DevState> = universe
+        .devices()
+        .iter()
+        .map(|d| {
+            let name = d.id.as_str().to_string();
+            let is_active = active.contains(&name);
+            (
+                name,
+                DevState {
+                    lanes_total: d.parallelism.max(1),
+                    lanes_busy: 0,
+                    lane_epoch: 0,
+                    open_at_ns: 0,
+                    fifo_heads: VecDeque::new(),
+                    fifo: VecDeque::new(),
+                    inflight: 0,
+                    admission: AdmissionQueue::new(scenario.admission.clone()),
+                    usage: DeviceUsage {
+                        busy_s: 0.0,
+                        active_since_s: 0.0,
+                        active_s: 0.0,
+                        active: is_active,
+                        lanes: d.parallelism.max(1),
+                    },
+                    executions: 0,
+                },
+            )
+        })
+        .collect();
+
+    // --- Workload. ---
+    let arrivals = scenario
+        .arrivals
+        .arrivals(scenario.requests, &scenario.seed);
+    let arrivals_ns: Vec<u64> = arrivals.iter().map(|&t| ns(t)).collect();
+
+    let mut events = scenario.events.clone();
+    events.sort_by(|a, b| {
+        a.at_s
+            .partial_cmp(&b.at_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut state = Loop {
+        universe,
+        active,
+        slowdown: BTreeMap::new(),
+        instance,
+        placement,
+        specs,
+        profiles,
+        devices,
+        tasks: Vec::new(),
+        requests: BTreeMap::new(),
+        queue: BinaryHeap::new(),
+        seq: 0,
+        arrivals_ns,
+        model_cycle,
+        deadline_ns: ns(scenario.deadline_s.max(1e-3)),
+        max_inflight: scenario.max_inflight_per_device.max(1),
+        horizon_s: scenario.replan.horizon_s.max(0.0),
+        charge_switching_downtime: scenario.replan.charge_switching_downtime,
+        slo: SloWindow::new(scenario.slo_window.max(1)),
+        snapshot_every: scenario.snapshot_every.max(1) as u64,
+        last_snapshot_seen: 0,
+        latencies: Vec::with_capacity(scenario.requests),
+        report: ServeReport {
+            seed: scenario.seed.clone(),
+            ..ServeReport::default()
+        },
+        last_completion_ns: 0,
+    };
+
+    for (idx, ev) in events.iter().enumerate() {
+        state.push(ns(ev.at_s.max(0.0)), Ev::Fleet(idx));
+    }
+    state.push(state.arrivals_ns[0], Ev::Arrival(0));
+
+    while let Some(Reverse((now, _, ev))) = state.queue.pop() {
+        match ev {
+            Ev::Fleet(idx) => {
+                let kind = events[idx].kind.clone();
+                state.fleet_event(&kind, events[idx].at_s, now)?;
+            }
+            Ev::Arrival(rid) => state.arrival(rid, now),
+            Ev::TaskReady(tid) => state.task_ready(tid, now),
+            Ev::TaskDone(tid) => state.task_done(tid, now),
+            Ev::Kick(device) => {
+                state.try_dispatch(&device, now);
+                state.drain_admission(device, now);
+            }
+        }
+    }
+
+    Ok(state.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AdmissionPolicy, FleetEvent, ModelDeployment, ReplanPolicy};
+    use s2m3_sim::workload::ArrivalProcess;
+
+    fn small_scenario(n: usize) -> ServeScenario {
+        ServeScenario {
+            requests: n,
+            events: vec![],
+            ..ServeScenario::churn_default()
+        }
+    }
+
+    #[test]
+    fn every_arrival_completes_or_sheds() {
+        let report = serve(&small_scenario(300)).unwrap();
+        assert_eq!(report.arrived, 300);
+        assert_eq!(report.completed + report.shed, 300);
+        assert!(report.latency.p50_s > 0.0);
+        assert!(report.throughput_per_s > 0.0);
+        assert!(!report.windows.is_empty());
+    }
+
+    #[test]
+    fn same_seed_identical_reports_different_seed_differs() {
+        let scenario = ServeScenario {
+            requests: 400,
+            ..ServeScenario::churn_default()
+        };
+        let a = serve(&scenario).unwrap();
+        let b = serve(&scenario).unwrap();
+        assert_eq!(a, b);
+        let other = ServeScenario {
+            seed: "serve/other".to_string(),
+            ..scenario
+        };
+        let c = serve(&other).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn device_leave_forces_accepted_replan_and_loses_nothing() {
+        let mut s = small_scenario(250);
+        s.arrivals = ArrivalProcess::Poisson { rate_per_s: 2.0 };
+        s.events = vec![FleetEvent {
+            at_s: 30.0,
+            kind: FleetEventKind::DeviceLeave {
+                device: "desktop".to_string(),
+            },
+        }];
+        let report = serve(&s).unwrap();
+        assert_eq!(report.completed + report.shed, report.arrived);
+        assert_eq!(report.replans.len(), 1);
+        let r = &report.replans[0];
+        assert!(r.accepted, "losing a module host must force a replan");
+        assert!(r.mandatory);
+        assert!(r.migrations >= 1);
+        assert!(r.switching_cost_s > 0.0);
+        // The desktop stops accumulating active time after it leaves.
+        let desktop = report
+            .devices
+            .iter()
+            .find(|d| d.device == "desktop")
+            .unwrap();
+        assert!(desktop.active_s <= 30.0 + 1e-6);
+    }
+
+    #[test]
+    fn server_join_is_accepted_only_under_sufficient_load() {
+        let join = FleetEvent {
+            at_s: 60.0,
+            kind: FleetEventKind::DeviceJoin {
+                device: "server".to_string(),
+            },
+        };
+        // Busy stream, long horizon: worth switching.
+        let mut busy = small_scenario(400);
+        busy.arrivals = ArrivalProcess::Poisson { rate_per_s: 2.0 };
+        busy.events = vec![join.clone()];
+        busy.replan = ReplanPolicy {
+            horizon_s: 3600.0,
+            charge_switching_downtime: true,
+        };
+        let busy_report = serve(&busy).unwrap();
+        assert_eq!(busy_report.replans.len(), 1);
+        assert!(
+            busy_report.replans[0].accepted,
+            "break-even {:?} at rate {:.2} should clear a 1 h horizon",
+            busy_report.replans[0].break_even_requests, busy_report.replans[0].observed_rate_per_s
+        );
+        assert!(busy_report.accepted_replans() >= 1);
+
+        // Trickle stream, tiny horizon: not worth the switching cost.
+        let mut idle = small_scenario(40);
+        idle.arrivals = ArrivalProcess::Poisson { rate_per_s: 0.02 };
+        idle.deadline_s = 120.0;
+        idle.events = vec![join];
+        idle.replan = ReplanPolicy {
+            horizon_s: 1.0,
+            charge_switching_downtime: true,
+        };
+        let idle_report = serve(&idle).unwrap();
+        assert_eq!(idle_report.replans.len(), 1);
+        assert!(!idle_report.replans[0].accepted);
+        assert!(!idle_report.replans[0].mandatory);
+        // Rejected replans keep serving: nothing is lost either way.
+        assert_eq!(
+            idle_report.completed + idle_report.shed,
+            idle_report.arrived
+        );
+    }
+
+    #[test]
+    fn shed_on_overload_sheds_under_burst_fifo_does_not() {
+        let burst = ArrivalProcess::Simultaneous;
+        let mut fifo = small_scenario(120);
+        fifo.arrivals = burst.clone();
+        fifo.admission = AdmissionPolicy::Fifo;
+        fifo.deadline_s = 10_000.0;
+        let fifo_report = serve(&fifo).unwrap();
+        assert_eq!(fifo_report.shed, 0);
+        assert_eq!(fifo_report.completed, 120);
+
+        let mut shed = small_scenario(120);
+        shed.arrivals = burst;
+        shed.admission = AdmissionPolicy::ShedOnOverload { max_queue: 8 };
+        shed.deadline_s = 10_000.0;
+        let shed_report = serve(&shed).unwrap();
+        assert!(
+            shed_report.shed > 0,
+            "a 120-request burst must overflow 8 slots"
+        );
+        assert_eq!(shed_report.completed + shed_report.shed, 120);
+        // Shedding keeps served latency lower than serving everything.
+        assert!(shed_report.latency.p99_s < fifo_report.latency.p99_s);
+    }
+
+    #[test]
+    fn edf_beats_fifo_on_mixed_deadlines_under_load() {
+        // Two models with very different service times share the fleet;
+        // EDF should not miss more deadlines than FIFO on the same stream.
+        let base = ServeScenario {
+            models: vec![
+                ModelDeployment {
+                    name: "CLIP ViT-B/16".to_string(),
+                    candidates: 64,
+                },
+                ModelDeployment {
+                    name: "CLIP-Classifier Food-101".to_string(),
+                    candidates: 0,
+                },
+            ],
+            arrivals: ArrivalProcess::Poisson { rate_per_s: 1.5 },
+            requests: 300,
+            deadline_s: 10.0,
+            events: vec![],
+            ..ServeScenario::churn_default()
+        };
+        let fifo = serve(&ServeScenario {
+            admission: AdmissionPolicy::Fifo,
+            ..base.clone()
+        })
+        .unwrap();
+        let edf = serve(&ServeScenario {
+            admission: AdmissionPolicy::EarliestDeadlineFirst,
+            ..base
+        })
+        .unwrap();
+        assert_eq!(edf.completed, 300);
+        assert!(
+            edf.miss_rate <= fifo.miss_rate + 1e-9,
+            "EDF miss rate {:.3} vs FIFO {:.3}",
+            edf.miss_rate,
+            fifo.miss_rate
+        );
+    }
+
+    #[test]
+    fn slowdown_event_triggers_replan_evaluation() {
+        let mut s = small_scenario(150);
+        s.arrivals = ArrivalProcess::Poisson { rate_per_s: 1.0 };
+        s.events = vec![FleetEvent {
+            at_s: 20.0,
+            kind: FleetEventKind::DeviceSlowdown {
+                device: "laptop".to_string(),
+                factor: 0.25,
+            },
+        }];
+        let report = serve(&s).unwrap();
+        assert_eq!(report.events.len(), 1);
+        assert!(report.events[0].description.contains("slows"));
+        assert_eq!(report.replans.len(), 1);
+        assert_eq!(report.completed + report.shed, report.arrived);
+    }
+
+    #[test]
+    fn bad_scenarios_are_rejected() {
+        let mut no_requester = small_scenario(10);
+        no_requester.initial_devices = vec!["desktop".to_string(), "laptop".to_string()];
+        assert!(matches!(
+            serve(&no_requester),
+            Err(ServeError::BadScenario(_))
+        ));
+
+        let mut requester_leaves = small_scenario(10);
+        requester_leaves.events = vec![FleetEvent {
+            at_s: 1.0,
+            kind: FleetEventKind::DeviceLeave {
+                device: "jetson-a".to_string(),
+            },
+        }];
+        assert!(matches!(
+            serve(&requester_leaves),
+            Err(ServeError::BadScenario(_))
+        ));
+
+        let mut bad_fleet = small_scenario(10);
+        bad_fleet.fleet = "mars".to_string();
+        assert!(serve(&bad_fleet).is_err());
+
+        let mut unknown_model = small_scenario(10);
+        unknown_model.models = vec![ModelDeployment {
+            name: "CLIP ViT-Z/99".to_string(),
+            candidates: 1,
+        }];
+        assert!(matches!(serve(&unknown_model), Err(ServeError::Core(_))));
+    }
+
+    #[test]
+    fn leave_then_rejoin_keeps_lane_accounting_sane() {
+        // The desktop leaves while it is executing work, then rejoins:
+        // completions of pre-leave tasks must not free phantom lanes
+        // after the rejoin. With correct accounting the run conserves
+        // requests and keeps utilization within bounds.
+        let mut s = small_scenario(300);
+        s.arrivals = ArrivalProcess::Poisson { rate_per_s: 2.0 };
+        s.events = vec![
+            FleetEvent {
+                at_s: 20.0,
+                kind: FleetEventKind::DeviceLeave {
+                    device: "desktop".to_string(),
+                },
+            },
+            FleetEvent {
+                at_s: 40.0,
+                kind: FleetEventKind::DeviceJoin {
+                    device: "desktop".to_string(),
+                },
+            },
+        ];
+        let report = serve(&s).unwrap();
+        assert_eq!(report.completed + report.shed, report.arrived);
+        assert_eq!(report.events.len(), 2);
+        for d in &report.devices {
+            assert!((0.0..=1.0).contains(&d.utilization), "{d:?}");
+        }
+        // Determinism still holds through the leave/rejoin cycle.
+        assert_eq!(report, serve(&s).unwrap());
+    }
+
+    #[test]
+    fn joining_an_active_device_is_rejected() {
+        let mut s = small_scenario(20);
+        s.events = vec![FleetEvent {
+            at_s: 5.0,
+            kind: FleetEventKind::DeviceJoin {
+                device: "laptop".to_string(),
+            },
+        }];
+        assert!(matches!(serve(&s), Err(ServeError::BadScenario(_))));
+    }
+
+    #[test]
+    fn utilization_is_bounded_and_windows_monotone_in_time() {
+        let report = serve(&small_scenario(200)).unwrap();
+        for d in &report.devices {
+            assert!((0.0..=1.0).contains(&d.utilization), "{d:?}");
+            assert!(d.busy_s >= 0.0);
+        }
+        let times: Vec<f64> = report.windows.iter().map(|w| w.at_s).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        for w in &report.windows {
+            assert!(w.p50_s <= w.p95_s + 1e-12);
+            assert!(w.p95_s <= w.p99_s + 1e-12);
+            assert!((0.0..=1.0).contains(&w.miss_rate));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # s2m3-serve
+//!
+//! An online serving control plane over the S2M3 reproduction: the layer
+//! that turns the paper's single-burst evaluation into a continuously
+//! running system.
+//!
+//! The paper (Sec. VI-C) sketches adaptive reallocation under fleet
+//! changes and reports one simultaneous multi-task burst (Table X). This
+//! crate closes the loop end-to-end:
+//!
+//! - **request streams** — any seeded
+//!   [`ArrivalProcess`](s2m3_sim::workload::ArrivalProcess), including
+//!   the bursty MMPP, diurnal, and trace-replay variants;
+//! - **admission control** — per-device queues under
+//!   [`AdmissionPolicy`]: FIFO, earliest-deadline-first, or
+//!   shed-on-overload;
+//! - **discrete-event execution** — per-device lanes with module-level
+//!   FIFO queues and head-priority dispatch, mirroring
+//!   `s2m3_sim::engine`'s semantics;
+//! - **SLO tracking** — fixed-size ring-buffer windows summarized into
+//!   p50/p95/p99 latency and deadline-miss rates, plus per-device
+//!   utilization;
+//! - **live replanning** — [`FleetEvent`]s (join/leave/slowdown) wake a
+//!   controller that calls [`s2m3_core::adaptive::replan`], accepts
+//!   migrations only when their break-even clears the observed arrival
+//!   rate, and charges switching costs as destination-device downtime.
+//!
+//! ## Example
+//!
+//! ```
+//! use s2m3_serve::{serve, ServeScenario};
+//!
+//! let mut scenario = ServeScenario::churn_default();
+//! scenario.requests = 200; // keep the doctest fast
+//! scenario.events.clear();
+//! let report = serve(&scenario).unwrap();
+//! assert_eq!(report.arrived, 200);
+//! assert_eq!(report.completed + report.shed, 200);
+//! assert!(report.latency.p50_s <= report.latency.p99_s);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod queue;
+pub mod report;
+pub mod slo;
+
+#[cfg(test)]
+mod proptests;
+
+pub use config::{
+    AdmissionPolicy, FleetEvent, FleetEventKind, ModelDeployment, ReplanPolicy, ServeScenario,
+};
+pub use engine::{serve, ServeError};
+pub use report::{DeviceReport, EventRecord, LatencySummary, ReplanRecord, ServeReport};
+pub use slo::{SloWindow, WindowSnapshot};

@@ -1,0 +1,187 @@
+//! Property-based invariants for the serving control plane.
+//!
+//! The two guarantees the ISSUE demands, stated as properties over
+//! randomized scenarios:
+//!
+//! 1. **Determinism** — the same scenario (including its seed) produces
+//!    an identical [`ServeReport`](crate::report::ServeReport);
+//! 2. **Conservation** — no request is lost or duplicated across
+//!    admission, shedding, device churn, and replanning: every arrival is
+//!    exactly one completion or one shed.
+
+use proptest::prelude::*;
+
+use s2m3_sim::workload::ArrivalProcess;
+
+use crate::config::{AdmissionPolicy, FleetEvent, FleetEventKind, ReplanPolicy, ServeScenario};
+use crate::engine::serve;
+
+fn arb_policy() -> impl Strategy<Value = AdmissionPolicy> {
+    prop_oneof![
+        Just(AdmissionPolicy::Fifo),
+        Just(AdmissionPolicy::EarliestDeadlineFirst),
+        (2usize..32).prop_map(|max_queue| AdmissionPolicy::ShedOnOverload { max_queue }),
+    ]
+}
+
+fn arb_arrivals() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        (0.1f64..3.0).prop_map(|rate_per_s| ArrivalProcess::Poisson { rate_per_s }),
+        (0.5f64..5.0).prop_map(|interval_s| ArrivalProcess::Uniform { interval_s }),
+        (0.05f64..0.5, 0.5f64..3.0).prop_map(|(calm, storm)| ArrivalProcess::Mmpp {
+            rates_per_s: vec![calm, storm],
+            mean_dwell_s: 60.0,
+        }),
+    ]
+}
+
+/// Churn schedules that keep the scenario valid: the desktop may leave
+/// once, the server may join once, the laptop may throttle.
+fn arb_events() -> impl Strategy<Value = Vec<FleetEvent>> {
+    (proptest::collection::vec(10.0f64..400.0, 0..3), 0usize..4)
+        .prop_map(|(times, shape)| {
+            let kinds = [
+                FleetEventKind::DeviceLeave {
+                    device: "desktop".to_string(),
+                },
+                FleetEventKind::DeviceJoin {
+                    device: "server".to_string(),
+                },
+                FleetEventKind::DeviceSlowdown {
+                    device: "laptop".to_string(),
+                    factor: 0.5,
+                },
+            ];
+            let mut sorted = times;
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            // `shape` rotates which event kinds appear; kinds are applied
+            // in a fixed order so leave/join stay consistent.
+            sorted
+                .into_iter()
+                .zip(kinds.iter().cycle().skip(shape))
+                .map(|(at_s, kind)| FleetEvent {
+                    at_s,
+                    kind: kind.clone(),
+                })
+                .collect()
+        })
+        .prop_map(|events: Vec<FleetEvent>| {
+            // Keep at most one of each kind, in time order, so a device
+            // never leaves twice or joins while present.
+            let mut seen_leave = false;
+            let mut seen_join = false;
+            let mut seen_slow = false;
+            events
+                .into_iter()
+                .filter(|e| match e.kind {
+                    FleetEventKind::DeviceLeave { .. } => !std::mem::replace(&mut seen_leave, true),
+                    FleetEventKind::DeviceJoin { .. } => !std::mem::replace(&mut seen_join, true),
+                    FleetEventKind::DeviceSlowdown { .. } => {
+                        !std::mem::replace(&mut seen_slow, true)
+                    }
+                })
+                .collect()
+        })
+}
+
+fn scenario(
+    policy: AdmissionPolicy,
+    arrivals: ArrivalProcess,
+    events: Vec<FleetEvent>,
+    n: usize,
+    seed: String,
+) -> ServeScenario {
+    ServeScenario {
+        requests: n,
+        admission: policy,
+        arrivals,
+        events,
+        seed,
+        deadline_s: 12.0,
+        replan: ReplanPolicy {
+            horizon_s: 300.0,
+            charge_switching_downtime: true,
+        },
+        ..ServeScenario::churn_default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same scenario ⇒ byte-identical report; different seed ⇒ different
+    /// stream (and report).
+    #[test]
+    fn same_seed_same_report(
+        policy in arb_policy(),
+        arrivals in arb_arrivals(),
+        events in arb_events(),
+        n in 20usize..120,
+        seed in "[a-z]{1,8}",
+    ) {
+        let s = scenario(policy, arrivals, events, n, format!("prop/{seed}"));
+        let a = serve(&s).unwrap();
+        let b = serve(&s).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(
+            a.to_json().unwrap(),
+            b.to_json().unwrap(),
+            "JSON export must be stable too"
+        );
+    }
+
+    /// No request is ever lost or double-counted: arrivals split exactly
+    /// into completions and sheds, under every policy and churn schedule.
+    #[test]
+    fn requests_conserved_across_churn(
+        policy in arb_policy(),
+        arrivals in arb_arrivals(),
+        events in arb_events(),
+        n in 20usize..150,
+    ) {
+        let s = scenario(policy, arrivals, events, n, "prop/conserve".to_string());
+        let report = serve(&s).unwrap();
+        prop_assert_eq!(report.arrived as usize, n, "every request must arrive");
+        prop_assert_eq!(
+            report.completed + report.shed,
+            report.arrived,
+            "completed {} + shed {} != arrived {}",
+            report.completed,
+            report.shed,
+            report.arrived
+        );
+        // Completed-side accounting is consistent.
+        prop_assert_eq!(report.latency.completed, report.completed);
+        prop_assert!(report.late <= report.completed);
+        let expected_miss =
+            (report.late + report.shed) as f64 / report.arrived.max(1) as f64;
+        prop_assert!((report.miss_rate - expected_miss).abs() < 1e-12);
+    }
+
+    /// Windows are time-ordered with coherent percentiles, and device
+    /// utilization stays in [0, 1] whatever the churn.
+    #[test]
+    fn report_internal_consistency(
+        policy in arb_policy(),
+        events in arb_events(),
+        n in 20usize..100,
+    ) {
+        let s = scenario(
+            policy,
+            ArrivalProcess::Poisson { rate_per_s: 1.0 },
+            events,
+            n,
+            "prop/consistency".to_string(),
+        );
+        let report = serve(&s).unwrap();
+        prop_assert!(report.windows.windows(2).all(|w| w[0].at_s <= w[1].at_s));
+        for w in &report.windows {
+            prop_assert!(w.p50_s <= w.p95_s + 1e-12);
+            prop_assert!(w.p95_s <= w.p99_s + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&w.miss_rate));
+        }
+        for d in &report.devices {
+            prop_assert!((0.0..=1.0).contains(&d.utilization), "{:?}", d);
+        }
+    }
+}

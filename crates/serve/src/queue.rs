@@ -1,0 +1,148 @@
+//! Per-device admission queues: policy-ordered waiting rooms between
+//! request arrival and dispatch into the execution engine.
+
+use std::collections::VecDeque;
+
+use crate::config::AdmissionPolicy;
+
+/// A queued request: everything the dispatcher needs to order it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedRequest {
+    /// Request id (index into the scenario's stream).
+    pub id: u64,
+    /// Arrival time, nanoseconds of virtual time.
+    pub arrival_ns: u64,
+    /// SLO deadline, nanoseconds of virtual time.
+    pub deadline_ns: u64,
+}
+
+/// What happened when a request was offered to a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The request is waiting in the queue.
+    Queued,
+    /// The request was rejected by shed-on-overload.
+    Shed,
+}
+
+/// One device's admission queue.
+///
+/// FIFO and shed-on-overload use arrival order; earliest-deadline-first
+/// always dispatches the waiting request with the nearest deadline (ties
+/// broken by arrival, then id, keeping the whole control plane
+/// deterministic).
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    policy: AdmissionPolicy,
+    waiting: VecDeque<QueuedRequest>,
+}
+
+impl AdmissionQueue {
+    /// An empty queue under `policy`.
+    pub fn new(policy: AdmissionPolicy) -> Self {
+        AdmissionQueue {
+            policy,
+            waiting: VecDeque::new(),
+        }
+    }
+
+    /// Offers a request; shed-on-overload may reject it.
+    pub fn offer(&mut self, request: QueuedRequest) -> Admission {
+        if let AdmissionPolicy::ShedOnOverload { max_queue } = self.policy {
+            if self.waiting.len() >= max_queue {
+                return Admission::Shed;
+            }
+        }
+        self.waiting.push_back(request);
+        Admission::Queued
+    }
+
+    /// Removes and returns the next request to dispatch, per policy.
+    pub fn pop(&mut self) -> Option<QueuedRequest> {
+        match self.policy {
+            AdmissionPolicy::Fifo | AdmissionPolicy::ShedOnOverload { .. } => {
+                self.waiting.pop_front()
+            }
+            AdmissionPolicy::EarliestDeadlineFirst => {
+                let best = self
+                    .waiting
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, r)| (r.deadline_ns, r.arrival_ns, r.id))?
+                    .0;
+                self.waiting.remove(best)
+            }
+        }
+    }
+
+    /// Requests currently waiting.
+    pub fn len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.waiting.is_empty()
+    }
+
+    /// Drains every waiting request (used when a device leaves and its
+    /// queue must be re-admitted elsewhere).
+    pub fn drain(&mut self) -> Vec<QueuedRequest> {
+        self.waiting.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, arrival_ns: u64, deadline_ns: u64) -> QueuedRequest {
+        QueuedRequest {
+            id,
+            arrival_ns,
+            deadline_ns,
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let mut q = AdmissionQueue::new(AdmissionPolicy::Fifo);
+        for i in 0..4 {
+            assert_eq!(q.offer(req(i, i, 1000 - i)), Admission::Queued);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.id).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn edf_orders_by_deadline_with_stable_ties() {
+        let mut q = AdmissionQueue::new(AdmissionPolicy::EarliestDeadlineFirst);
+        q.offer(req(0, 0, 300));
+        q.offer(req(1, 1, 100));
+        q.offer(req(2, 2, 100));
+        q.offer(req(3, 3, 200));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.id).collect();
+        assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn shed_rejects_above_capacity_only() {
+        let mut q = AdmissionQueue::new(AdmissionPolicy::ShedOnOverload { max_queue: 2 });
+        assert_eq!(q.offer(req(0, 0, 10)), Admission::Queued);
+        assert_eq!(q.offer(req(1, 1, 10)), Admission::Queued);
+        assert_eq!(q.offer(req(2, 2, 10)), Admission::Shed);
+        q.pop();
+        assert_eq!(q.offer(req(3, 3, 10)), Admission::Queued);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drain_empties_the_queue() {
+        let mut q = AdmissionQueue::new(AdmissionPolicy::Fifo);
+        q.offer(req(0, 0, 1));
+        q.offer(req(1, 1, 2));
+        let drained = q.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! The serving run's output: end-of-run SLO summary, windowed snapshots,
+//! fleet-event and replan history, per-device utilization.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::slo::{percentile_sorted, WindowSnapshot};
+
+/// Latency percentile summary over all completed requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LatencySummary {
+    /// Completed requests.
+    pub completed: u64,
+    /// Mean latency, seconds.
+    pub mean_s: f64,
+    /// Median latency, seconds.
+    pub p50_s: f64,
+    /// 95th percentile, seconds.
+    pub p95_s: f64,
+    /// 99th percentile, seconds.
+    pub p99_s: f64,
+    /// Maximum, seconds.
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    /// Builds a summary from raw latencies (unsorted is fine).
+    pub fn from_latencies(mut latencies: Vec<f64>) -> Self {
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = latencies.len();
+        if n == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            completed: n as u64,
+            mean_s: latencies.iter().sum::<f64>() / n as f64,
+            p50_s: percentile_sorted(&latencies, 0.50),
+            p95_s: percentile_sorted(&latencies, 0.95),
+            p99_s: percentile_sorted(&latencies, 0.99),
+            max_s: latencies[n - 1],
+        }
+    }
+}
+
+/// One applied fleet event, as recorded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// When it took effect, seconds.
+    pub at_s: f64,
+    /// Human-readable description (e.g. `"desktop leaves"`).
+    pub description: String,
+}
+
+/// One replan evaluation by the controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanRecord {
+    /// When the controller ran, seconds.
+    pub at_s: f64,
+    /// What prompted it (a fleet event description).
+    pub trigger: String,
+    /// Whether the old placement could no longer serve (forced switch).
+    pub mandatory: bool,
+    /// Requests needed to amortize the switch (`None`: never pays off).
+    pub break_even_requests: Option<u64>,
+    /// Observed arrival rate at decision time, requests/second.
+    pub observed_rate_per_s: f64,
+    /// Whether the migration was applied.
+    pub accepted: bool,
+    /// One-time switching cost, seconds (0 when rejected).
+    pub switching_cost_s: f64,
+    /// Modules moved (0 when rejected).
+    pub migrations: usize,
+}
+
+/// Per-device serving statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceReport {
+    /// Device name.
+    pub device: String,
+    /// Module executions the device ran to completion while active.
+    pub executions: u64,
+    /// Busy lane-seconds accumulated by completed executions.
+    pub busy_s: f64,
+    /// Seconds the device was in the active fleet.
+    pub active_s: f64,
+    /// Busy fraction of offered lane-seconds, `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// The full, deterministic output of a serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ServeReport {
+    /// Scenario seed label (same seed ⇒ identical report).
+    pub seed: String,
+    /// Requests that arrived.
+    pub arrived: u64,
+    /// Requests that completed.
+    pub completed: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Completed requests that finished past their deadline.
+    pub late: u64,
+    /// Deadline-miss rate over all arrivals: (late + shed) / arrived.
+    pub miss_rate: f64,
+    /// Requests re-admitted after losing their device mid-flight.
+    pub retried: u64,
+    /// Latency summary over completed requests.
+    pub latency: LatencySummary,
+    /// Completion throughput, requests per second of virtual time.
+    pub throughput_per_s: f64,
+    /// Virtual time when the last request finished, seconds.
+    pub makespan_s: f64,
+    /// Rolling-window SLO snapshots over the run.
+    pub windows: Vec<WindowSnapshot>,
+    /// Fleet events applied.
+    pub events: Vec<EventRecord>,
+    /// Replan evaluations (accepted and rejected).
+    pub replans: Vec<ReplanRecord>,
+    /// Per-device serving statistics, in name order.
+    pub devices: Vec<DeviceReport>,
+}
+
+impl ServeReport {
+    /// Number of accepted replans.
+    pub fn accepted_replans(&self) -> usize {
+        self.replans.iter().filter(|r| r.accepted).count()
+    }
+
+    /// JSON export.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failure (not expected for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// A compact human-readable summary.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serve run `{}`: {} arrived, {} completed, {} shed, {} late \
+             ({} retried after device loss)",
+            self.seed, self.arrived, self.completed, self.shed, self.late, self.retried
+        );
+        let _ = writeln!(
+            out,
+            "latency  p50 {:.2}s  p95 {:.2}s  p99 {:.2}s  max {:.2}s  (mean {:.2}s)",
+            self.latency.p50_s,
+            self.latency.p95_s,
+            self.latency.p99_s,
+            self.latency.max_s,
+            self.latency.mean_s
+        );
+        let _ = writeln!(
+            out,
+            "deadline-miss rate {:.2}%   throughput {:.2} req/s over {:.0}s of virtual time",
+            100.0 * self.miss_rate,
+            self.throughput_per_s,
+            self.makespan_s
+        );
+        for e in &self.events {
+            let _ = writeln!(out, "event  t={:>7.0}s  {}", e.at_s, e.description);
+        }
+        for r in &self.replans {
+            let verdict = if r.accepted {
+                format!(
+                    "ACCEPTED ({} migrations, {:.1}s switching cost)",
+                    r.migrations, r.switching_cost_s
+                )
+            } else {
+                "rejected".to_string()
+            };
+            let be = match r.break_even_requests {
+                Some(b) => b.to_string(),
+                None => "∞".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "replan t={:>7.0}s  {}  break-even {} req @ {:.2} req/s  {}{}",
+                r.at_s,
+                r.trigger,
+                be,
+                r.observed_rate_per_s,
+                if r.mandatory { "mandatory " } else { "" },
+                verdict
+            );
+        }
+        for d in &self.devices {
+            let _ = writeln!(
+                out,
+                "device {:<10} {:>8} execs  busy {:>9.1}s  active {:>9.1}s  util {:>5.1}%",
+                d.device,
+                d.executions,
+                d.busy_s,
+                d.active_s,
+                100.0 * d.utilization
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let s = LatencySummary::from_latencies((1..=200).map(|i| i as f64).collect());
+        assert_eq!(s.completed, 200);
+        assert_eq!(s.p50_s, 100.0);
+        assert_eq!(s.p95_s, 190.0);
+        assert_eq!(s.p99_s, 198.0);
+        assert_eq!(s.max_s, 200.0);
+        assert_eq!(LatencySummary::from_latencies(vec![]).completed, 0);
+    }
+
+    #[test]
+    fn report_json_roundtrip_and_summary() {
+        let report = ServeReport {
+            seed: "t".into(),
+            arrived: 10,
+            completed: 8,
+            shed: 2,
+            late: 1,
+            miss_rate: 0.3,
+            retried: 1,
+            latency: LatencySummary::from_latencies(vec![1.0, 2.0, 3.0]),
+            throughput_per_s: 0.5,
+            makespan_s: 20.0,
+            windows: vec![],
+            events: vec![EventRecord {
+                at_s: 5.0,
+                description: "desktop leaves".into(),
+            }],
+            replans: vec![ReplanRecord {
+                at_s: 5.0,
+                trigger: "desktop leaves".into(),
+                mandatory: true,
+                break_even_requests: Some(0),
+                observed_rate_per_s: 0.4,
+                accepted: true,
+                switching_cost_s: 12.0,
+                migrations: 2,
+            }],
+            devices: vec![],
+        };
+        let back: ServeReport = serde_json::from_str(&report.to_json().unwrap()).unwrap();
+        assert_eq!(report, back);
+        assert_eq!(report.accepted_replans(), 1);
+        let text = report.render_summary();
+        assert!(text.contains("ACCEPTED"));
+        assert!(text.contains("desktop leaves"));
+        assert!(text.contains("p95"));
+    }
+}

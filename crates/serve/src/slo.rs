@@ -1,0 +1,209 @@
+//! Rolling SLO tracking: a fixed-size ring buffer of recent request
+//! outcomes, summarized into latency percentiles and deadline-miss rates.
+
+use serde::{Deserialize, Serialize};
+
+/// One finished request as the SLO tracker sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outcome {
+    /// Completion time, seconds of virtual time.
+    pub completed_at_s: f64,
+    /// Latency (completion − arrival), seconds.
+    pub latency_s: f64,
+    /// Whether the request finished past its deadline (shed requests are
+    /// recorded with `missed = true` and their queueing latency).
+    pub missed: bool,
+}
+
+/// A fixed-capacity ring buffer of the most recent [`Outcome`]s.
+#[derive(Debug, Clone)]
+pub struct SloWindow {
+    /// Configured ring size (`Vec::capacity` may over-allocate, so the
+    /// bound is stored explicitly to keep eviction deterministic).
+    capacity: usize,
+    buf: Vec<Outcome>,
+    /// Next write position.
+    head: usize,
+    /// Total outcomes ever recorded.
+    seen: u64,
+}
+
+impl SloWindow {
+    /// A window retaining the last `capacity` outcomes (≥1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SloWindow {
+            capacity,
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            seen: 0,
+        }
+    }
+
+    /// Records an outcome, evicting the oldest when full.
+    pub fn push(&mut self, outcome: Outcome) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(outcome);
+        } else {
+            self.buf[self.head] = outcome;
+        }
+        self.head = (self.head + 1) % self.capacity;
+        self.seen += 1;
+    }
+
+    /// Outcomes recorded over the window's lifetime.
+    pub fn total_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Summarizes the current window contents at virtual time `now_s`.
+    pub fn snapshot(&self, now_s: f64) -> WindowSnapshot {
+        let mut latencies: Vec<f64> = self.buf.iter().map(|o| o.latency_s).collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = latencies.len();
+        let missed = self.buf.iter().filter(|o| o.missed).count();
+        WindowSnapshot {
+            at_s: now_s,
+            window: n,
+            p50_s: percentile_sorted(&latencies, 0.50),
+            p95_s: percentile_sorted(&latencies, 0.95),
+            p99_s: percentile_sorted(&latencies, 0.99),
+            miss_rate: if n == 0 {
+                0.0
+            } else {
+                missed as f64 / n as f64
+            },
+        }
+    }
+}
+
+/// Ceil-rank percentile over an ascending-sorted slice (0 when empty):
+/// the single percentile definition shared by the rolling windows and
+/// the end-of-run [`LatencySummary`](crate::report::LatencySummary).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    sorted[((p * n as f64).ceil() as usize).clamp(1, n) - 1]
+}
+
+/// A point-in-time summary of the rolling window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowSnapshot {
+    /// Virtual time of the snapshot, seconds.
+    pub at_s: f64,
+    /// Outcomes in the window when taken.
+    pub window: usize,
+    /// Median latency, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile latency, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99_s: f64,
+    /// Fraction of windowed requests that missed their deadline.
+    pub miss_rate: f64,
+}
+
+/// Per-device busy-time accounting for utilization reporting.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceUsage {
+    /// Seconds of lane-busy time accumulated.
+    pub busy_s: f64,
+    /// Virtual time at which the device became active (joined), seconds.
+    pub active_since_s: f64,
+    /// Seconds of active membership accumulated over completed stints.
+    pub active_s: f64,
+    /// Whether the device is currently in the active fleet.
+    pub active: bool,
+    /// Lanes the device offers while active.
+    pub lanes: usize,
+}
+
+impl DeviceUsage {
+    /// Closes the books at `now_s` and returns total active seconds.
+    pub fn active_total_s(&self, now_s: f64) -> f64 {
+        self.active_s
+            + if self.active {
+                (now_s - self.active_since_s).max(0.0)
+            } else {
+                0.0
+            }
+    }
+
+    /// Utilization in `[0, 1]`: busy lane-seconds over offered
+    /// lane-seconds at `now_s`.
+    pub fn utilization(&self, now_s: f64) -> f64 {
+        let offered = self.active_total_s(now_s) * self.lanes.max(1) as f64;
+        if offered <= 0.0 {
+            0.0
+        } else {
+            (self.busy_s / offered).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(latency: f64, missed: bool) -> Outcome {
+        Outcome {
+            completed_at_s: 0.0,
+            latency_s: latency,
+            missed,
+        }
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut w = SloWindow::new(3);
+        for (i, l) in [10.0, 20.0, 30.0, 40.0].iter().enumerate() {
+            w.push(outcome(*l, i % 2 == 0));
+        }
+        assert_eq!(w.total_seen(), 4);
+        let s = w.snapshot(5.0);
+        assert_eq!(s.window, 3);
+        // 10.0 evicted: remaining {20, 30, 40}.
+        assert_eq!(s.p50_s, 30.0);
+        assert_eq!(s.p99_s, 40.0);
+        assert!((s.miss_rate - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_snapshot_is_zero() {
+        let s = SloWindow::new(8).snapshot(1.0);
+        assert_eq!(s.window, 0);
+        assert_eq!(s.p95_s, 0.0);
+        assert_eq!(s.miss_rate, 0.0);
+    }
+
+    #[test]
+    fn percentiles_use_ceiling_rank() {
+        let mut w = SloWindow::new(100);
+        for i in 1..=100 {
+            w.push(outcome(i as f64, false));
+        }
+        let s = w.snapshot(0.0);
+        assert_eq!(s.p50_s, 50.0);
+        assert_eq!(s.p95_s, 95.0);
+        assert_eq!(s.p99_s, 99.0);
+    }
+
+    #[test]
+    fn utilization_accounts_membership_stints() {
+        let mut u = DeviceUsage {
+            lanes: 2,
+            active: true,
+            active_since_s: 10.0,
+            ..DeviceUsage::default()
+        };
+        u.busy_s = 30.0;
+        // Active from t=10 to t=40: offered 2 lanes × 30 s = 60 s.
+        assert!((u.utilization(40.0) - 0.5).abs() < 1e-12);
+        // Leaving closes the stint.
+        u.active_s += 30.0;
+        u.active = false;
+        assert!((u.utilization(100.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -13,7 +13,12 @@ use s2m3_net::device::{DeviceSpec, KindEfficiency};
 
 /// Latency of one batched execution of `module` on `device` with
 /// `batch` items, each performing `units_per_item` work units.
-pub fn batch_latency(device: &DeviceSpec, module: &ModuleSpec, batch: usize, units_per_item: f64) -> f64 {
+pub fn batch_latency(
+    device: &DeviceSpec,
+    module: &ModuleSpec,
+    batch: usize,
+    units_per_item: f64,
+) -> f64 {
     device.compute_time(module, batch as f64 * units_per_item)
 }
 
@@ -66,7 +71,10 @@ mod tests {
         assert!((4.0..5.8).contains(&t10), "b=10: {t10:.2}");
         assert!((7.5..10.5).contains(&t20), "b=20: {t20:.2}");
         // Batched is slightly slower per batch but much better per item.
-        assert!(batch_throughput(&gpu, vicuna, 20, 128.0) > 2.0 * batch_throughput(&gpu, vicuna, 1, 128.0));
+        assert!(
+            batch_throughput(&gpu, vicuna, 20, 128.0)
+                > 2.0 * batch_throughput(&gpu, vicuna, 1, 128.0)
+        );
     }
 
     #[test]

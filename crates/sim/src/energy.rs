@@ -32,23 +32,43 @@ pub fn default_profiles() -> BTreeMap<DeviceId, PowerProfile> {
     let mut m = BTreeMap::new();
     m.insert(
         "server".into(),
-        PowerProfile { idle_w: 90.0, active_w: 320.0, radio_w: 5.0 },
+        PowerProfile {
+            idle_w: 90.0,
+            active_w: 320.0,
+            radio_w: 5.0,
+        },
     );
     m.insert(
         "desktop".into(),
-        PowerProfile { idle_w: 35.0, active_w: 150.0, radio_w: 3.0 },
+        PowerProfile {
+            idle_w: 35.0,
+            active_w: 150.0,
+            radio_w: 3.0,
+        },
     );
     m.insert(
         "laptop".into(),
-        PowerProfile { idle_w: 8.0, active_w: 40.0, radio_w: 2.0 },
+        PowerProfile {
+            idle_w: 8.0,
+            active_w: 40.0,
+            radio_w: 2.0,
+        },
     );
     m.insert(
         "jetson-a".into(),
-        PowerProfile { idle_w: 2.0, active_w: 10.0, radio_w: 1.5 },
+        PowerProfile {
+            idle_w: 2.0,
+            active_w: 10.0,
+            radio_w: 1.5,
+        },
     );
     m.insert(
         "jetson-b".into(),
-        PowerProfile { idle_w: 2.0, active_w: 10.0, radio_w: 1.5 },
+        PowerProfile {
+            idle_w: 2.0,
+            active_w: 10.0,
+            radio_w: 1.5,
+        },
     );
     m
 }
@@ -91,7 +111,9 @@ impl EnergyReport {
 pub fn energy(report: &SimReport, profiles: &BTreeMap<DeviceId, PowerProfile>) -> EnergyReport {
     let mut out = EnergyReport::default();
     for span in &report.spans {
-        let Some(p) = profiles.get(&span.device) else { continue };
+        let Some(p) = profiles.get(&span.device) else {
+            continue;
+        };
         let dur = (span.end - span.start).max(0.0);
         match span.phase {
             Phase::Encode(_) | Phase::Head(_) | Phase::ModelLoading(_) => {
@@ -131,7 +153,10 @@ mod tests {
         assert!(e.total_j() > 0.0);
         let active: f64 = e.active_j.values().sum();
         let radio: f64 = e.radio_j.values().sum();
-        assert!(active > 10.0 * radio, "active {active:.1} J vs radio {radio:.1} J");
+        assert!(
+            active > 10.0 * radio,
+            "active {active:.1} J vs radio {radio:.1} J"
+        );
     }
 
     #[test]
@@ -160,10 +185,7 @@ mod tests {
     fn per_device_accounting_sums_to_total() {
         let (r, e) = run("AlignBind-B", 16);
         let _ = r;
-        let by_device: f64 = default_profiles()
-            .keys()
-            .map(|d| e.device_j(d))
-            .sum();
+        let by_device: f64 = default_profiles().keys().map(|d| e.device_j(d)).sum();
         assert!((by_device - e.total_j()).abs() < 1e-9);
     }
 }

@@ -53,7 +53,10 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Core(e) => write!(f, "core error: {e}"),
             SimError::ArrivalsMismatch { expected, got } => {
-                write!(f, "plan has {expected} requests but {got} arrivals were given")
+                write!(
+                    f,
+                    "plan has {expected} requests but {got} arrivals were given"
+                )
             }
         }
     }
@@ -116,10 +119,14 @@ struct RequestState {
 #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
     Ready(usize),
-    Done { task: usize },
+    Done {
+        task: usize,
+    },
     /// A batched follower finishing alongside its leader: completes the
     /// task's request bookkeeping without freeing a lane.
-    BatchedDone { task: usize },
+    BatchedDone {
+        task: usize,
+    },
     DeviceOpen(usize),
 }
 
@@ -129,7 +136,11 @@ enum Event {
 ///
 /// [`SimError::ArrivalsMismatch`] on bad config; [`SimError::Core`] if the
 /// plan references unknown models/devices (a validated plan cannot).
-pub fn simulate(instance: &Instance, plan: &Plan, config: &SimConfig) -> Result<SimReport, SimError> {
+pub fn simulate(
+    instance: &Instance,
+    plan: &Plan,
+    config: &SimConfig,
+) -> Result<SimReport, SimError> {
     let arrivals: Vec<f64> = match &config.arrivals {
         Some(a) => {
             if a.len() != plan.routed.len() {
@@ -144,8 +155,11 @@ pub fn simulate(instance: &Instance, plan: &Plan, config: &SimConfig) -> Result<
     };
 
     let devices = instance.fleet().devices();
-    let dev_index: BTreeMap<&DeviceId, usize> =
-        devices.iter().enumerate().map(|(i, d)| (&d.id, i)).collect();
+    let dev_index: BTreeMap<&DeviceId, usize> = devices
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (&d.id, i))
+        .collect();
 
     let mut report = SimReport::default();
 
@@ -258,7 +272,11 @@ pub fn simulate(instance: &Instance, plan: &Plan, config: &SimConfig) -> Result<
             let output_tx = instance
                 .fleet()
                 .topology()
-                .transfer_time(dev, &head_dev, spec.output_bytes(request.profile.units(spec.kind)))
+                .transfer_time(
+                    dev,
+                    &head_dev,
+                    spec.output_bytes(request.profile.units(spec.kind)),
+                )
                 .map_err(CoreError::UnknownDevice)?;
             if input_tx > 0.0 {
                 report.spans.push(GanttSpan {
@@ -278,7 +296,12 @@ pub fn simulate(instance: &Instance, plan: &Plan, config: &SimConfig) -> Result<
                 output_tx,
                 is_head: false,
             });
-            push(&mut queue, ns(arrival + input_tx), &mut seq, Event::Ready(tid));
+            push(
+                &mut queue,
+                ns(arrival + input_tx),
+                &mut seq,
+                Event::Ready(tid),
+            );
             pending += 1;
         }
 
@@ -315,10 +338,28 @@ pub fn simulate(instance: &Instance, plan: &Plan, config: &SimConfig) -> Result<
                 } else {
                     dev_states[di].fifo.push_back(tid);
                 }
-                try_dispatch(di, now, &mut dev_states, &tasks, &mut queue, &mut seq, &mut report, config.max_batch);
+                try_dispatch(
+                    di,
+                    now,
+                    &mut dev_states,
+                    &tasks,
+                    &mut queue,
+                    &mut seq,
+                    &mut report,
+                    config.max_batch,
+                );
             }
             Event::DeviceOpen(di) => {
-                try_dispatch(di, now, &mut dev_states, &tasks, &mut queue, &mut seq, &mut report, config.max_batch);
+                try_dispatch(
+                    di,
+                    now,
+                    &mut dev_states,
+                    &tasks,
+                    &mut queue,
+                    &mut seq,
+                    &mut report,
+                    config.max_batch,
+                );
             }
             Event::Done { task: tid } | Event::BatchedDone { task: tid } => {
                 let di = tasks[tid].device;
@@ -362,14 +403,37 @@ pub fn simulate(instance: &Instance, plan: &Plan, config: &SimConfig) -> Result<
                             let hdi = tasks[head_task].device;
                             dev_states[hdi].fifo_heads.push_back(head_task);
                             if hdi != di {
-                                try_dispatch(hdi, now, &mut dev_states, &tasks, &mut queue, &mut seq, &mut report, config.max_batch);
+                                try_dispatch(
+                                    hdi,
+                                    now,
+                                    &mut dev_states,
+                                    &tasks,
+                                    &mut queue,
+                                    &mut seq,
+                                    &mut report,
+                                    config.max_batch,
+                                );
                             }
                         } else {
-                            push(&mut queue, rs.head_ready, &mut seq, Event::Ready(rs.head_task));
+                            push(
+                                &mut queue,
+                                rs.head_ready,
+                                &mut seq,
+                                Event::Ready(rs.head_task),
+                            );
                         }
                     }
                 }
-                try_dispatch(di, now, &mut dev_states, &tasks, &mut queue, &mut seq, &mut report, config.max_batch);
+                try_dispatch(
+                    di,
+                    now,
+                    &mut dev_states,
+                    &tasks,
+                    &mut queue,
+                    &mut seq,
+                    &mut report,
+                    config.max_batch,
+                );
             }
         }
     }
@@ -503,11 +567,11 @@ mod tests {
         )
         .unwrap();
         assert!(with.loading_done > 0.5);
-        assert!(
-            with.request_latency(0).unwrap()
-                > without.request_latency(0).unwrap() + 0.5
-        );
-        assert!(with.spans.iter().any(|s| matches!(s.phase, Phase::ModelLoading(_))));
+        assert!(with.request_latency(0).unwrap() > without.request_latency(0).unwrap() + 0.5);
+        assert!(with
+            .spans
+            .iter()
+            .any(|s| matches!(s.phase, Phase::ModelLoading(_))));
     }
 
     #[test]
@@ -579,7 +643,13 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert_eq!(err, SimError::ArrivalsMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            SimError::ArrivalsMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]

@@ -12,8 +12,48 @@ fn instance() -> Instance {
     Instance::single_model("CLIP ViT-B/16", 32).unwrap()
 }
 
+fn arb_arrival_process() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        Just(ArrivalProcess::Simultaneous),
+        (0.01f64..10.0).prop_map(|interval_s| ArrivalProcess::Uniform { interval_s }),
+        (0.01f64..20.0).prop_map(|rate_per_s| ArrivalProcess::Poisson { rate_per_s }),
+        (proptest::collection::vec(0.01f64..20.0, 1..4), 0.1f64..60.0).prop_map(
+            |(rates_per_s, mean_dwell_s)| ArrivalProcess::Mmpp {
+                rates_per_s,
+                mean_dwell_s,
+            }
+        ),
+        (0.01f64..2.0, 0.01f64..20.0, 1.0f64..500.0).prop_map(|(base, extra, period_s)| {
+            ArrivalProcess::Diurnal {
+                base_rate_per_s: base,
+                peak_rate_per_s: base + extra,
+                period_s,
+            }
+        }),
+        proptest::collection::vec(-1.0f64..5.0, 0..8)
+            .prop_map(|inter_arrival_s| ArrivalProcess::Trace { inter_arrival_s }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every arrival-process variant yields sorted, non-negative,
+    /// zero-based, deterministic arrival times of the requested length.
+    #[test]
+    fn all_arrival_variants_sorted_nonnegative_deterministic(
+        process in arb_arrival_process(),
+        n in 1usize..200,
+        label in "[a-z]{1,8}",
+    ) {
+        let a = process.arrivals(n, &label);
+        let b = process.arrivals(n, &label);
+        prop_assert_eq!(&a, &b, "same label must reproduce the stream");
+        prop_assert_eq!(a.len(), n);
+        prop_assert_eq!(a[0], 0.0);
+        prop_assert!(a.iter().all(|t| t.is_finite() && *t >= 0.0), "{a:?}");
+        prop_assert!(a.windows(2).all(|w| w[0] <= w[1]), "unsorted: {a:?}");
+    }
 
     /// Batching never increases the burst makespan (it only merges queued
     /// work, amortizing per-execution overhead).

@@ -96,7 +96,11 @@ impl SimReport {
         if self.requests.is_empty() {
             return 0.0;
         }
-        self.requests.values().map(RequestTiming::latency).sum::<f64>() / self.requests.len() as f64
+        self.requests
+            .values()
+            .map(RequestTiming::latency)
+            .sum::<f64>()
+            / self.requests.len() as f64
     }
 
     /// Maximum latency over all requests.
@@ -134,7 +138,11 @@ impl SimReport {
                     *c = ch;
                 }
             }
-            out.push_str(&format!("{:>10} |{}|\n", dev.as_str(), row.iter().collect::<String>()));
+            out.push_str(&format!(
+                "{:>10} |{}|\n",
+                dev.as_str(),
+                row.iter().collect::<String>()
+            ));
         }
         out.push_str("legend: L=model loading  t=transfer  E=encode  H=task head\n");
         out
@@ -167,8 +175,20 @@ mod tests {
     #[test]
     fn latency_accounting() {
         let mut r = SimReport::default();
-        r.requests.insert(0, RequestTiming { arrival: 1.0, completion: 3.5 });
-        r.requests.insert(1, RequestTiming { arrival: 1.0, completion: 2.0 });
+        r.requests.insert(
+            0,
+            RequestTiming {
+                arrival: 1.0,
+                completion: 3.5,
+            },
+        );
+        r.requests.insert(
+            1,
+            RequestTiming {
+                arrival: 1.0,
+                completion: 2.0,
+            },
+        );
         assert_eq!(r.request_latency(0), Some(2.5));
         assert_eq!(r.request_latency(9), None);
         assert!((r.mean_latency() - 1.75).abs() < 1e-12);
@@ -184,7 +204,12 @@ mod tests {
     fn gantt_renders_all_devices_and_legend() {
         let r = SimReport {
             spans: vec![
-                span("jetson-a", Phase::Encode("vision/ViT-B-16".into()), 0.0, 1.0),
+                span(
+                    "jetson-a",
+                    Phase::Encode("vision/ViT-B-16".into()),
+                    0.0,
+                    1.0,
+                ),
                 span("laptop", Phase::Encode("text/CLIP-B-16".into()), 0.0, 2.0),
                 span("jetson-a", Phase::Head("head/cosine".into()), 2.0, 2.2),
             ],
@@ -202,7 +227,12 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let r = SimReport {
-            spans: vec![span("laptop", Phase::InputTx("text/CLIP-B-16".into()), 0.0, 0.1)],
+            spans: vec![span(
+                "laptop",
+                Phase::InputTx("text/CLIP-B-16".into()),
+                0.0,
+                0.1,
+            )],
             makespan: 0.1,
             ..Default::default()
         };
@@ -213,7 +243,10 @@ mod tests {
 
     #[test]
     fn phase_labels_are_short() {
-        assert_eq!(Phase::Encode("vision/ViT-B-16".into()).label(), "encode ViT-B-16");
+        assert_eq!(
+            Phase::Encode("vision/ViT-B-16".into()).label(),
+            "encode ViT-B-16"
+        );
         assert_eq!(Phase::ModelLoading("x".into()).label(), "load");
     }
 }

@@ -2,11 +2,19 @@
 //!
 //! The paper evaluates single requests and a simultaneous four-task burst
 //! (Table X). This module generalizes to sustained load: seeded arrival
-//! processes (Poisson / uniform / burst), mixed multi-task request
+//! processes (Poisson / uniform / burst, plus the bursty
+//! [`ArrivalProcess::Mmpp`], time-varying [`ArrivalProcess::Diurnal`],
+//! and [`ArrivalProcess::Trace`] replay), mixed multi-task request
 //! streams, and percentile statistics — the instrument behind the
 //! `load_sweep` experiment, which asks where the shared deployment's
 //! queuing knee sits as the offered rate grows (Sec. VI-C's concern,
 //! quantified).
+//!
+//! Two consumers drive the API shape: the offline simulator feeds
+//! [`ArrivalProcess::arrivals`] into `SimConfig::arrivals` for one-shot
+//! runs, and the `s2m3-serve` control plane treats the same vectors as
+//! an unbounded request stream — identical seeds give identical traffic
+//! in both, which is what makes serving reports reproducible.
 
 use rand_chacha::rand_core::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -19,7 +27,11 @@ use s2m3_tensor::seed::seed_from_label;
 use crate::report::SimReport;
 
 /// An arrival process.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// The serving control plane in `s2m3-serve` consumes these as its
+/// request source; the bursty and time-varying variants exist so churn
+/// experiments can stress admission control the way real traffic does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ArrivalProcess {
     /// All requests at t = 0 (the Table X burst).
     Simultaneous,
@@ -33,37 +45,170 @@ pub enum ArrivalProcess {
         /// Mean arrival rate λ.
         rate_per_s: f64,
     },
+    /// A Markov-modulated Poisson process: the arrival rate jumps between
+    /// `rates_per_s` states, dwelling an exponential time with mean
+    /// `mean_dwell_s` in each before moving to the next (cyclically).
+    /// The classic bursty-traffic model: calm and storm phases alternate.
+    Mmpp {
+        /// Per-state arrival rates, requests/second (≥1 state).
+        rates_per_s: Vec<f64>,
+        /// Mean dwell time in each state, seconds.
+        mean_dwell_s: f64,
+    },
+    /// A diurnal (sinusoidal) rate profile: the instantaneous rate swings
+    /// between `base_rate_per_s` and `peak_rate_per_s` over `period_s`,
+    /// sampled by thinning a peak-rate Poisson stream.
+    Diurnal {
+        /// Trough arrival rate, requests/second.
+        base_rate_per_s: f64,
+        /// Peak arrival rate, requests/second.
+        peak_rate_per_s: f64,
+        /// Length of one base→peak→base cycle, seconds.
+        period_s: f64,
+    },
+    /// Replays recorded inter-arrival gaps, cycling when the trace is
+    /// shorter than the requested stream.
+    Trace {
+        /// Inter-arrival gaps, seconds (negative entries are clamped to 0).
+        inter_arrival_s: Vec<f64>,
+    },
 }
 
 impl ArrivalProcess {
     /// Generates `n` deterministic arrival times (sorted, starting at 0),
     /// seeded by `label`.
     pub fn arrivals(&self, n: usize, label: &str) -> Vec<f64> {
-        match self {
+        let mut rng = ChaCha8Rng::from_seed(seed_from_label(&format!("arrivals/{label}")));
+        // Uniform (0, 1) from the top 24 bits of a ChaCha word.
+        let mut unit = move || ((rng.next_u32() >> 8) as f64 + 0.5) / (1u32 << 24) as f64;
+        let out = match self {
             ArrivalProcess::Simultaneous => vec![0.0; n],
             ArrivalProcess::Uniform { interval_s } => {
                 (0..n).map(|i| i as f64 * interval_s).collect()
             }
             ArrivalProcess::Poisson { rate_per_s } => {
-                let mut rng =
-                    ChaCha8Rng::from_seed(seed_from_label(&format!("arrivals/{label}")));
                 let mut t = 0.0;
+                (0..n)
+                    .map(|_| {
+                        // Exponential inter-arrival via inverse CDF.
+                        t += -unit().ln() / rate_per_s.max(1e-9);
+                        t
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Mmpp {
+                rates_per_s,
+                mean_dwell_s,
+            } => {
+                let mut t = 0.0;
+                let mut state = 0usize;
+                let mut state_left = -unit().ln() * mean_dwell_s.max(1e-9);
                 let mut out = Vec::with_capacity(n);
-                for _ in 0..n {
-                    // Exponential inter-arrival via inverse CDF.
-                    let u = ((rng.next_u32() >> 8) as f64 + 0.5) / (1u32 << 24) as f64;
-                    t += -u.ln() / rate_per_s.max(1e-9);
-                    out.push(t);
-                }
-                // Shift so the first arrival is at 0.
-                let t0 = out[0];
-                for v in &mut out {
-                    *v -= t0;
+                while out.len() < n {
+                    let rate = rates_per_s
+                        .get(state % rates_per_s.len().max(1))
+                        .copied()
+                        .unwrap_or(1.0)
+                        .max(1e-9);
+                    let gap = -unit().ln() / rate;
+                    if gap <= state_left || rates_per_s.len() <= 1 {
+                        t += gap;
+                        state_left -= gap;
+                        out.push(t);
+                    } else {
+                        // Dwell expired before the next arrival: advance to
+                        // the state boundary and redraw under the new rate.
+                        t += state_left;
+                        state += 1;
+                        state_left = -unit().ln() * mean_dwell_s.max(1e-9);
+                    }
                 }
                 out
             }
+            ArrivalProcess::Diurnal {
+                base_rate_per_s,
+                peak_rate_per_s,
+                period_s,
+            } => {
+                let base = base_rate_per_s.max(0.0);
+                let peak = peak_rate_per_s.max(base).max(1e-9);
+                let period = period_s.max(1e-9);
+                let mut t = 0.0;
+                let mut out = Vec::with_capacity(n);
+                // Thinning (Lewis–Shedler): candidates at the peak rate,
+                // accepted with probability rate(t)/peak.
+                while out.len() < n {
+                    t += -unit().ln() / peak;
+                    let phase = (t / period) * std::f64::consts::TAU;
+                    let rate = base + (peak - base) * 0.5 * (1.0 - phase.cos());
+                    if unit() * peak <= rate {
+                        out.push(t);
+                    }
+                }
+                out
+            }
+            ArrivalProcess::Trace { inter_arrival_s } => {
+                let mut t = 0.0;
+                (0..n)
+                    .map(|i| {
+                        if !inter_arrival_s.is_empty() {
+                            t += inter_arrival_s[i % inter_arrival_s.len()].max(0.0);
+                        }
+                        t
+                    })
+                    .collect()
+            }
+        };
+        shift_to_zero(out)
+    }
+
+    /// The long-run mean arrival rate this process targets, requests per
+    /// second (`None` for [`ArrivalProcess::Simultaneous`], whose rate is
+    /// unbounded). Useful for sizing serving scenarios against fleet
+    /// capacity; note the online replan controller in `s2m3-serve` uses
+    /// the *observed* rate of the running stream, not this target.
+    pub fn mean_rate_per_s(&self) -> Option<f64> {
+        match self {
+            ArrivalProcess::Simultaneous => None,
+            ArrivalProcess::Uniform { interval_s } => Some(1.0 / interval_s.max(1e-9)),
+            ArrivalProcess::Poisson { rate_per_s } => Some(*rate_per_s),
+            ArrivalProcess::Mmpp { rates_per_s, .. } => {
+                if rates_per_s.is_empty() {
+                    return Some(0.0);
+                }
+                Some(rates_per_s.iter().sum::<f64>() / rates_per_s.len() as f64)
+            }
+            ArrivalProcess::Diurnal {
+                base_rate_per_s,
+                peak_rate_per_s,
+                ..
+            } => {
+                // Mirror `arrivals`' clamp: peak is never below base.
+                let base = base_rate_per_s.max(0.0);
+                Some(0.5 * (base + peak_rate_per_s.max(base)))
+            }
+            ArrivalProcess::Trace { inter_arrival_s } => {
+                if inter_arrival_s.is_empty() {
+                    return Some(0.0);
+                }
+                let mean_gap = inter_arrival_s.iter().map(|g| g.max(0.0)).sum::<f64>()
+                    / inter_arrival_s.len() as f64;
+                Some(1.0 / mean_gap.max(1e-9))
+            }
         }
     }
+}
+
+/// Shifts a sorted arrival vector so the first arrival is at 0.
+fn shift_to_zero(mut out: Vec<f64>) -> Vec<f64> {
+    if let Some(&t0) = out.first() {
+        if t0 != 0.0 {
+            for v in &mut out {
+                *v -= t0;
+            }
+        }
+    }
+    out
 }
 
 /// A mixed request stream over an instance's deployed models.
@@ -147,6 +292,18 @@ mod tests {
             ArrivalProcess::Simultaneous,
             ArrivalProcess::Uniform { interval_s: 0.5 },
             ArrivalProcess::Poisson { rate_per_s: 2.0 },
+            ArrivalProcess::Mmpp {
+                rates_per_s: vec![0.5, 8.0],
+                mean_dwell_s: 3.0,
+            },
+            ArrivalProcess::Diurnal {
+                base_rate_per_s: 0.5,
+                peak_rate_per_s: 4.0,
+                period_s: 60.0,
+            },
+            ArrivalProcess::Trace {
+                inter_arrival_s: vec![0.1, 0.4, 2.0],
+            },
         ] {
             let a = p.arrivals(32, "t");
             let b = p.arrivals(32, "t");
@@ -169,6 +326,99 @@ mod tests {
             (measured - rate).abs() < 0.8,
             "measured rate {measured:.2} vs λ {rate}"
         );
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson_at_equal_mean_rate() {
+        // Same mean rate, but MMPP concentrates arrivals in storm phases:
+        // the variance of its inter-arrival gaps must exceed Poisson's.
+        let n = 2000;
+        let mmpp = ArrivalProcess::Mmpp {
+            rates_per_s: vec![0.2, 7.8],
+            mean_dwell_s: 10.0,
+        };
+        let poisson = ArrivalProcess::Poisson { rate_per_s: 4.0 };
+        let gap_var = |a: &[f64]| {
+            let gaps: Vec<f64> = a.windows(2).map(|w| w[1] - w[0]).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64
+        };
+        let vm = gap_var(&mmpp.arrivals(n, "burst"));
+        let vp = gap_var(&poisson.arrivals(n, "burst"));
+        assert!(vm > 2.0 * vp, "MMPP variance {vm:.4} vs Poisson {vp:.4}");
+    }
+
+    #[test]
+    fn diurnal_peaks_and_troughs_modulate_density() {
+        let p = ArrivalProcess::Diurnal {
+            base_rate_per_s: 0.2,
+            peak_rate_per_s: 8.0,
+            period_s: 100.0,
+        };
+        let a = p.arrivals(1200, "day");
+        // Count arrivals falling into peak-phase halves vs trough halves
+        // of each cycle; peaks must dominate.
+        let (mut peak, mut trough) = (0usize, 0usize);
+        for t in &a {
+            let phase = (t / 100.0).fract();
+            if (0.25..0.75).contains(&phase) {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        assert!(
+            peak > 2 * trough,
+            "peak half got {peak}, trough half got {trough}"
+        );
+    }
+
+    #[test]
+    fn trace_replay_cycles_and_clamps() {
+        let p = ArrivalProcess::Trace {
+            inter_arrival_s: vec![1.0, -5.0, 2.0],
+        };
+        let a = p.arrivals(7, "trace");
+        // Gaps cycle 1, 0 (clamped), 2, ...; the first arrival (after a
+        // 1 s gap) shifts back to t = 0.
+        assert_eq!(a, vec![0.0, 0.0, 2.0, 3.0, 3.0, 5.0, 6.0]);
+        assert_eq!(
+            ArrivalProcess::Trace {
+                inter_arrival_s: vec![]
+            }
+            .arrivals(3, "empty"),
+            vec![0.0, 0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn mean_rates_reflect_process_parameters() {
+        assert_eq!(ArrivalProcess::Simultaneous.mean_rate_per_s(), None);
+        assert_eq!(
+            ArrivalProcess::Uniform { interval_s: 0.5 }.mean_rate_per_s(),
+            Some(2.0)
+        );
+        assert_eq!(
+            ArrivalProcess::Mmpp {
+                rates_per_s: vec![1.0, 3.0],
+                mean_dwell_s: 5.0
+            }
+            .mean_rate_per_s(),
+            Some(2.0)
+        );
+        assert_eq!(
+            ArrivalProcess::Diurnal {
+                base_rate_per_s: 1.0,
+                peak_rate_per_s: 3.0,
+                period_s: 10.0
+            }
+            .mean_rate_per_s(),
+            Some(2.0)
+        );
+        let trace = ArrivalProcess::Trace {
+            inter_arrival_s: vec![0.5, 0.5],
+        };
+        assert_eq!(trace.mean_rate_per_s(), Some(2.0));
     }
 
     #[test]

@@ -361,7 +361,11 @@ mod tests {
         assert!(m.row(1).is_ok());
         assert!(matches!(
             m.row(2),
-            Err(TensorError::OutOfBounds { index: 2, bound: 2, .. })
+            Err(TensorError::OutOfBounds {
+                index: 2,
+                bound: 2,
+                ..
+            })
         ));
     }
 

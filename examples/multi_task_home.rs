@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             row.cumulative_dedicated_params / 1_000_000
         );
     }
-    println!("sharing saves {:.1}% of deployment memory\n", report.savings_percent());
+    println!(
+        "sharing saves {:.1}% of deployment memory\n",
+        report.savings_percent()
+    );
 
     // One simultaneous request per task; greedy placement shares modules.
     let requests: Vec<_> = instance
@@ -69,12 +72,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(q, _)| {
             let model = &instance.deployment(&q.model).expect("deployed").model;
             let candidates = q.profile.text_units as usize;
-            (q.id, RequestInput::synthetic(model, &format!("home-{}", q.id), candidates.max(1)))
+            (
+                q.id,
+                RequestInput::synthetic(model, &format!("home-{}", q.id), candidates.max(1)),
+            )
         })
         .collect();
     let runtime = Runtime::start(&instance, &plan)?;
     let outputs = runtime.execute_plan(&plan, &inputs)?;
     runtime.shutdown();
-    println!("\ndistributed runtime completed {} requests ✓", outputs.len());
+    println!(
+        "\ndistributed runtime completed {} requests ✓",
+        outputs.len()
+    );
     Ok(())
 }

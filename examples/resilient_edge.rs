@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "  switching cost {:.2} s, new latency {:.2} s, mandatory: {}",
-        decision.switching_cost_s, decision.new_latency_s, decision.mandatory()
+        decision.switching_cost_s,
+        decision.new_latency_s,
+        decision.mandatory()
     );
 
     // --- Scenario 2: the GPU server joins; is migrating worth it?
@@ -62,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let pp = greedy_place_partitioned(&big)?;
     for plan in &pp.sharded {
-        println!("  partitioned {} into {} pipeline stages:", plan.base.id, plan.shard_count());
+        println!(
+            "  partitioned {} into {} pipeline stages:",
+            plan.base.id,
+            plan.shard_count()
+        );
         for (shard, dev) in &plan.stages {
             println!("    {} -> {dev}", shard.id);
         }

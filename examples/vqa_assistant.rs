@@ -60,7 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .find(|r| r.model == MODEL && r.benchmark == "vqa-v2")
         .map(|r| r.paper_s2m3)
         .unwrap_or_default();
-    println!("VQA-v2 answer accuracy: {acc:.1}% over {QUESTIONS} questions (paper S2M3: {paper:.1}%)");
+    println!(
+        "VQA-v2 answer accuracy: {acc:.1}% over {QUESTIONS} questions (paper S2M3: {paper:.1}%)"
+    );
     println!("(distributed execution — every answer produced by modules on different devices)");
     Ok(())
 }

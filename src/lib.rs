@@ -1,0 +1,12 @@
+//! Workspace-level umbrella for the S2M3 reproduction.
+//!
+//! This crate exists so the repository root owns the cross-crate
+//! integration tests in `tests/` and the walkthrough examples in
+//! `examples/`. All functionality lives in the `s2m3` facade it
+//! re-exports; see that crate (or the repository `README.md`) for the
+//! actual API.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use s2m3;

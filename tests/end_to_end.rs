@@ -78,7 +78,10 @@ fn multi_task_shared_runtime_burst() {
     runtime.shutdown();
     assert_eq!(outputs.len(), 4);
     for (id, out) in &outputs {
-        let model = &instance.deployment(&plan.routed[*id as usize].0.model).unwrap().model;
+        let model = &instance
+            .deployment(&plan.routed[*id as usize].0.model)
+            .unwrap()
+            .model;
         let reference = reference::run_model(model, &inputs[id]).unwrap();
         assert_eq!(out, &reference, "request {id} diverged");
     }

@@ -27,7 +27,10 @@ fn device_loss_replanning() {
 
     // Still serves, at degraded but bounded latency.
     assert!(t_after >= t_before);
-    assert!(t_after < 20.0 * t_before, "replanned latency exploded: {t_after:.2}");
+    assert!(
+        t_after < 20.0 * t_before,
+        "replanned latency exploded: {t_after:.2}"
+    );
     // Placement no longer references the lost device.
     for (_, d) in after.placement.iter() {
         assert_ne!(d.as_str(), "laptop");
@@ -38,7 +41,9 @@ fn device_loss_replanning() {
 /// typed, actionable error (pointing at compression/partitioning).
 #[test]
 fn fleet_exhaustion_is_typed_infeasible() {
-    let fleet = Fleet::standard_testbed().restricted_to(&["jetson-a"]).unwrap();
+    let fleet = Fleet::standard_testbed()
+        .restricted_to(&["jetson-a"])
+        .unwrap();
     let instance = Instance::on_fleet(fleet, &[("LLaVA-v1.5-13B", 1)]).unwrap();
     match Plan::greedy(&instance, vec![]) {
         Err(CoreError::Infeasible {
@@ -69,7 +74,10 @@ fn runtime_survives_bad_route_then_serves() {
     // Corrupt the route: send the text encoder to a Jetson that only
     // hosts the head (or nothing).
     let mut bad = plan.routed[0].1.clone();
-    let wrong = if plan.placement.is_placed(&"text/CLIP-B-16".into(), &"jetson-a".into()) {
+    let wrong = if plan
+        .placement
+        .is_placed(&"text/CLIP-B-16".into(), &"jetson-a".into())
+    {
         "jetson-b"
     } else {
         "jetson-a"
@@ -116,7 +124,10 @@ fn replicas_provide_failover_routes() {
     let placement = greedy_place_with(&instance, PlacementOptions { replicate: true }).unwrap();
     let vision: s2m3::models::module::ModuleId = "vision/ViT-B-16".into();
     let hosts: Vec<_> = placement.hosts(&vision).cloned().collect();
-    assert!(hosts.len() >= 2, "replication should duplicate the vision tower");
+    assert!(
+        hosts.len() >= 2,
+        "replication should duplicate the vision tower"
+    );
 
     // Remove the fastest host from the fleet; routing must pick a replica.
     let request = instance.request(0, "CLIP ViT-B/16").unwrap();

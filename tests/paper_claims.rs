@@ -45,7 +45,10 @@ fn claim_multi_task_memory_saving_62_percent() {
     .unwrap();
     let report = SharingReport::for_instance(&instance);
     let saving = report.savings_percent();
-    assert!((58.0..64.0).contains(&saving), "multi-task saving {saving:.1}%");
+    assert!(
+        (58.0..64.0).contains(&saving),
+        "multi-task saving {saving:.1}%"
+    );
 }
 
 /// Abstract claim: "reducing inference latency by up to 56.9% on
@@ -53,10 +56,14 @@ fn claim_multi_task_memory_saving_62_percent() {
 /// VQA crossover of Table VI.
 #[test]
 fn claim_latency_reduction_vs_cloud() {
-    let full = Instance::on_fleet(Fleet::standard_testbed(), &[("Encoder-only VQA (Small)", 1)])
-        .unwrap();
+    let full = Instance::on_fleet(
+        Fleet::standard_testbed(),
+        &[("Encoder-only VQA (Small)", 1)],
+    )
+    .unwrap();
     let cloud = centralized_latency(&full, "Encoder-only VQA (Small)", "server").unwrap();
-    let edge = Instance::on_fleet(Fleet::edge_testbed(), &[("Encoder-only VQA (Small)", 1)]).unwrap();
+    let edge =
+        Instance::on_fleet(Fleet::edge_testbed(), &[("Encoder-only VQA (Small)", 1)]).unwrap();
     let ours = s2m3_latency(&edge, "Encoder-only VQA (Small)").unwrap();
     let reduction = 100.0 * (1.0 - ours / cloud);
     assert!(

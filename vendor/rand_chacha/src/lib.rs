@@ -1,0 +1,187 @@
+//! Workspace-local stand-in for the `rand_chacha` crate.
+//!
+//! Implements the ChaCha8 stream cipher (RFC 8439 block function with 8
+//! rounds) as a deterministic random number generator. Only the API the
+//! workspace uses is provided: [`ChaCha8Rng::from_seed`] via
+//! [`rand_core::SeedableRng`] and `next_u32`/`next_u64` via
+//! [`rand_core::Rng`]. Determinism is the property the workspace relies
+//! on; the exact stream is stable for the life of this vendored module.
+
+#![forbid(unsafe_code)]
+
+/// The core RNG traits (a minimal `rand_core`).
+pub mod rand_core {
+    /// A source of random numbers.
+    pub trait Rng {
+        /// The next 32 random bits.
+        fn next_u32(&mut self) -> u32;
+
+        /// The next 64 random bits.
+        fn next_u64(&mut self) -> u64 {
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            (hi << 32) | lo
+        }
+
+        /// Fills `dest` with random bytes.
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(4) {
+                let word = self.next_u32().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+        }
+    }
+
+    /// RNGs constructible from a fixed-size seed.
+    pub trait SeedableRng: Sized {
+        /// The seed type.
+        type Seed;
+
+        /// Builds the RNG from a seed.
+        fn from_seed(seed: Self::Seed) -> Self;
+    }
+
+    /// Legacy alias used by some call sites.
+    pub use Rng as RngCore;
+}
+
+use rand_core::{Rng, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// A ChaCha8-based deterministic RNG.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// 256-bit key as eight little-endian words.
+    key: [u32; 8],
+    /// 64-bit block counter.
+    counter: u64,
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word within `block` (16 = exhausted).
+    index: usize,
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865; // "expa"
+        state[1] = 0x3320_646e; // "nd 3"
+        state[2] = 0x7962_2d32; // "2-by"
+        state[3] = 0x6b20_6574; // "te k"
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let initial = state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial.iter()) {
+            *word = word.wrapping_add(*init);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            *word = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl Rng for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::from_seed([7; 32]);
+        let mut b = ChaCha8Rng::from_seed([7; 32]);
+        let mut c = ChaCha8Rng::from_seed([8; 32]);
+        let xs: Vec<u32> = (0..40).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..40).map(|_| b.next_u32()).collect();
+        let zs: Vec<u32> = (0..40).map(|_| c.next_u32()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn stream_is_roughly_uniform() {
+        let mut rng = ChaCha8Rng::from_seed([1; 32]);
+        let n = 20_000;
+        let mean = (0..n)
+            .map(|_| (rng.next_u32() >> 8) as f64 / (1u32 << 24) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn next_u64_combines_two_words() {
+        let mut a = ChaCha8Rng::from_seed([3; 32]);
+        let mut b = ChaCha8Rng::from_seed([3; 32]);
+        let lo = b.next_u32() as u64;
+        let hi = b.next_u32() as u64;
+        assert_eq!(a.next_u64(), (hi << 32) | lo);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = ChaCha8Rng::from_seed([5; 32]);
+        let mut buf = [0u8; 7];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,564 @@
+//! Workspace-local stand-in for the `serde` crate.
+//!
+//! The build environment has no crate registry, so this vendored module
+//! reimplements the slice of serde the workspace uses. The design trades
+//! serde's zero-copy streaming data model for a much smaller one: every
+//! serializer collapses to an owned [`value::Value`] tree, and
+//! deserializers hand that tree back. The public trait shapes
+//! ([`Serialize`], [`Deserialize`], [`Serializer`], [`Deserializer`])
+//! keep serde's generic signatures so existing call sites — including
+//! `#[serde(with = "...")]` helper modules written against the real crate
+//! — compile unchanged.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+use value::Value;
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can serialize themselves.
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer failure.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Sinks a [`Serialize`] type can write to. In this stand-in every
+/// serializer consumes one fully built [`Value`].
+pub trait Serializer: Sized {
+    /// Successful output.
+    type Ok;
+    /// Failure type.
+    type Error: From<Error>;
+
+    /// Consumes a built value tree.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Types that can deserialize themselves. The lifetime mirrors serde's
+/// borrowed-data parameter; this value-tree implementation always copies.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from `deserializer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deserializer failure or shape mismatch.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Sources a [`Deserialize`] type can read from: anything that can yield
+/// an owned [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Failure type.
+    type Error: From<Error>;
+
+    /// Produces the value tree to deserialize from.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// The canonical serializer: produces a [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+}
+
+/// The canonical deserializer: reads from an owned [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn into_value(self) -> Result<Value, Error> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes any value to a [`Value`] tree.
+///
+/// # Errors
+///
+/// Propagates [`Serialize`] failure.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes any type from a [`Value`] tree.
+///
+/// # Errors
+///
+/// [`Error`] on shape mismatch.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive and container implementations.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::UInt(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.into_value()?;
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::msg(format!("expected unsigned integer, got {v:?}")))?;
+                <$t>::try_from(n).map_err(|_| {
+                    D::Error::from(Error::msg(format!("{n} out of range for {}", stringify!($t))))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Int(*self as i64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.into_value()?;
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::msg(format!("expected integer, got {v:?}")))?;
+                <$t>::try_from(n).map_err(|_| {
+                    D::Error::from(Error::msg(format!("{n} out of range for {}", stringify!($t))))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Float(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.into_value()?;
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| Error::msg(format!("expected number, got {v:?}")))?;
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::from(Error::msg(format!(
+                "expected bool, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::from(Error::msg(format!(
+                "expected string, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+/// `&'static str` deserialization leaks the parsed string; it exists so
+/// derived impls on error types carrying `&'static str` operation names
+/// compile. Such fields are tiny, rare, and live for the process anyway.
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Str(s) => Ok(Box::leak(s.into_boxed_str())),
+            other => Err(D::Error::from(Error::msg(format!(
+                "expected string, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(to_value(item).map_err(S::Error::from)?);
+        }
+        s.serialize_value(Value::Array(out))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(D::Error::from))
+                .collect(),
+            other => Err(D::Error::from(Error::msg(format!(
+                "expected array, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Box::new(
+            from_value(d.into_value()?).map_err(D::Error::from)?,
+        ))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Null => Ok(None),
+            v => Ok(Some(from_value(v).map_err(D::Error::from)?)),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let items = vec![$(to_value(&self.$idx).map_err(S::Error::from)?),+];
+                s.serialize_value(Value::Array(items))
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.into_value()? {
+                    Value::Array(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(D::Error::from(Error::msg(format!(
+                                "expected {expected}-tuple, got {} items", items.len()
+                            ))));
+                        }
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $idx;
+                            from_value::<$name>(it.next().expect("length checked"))
+                                .map_err(D::Error::from)?
+                        },)+))
+                    }
+                    other => Err(D::Error::from(Error::msg(format!(
+                        "expected array for tuple, got {other:?}"
+                    )))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, Z: 3)
+}
+
+/// Converts a serialized key to the string form JSON objects require.
+fn key_to_string<K: Serialize>(key: &K) -> Result<String, Error> {
+    match to_value(key)? {
+        Value::Str(s) => Ok(s),
+        Value::UInt(n) => Ok(n.to_string()),
+        Value::Int(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error::msg(format!("unsupported map key {other:?}"))),
+    }
+}
+
+/// Rebuilds a key from its string form: tries the string itself first,
+/// then numeric reinterpretations (for integer-keyed maps).
+fn key_from_string<'de, K: Deserialize<'de>>(key: String) -> Result<K, Error> {
+    let parsed_uint = key.parse::<u64>().ok();
+    let parsed_int = key.parse::<i64>().ok();
+    match from_value::<K>(Value::Str(key)) {
+        Ok(k) => Ok(k),
+        Err(first) => {
+            if let Some(n) = parsed_uint {
+                if let Ok(k) = from_value::<K>(Value::UInt(n)) {
+                    return Ok(k);
+                }
+            }
+            if let Some(n) = parsed_int {
+                if let Ok(k) = from_value::<K>(Value::Int(n)) {
+                    return Ok(k);
+                }
+            }
+            Err(first)
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            entries.push((
+                key_to_string(k).map_err(S::Error::from)?,
+                to_value(v).map_err(S::Error::from)?,
+            ));
+        }
+        s.serialize_value(Value::Object(entries))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Object(entries) => {
+                let mut out = std::collections::BTreeMap::new();
+                for (k, v) in entries {
+                    out.insert(
+                        key_from_string(k).map_err(D::Error::from)?,
+                        from_value(v).map_err(D::Error::from)?,
+                    );
+                }
+                Ok(out)
+            }
+            other => Err(D::Error::from(Error::msg(format!(
+                "expected object, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S2> Serialize for std::collections::HashMap<K, V, S2> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Deterministic output: sort entries by key string.
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            entries.push((
+                key_to_string(k).map_err(S::Error::from)?,
+                to_value(v).map_err(S::Error::from)?,
+            ));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        s.serialize_value(Value::Object(entries))
+    }
+}
+
+impl<'de, K, V, S2> Deserialize<'de> for std::collections::HashMap<K, V, S2>
+where
+    K: Deserialize<'de> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S2: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Object(entries) => {
+                let mut out = std::collections::HashMap::with_capacity_and_hasher(
+                    entries.len(),
+                    S2::default(),
+                );
+                for (k, v) in entries {
+                    out.insert(
+                        key_from_string(k).map_err(D::Error::from)?,
+                        from_value(v).map_err(D::Error::from)?,
+                    );
+                }
+                Ok(out)
+            }
+            other => Err(D::Error::from(Error::msg(format!(
+                "expected object, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut out = Vec::with_capacity(self.len());
+        for item in self {
+            out.push(to_value(item).map_err(S::Error::from)?);
+        }
+        s.serialize_value(Value::Array(out))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.into_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| from_value(v).map_err(D::Error::from))
+                .collect(),
+            other => Err(D::Error::from(Error::msg(format!(
+                "expected array, got {other:?}"
+            )))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.into_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(from_value::<u64>(to_value(&7u64).unwrap()).unwrap(), 7);
+        assert_eq!(from_value::<i32>(to_value(&-3i32).unwrap()).unwrap(), -3);
+        assert_eq!(from_value::<f64>(to_value(&1.5f64).unwrap()).unwrap(), 1.5);
+        assert!(from_value::<bool>(to_value(&true).unwrap()).unwrap());
+        assert_eq!(from_value::<String>(to_value("hi").unwrap()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(from_value::<Vec<u32>>(to_value(&v).unwrap()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert(4u64, "four".to_string());
+        assert_eq!(
+            from_value::<BTreeMap<u64, String>>(to_value(&m).unwrap()).unwrap(),
+            m
+        );
+        let t = (1usize, "x".to_string());
+        assert_eq!(
+            from_value::<(usize, String)>(to_value(&t).unwrap()).unwrap(),
+            t
+        );
+        assert_eq!(
+            from_value::<Option<u8>>(to_value(&None::<u8>).unwrap()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn mismatches_error() {
+        assert!(from_value::<bool>(Value::UInt(1)).is_err());
+        assert!(from_value::<Vec<u8>>(Value::Str("no".into())).is_err());
+        assert!(from_value::<u8>(Value::UInt(300)).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! The owned value tree all (de)serialization flows through.
+
+use crate::Error;
+
+/// A JSON-shaped dynamic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative (or any signed) integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered set of key/value entries (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) => u64::try_from(n).ok(),
+            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::UInt(n) => i64::try_from(n).ok(),
+            Value::Float(f)
+                if f.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&f) =>
+            {
+                Some(f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(f) => Some(f),
+            Value::UInt(n) => Some(n as f64),
+            Value::Int(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value's entries if it is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The value's string if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Extracts (by clone) a named field from an object's entries.
+///
+/// # Errors
+///
+/// [`Error`] if the field is absent.
+pub fn get_field(entries: &[(String, Value)], name: &str) -> Result<Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| Error::msg(format!("missing field `{name}`")))
+}
+
+/// Like [`get_field`] but yields [`Value::Null`] when absent (for
+/// `Option` fields omitted by hand-written JSON).
+pub fn get_field_or_null(entries: &[(String, Value)], name: &str) -> Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.clone())
+        .unwrap_or(Value::Null)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::UInt(5).as_i64(), Some(5));
+        assert_eq!(Value::Int(-5).as_u64(), None);
+        assert_eq!(Value::Float(2.0).as_u64(), Some(2));
+        assert_eq!(Value::Float(2.5).as_u64(), None);
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn field_lookup() {
+        let obj = vec![("a".to_string(), Value::UInt(1))];
+        assert_eq!(get_field(&obj, "a").unwrap(), Value::UInt(1));
+        assert!(get_field(&obj, "b").is_err());
+        assert_eq!(get_field_or_null(&obj, "b"), Value::Null);
+    }
+}

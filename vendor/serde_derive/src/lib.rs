@@ -1,0 +1,536 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored value-tree serde without `syn`/`quote`: the input token
+//! stream is walked by hand and the generated impl is assembled as
+//! source text. Supported shapes (everything this workspace derives):
+//!
+//! - structs with named fields (incl. `#[serde(with = "module")]`);
+//! - one-field tuple ("newtype") structs, serialized transparently;
+//! - enums with unit, tuple, and struct variants, externally tagged like
+//!   the real serde (`"Variant"`, `{"Variant": value}`,
+//!   `{"Variant": {..}}`).
+//!
+//! Generic types are intentionally rejected with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    NewtypeStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .expect("generated Serialize parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .expect("generated Deserialize parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            let k = id.to_string();
+            i += 1;
+            k
+        }
+        other => return Err(format!("derive expects a struct or enum, found {other:?}")),
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => {
+            i += 1;
+            id.to_string()
+        }
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde derive does not support generic type `{name}`"
+        ));
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Ok(Input::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&body)?,
+                })
+            } else {
+                Ok(Input::Enum {
+                    name,
+                    variants: parse_variants(&body)?,
+                })
+            }
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let parts = split_top_level_commas(&inner);
+            if parts.len() != 1 {
+                return Err(format!(
+                    "vendored serde derive supports tuple structs with exactly one field; `{name}` has {}",
+                    parts.len()
+                ));
+            }
+            Ok(Input::NewtypeStruct { name })
+        }
+        other => Err(format!("unsupported {kind} body for `{name}`: {other:?}")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]`
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a token slice on commas, treating `<`/`>` pairs as nesting (so
+/// `BTreeMap<K, V>` stays one piece). Groups are atomic already.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut prev_minus = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => {
+                    if prev_minus {
+                        // `->` arrow: the '>' is not a closing bracket.
+                    } else {
+                        angle_depth -= 1;
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    prev_minus = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_minus = p.as_char() == '-';
+        } else {
+            prev_minus = false;
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Reads a leading run of attributes from `tokens`, returning the index
+/// after them and the `with = "..."` path if a serde attribute names one.
+fn take_attrs(tokens: &[TokenTree], start: usize) -> (usize, Option<String>) {
+    let mut i = start;
+    let mut with = None;
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    with = with.or_else(|| parse_with_path(args.stream()));
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, with)
+}
+
+fn parse_with_path(args: TokenStream) -> Option<String> {
+    let toks: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        if let TokenTree::Ident(id) = &toks[i] {
+            if id.to_string() == "with" {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (toks.get(i + 1), toks.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let text = lit.to_string();
+                        return Some(text.trim_matches('"').to_string());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for part in split_top_level_commas(tokens) {
+        if part.is_empty() {
+            continue;
+        }
+        let (mut i, with) = take_attrs(&part, 0);
+        if matches!(part.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(part.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        fields.push(Field { name, with });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level_commas(tokens) {
+        if part.is_empty() {
+            continue;
+        }
+        let (mut i, _) = take_attrs(&part, 0);
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match part.get(i) {
+            None => VariantShape::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantShape::Tuple(split_top_level_commas(&inner).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantShape::Named(parse_named_fields(&inner)?)
+            }
+            other => return Err(format!("unsupported variant body for `{name}`: {other:?}")),
+        };
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------------
+
+fn field_ser_expr(owner: &str, f: &Field) -> String {
+    match &f.with {
+        Some(path) => format!(
+            "{path}::serialize(&{owner}{name}, ::serde::ValueSerializer).map_err(__S::Error::from)?",
+            name = f.name
+        ),
+        None => format!(
+            "::serde::to_value(&{owner}{name}).map_err(__S::Error::from)?",
+            name = f.name
+        ),
+    }
+}
+
+fn field_de_expr(source: &str, f: &Field) -> String {
+    let fetch = format!(
+        "::serde::value::get_field_or_null({source}, \"{name}\")",
+        name = f.name
+    );
+    match &f.with {
+        Some(path) => format!(
+            "{path}::deserialize(::serde::ValueDeserializer({fetch}))\
+             .map_err(|e| __D::Error::from(::serde::Error::msg(format!(\"field `{name}`: {{e}}\", e = e))))?",
+            name = f.name
+        ),
+        None => format!(
+            "::serde::from_value({fetch})\
+             .map_err(|e| __D::Error::from(::serde::Error::msg(format!(\"field `{name}`: {{e}}\", e = e))))?",
+            name = f.name
+        ),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push((\"{n}\".to_string(), {expr}));\n",
+                        n = f.name,
+                        expr = field_ser_expr("self.", f)
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize<__S: ::serde::Serializer>(&self, __s: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{
+                        let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();
+                        {pushes}
+                        __s.serialize_value(::serde::value::Value::Object(__obj))
+                    }}
+                }}"
+            )
+        }
+        Input::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn serialize<__S: ::serde::Serializer>(&self, __s: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{
+                    let __v = ::serde::to_value(&self.0).map_err(__S::Error::from)?;
+                    __s.serialize_value(__v)
+                }}
+            }}"
+        ),
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => __s.serialize_value(::serde::value::Value::Str(\"{vname}\".to_string())),\n"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => {{
+                                let __val = ::serde::to_value(__f0).map_err(__S::Error::from)?;
+                                __s.serialize_value(::serde::value::Value::Object(vec![(\"{vname}\".to_string(), __val)]))
+                            }},\n"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let items: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::to_value({b}).map_err(__S::Error::from)?,"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binds}) => {{
+                                    let __items = vec![{items}];
+                                    __s.serialize_value(::serde::value::Value::Object(vec![(\"{vname}\".to_string(), ::serde::value::Value::Array(__items))]))
+                                }},\n",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "__inner.push((\"{n}\".to_string(), {expr}));\n",
+                                        n = f.name,
+                                        expr = field_ser_expr("*", f)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {{
+                                    let mut __inner: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();
+                                    {pushes}
+                                    __s.serialize_value(::serde::value::Value::Object(vec![(\"{vname}\".to_string(), ::serde::value::Value::Object(__inner))]))
+                                }},\n",
+                                binds = binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn serialize<__S: ::serde::Serializer>(&self, __s: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{
+                        match self {{
+                            {arms}
+                        }}
+                    }}
+                }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{n}: {expr},\n", n = f.name, expr = field_de_expr("__obj", f)))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{
+                    fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) -> ::core::result::Result<Self, __D::Error> {{
+                        let __v = __d.into_value()?;
+                        let __obj = match &__v {{
+                            ::serde::value::Value::Object(e) => e.as_slice(),
+                            __other => return ::core::result::Result::Err(__D::Error::from(::serde::Error::msg(
+                                format!(\"expected object for struct {name}, got {{__other:?}}\")))),
+                        }};
+                        ::core::result::Result::Ok({name} {{
+                            {inits}
+                        }})
+                    }}
+                }}"
+            )
+        }
+        Input::NewtypeStruct { name } => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{
+                fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) -> ::core::result::Result<Self, __D::Error> {{
+                    ::core::result::Result::Ok({name}(::serde::from_value(__d.into_value()?).map_err(__D::Error::from)?))
+                }}
+            }}"
+        ),
+        Input::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n", vname = v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter(|v| !matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => unreachable!(),
+                        VariantShape::Tuple(1) => format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(
+                                ::serde::from_value(__payload.clone()).map_err(__D::Error::from)?)),\n"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let gets: String = (0..*n)
+                                .map(|k| format!(
+                                    "::serde::from_value(__items[{k}].clone()).map_err(__D::Error::from)?,"
+                                ))
+                                .collect();
+                            format!(
+                                "\"{vname}\" => match __payload {{
+                                    ::serde::value::Value::Array(__items) if __items.len() == {n} =>
+                                        ::core::result::Result::Ok({name}::{vname}({gets})),
+                                    __other => ::core::result::Result::Err(__D::Error::from(::serde::Error::msg(
+                                        format!(\"variant {vname} expects {n} values, got {{__other:?}}\")))),
+                                }},\n"
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{n}: {expr},\n", n = f.name, expr = field_de_expr("__inner", f)))
+                                .collect();
+                            format!(
+                                "\"{vname}\" => match __payload {{
+                                    ::serde::value::Value::Object(__inner_entries) => {{
+                                        let __inner = __inner_entries.as_slice();
+                                        ::core::result::Result::Ok({name}::{vname} {{
+                                            {inits}
+                                        }})
+                                    }}
+                                    __other => ::core::result::Result::Err(__D::Error::from(::serde::Error::msg(
+                                        format!(\"variant {vname} expects an object, got {{__other:?}}\")))),
+                                }},\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{
+                    fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) -> ::core::result::Result<Self, __D::Error> {{
+                        let __v = __d.into_value()?;
+                        match &__v {{
+                            ::serde::value::Value::Str(__s) => match __s.as_str() {{
+                                {unit_arms}
+                                __other => ::core::result::Result::Err(__D::Error::from(::serde::Error::msg(
+                                    format!(\"unknown {name} variant `{{__other}}`\")))),
+                            }},
+                            ::serde::value::Value::Object(__entries) if __entries.len() == 1 => {{
+                                let (__tag, __payload) = (&__entries[0].0, &__entries[0].1);
+                                match __tag.as_str() {{
+                                    {payload_arms}
+                                    __other => ::core::result::Result::Err(__D::Error::from(::serde::Error::msg(
+                                        format!(\"unknown {name} variant `{{__other}}`\")))),
+                                }}
+                            }}
+                            __other => ::core::result::Result::Err(__D::Error::from(::serde::Error::msg(
+                                format!(\"expected {name} variant, got {{__other:?}}\")))),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    }
+}
