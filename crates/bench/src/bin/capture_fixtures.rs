@@ -1,0 +1,67 @@
+//! Regenerates the golden fixtures under `tests/fixtures/` used by the
+//! workspace equivalence tests (`tests/equivalence.rs`).
+//!
+//! The fixtures pin the exact JSON of `Plan`, `SimReport`, and
+//! `ServeReport` for canonical scenarios, so hot-path refactors (like the
+//! interned-index `ResolvedInstance` layer) can prove byte-identical
+//! behavior against the pre-refactor outputs. Run from the repo root:
+//!
+//! ```text
+//! cargo run --release -p s2m3-bench --bin capture_fixtures
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use s2m3_core::plan::Plan;
+use s2m3_core::problem::Instance;
+use s2m3_serve::{serve, ServeScenario};
+use s2m3_sim::engine::{simulate, SimConfig};
+
+/// The zoo models pinned by the equivalence fixtures.
+pub const FIXTURE_MODELS: [(&str, usize); 3] = [
+    ("CLIP ViT-B/16", 101),
+    ("Encoder-only VQA (Small)", 1),
+    ("Flint-v0.5-1B", 1),
+];
+
+fn plan_for(name: &str, candidates: usize, n_requests: usize) -> Plan {
+    let i = Instance::single_model(name, candidates).expect("fixture model exists");
+    let requests: Vec<_> = (0..n_requests)
+        .map(|k| i.request(k as u64, name).expect("deployed model"))
+        .collect();
+    Plan::greedy(&i, requests).expect("fixture plan builds")
+}
+
+fn main() {
+    let dir = Path::new("tests/fixtures");
+    fs::create_dir_all(dir).expect("fixture dir");
+
+    for (name, candidates) in FIXTURE_MODELS {
+        let slug: String = name
+            .chars()
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let plan = plan_for(name, candidates, 2);
+        let json = serde_json::to_string_pretty(&plan).expect("plan serializes");
+        fs::write(dir.join(format!("plan_{slug}.json")), &json).expect("write plan fixture");
+
+        let i = Instance::single_model(name, candidates).unwrap();
+        let report = simulate(&i, &plan, &SimConfig::default()).expect("fixture sim runs");
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        fs::write(dir.join(format!("sim_{slug}.json")), &json).expect("write sim fixture");
+    }
+
+    let scenario = ServeScenario::churn_default();
+    let report = serve(&scenario).expect("churn scenario serves");
+    let json = serde_json::to_string_pretty(&report).expect("serve report serializes");
+    fs::write(dir.join("serve_churn_default.json"), &json).expect("write serve fixture");
+
+    println!("fixtures written to {}", dir.display());
+}

@@ -1,0 +1,179 @@
+//! Hot-path wall-clock baseline: times placement, the brute-force Upper
+//! bound, the offline simulator, and the online serving loop, and records
+//! the medians in `BENCH_serve.json` — the repo's performance trajectory.
+//!
+//! Usage (from the repo root):
+//!
+//! ```text
+//! # Record the "before" side of a comparison (pre-optimization tree):
+//! cargo run --release -p s2m3-bench --bin perf_baseline -- --record-before
+//!
+//! # Record the "after" side and compute speedups against the stored
+//! # before numbers:
+//! cargo run --release -p s2m3-bench --bin perf_baseline
+//!
+//! # CI smoke mode: fewer iterations, still writes nothing unless asked.
+//! cargo run --release -p s2m3-bench --bin perf_baseline -- --quick --no-write
+//! ```
+//!
+//! The output JSON maps bench name → `{before_ns, after_ns, speedup}`
+//! (medians, nanoseconds per operation). Only the side being recorded is
+//! overwritten, so before/after survive independent runs.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use s2m3_core::placement::greedy_place;
+use s2m3_core::plan::Plan;
+use s2m3_core::problem::Instance;
+use s2m3_core::upper::optimal_placement;
+use s2m3_serve::{serve, AdmissionPolicy, ServeScenario};
+use s2m3_sim::engine::{simulate, SimConfig};
+
+const OUT_PATH: &str = "BENCH_serve.json";
+
+/// One bench's recorded medians.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Entry {
+    /// Median ns/op before the optimization under comparison.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    before_ns: Option<u64>,
+    /// Median ns/op on the current tree.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    after_ns: Option<u64>,
+    /// `before_ns / after_ns` when both sides exist.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    speedup: Option<f64>,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct BenchFile {
+    generated_by: String,
+    benches: BTreeMap<String, Entry>,
+}
+
+fn median_ns(iters: usize, mut op: impl FnMut()) -> u64 {
+    // One untimed warmup to populate caches/allocator arenas.
+    op();
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            op();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn serve_scenario(requests: usize, admission: AdmissionPolicy, churn: bool) -> ServeScenario {
+    let mut s = ServeScenario {
+        requests,
+        admission,
+        ..ServeScenario::churn_default()
+    };
+    if !churn {
+        s.events.clear();
+    }
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let record_before = args.iter().any(|a| a == "--record-before");
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_write = args.iter().any(|a| a == "--no-write");
+    let iters = if quick { 5 } else { 21 };
+
+    let single = Instance::single_model("CLIP ViT-B/16", 101).expect("zoo model");
+    let multi = Instance::on_fleet(
+        s2m3_net::fleet::Fleet::standard_testbed(),
+        &[
+            ("CLIP ViT-B/16", 101),
+            ("Encoder-only VQA (Small)", 1),
+            ("AlignBind-B", 16),
+            ("CLIP-Classifier Food-101", 0),
+            ("Flint-v0.5-1B", 1),
+        ],
+    )
+    .expect("zoo models");
+    let sim_plan = {
+        let requests: Vec<_> = (0..32)
+            .map(|k| single.request(k, "CLIP ViT-B/16").unwrap())
+            .collect();
+        Plan::greedy(&single, requests).expect("plan builds")
+    };
+    let fifo = serve_scenario(500, AdmissionPolicy::Fifo, false);
+    let edf = serve_scenario(500, AdmissionPolicy::EarliestDeadlineFirst, false);
+    let churn = serve_scenario(500, AdmissionPolicy::ShedOnOverload { max_queue: 48 }, true);
+
+    let mut results: Vec<(&str, u64)> = Vec::new();
+    results.push((
+        "greedy_place/five-task",
+        median_ns(iters * 20, || {
+            std::hint::black_box(greedy_place(&multi).unwrap());
+        }),
+    ));
+    results.push((
+        "optimal_placement/single-model",
+        median_ns(iters, || {
+            std::hint::black_box(optimal_placement(&single).unwrap());
+        }),
+    ));
+    results.push((
+        "simulate/32req",
+        median_ns(iters * 4, || {
+            std::hint::black_box(simulate(&single, &sim_plan, &SimConfig::default()).unwrap());
+        }),
+    ));
+    results.push((
+        "serve_loop/500req_fifo",
+        median_ns(iters, || {
+            std::hint::black_box(serve(&fifo).unwrap());
+        }),
+    ));
+    results.push((
+        "serve_loop/500req_edf",
+        median_ns(iters, || {
+            std::hint::black_box(serve(&edf).unwrap());
+        }),
+    ));
+    results.push((
+        "serve_loop/500req_churn_replan",
+        median_ns(iters, || {
+            std::hint::black_box(serve(&churn).unwrap());
+        }),
+    ));
+
+    let mut file: BenchFile = std::fs::read_to_string(OUT_PATH)
+        .ok()
+        .and_then(|text| serde_json::from_str(&text).ok())
+        .unwrap_or_default();
+    file.generated_by = "cargo run --release -p s2m3-bench --bin perf_baseline".to_string();
+
+    let side = if record_before { "before" } else { "after" };
+    println!("{:<34} {:>14}  ({side})", "bench", "median ns/op");
+    for (name, ns) in &results {
+        println!("{name:<34} {ns:>14}");
+        let entry = file.benches.entry((*name).to_string()).or_default();
+        if record_before {
+            entry.before_ns = Some(*ns);
+        } else {
+            entry.after_ns = Some(*ns);
+        }
+        entry.speedup = match (entry.before_ns, entry.after_ns) {
+            (Some(b), Some(a)) if a > 0 => Some(b as f64 / a as f64),
+            _ => None,
+        };
+    }
+
+    if no_write {
+        println!("--no-write: {OUT_PATH} left untouched");
+        return;
+    }
+    let json = serde_json::to_string_pretty(&file).expect("bench file serializes");
+    std::fs::write(OUT_PATH, json + "\n").expect("write BENCH_serve.json");
+    println!("wrote {OUT_PATH}");
+}

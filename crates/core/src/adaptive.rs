@@ -26,10 +26,9 @@ use s2m3_models::module::ModuleId;
 use s2m3_net::device::DeviceId;
 
 use crate::error::CoreError;
-use crate::objective::total_latency;
-use crate::placement::greedy_place;
+use crate::placement::{greedy_place_resolved, PlacementOptions};
 use crate::problem::{Instance, Placement};
-use crate::routing::route_request;
+use crate::resolved::ResolvedInstance;
 
 /// One module migration.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,7 +103,8 @@ pub fn replan(
     new_instance: &Instance,
     old_placement: &Placement,
 ) -> Result<ReplanDecision, CoreError> {
-    let placement = greedy_place(new_instance)?;
+    let resolved = ResolvedInstance::new(new_instance)?;
+    let placement = greedy_place_resolved(&resolved, PlacementOptions::default())?;
 
     // Migrations: modules whose (sole) host changed or disappeared.
     let mut migrations = Vec::new();
@@ -139,8 +139,21 @@ pub fn replan(
             surviving.place(m.clone(), d.clone());
         }
     }
-    let old_latency_s = mean_latency(new_instance, &surviving).ok();
-    let new_latency_s = mean_latency(new_instance, &placement)?;
+    let old_latency_s = mean_latency(&resolved, &surviving);
+    let new_latency_s = match mean_latency(&resolved, &placement) {
+        Some(latency) => latency,
+        // A fresh greedy placement hosts every module, so this is
+        // unreachable unless the greedy itself is broken — report the
+        // module that lost its host, as the string path did.
+        None => {
+            let hosts = resolved.resolve_placement(&placement);
+            let missing = (0..resolved.module_count() as u32)
+                .find(|&m| hosts[m as usize].is_empty())
+                .map(|m| resolved.module_name(m).clone())
+                .unwrap_or_else(|| ModuleId::new("unknown"));
+            return Err(CoreError::Unrouted(missing));
+        }
+    };
 
     Ok(ReplanDecision {
         placement,
@@ -151,24 +164,36 @@ pub fn replan(
     })
 }
 
-fn mean_latency(instance: &Instance, placement: &Placement) -> Result<f64, CoreError> {
+/// Mean canonical-request latency of `placement`, evaluated on the
+/// interned tables; `None` when some required module has no surviving
+/// host (the placement cannot serve — migration is mandatory).
+fn mean_latency(resolved: &ResolvedInstance, placement: &Placement) -> Option<f64> {
+    let hosts = resolved.resolve_placement(placement);
+    let source = resolved.requester();
     let mut sum = 0.0;
     let mut n = 0usize;
-    for (k, d) in instance.deployments().iter().enumerate() {
-        let q = instance.request(k as u64, &d.model.name)?;
-        let route = route_request(instance, placement, &q)?;
-        sum += total_latency(instance, &route, &q)?;
+    for k in 0..resolved.models().len() {
+        let profile = resolved.models()[k].profile;
+        let route = resolved.route_model(k, &profile, &hosts)?;
+        sum += resolved.total_latency(k, &profile, source, |m| {
+            route
+                .iter()
+                .find(|(rm, _)| *rm == m)
+                .map(|(_, d)| *d)
+                .expect("route covers every model module")
+        });
         n += 1;
     }
     if n == 0 {
-        return Ok(0.0);
+        return Some(0.0);
     }
-    Ok(sum / n as f64)
+    Some(sum / n as f64)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::placement::greedy_place;
 
     #[test]
     fn losing_the_text_host_forces_migration() {

@@ -36,6 +36,10 @@
 //!   greedy is optimal in ~94% of instances.
 //! - [`objective`]: the exact analytic evaluator of Eqs. (1)–(4), shared
 //!   by all of the above and by the property tests.
+//! - [`resolved::ResolvedInstance`]: the interned-index data layer the
+//!   hot paths run on — string ids at the boundary, dense `u32` indices
+//!   and flat compute/link tables in the core (see the repository
+//!   README's "Performance" section).
 //!
 //! ## Example
 //!
@@ -60,6 +64,7 @@ pub mod partition;
 pub mod placement;
 pub mod plan;
 pub mod problem;
+pub mod resolved;
 pub mod routing;
 pub mod sharing;
 pub mod upper;
@@ -73,6 +78,7 @@ pub mod prelude {
     pub use crate::placement::greedy_place;
     pub use crate::plan::Plan;
     pub use crate::problem::{Instance, Placement, Request, RequestProfile, Route};
+    pub use crate::resolved::ResolvedInstance;
     pub use crate::routing::route_request;
     pub use crate::sharing::SharingReport;
     pub use crate::upper::optimal_placement;

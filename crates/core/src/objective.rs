@@ -334,7 +334,7 @@ mod tests {
         validate(&i, &p, &[(q.clone(), r.clone())]).unwrap();
 
         // Route to a non-hosting device → NotHosted.
-        let mut bad = r.clone();
+        let mut bad = r;
         let vision = "vision/ViT-B-16".into();
         let wrong: DeviceId = if p.is_placed(&vision, &"jetson-b".into()) {
             "jetson-a".into()
@@ -354,7 +354,7 @@ mod tests {
             p.hosts(&"head/cosine".into()).next().unwrap().clone(),
         );
         assert!(matches!(
-            validate(&i, &p, &[(q.clone(), partial)]),
+            validate(&i, &p, &[(q, partial)]),
             Err(CoreError::Unrouted(_))
         ));
     }

@@ -19,6 +19,7 @@ use s2m3_net::device::DeviceId;
 
 use crate::error::CoreError;
 use crate::problem::{Instance, Placement, RequestProfile};
+use crate::resolved::ResolvedInstance;
 
 /// Maximum shards to try before declaring the instance hopeless.
 pub const MAX_SHARDS: usize = 8;
@@ -131,81 +132,32 @@ impl PartitionedPlacement {
 /// [`CoreError::Infeasible`] when even [`MAX_SHARDS`]-way sharding cannot
 /// fit; [`CoreError::EmptyFleet`] on an empty fleet.
 pub fn greedy_place_partitioned(instance: &Instance) -> Result<PartitionedPlacement, CoreError> {
-    let devices = instance.fleet().devices();
-    if devices.is_empty() {
-        return Err(CoreError::EmptyFleet);
-    }
+    let resolved = ResolvedInstance::new(instance)?;
+    let nd = resolved.device_count();
 
     // Classify modules: those that fit on at least one device go to the
     // ordinary greedy; the rest get sharded.
-    let max_budget = devices
-        .iter()
-        .map(|d| d.usable_memory_bytes())
+    let max_budget = (0..nd as u32)
+        .map(|d| resolved.device_budget(d))
         .max()
         .unwrap_or(0);
-    let (fitting, oversized): (Vec<_>, Vec<_>) = instance
-        .distinct_modules()
-        .into_iter()
-        .partition(|m| m.memory_bytes() <= max_budget);
+    let (fitting, oversized): (Vec<u32>, Vec<u32>) =
+        (0..resolved.module_count() as u32).partition(|&m| resolved.module_memory(m) <= max_budget);
 
-    // Place the fitting modules with the standard greedy on a reduced
-    // instance? The greedy works off `instance.distinct_modules()`, so
-    // replicate its logic here with an explicit module list instead.
-    let mut remaining: std::collections::BTreeMap<DeviceId, u64> = devices
-        .iter()
-        .map(|d| (d.id.clone(), d.usable_memory_bytes()))
-        .collect();
-    let mut accum: std::collections::BTreeMap<DeviceId, f64> =
-        devices.iter().map(|d| (d.id.clone(), 0.0)).collect();
+    // Place the fitting modules with the shared greedy scoring loop
+    // (Eqs. 5/6 in `placement::place_modules_resolved`), restricted to
+    // this explicit module list.
+    let mut remaining: Vec<u64> = (0..nd as u32).map(|d| resolved.device_budget(d)).collect();
     let mut placement = Placement::new();
+    crate::placement::place_modules_resolved(&resolved, fitting, &mut remaining, &mut placement)?;
 
-    let mut ordered = fitting;
-    ordered.sort_by(|a, b| {
-        b.memory_bytes()
-            .cmp(&a.memory_bytes())
-            .then_with(|| a.id.cmp(&b.id))
-    });
-    for m in &ordered {
-        let mut scored: Vec<(f64, &DeviceId)> = Vec::new();
-        for d in devices {
-            let t = instance.compute_time(m, &d.id)?;
-            let t_place = if m.kind.is_encoder() {
-                t + accum[&d.id]
-            } else {
-                t
-            };
-            scored.push((t_place, &d.id));
-        }
-        scored.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.1.cmp(b.1))
-        });
-        let need = m.memory_bytes();
-        let mut placed = false;
-        for (_, n) in &scored {
-            if need <= remaining[*n] {
-                placement.place(m.id.clone(), (*n).clone());
-                *remaining.get_mut(*n).expect("known") -= need;
-                if m.kind.is_encoder() {
-                    *accum.get_mut(*n).expect("known") += instance.compute_time(m, n)?;
-                }
-                placed = true;
-                break;
-            }
-        }
-        if !placed {
-            return Err(CoreError::Infeasible {
-                module: m.id.clone(),
-                required_bytes: need,
-                best_remaining_bytes: remaining.values().copied().max().unwrap_or(0),
-            });
-        }
-    }
-
-    // Shard the oversized modules, smallest shard count that fits.
+    // Shard the oversized modules, smallest shard count that fits. Shard
+    // specs are synthesized on the fly (they are not interned), so this
+    // cold fallback scores through the string-id API.
+    let devices = instance.fleet().devices();
     let mut sharded = Vec::new();
-    for m in oversized {
+    for mi in oversized {
+        let m = resolved.module_spec(mi);
         let mut placed_plan: Option<ShardPlan> = None;
         'shards: for k in 2..=MAX_SHARDS {
             let shards = shard_module(m, k);
@@ -214,21 +166,25 @@ pub fn greedy_place_partitioned(instance: &Instance) -> Result<PartitionedPlacem
             let mut trial_remaining = remaining.clone();
             let mut stages = Vec::with_capacity(k);
             for shard in &shards {
-                let mut scored: Vec<(f64, &DeviceId)> = Vec::new();
-                for d in devices {
-                    scored.push((instance.compute_time(shard, &d.id)?, &d.id));
+                let units = instance.placement_units(shard);
+                let mut scored: Vec<(f64, u32)> = Vec::with_capacity(nd);
+                for (di, d) in devices.iter().enumerate() {
+                    scored.push((d.compute_time(shard, units), di as u32));
                 }
                 scored.sort_by(|a, b| {
                     a.0.partial_cmp(&b.0)
                         .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| a.1.cmp(b.1))
+                        .then_with(|| resolved.device_rank(a.1).cmp(&resolved.device_rank(b.1)))
                 });
                 let need = shard.memory_bytes();
-                let Some((_, n)) = scored.iter().find(|(_, n)| need <= trial_remaining[*n]) else {
+                let Some(&(_, n)) = scored
+                    .iter()
+                    .find(|&&(_, n)| need <= trial_remaining[n as usize])
+                else {
                     continue 'shards;
                 };
-                *trial_remaining.get_mut(*n).expect("known") -= need;
-                stages.push((shard.clone(), (*n).clone()));
+                trial_remaining[n as usize] -= need;
+                stages.push((shard.clone(), resolved.device_name(n).clone()));
             }
             remaining = trial_remaining;
             placed_plan = Some(ShardPlan {
@@ -246,9 +202,9 @@ pub fn greedy_place_partitioned(instance: &Instance) -> Result<PartitionedPlacem
             }
             None => {
                 return Err(CoreError::Infeasible {
-                    module: m.id.clone(),
-                    required_bytes: m.memory_bytes() / MAX_SHARDS as u64,
-                    best_remaining_bytes: remaining.values().copied().max().unwrap_or(0),
+                    module: resolved.module_name(mi).clone(),
+                    required_bytes: resolved.module_memory(mi) / MAX_SHARDS as u64,
+                    best_remaining_bytes: remaining.iter().copied().max().unwrap_or(0),
                 });
             }
         }

@@ -1,12 +1,13 @@
 //! Greedy module placement — Algorithm 1, lines 2–12, plus the
 //! leftover-memory replication pass described in Sec. V-B.
-
-use std::collections::BTreeMap;
-
-use s2m3_net::device::DeviceId;
+//!
+//! The scoring loops run on [`ResolvedInstance`]'s interned indices and
+//! flat compute tables (no string-keyed maps); the returned [`Placement`]
+//! still speaks string ids at the boundary.
 
 use crate::error::CoreError;
 use crate::problem::{Instance, Placement};
+use crate::resolved::ResolvedInstance;
 
 /// Options for the greedy placement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -47,15 +48,64 @@ pub fn greedy_place_with(
     instance: &Instance,
     opts: PlacementOptions,
 ) -> Result<Placement, CoreError> {
-    let devices = instance.fleet().devices();
-    if devices.is_empty() {
-        return Err(CoreError::EmptyFleet);
+    let resolved = ResolvedInstance::new(instance)?;
+    greedy_place_resolved(&resolved, opts)
+}
+
+/// Greedy placement over a pre-built [`ResolvedInstance`] (hot-loop
+/// entry point — callers that already hold one skip re-interning).
+///
+/// # Errors
+///
+/// See [`greedy_place`].
+pub fn greedy_place_resolved(
+    resolved: &ResolvedInstance,
+    opts: PlacementOptions,
+) -> Result<Placement, CoreError> {
+    let nd = resolved.device_count();
+    let mut remaining: Vec<u64> = (0..nd as u32).map(|d| resolved.device_budget(d)).collect();
+    let mut placement = Placement::new();
+
+    let modules: Vec<u32> = (0..resolved.module_count() as u32).collect();
+    let modules = place_modules_resolved(resolved, modules, &mut remaining, &mut placement)?;
+
+    if opts.replicate {
+        // Largest modules first, any device with leftover room.
+        for &m in &modules {
+            let need = resolved.module_memory(m);
+            for d in 0..nd as u32 {
+                let (mid, did) = (resolved.module_name(m), resolved.device_name(d));
+                if !placement.is_placed(mid, did) && need <= remaining[d as usize] {
+                    placement.place(mid.clone(), did.clone());
+                    remaining[d as usize] -= need;
+                }
+            }
+        }
     }
 
-    let mut remaining: BTreeMap<DeviceId, u64> = devices
-        .iter()
-        .map(|d| (d.id.clone(), d.usable_memory_bytes()))
-        .collect();
+    Ok(placement)
+}
+
+/// The shared Eqs. 5/6 scoring-and-first-fit loop: places `modules`
+/// (any subset of the interned module space) into `placement`, debiting
+/// `remaining` per device. Returns the modules in the visit order
+/// (descending memory, module id — i.e. index — breaking ties), which
+/// the replication pass reuses.
+///
+/// Used by both [`greedy_place_resolved`] and the partitioned placer's
+/// fitting-modules phase, so the completion-time rule lives in exactly
+/// one place.
+///
+/// # Errors
+///
+/// [`CoreError::Infeasible`] when some module fits on no device.
+pub(crate) fn place_modules_resolved(
+    resolved: &ResolvedInstance,
+    mut modules: Vec<u32>,
+    remaining: &mut [u64],
+    placement: &mut Placement,
+) -> Result<Vec<u32>, CoreError> {
+    let nd = resolved.device_count();
     // Accumulated compute time of *encoder* modules already placed per
     // device (the Σ_{m'} x_{m',n} t_comp(m',n) term of Eq. 5). Only
     // encoders accumulate: they are the modules that contend for the
@@ -63,43 +113,48 @@ pub fn greedy_place_with(
     // encodings and so do not delay a co-located encoder. (Summing heads
     // too would push encoders off any device hosting an LLM head and
     // lose the co-location the paper's measured placements exhibit.)
-    let mut accum: BTreeMap<DeviceId, f64> = devices.iter().map(|d| (d.id.clone(), 0.0)).collect();
+    let mut accum: Vec<f64> = vec![0.0; nd];
 
-    let mut modules = instance.distinct_modules();
-    // Descending memory requirement; module id breaks ties determinately.
-    modules.sort_by(|a, b| {
-        b.memory_bytes()
-            .cmp(&a.memory_bytes())
-            .then_with(|| a.id.cmp(&b.id))
+    // Descending memory requirement; module id — which is module index
+    // order — breaks ties determinately.
+    modules.sort_by(|&a, &b| {
+        resolved
+            .module_memory(b)
+            .cmp(&resolved.module_memory(a))
+            .then_with(|| a.cmp(&b))
     });
 
-    let mut placement = Placement::new();
-    for m in &modules {
+    let mut scored: Vec<(f64, u32)> = Vec::with_capacity(nd);
+    for &m in &modules {
         // Score each device by completion time t_place (Eqs. 5/6).
-        let mut scored: Vec<(f64, &DeviceId)> = Vec::with_capacity(devices.len());
-        for d in devices {
-            let t_comp = instance.compute_time(m, &d.id)?;
-            let t_place = if m.kind.is_encoder() {
-                t_comp + accum[&d.id]
+        let is_encoder = resolved.module_kind(m).is_encoder();
+        scored.clear();
+        for d in 0..nd as u32 {
+            let t_comp = resolved.placement_compute(m, d);
+            let t_place = if is_encoder {
+                t_comp + accum[d as usize]
             } else {
                 t_comp
             };
-            scored.push((t_place, &d.id));
+            scored.push((t_place, d));
         }
         scored.sort_by(|a, b| {
             a.0.partial_cmp(&b.0)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.1.cmp(b.1))
+                .then_with(|| resolved.device_rank(a.1).cmp(&resolved.device_rank(b.1)))
         });
 
-        let need = m.memory_bytes();
+        let need = resolved.module_memory(m);
         let mut placed = false;
-        for (_, n) in &scored {
-            if need <= remaining[*n] {
-                placement.place(m.id.clone(), (*n).clone());
-                *remaining.get_mut(*n).expect("known device") -= need;
-                if m.kind.is_encoder() {
-                    *accum.get_mut(*n).expect("known device") += instance.compute_time(m, n)?;
+        for &(_, n) in &scored {
+            if need <= remaining[n as usize] {
+                placement.place(
+                    resolved.module_name(m).clone(),
+                    resolved.device_name(n).clone(),
+                );
+                remaining[n as usize] -= need;
+                if is_encoder {
+                    accum[n as usize] += resolved.placement_compute(m, n);
                 }
                 placed = true;
                 break;
@@ -107,27 +162,13 @@ pub fn greedy_place_with(
         }
         if !placed {
             return Err(CoreError::Infeasible {
-                module: m.id.clone(),
+                module: resolved.module_name(m).clone(),
                 required_bytes: need,
-                best_remaining_bytes: remaining.values().copied().max().unwrap_or(0),
+                best_remaining_bytes: remaining.iter().copied().max().unwrap_or(0),
             });
         }
     }
-
-    if opts.replicate {
-        // Largest modules first, any device with leftover room.
-        for m in &modules {
-            let need = m.memory_bytes();
-            for d in devices {
-                if !placement.is_placed(&m.id, &d.id) && need <= remaining[&d.id] {
-                    placement.place(m.id.clone(), d.id.clone());
-                    *remaining.get_mut(&d.id).expect("known device") -= need;
-                }
-            }
-        }
-    }
-
-    Ok(placement)
+    Ok(modules)
 }
 
 #[cfg(test)]

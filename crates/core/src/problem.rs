@@ -239,6 +239,17 @@ impl Instance {
         &self.fleet
     }
 
+    /// An interned-index view of this instance for hot loops: dense
+    /// `u32` device/module ids and flat compute/link tables. See
+    /// [`crate::resolved::ResolvedInstance`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyFleet`] on an empty fleet.
+    pub fn resolved(&self) -> Result<crate::resolved::ResolvedInstance, CoreError> {
+        crate::resolved::ResolvedInstance::new(self)
+    }
+
     /// A copy of this instance on a different fleet (Table IX sweeps).
     pub fn with_fleet(&self, fleet: Fleet) -> Result<Self, CoreError> {
         Instance::new(fleet, self.deployments.clone())

@@ -1,4 +1,10 @@
 //! Per-request parallel routing — Algorithm 1, lines 13–19.
+//!
+//! These are the string-id boundary entry points, convenient for one-off
+//! routing and tests. Hot loops (the serve engine's admission path, the
+//! Upper bound, the replan controller) route on interned indices via
+//! [`crate::resolved::ResolvedInstance::route_model`] instead, which
+//! applies the same Eq. 7 rule with the same name-order tie-break.
 
 use s2m3_models::module::{ModuleId, ModuleSpec};
 use s2m3_net::device::DeviceId;

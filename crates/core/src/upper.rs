@@ -1,13 +1,17 @@
 //! The "Upper" baseline: brute-force optimal single-copy placement,
 //! evaluated with the exact objective. Used to certify the greedy
 //! (the paper reports greedy = optimal in 89/95 instances).
-
-use s2m3_net::device::DeviceId;
+//!
+//! The search runs entirely on [`ResolvedInstance`] indices: the DFS
+//! carries a dense `u32` assignment vector and an incrementally
+//! maintained remaining-memory vector, and leaves are evaluated with the
+//! allocation-free [`ResolvedInstance::total_latency`] — no `Placement`
+//! or `Route` maps are materialized until the single best assignment is
+//! translated back to string ids at the end.
 
 use crate::error::CoreError;
-use crate::objective::total_latency;
 use crate::problem::{Instance, Placement};
-use crate::routing::route_request;
+use crate::resolved::ResolvedInstance;
 
 /// Result of the exhaustive search.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,110 +39,90 @@ pub struct OptimalResult {
 /// [`CoreError::EmptyFleet`] on an empty fleet;
 /// [`CoreError::Infeasible`] when no feasible placement exists.
 pub fn optimal_placement(instance: &Instance) -> Result<OptimalResult, CoreError> {
-    let devices: Vec<DeviceId> = instance
-        .fleet()
-        .devices()
-        .iter()
-        .map(|d| d.id.clone())
-        .collect();
-    if devices.is_empty() {
-        return Err(CoreError::EmptyFleet);
+    let resolved = ResolvedInstance::new(instance)?;
+    let nd = resolved.device_count();
+    let nm = resolved.module_count();
+    let needs: Vec<u64> = (0..nm as u32).map(|m| resolved.module_memory(m)).collect();
+    let mut remaining: Vec<u64> = (0..nd as u32).map(|d| resolved.device_budget(d)).collect();
+
+    // The DFS carries only dense indices; leaves evaluate Eq. (4a) with
+    // the flat tables (single-copy ⇒ the route is the assignment itself).
+    struct Search<'a> {
+        resolved: &'a ResolvedInstance,
+        needs: Vec<u64>,
+        assignment: Vec<u32>,
+        best_latency: f64,
+        best_assignment: Option<Vec<u32>>,
     }
-    let modules = instance.distinct_modules();
-    let needs: Vec<u64> = modules.iter().map(|m| m.memory_bytes()).collect();
-    let mut remaining: Vec<u64> = instance
-        .fleet()
-        .devices()
-        .iter()
-        .map(|d| d.usable_memory_bytes())
-        .collect();
 
-    // One canonical request per deployment.
-    let requests: Vec<_> = instance
-        .deployments()
-        .iter()
-        .enumerate()
-        .map(|(i, d)| instance.request(i as u64, &d.model.name))
-        .collect::<Result<_, _>>()?;
+    impl Search<'_> {
+        fn dfs(&mut self, idx: usize, remaining: &mut [u64]) {
+            if idx == self.assignment.len() {
+                let source = self.resolved.requester();
+                let mut latency = 0.0;
+                for k in 0..self.resolved.models().len() {
+                    let profile = self.resolved.models()[k].profile;
+                    latency += self
+                        .resolved
+                        .total_latency(k, &profile, source, |m| self.assignment[m as usize]);
+                }
+                // The first feasible leaf always records (even if its
+                // latency is infinite or NaN under a degenerate
+                // topology): memory-feasibility must never be reported
+                // as Infeasible just because no leaf compared `<`.
+                if self.best_assignment.is_none() || latency < self.best_latency {
+                    self.best_latency = latency;
+                    self.best_assignment = Some(self.assignment.clone());
+                }
+                return;
+            }
+            for d in 0..remaining.len() {
+                if self.needs[idx] <= remaining[d] {
+                    remaining[d] -= self.needs[idx];
+                    self.assignment[idx] = d as u32;
+                    self.dfs(idx + 1, remaining);
+                    remaining[d] += self.needs[idx];
+                }
+            }
+        }
+    }
 
-    let mut assignment: Vec<usize> = vec![usize::MAX; modules.len()];
-    let mut best: Option<OptimalResult> = None;
+    let mut search = Search {
+        resolved: &resolved,
+        needs,
+        assignment: vec![u32::MAX; nm],
+        best_latency: f64::INFINITY,
+        best_assignment: None,
+    };
+    search.dfs(0, &mut remaining);
 
-    #[allow(clippy::too_many_arguments)]
-    fn dfs(
-        idx: usize,
-        instance: &Instance,
-        modules: &[&s2m3_models::module::ModuleSpec],
-        needs: &[u64],
-        devices: &[DeviceId],
-        remaining: &mut Vec<u64>,
-        assignment: &mut Vec<usize>,
-        requests: &[crate::problem::Request],
-        best: &mut Option<OptimalResult>,
-    ) -> Result<(), CoreError> {
-        if idx == modules.len() {
+    match search.best_assignment {
+        Some(assignment) => {
             let mut placement = Placement::new();
-            for (m, &d) in modules.iter().zip(assignment.iter()) {
-                placement.place(m.id.clone(), devices[d].clone());
+            for (m, &d) in assignment.iter().enumerate() {
+                placement.place(
+                    resolved.module_name(m as u32).clone(),
+                    resolved.device_name(d).clone(),
+                );
             }
-            let mut latency = 0.0;
-            for q in requests {
-                let route = route_request(instance, &placement, q)?;
-                latency += total_latency(instance, &route, q)?;
-            }
-            let better = best.as_ref().is_none_or(|b| latency < b.latency);
-            if better {
-                *best = Some(OptimalResult { placement, latency });
-            }
-            return Ok(());
+            Ok(OptimalResult {
+                placement,
+                latency: search.best_latency,
+            })
         }
-        for d in 0..devices.len() {
-            if needs[idx] <= remaining[d] {
-                remaining[d] -= needs[idx];
-                assignment[idx] = d;
-                dfs(
-                    idx + 1,
-                    instance,
-                    modules,
-                    needs,
-                    devices,
-                    remaining,
-                    assignment,
-                    requests,
-                    best,
-                )?;
-                remaining[d] += needs[idx];
-            }
-        }
-        Ok(())
+        None => Err(CoreError::Infeasible {
+            module: if nm > 0 {
+                resolved.module_name(0).clone()
+            } else {
+                "".into()
+            },
+            required_bytes: search.needs.first().copied().unwrap_or(0),
+            best_remaining_bytes: (0..nd as u32)
+                .map(|d| resolved.device_budget(d))
+                .max()
+                .unwrap_or(0),
+        }),
     }
-
-    dfs(
-        0,
-        instance,
-        &modules,
-        &needs,
-        &devices,
-        &mut remaining,
-        &mut assignment,
-        &requests,
-        &mut best,
-    )?;
-
-    best.ok_or_else(|| CoreError::Infeasible {
-        module: modules
-            .first()
-            .map(|m| m.id.clone())
-            .unwrap_or_else(|| "".into()),
-        required_bytes: needs.first().copied().unwrap_or(0),
-        best_remaining_bytes: instance
-            .fleet()
-            .devices()
-            .iter()
-            .map(|d| d.usable_memory_bytes())
-            .max()
-            .unwrap_or(0),
-    })
 }
 
 #[cfg(test)]

@@ -445,7 +445,7 @@ mod tests {
             "bad",
             Task::ImageTextRetrieval,
             vec![vision.clone()],
-            vision.clone()
+            vision
         )
         .is_err());
         // Empty encoders.

@@ -206,7 +206,7 @@ mod tests {
     fn cross_thread_delivery() {
         let net = net();
         let rx = net.register("b".into());
-        let sender = net.clone();
+        let sender = net;
         let handle = std::thread::spawn(move || {
             for i in 0..16u32 {
                 let env = Envelope::encode("a".into(), "b".into(), "seq", &i).unwrap();

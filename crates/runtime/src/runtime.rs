@@ -187,7 +187,7 @@ impl<B: NetworkBus> Runtime<B> {
             .clone();
         let ctx = HeadContext {
             head_module: head.id.clone(),
-            head_device: head_device.clone(),
+            head_device,
             expected_encoders: model.encoders().len(),
             query: input.query.clone(),
         };

@@ -103,7 +103,7 @@ impl<B: NetworkBus> Worker<B> {
                     data: embedding,
                     head: head.clone(),
                 };
-                match Envelope::encode(self.device.clone(), head.head_device.clone(), TAG, &msg) {
+                match Envelope::encode(self.device.clone(), head.head_device, TAG, &msg) {
                     Ok(env) => {
                         if let Err(e) = self.net.send(env) {
                             self.fail(request, format!("embedding send failed: {e}"));

@@ -28,17 +28,26 @@
 //! [`ServeReport::retried`](crate::report::ServeReport)) — no request is
 //! ever silently lost: every arrival ends as exactly one completion or
 //! one shed.
+//!
+//! ## Hot-path representation
+//!
+//! The loop runs entirely on [`ResolvedInstance`] indices: devices and
+//! modules are dense `u32`/`usize` ids, per-device state lives in `Vec`s
+//! indexed by *universe* device index, events carry indices, and the
+//! per-model route (placement and instance change only at fleet events)
+//! is cached as a [`ModelRoute`] of precomputed transfer times. String
+//! ids survive only at the boundary: scenario parsing, replan diffs, and
+//! the serialized [`ServeReport`].
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 use s2m3_core::adaptive::replan;
 use s2m3_core::error::CoreError;
-use s2m3_core::placement::greedy_place;
-use s2m3_core::problem::{Instance, Placement, Request, RequestProfile, Route};
-use s2m3_core::routing::{dispatch_order, head_assignment, route_request};
-use s2m3_models::module::{ModuleId, ModuleKind, ModuleSpec};
-use s2m3_net::device::DeviceId;
+use s2m3_core::placement::{greedy_place_resolved, PlacementOptions};
+use s2m3_core::problem::{Instance, Placement};
+use s2m3_core::resolved::ResolvedInstance;
+use s2m3_models::module::ModuleKind;
 use s2m3_net::fleet::Fleet;
 
 use crate::config::{FleetEventKind, ServeScenario};
@@ -87,20 +96,27 @@ enum Ev {
     /// A scheduled fleet change (index into the time-sorted event list).
     Fleet(usize),
     /// Request `rid` arrives.
-    Arrival(u64),
+    Arrival(usize),
     /// A module task becomes ready to queue on its device.
     TaskReady(usize),
     /// A module task finishes executing.
     TaskDone(usize),
-    /// Wake a device's scheduler (end of migration downtime).
-    Kick(String),
+    /// Wake a device's scheduler (end of migration downtime), by
+    /// universe device index.
+    Kick(usize),
 }
 
 #[derive(Debug, Clone)]
 struct TaskState {
-    rid: u64,
-    module: ModuleId,
-    device: DeviceId,
+    /// Dense request id (index into `Loop::requests`).
+    rid: usize,
+    /// Interned module index.
+    module: u32,
+    /// Universe device index the task executes on.
+    device: usize,
+    /// Work units of this execution (profile-dependent), fixed at
+    /// dispatch.
+    units: f64,
     is_head: bool,
     /// Embedding transfer time to the head device (encoders only), ns.
     output_tx_ns: u64,
@@ -120,18 +136,14 @@ struct TaskState {
 struct RequestState {
     arrival_ns: u64,
     deadline_ns: u64,
-    model: String,
     pending_encoders: usize,
     head_ready_ns: u64,
     head_task: usize,
-    /// Device charged with this request's in-flight slot, when dispatched.
-    inflight_on: Option<DeviceId>,
+    /// Universe index of the device charged with this request's
+    /// in-flight slot, when dispatched.
+    inflight_on: Option<usize>,
     /// Task indices of the current attempt.
     tasks: Vec<usize>,
-    /// Route computed at admission; consumed at dispatch. Every
-    /// placement change drains and re-admits the queues, so a stored
-    /// route is never stale when dispatch reads it.
-    route: Option<Route>,
     done: bool,
 }
 
@@ -156,22 +168,59 @@ struct DevState {
     executions: u64,
 }
 
+/// One routed encoder of a cached per-model route.
+#[derive(Debug, Clone)]
+struct EncRoute {
+    module: u32,
+    /// Universe device index.
+    uni: usize,
+    units: f64,
+    input_tx_ns: u64,
+    output_tx_ns: u64,
+}
+
+/// The Eq. 7 route of one deployed model under the current placement
+/// and instance, with every dispatch-time transfer precomputed. Valid
+/// until the next fleet event (placement and instance only change
+/// there); every request of the model shares it.
+#[derive(Debug, Clone)]
+struct ModelRoute {
+    head_module: u32,
+    head_uni: usize,
+    head_units: f64,
+    /// Raw-query transfer to the head device (generative heads), ns.
+    head_query_tx_ns: u64,
+    /// Encoders in dispatch order (longest compute first).
+    encoders: Vec<EncRoute>,
+}
+
 struct Loop {
     universe: Fleet,
-    active: BTreeSet<String>,
-    slowdown: BTreeMap<String, f64>,
+    /// Universe device names, by universe index.
+    uni_names: Vec<String>,
+    /// Universe indices in lexicographic name order (the iteration
+    /// order the string-keyed maps used).
+    by_name_order: Vec<usize>,
+    active: Vec<bool>,
+    slowdown: Vec<Option<f64>>,
     instance: Instance,
+    resolved: ResolvedInstance,
+    /// Universe index of each resolved (active-fleet) device.
+    uni_of_res: Vec<usize>,
+    /// Resolved index of each universe device (`None` while inactive).
+    res_of_uni: Vec<Option<u32>>,
     placement: Placement,
-    specs: BTreeMap<ModuleId, ModuleSpec>,
-    profiles: BTreeMap<String, RequestProfile>,
-    devices: BTreeMap<String, DevState>,
+    /// Cached route per deployed model (`None` = placement cannot serve
+    /// it; arrivals shed).
+    model_routes: Vec<Option<ModelRoute>>,
+    n_models: usize,
+    devices: Vec<DevState>,
     tasks: Vec<TaskState>,
-    requests: BTreeMap<u64, RequestState>,
+    requests: Vec<RequestState>,
     queue: BinaryHeap<Reverse<(u64, u64, Ev)>>,
     seq: u64,
     // --- workload ---
     arrivals_ns: Vec<u64>,
-    model_cycle: Vec<String>,
     deadline_ns: u64,
     max_inflight: usize,
     horizon_s: f64,
@@ -191,153 +240,170 @@ impl Loop {
         self.queue.push(Reverse((at, self.seq, ev)));
     }
 
-    /// Rebuilds the instance over the active fleet with slowdowns applied.
+    fn uni_index(&self, name: &str) -> Option<usize> {
+        self.uni_names.iter().position(|n| n == name)
+    }
+
+    /// Rebuilds the instance over the active fleet with slowdowns
+    /// applied, re-interning the resolved view and the index maps.
     fn rebuild_instance(&mut self) -> Result<(), ServeError> {
-        let devices: Vec<_> = self
-            .universe
-            .devices()
-            .iter()
-            .filter(|d| self.active.contains(d.id.as_str()))
-            .map(|d| {
-                let mut spec = d.clone();
-                if let Some(factor) = self.slowdown.get(d.id.as_str()) {
-                    spec.speed_gflops = (d.speed_gflops * factor).max(1e-6);
-                }
-                spec
-            })
-            .collect();
+        let mut specs = Vec::new();
+        let mut uni_of_res = Vec::new();
+        for (ui, d) in self.universe.devices().iter().enumerate() {
+            if !self.active[ui] {
+                continue;
+            }
+            let mut spec = d.clone();
+            if let Some(factor) = self.slowdown[ui] {
+                spec.speed_gflops = (d.speed_gflops * factor).max(1e-6);
+            }
+            specs.push(spec);
+            uni_of_res.push(ui);
+        }
         let fleet = Fleet::new(
-            devices,
+            specs,
             self.universe.topology().clone(),
             self.universe.requester().clone(),
         )
         .map_err(ServeError::BadScenario)?;
         self.instance = self.instance.with_fleet(fleet)?;
-        self.specs = self
-            .instance
-            .distinct_modules()
-            .into_iter()
-            .map(|m| (m.id.clone(), m.clone()))
-            .collect();
+        self.resolved = ResolvedInstance::new(&self.instance)?;
+        self.res_of_uni = vec![None; self.uni_names.len()];
+        for (ri, &ui) in uni_of_res.iter().enumerate() {
+            self.res_of_uni[ui] = Some(ri as u32);
+        }
+        self.uni_of_res = uni_of_res;
         Ok(())
     }
 
-    fn request_for(&self, rid: u64, model: &str) -> Request {
-        Request {
-            id: rid,
-            model: model.to_string(),
-            source: self.universe.requester().clone(),
-            profile: self.profiles[model],
+    /// Recomputes the per-model route cache against the current
+    /// placement and instance. Called after every placement change.
+    fn refresh_model_routes(&mut self) {
+        let hosts = self.resolved.resolve_placement(&self.placement);
+        let source = self.resolved.requester();
+        let mut routes = Vec::with_capacity(self.n_models);
+        for k in 0..self.n_models {
+            let profile = self.resolved.models()[k].profile;
+            let Some(route) = self.resolved.route_model(k, &profile, &hosts) else {
+                routes.push(None);
+                continue;
+            };
+            let &(head_m, head_d) = route.last().expect("route includes the head");
+            let head_kind = self.resolved.module_kind(head_m);
+            let head_query_tx_ns = if head_kind == ModuleKind::LanguageModel {
+                ns(self.resolved.transfer_time(
+                    source,
+                    head_d,
+                    profile.input_bytes(ModuleKind::LanguageModel),
+                ))
+            } else {
+                0
+            };
+            // Dispatch order: longest compute first, module id (==
+            // index) breaking ties — Algorithm 1's send rule.
+            let mut encs: Vec<(u32, u32, f64)> = route[..route.len() - 1]
+                .iter()
+                .map(|&(m, d)| {
+                    let units = profile.units(self.resolved.module_kind(m));
+                    (m, d, self.resolved.compute_time_units(m, d, units))
+                })
+                .collect();
+            encs.sort_by(|a, b| {
+                b.2.partial_cmp(&a.2)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            let encoders = encs
+                .iter()
+                .map(|&(m, d, _)| {
+                    let kind = self.resolved.module_kind(m);
+                    let units = profile.units(kind);
+                    EncRoute {
+                        module: m,
+                        uni: self.uni_of_res[d as usize],
+                        units,
+                        input_tx_ns: ns(self.resolved.transfer_time(
+                            source,
+                            d,
+                            profile.input_bytes(kind),
+                        )),
+                        output_tx_ns: ns(self.resolved.transfer_time(
+                            d,
+                            head_d,
+                            self.resolved.module_spec(m).output_bytes(units),
+                        )),
+                    }
+                })
+                .collect();
+            routes.push(Some(ModelRoute {
+                head_module: head_m,
+                head_uni: self.uni_of_res[head_d as usize],
+                head_units: profile.units(head_kind),
+                head_query_tx_ns,
+                encoders,
+            }));
         }
+        self.model_routes = routes;
     }
 
-    /// Routes `rid` under the current placement and returns the route
-    /// plus its head device (`None` if the placement cannot serve the
-    /// model, in which case callers shed).
-    fn route_for(&self, rid: u64, model: &str) -> Option<(Route, DeviceId)> {
-        let request = self.request_for(rid, model);
-        let route = route_request(&self.instance, &self.placement, &request).ok()?;
-        let (_, head_dev) = head_assignment(&self.instance, &route, &request).ok()?;
-        Some((route, head_dev))
-    }
-
-    /// Offers a request to its head device's admission queue, caching
-    /// the computed route so dispatch does not route a second time.
-    fn admit(&mut self, rid: u64, now: u64) {
-        let (model, arrival_ns, deadline_ns) = {
-            let r = &self.requests[&rid];
-            (r.model.clone(), r.arrival_ns, r.deadline_ns)
-        };
-        let Some((route, head)) = self.route_for(rid, &model) else {
+    /// Offers a request to its head device's admission queue.
+    fn admit(&mut self, rid: usize, now: u64) {
+        let Some(head_uni) = self.model_routes[rid % self.n_models]
+            .as_ref()
+            .map(|mr| mr.head_uni)
+        else {
             self.record_shed(rid, now);
             return;
         };
-        self.requests.get_mut(&rid).expect("request exists").route = Some(route);
-        let dev = self
-            .devices
-            .get_mut(head.as_str())
-            .expect("routed device exists");
-        let outcome = dev.admission.offer(QueuedRequest {
-            id: rid,
+        let (arrival_ns, deadline_ns) = {
+            let r = &self.requests[rid];
+            (r.arrival_ns, r.deadline_ns)
+        };
+        let outcome = self.devices[head_uni].admission.offer(QueuedRequest {
+            id: rid as u64,
             arrival_ns,
             deadline_ns,
         });
         if outcome == Admission::Shed {
             self.record_shed(rid, now);
         } else {
-            self.drain_admission(head.as_str().to_string(), now);
+            self.drain_admission(head_uni, now);
         }
     }
 
     /// Dispatches queued requests while the device has free request slots.
-    fn drain_admission(&mut self, device: String, now: u64) {
+    fn drain_admission(&mut self, device: usize, now: u64) {
         loop {
             let popped = {
-                let Some(dev) = self.devices.get_mut(&device) else {
-                    return;
-                };
-                if !self.active.contains(&device) || dev.inflight >= self.max_inflight {
+                let dev = &mut self.devices[device];
+                if !self.active[device] || dev.inflight >= self.max_inflight {
                     return;
                 }
                 dev.admission.pop()
             };
             let Some(qr) = popped else { return };
-            self.dispatch_request(qr.id, now);
+            self.dispatch_request(qr.id as usize, now);
         }
     }
 
-    /// Expands a request into module tasks against the current placement.
-    fn dispatch_request(&mut self, rid: u64, now: u64) {
-        let (model, cached_route) = {
-            let r = self.requests.get_mut(&rid).expect("request exists");
-            (r.model.clone(), r.route.take())
-        };
-        let request = self.request_for(rid, &model);
-        // Use the admission-time route; placement changes drain and
-        // re-admit every queue, so a cached route is current. (The
-        // fallback re-route covers defensive paths only.)
-        let route = match cached_route {
-            Some(route) => route,
-            None => match route_request(&self.instance, &self.placement, &request) {
-                Ok(route) => route,
-                Err(_) => {
-                    self.record_shed(rid, now);
-                    return;
-                }
-            },
-        };
-        let (head_spec, head_dev) = match head_assignment(&self.instance, &route, &request) {
-            Ok((spec, dev)) => (spec.clone(), dev),
-            Err(_) => {
-                self.record_shed(rid, now);
-                return;
-            }
-        };
-        let Ok(order) = dispatch_order(&self.instance, &route, &request) else {
+    /// Expands a request into module tasks from its model's cached route.
+    fn dispatch_request(&mut self, rid: usize, now: u64) {
+        if self.model_routes[rid % self.n_models].is_none() {
             self.record_shed(rid, now);
             return;
-        };
-
-        let mut head_ready = now;
-        if head_spec.kind == ModuleKind::LanguageModel {
-            let q_tx = self
-                .instance
-                .fleet()
-                .topology()
-                .transfer_time(
-                    &request.source,
-                    &head_dev,
-                    request.profile.input_bytes(ModuleKind::LanguageModel),
-                )
-                .unwrap_or(0.0);
-            head_ready = now + ns(q_tx);
         }
+        let mr = self.model_routes[rid % self.n_models]
+            .as_ref()
+            .expect("checked above");
+        let head_uni = mr.head_uni;
+        let head_ready = now + mr.head_query_tx_ns;
 
         let head_task = self.tasks.len();
         self.tasks.push(TaskState {
             rid,
-            module: head_spec.id.clone(),
-            device: head_dev.clone(),
+            module: mr.head_module,
+            device: head_uni,
+            units: mr.head_units,
             is_head: true,
             output_tx_ns: 0,
             cancelled: false,
@@ -348,56 +414,35 @@ impl Loop {
         let mut task_ids = vec![head_task];
 
         let mut pending = 0usize;
-        let mut ready_events = Vec::new();
-        for (module_id, dev, _) in &order {
-            let Some(spec) = self.specs.get(module_id) else {
-                continue;
-            };
-            let input_tx = self
-                .instance
-                .fleet()
-                .topology()
-                .transfer_time(&request.source, dev, request.profile.input_bytes(spec.kind))
-                .unwrap_or(0.0);
-            let output_tx = self
-                .instance
-                .fleet()
-                .topology()
-                .transfer_time(
-                    dev,
-                    &head_dev,
-                    spec.output_bytes(request.profile.units(spec.kind)),
-                )
-                .unwrap_or(0.0);
+        let mut ready_events = Vec::with_capacity(mr.encoders.len());
+        for e in &mr.encoders {
             let tid = self.tasks.len();
             self.tasks.push(TaskState {
                 rid,
-                module: module_id.clone(),
-                device: dev.clone(),
+                module: e.module,
+                device: e.uni,
+                units: e.units,
                 is_head: false,
-                output_tx_ns: ns(output_tx),
+                output_tx_ns: e.output_tx_ns,
                 cancelled: false,
                 lane_epoch: 0,
                 dur_ns: 0,
                 finished: false,
             });
             task_ids.push(tid);
-            ready_events.push((now + ns(input_tx), tid));
+            ready_events.push((now + e.input_tx_ns, tid));
             pending += 1;
         }
 
         {
-            let r = self.requests.get_mut(&rid).expect("request exists");
+            let r = &mut self.requests[rid];
             r.pending_encoders = pending;
             r.head_ready_ns = head_ready;
             r.head_task = head_task;
             r.tasks = task_ids;
-            r.inflight_on = Some(head_dev.clone());
+            r.inflight_on = Some(head_uni);
         }
-        self.devices
-            .get_mut(head_dev.as_str())
-            .expect("head device exists")
-            .inflight += 1;
+        self.devices[head_uni].inflight += 1;
 
         for (at, tid) in ready_events {
             self.push(at, Ev::TaskReady(tid));
@@ -412,29 +457,25 @@ impl Loop {
         if self.tasks[tid].cancelled {
             return;
         }
-        let device = self.tasks[tid].device.as_str().to_string();
-        let is_head = self.tasks[tid].is_head;
-        if let Some(dev) = self.devices.get_mut(&device) {
-            if is_head {
-                dev.fifo_heads.push_back(tid);
-            } else {
-                dev.fifo.push_back(tid);
-            }
+        let device = self.tasks[tid].device;
+        let dev = &mut self.devices[device];
+        if self.tasks[tid].is_head {
+            dev.fifo_heads.push_back(tid);
+        } else {
+            dev.fifo.push_back(tid);
         }
-        self.try_dispatch(&device, now);
+        self.try_dispatch(device, now);
     }
 
     /// The per-device lane scheduler (mirrors the offline engine).
-    fn try_dispatch(&mut self, device: &str, now: u64) {
-        if !self.active.contains(device) {
+    fn try_dispatch(&mut self, device: usize, now: u64) {
+        if !self.active[device] {
             return;
         }
         loop {
             // Find the next non-cancelled task while a lane is free.
             let tid = {
-                let Some(dev) = self.devices.get_mut(device) else {
-                    return;
-                };
+                let dev = &mut self.devices[device];
                 if now < dev.open_at_ns || dev.lanes_busy >= dev.lanes_total {
                     return;
                 }
@@ -452,16 +493,16 @@ impl Loop {
             };
             let dur_s = {
                 let task = &self.tasks[tid];
-                let profile = self.profiles[&self.requests[&task.rid].model];
-                match self.specs.get(&task.module) {
-                    Some(spec) => self
-                        .instance
-                        .compute_time_for(spec, &task.device, &profile)
-                        .unwrap_or(0.1),
+                match self.res_of_uni[task.device] {
+                    Some(rd) => self
+                        .resolved
+                        .compute_time_units(task.module, rd, task.units),
+                    // Defensive: the device left between queueing and
+                    // dispatch (its tasks are normally cancelled first).
                     None => 0.1,
                 }
             };
-            let dev = self.devices.get_mut(device).expect("device exists");
+            let dev = &mut self.devices[device];
             dev.lanes_busy += 1;
             self.tasks[tid].lane_epoch = dev.lane_epoch;
             self.tasks[tid].dur_ns = ns(dur_s);
@@ -473,7 +514,7 @@ impl Loop {
         let (device, cancelled, is_head, rid, output_tx_ns, lane_epoch, dur_ns) = {
             let t = &self.tasks[tid];
             (
-                t.device.as_str().to_string(),
+                t.device,
                 t.cancelled,
                 t.is_head,
                 t.rid,
@@ -483,7 +524,8 @@ impl Loop {
             )
         };
         self.tasks[tid].finished = true;
-        if let Some(dev) = self.devices.get_mut(&device) {
+        {
+            let dev = &mut self.devices[device];
             // Only account a task whose lane survived to completion: a
             // leave resets the counter (and bumps the epoch), so stale
             // completions neither free lanes after a rejoin nor charge
@@ -495,14 +537,14 @@ impl Loop {
             }
         }
         if cancelled {
-            self.try_dispatch(&device, now);
+            self.try_dispatch(device, now);
             return;
         }
         if is_head {
             self.complete_request(rid, now);
         } else {
             let fire_head = {
-                let r = self.requests.get_mut(&rid).expect("request exists");
+                let r = &mut self.requests[rid];
                 r.head_ready_ns = r.head_ready_ns.max(now + output_tx_ns);
                 r.pending_encoders -= 1;
                 (r.pending_encoders == 0).then_some((r.head_task, r.head_ready_ns))
@@ -511,7 +553,7 @@ impl Loop {
                 self.push(at.max(now), Ev::TaskReady(head_task));
             }
         }
-        self.try_dispatch(&device, now);
+        self.try_dispatch(device, now);
     }
 
     fn record_outcome(&mut self, outcome: Outcome) {
@@ -523,16 +565,14 @@ impl Loop {
         }
     }
 
-    fn complete_request(&mut self, rid: u64, now: u64) {
+    fn complete_request(&mut self, rid: usize, now: u64) {
         let (arrival_ns, deadline_ns, head_dev) = {
-            let r = self.requests.get_mut(&rid).expect("request exists");
+            let r = &mut self.requests[rid];
             r.done = true;
             (r.arrival_ns, r.deadline_ns, r.inflight_on.take())
         };
-        if let Some(dev_id) = &head_dev {
-            if let Some(dev) = self.devices.get_mut(dev_id.as_str()) {
-                dev.inflight = dev.inflight.saturating_sub(1);
-            }
+        if let Some(ui) = head_dev {
+            self.devices[ui].inflight = self.devices[ui].inflight.saturating_sub(1);
         }
         let latency = secs(now - arrival_ns);
         let missed = now > deadline_ns;
@@ -547,14 +587,14 @@ impl Loop {
             latency_s: latency,
             missed,
         });
-        if let Some(dev_id) = head_dev {
-            self.drain_admission(dev_id.as_str().to_string(), now);
+        if let Some(ui) = head_dev {
+            self.drain_admission(ui, now);
         }
     }
 
-    fn record_shed(&mut self, rid: u64, now: u64) {
+    fn record_shed(&mut self, rid: usize, now: u64) {
         let (deadline_ns, arrival_ns) = {
-            let r = self.requests.get_mut(&rid).expect("request exists");
+            let r = &mut self.requests[rid];
             r.done = true;
             (r.deadline_ns, r.arrival_ns)
         };
@@ -569,18 +609,16 @@ impl Loop {
     }
 
     /// Cancels a request's current attempt and re-admits it.
-    fn requeue_request(&mut self, rid: u64, now: u64) {
+    fn requeue_request(&mut self, rid: usize, now: u64) {
         let (task_ids, inflight_on) = {
-            let r = self.requests.get_mut(&rid).expect("request exists");
+            let r = &mut self.requests[rid];
             if r.done {
                 return;
             }
             (std::mem::take(&mut r.tasks), r.inflight_on.take())
         };
-        if let Some(dev_id) = inflight_on {
-            if let Some(dev) = self.devices.get_mut(dev_id.as_str()) {
-                dev.inflight = dev.inflight.saturating_sub(1);
-            }
+        if let Some(ui) = inflight_on {
+            self.devices[ui].inflight = self.devices[ui].inflight.saturating_sub(1);
         }
         for tid in task_ids {
             self.tasks[tid].cancelled = true;
@@ -598,17 +636,18 @@ impl Loop {
     ) -> Result<(), ServeError> {
         let description = match kind {
             FleetEventKind::DeviceJoin { device } => {
-                if !self.devices.contains_key(device) {
+                let Some(ui) = self.uni_index(device) else {
                     return Err(ServeError::BadScenario(format!(
                         "unknown device `{device}` in join event"
                     )));
-                }
-                if !self.active.insert(device.clone()) {
+                };
+                if self.active[ui] {
                     return Err(ServeError::BadScenario(format!(
                         "device `{device}` joined but was already active"
                     )));
                 }
-                let dev = self.devices.get_mut(device).expect("checked above");
+                self.active[ui] = true;
+                let dev = &mut self.devices[ui];
                 dev.usage.active = true;
                 dev.usage.active_since_s = at_s;
                 format!("{device} joins")
@@ -619,12 +658,14 @@ impl Loop {
                         "requester {device} cannot leave the fleet"
                     )));
                 }
-                if !self.active.remove(device) {
+                let leaving = self.uni_index(device).filter(|&ui| self.active[ui]);
+                let Some(ui) = leaving else {
                     return Err(ServeError::BadScenario(format!(
                         "device `{device}` left but was not active"
                     )));
-                }
-                let dev = self.devices.get_mut(device).expect("was active");
+                };
+                self.active[ui] = false;
+                let dev = &mut self.devices[ui];
                 if dev.usage.active {
                     dev.usage.active = false;
                     dev.usage.active_s += (at_s - dev.usage.active_since_s).max(0.0);
@@ -632,12 +673,13 @@ impl Loop {
                 format!("{device} leaves")
             }
             FleetEventKind::DeviceSlowdown { device, factor } => {
-                if !self.active.contains(device) {
+                let slowed = self.uni_index(device).filter(|&ui| self.active[ui]);
+                let Some(ui) = slowed else {
                     return Err(ServeError::BadScenario(format!(
                         "device `{device}` slowed but is not active"
                     )));
-                }
-                self.slowdown.insert(device.clone(), factor.max(1e-3));
+                };
+                self.slowdown[ui] = Some(factor.max(1e-3));
                 format!("{device} slows to {factor:.2}x")
             }
         };
@@ -648,11 +690,12 @@ impl Loop {
 
         // Collect every request disturbed by a leave: queued in the
         // departed device's admission queue, or with live tasks there.
-        let mut disturbed: BTreeSet<u64> = BTreeSet::new();
+        let mut disturbed: BTreeSet<usize> = BTreeSet::new();
         if let FleetEventKind::DeviceLeave { device } = kind {
-            let dev = self.devices.get_mut(device).expect("device exists");
+            let ui = self.uni_index(device).expect("validated above");
+            let dev = &mut self.devices[ui];
             for qr in dev.admission.drain() {
-                disturbed.insert(qr.id);
+                disturbed.insert(qr.id as usize);
             }
             dev.fifo_heads.clear();
             dev.fifo.clear();
@@ -660,11 +703,7 @@ impl Loop {
             dev.lane_epoch += 1;
             dev.inflight = 0;
             for t in &self.tasks {
-                if !t.cancelled
-                    && !t.finished
-                    && t.device.as_str() == device
-                    && !self.requests[&t.rid].done
-                {
+                if !t.cancelled && !t.finished && t.device == ui && !self.requests[t.rid].done {
                     disturbed.insert(t.rid);
                 }
             }
@@ -712,66 +751,62 @@ impl Loop {
                     *per_dev.entry(m.to.as_str().to_string()).or_default() += m.cost_s;
                 }
                 for (name, cost) in per_dev {
-                    let dev = self
-                        .devices
-                        .get_mut(&name)
-                        .expect("migration target exists");
+                    let ui = self.uni_index(&name).expect("migration target exists");
+                    let dev = &mut self.devices[ui];
                     dev.open_at_ns = dev.open_at_ns.max(now + ns(cost));
                     // Wake the scheduler when the weights finish loading;
                     // without this, queued tasks could strand on a device
                     // that receives no further events.
                     let at = dev.open_at_ns;
-                    self.push(at, Ev::Kick(name));
+                    self.push(at, Ev::Kick(ui));
                 }
             }
         } else {
             // Keep serving on the surviving subset of the old placement.
             let mut surviving = Placement::new();
             for (m, d) in old_placement.iter() {
-                if self.active.contains(d.as_str()) {
+                let survives = self.uni_index(d.as_str()).is_some_and(|ui| self.active[ui]);
+                if survives {
                     surviving.place(m.clone(), d.clone());
                 }
             }
             self.placement = surviving;
         }
+        self.refresh_model_routes();
 
         // Re-key every waiting request against the (possibly new)
         // placement, oldest arrivals first, then re-admit the disturbed.
         let mut waiting: Vec<QueuedRequest> = Vec::new();
-        for dev in self.devices.values_mut() {
-            waiting.extend(dev.admission.drain());
+        for &ui in &self.by_name_order.clone() {
+            waiting.extend(self.devices[ui].admission.drain());
         }
         waiting.sort_by_key(|qr| (qr.arrival_ns, qr.id));
         for qr in waiting {
-            self.admit(qr.id, now);
+            self.admit(qr.id as usize, now);
         }
         for rid in disturbed {
             self.requeue_request(rid, now);
         }
-        let names: Vec<String> = self.devices.keys().cloned().collect();
-        for name in names {
-            self.try_dispatch(&name, now);
-            self.drain_admission(name, now);
+        for i in 0..self.by_name_order.len() {
+            let ui = self.by_name_order[i];
+            self.try_dispatch(ui, now);
+            self.drain_admission(ui, now);
         }
         Ok(())
     }
 
-    fn arrival(&mut self, rid: u64, now: u64) {
+    fn arrival(&mut self, rid: usize, now: u64) {
         self.report.arrived += 1;
-        let model = self.model_cycle[(rid as usize) % self.model_cycle.len()].clone();
-        self.requests.insert(
-            rid,
-            RequestState {
-                arrival_ns: now,
-                deadline_ns: now + self.deadline_ns,
-                model,
-                ..RequestState::default()
-            },
-        );
+        debug_assert_eq!(self.requests.len(), rid);
+        self.requests.push(RequestState {
+            arrival_ns: now,
+            deadline_ns: now + self.deadline_ns,
+            ..RequestState::default()
+        });
         // Schedule the next arrival lazily to keep the heap small.
         let next = rid + 1;
-        if (next as usize) < self.arrivals_ns.len() {
-            self.push(self.arrivals_ns[next as usize], Ev::Arrival(next));
+        if next < self.arrivals_ns.len() {
+            self.push(self.arrivals_ns[next], Ev::Arrival(next));
         }
         self.admit(rid, now);
     }
@@ -780,11 +815,12 @@ impl Loop {
         let now = self.last_completion_ns;
         // Defensive flush: anything still waiting (a bug if it happens)
         // is recorded as shed so arrivals always balance.
-        let leftover: Vec<u64> = self
-            .devices
-            .values_mut()
-            .flat_map(|d| d.admission.drain())
-            .map(|qr| qr.id)
+        let leftover: Vec<usize> = self
+            .by_name_order
+            .clone()
+            .into_iter()
+            .flat_map(|ui| self.devices[ui].admission.drain())
+            .map(|qr| qr.id as usize)
             .collect();
         for rid in leftover {
             self.record_shed(rid, now);
@@ -809,14 +845,17 @@ impl Loop {
             self.report.windows.push(final_snap);
         }
         self.report.devices = self
-            .devices
+            .by_name_order
             .iter()
-            .map(|(name, d)| DeviceReport {
-                device: name.clone(),
-                executions: d.executions,
-                busy_s: d.usage.busy_s,
-                active_s: d.usage.active_total_s(now_s),
-                utilization: d.usage.utilization(now_s),
+            .map(|&ui| {
+                let d = &self.devices[ui];
+                DeviceReport {
+                    device: self.uni_names[ui].clone(),
+                    executions: d.executions,
+                    busy_s: d.usage.busy_s,
+                    active_s: d.usage.active_total_s(now_s),
+                    utilization: d.usage.utilization(now_s),
+                }
             })
             .collect();
         self.report
@@ -848,24 +887,38 @@ pub fn serve(scenario: &ServeScenario) -> Result<ServeReport, ServeError> {
     if scenario.requests == 0 {
         return Err(ServeError::BadScenario("empty request stream".into()));
     }
-    let mut active: BTreeSet<String> = BTreeSet::new();
+    let uni_names: Vec<String> = universe
+        .devices()
+        .iter()
+        .map(|d| d.id.as_str().to_string())
+        .collect();
+    let by_name_order = {
+        let mut order: Vec<usize> = (0..uni_names.len()).collect();
+        order.sort_by(|&a, &b| uni_names[a].cmp(&uni_names[b]));
+        order
+    };
+    let mut active = vec![false; uni_names.len()];
     for name in &scenario.initial_devices {
-        if universe.device(name).is_none() {
+        let Some(ui) = uni_names.iter().position(|n| n == name) else {
             return Err(ServeError::BadScenario(format!(
                 "initial device `{name}` is not in the {} fleet",
                 scenario.fleet
             )));
-        }
-        active.insert(name.clone());
+        };
+        active[ui] = true;
     }
     let requester = universe.requester().as_str().to_string();
-    if !active.contains(&requester) {
+    let requester_active = uni_names
+        .iter()
+        .position(|n| *n == requester)
+        .is_some_and(|ui| active[ui]);
+    if !requester_active {
         return Err(ServeError::BadScenario(format!(
             "initial devices must include the requester `{requester}`"
         )));
     }
 
-    // --- Instance, placement, profiles. ---
+    // --- Instance, placement, resolved index maps. ---
     let model_pairs: Vec<(&str, usize)> = scenario
         .models
         .iter()
@@ -875,8 +928,9 @@ pub fn serve(scenario: &ServeScenario) -> Result<ServeReport, ServeError> {
         let devices: Vec<_> = universe
             .devices()
             .iter()
-            .filter(|d| active.contains(d.id.as_str()))
-            .cloned()
+            .zip(&active)
+            .filter(|(_, &a)| a)
+            .map(|(d, _)| d.clone())
             .collect();
         Fleet::new(
             devices,
@@ -886,51 +940,37 @@ pub fn serve(scenario: &ServeScenario) -> Result<ServeReport, ServeError> {
         .map_err(ServeError::BadScenario)?
     };
     let instance = Instance::on_fleet(initial_fleet, &model_pairs)?;
-    let placement = greedy_place(&instance)?;
-    let specs: BTreeMap<ModuleId, ModuleSpec> = instance
-        .distinct_modules()
-        .into_iter()
-        .map(|m| (m.id.clone(), m.clone()))
-        .collect();
-    let profiles: BTreeMap<String, RequestProfile> = instance
-        .deployments()
-        .iter()
-        .map(|d| (d.model.name.clone(), d.profile))
-        .collect();
-    let model_cycle: Vec<String> = instance
-        .deployments()
-        .iter()
-        .map(|d| d.model.name.clone())
-        .collect();
+    let resolved = ResolvedInstance::new(&instance)?;
+    let placement = greedy_place_resolved(&resolved, PlacementOptions::default())?;
+    let uni_of_res: Vec<usize> = (0..uni_names.len()).filter(|&ui| active[ui]).collect();
+    let mut res_of_uni: Vec<Option<u32>> = vec![None; uni_names.len()];
+    for (ri, &ui) in uni_of_res.iter().enumerate() {
+        res_of_uni[ui] = Some(ri as u32);
+    }
+    let n_models = instance.deployments().len();
 
     // --- Device runtime state over the whole universe. ---
-    let devices: BTreeMap<String, DevState> = universe
+    let devices: Vec<DevState> = universe
         .devices()
         .iter()
-        .map(|d| {
-            let name = d.id.as_str().to_string();
-            let is_active = active.contains(&name);
-            (
-                name,
-                DevState {
-                    lanes_total: d.parallelism.max(1),
-                    lanes_busy: 0,
-                    lane_epoch: 0,
-                    open_at_ns: 0,
-                    fifo_heads: VecDeque::new(),
-                    fifo: VecDeque::new(),
-                    inflight: 0,
-                    admission: AdmissionQueue::new(scenario.admission.clone()),
-                    usage: DeviceUsage {
-                        busy_s: 0.0,
-                        active_since_s: 0.0,
-                        active_s: 0.0,
-                        active: is_active,
-                        lanes: d.parallelism.max(1),
-                    },
-                    executions: 0,
-                },
-            )
+        .enumerate()
+        .map(|(ui, d)| DevState {
+            lanes_total: d.parallelism.max(1),
+            lanes_busy: 0,
+            lane_epoch: 0,
+            open_at_ns: 0,
+            fifo_heads: VecDeque::new(),
+            fifo: VecDeque::new(),
+            inflight: 0,
+            admission: AdmissionQueue::new(scenario.admission.clone()),
+            usage: DeviceUsage {
+                busy_s: 0.0,
+                active_since_s: 0.0,
+                active_s: 0.0,
+                active: active[ui],
+                lanes: d.parallelism.max(1),
+            },
+            executions: 0,
         })
         .collect();
 
@@ -949,19 +989,23 @@ pub fn serve(scenario: &ServeScenario) -> Result<ServeReport, ServeError> {
 
     let mut state = Loop {
         universe,
+        uni_names,
+        by_name_order,
         active,
-        slowdown: BTreeMap::new(),
+        slowdown: vec![None; res_of_uni.len()],
         instance,
+        resolved,
+        uni_of_res,
+        res_of_uni,
         placement,
-        specs,
-        profiles,
+        model_routes: Vec::new(),
+        n_models,
         devices,
         tasks: Vec::new(),
-        requests: BTreeMap::new(),
+        requests: Vec::with_capacity(scenario.requests),
         queue: BinaryHeap::new(),
         seq: 0,
         arrivals_ns,
-        model_cycle,
         deadline_ns: ns(scenario.deadline_s.max(1e-3)),
         max_inflight: scenario.max_inflight_per_device.max(1),
         horizon_s: scenario.replan.horizon_s.max(0.0),
@@ -976,6 +1020,7 @@ pub fn serve(scenario: &ServeScenario) -> Result<ServeReport, ServeError> {
         },
         last_completion_ns: 0,
     };
+    state.refresh_model_routes();
 
     for (idx, ev) in events.iter().enumerate() {
         state.push(ns(ev.at_s.max(0.0)), Ev::Fleet(idx));
@@ -991,9 +1036,9 @@ pub fn serve(scenario: &ServeScenario) -> Result<ServeReport, ServeError> {
             Ev::Arrival(rid) => state.arrival(rid, now),
             Ev::TaskReady(tid) => state.task_ready(tid, now),
             Ev::TaskDone(tid) => state.task_done(tid, now),
-            Ev::Kick(device) => {
-                state.try_dispatch(&device, now);
-                state.drain_admission(device, now);
+            Ev::Kick(ui) => {
+                state.try_dispatch(ui, now);
+                state.drain_admission(ui, now);
             }
         }
     }

@@ -1,7 +1,8 @@
 //! Per-device admission queues: policy-ordered waiting rooms between
 //! request arrival and dispatch into the execution engine.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::config::AdmissionPolicy;
 
@@ -27,14 +28,20 @@ pub enum Admission {
 
 /// One device's admission queue.
 ///
-/// FIFO and shed-on-overload use arrival order; earliest-deadline-first
-/// always dispatches the waiting request with the nearest deadline (ties
-/// broken by arrival, then id, keeping the whole control plane
-/// deterministic).
+/// FIFO and shed-on-overload use arrival order (a `VecDeque`);
+/// earliest-deadline-first always dispatches the waiting request with
+/// the nearest deadline and keeps a `BinaryHeap` keyed on
+/// `(deadline_ns, arrival_ns, id)` — an `O(log n)` pop instead of the
+/// former `O(n)` scan-and-remove per dispatch, with the identical
+/// deadline → arrival → id tie-break order (ids are unique, so the key
+/// is a total order and reports stay byte-identical per seed).
 #[derive(Debug, Clone)]
 pub struct AdmissionQueue {
     policy: AdmissionPolicy,
+    /// Arrival-ordered waiting room (FIFO / shed-on-overload).
     waiting: VecDeque<QueuedRequest>,
+    /// Deadline-ordered waiting room (EDF).
+    by_deadline: BinaryHeap<Reverse<(u64, u64, u64)>>,
 }
 
 impl AdmissionQueue {
@@ -43,7 +50,12 @@ impl AdmissionQueue {
         AdmissionQueue {
             policy,
             waiting: VecDeque::new(),
+            by_deadline: BinaryHeap::new(),
         }
+    }
+
+    fn is_edf(&self) -> bool {
+        matches!(self.policy, AdmissionPolicy::EarliestDeadlineFirst)
     }
 
     /// Offers a request; shed-on-overload may reject it.
@@ -53,42 +65,57 @@ impl AdmissionQueue {
                 return Admission::Shed;
             }
         }
-        self.waiting.push_back(request);
+        if self.is_edf() {
+            self.by_deadline.push(Reverse((
+                request.deadline_ns,
+                request.arrival_ns,
+                request.id,
+            )));
+        } else {
+            self.waiting.push_back(request);
+        }
         Admission::Queued
     }
 
     /// Removes and returns the next request to dispatch, per policy.
     pub fn pop(&mut self) -> Option<QueuedRequest> {
-        match self.policy {
-            AdmissionPolicy::Fifo | AdmissionPolicy::ShedOnOverload { .. } => {
-                self.waiting.pop_front()
-            }
-            AdmissionPolicy::EarliestDeadlineFirst => {
-                let best = self
-                    .waiting
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, r)| (r.deadline_ns, r.arrival_ns, r.id))?
-                    .0;
-                self.waiting.remove(best)
-            }
+        if self.is_edf() {
+            let Reverse((deadline_ns, arrival_ns, id)) = self.by_deadline.pop()?;
+            return Some(QueuedRequest {
+                id,
+                arrival_ns,
+                deadline_ns,
+            });
         }
+        self.waiting.pop_front()
     }
 
     /// Requests currently waiting.
     pub fn len(&self) -> usize {
-        self.waiting.len()
+        self.waiting.len() + self.by_deadline.len()
     }
 
     /// Whether nothing is waiting.
     pub fn is_empty(&self) -> bool {
-        self.waiting.is_empty()
+        self.len() == 0
     }
 
     /// Drains every waiting request (used when a device leaves and its
-    /// queue must be re-admitted elsewhere).
+    /// queue must be re-admitted elsewhere). Returned in arrival order
+    /// (`(arrival_ns, id)`), the canonical re-admission order.
     pub fn drain(&mut self) -> Vec<QueuedRequest> {
-        self.waiting.drain(..).collect()
+        let mut out: Vec<QueuedRequest> = self.waiting.drain(..).collect();
+        out.extend(
+            self.by_deadline
+                .drain()
+                .map(|Reverse((deadline_ns, arrival_ns, id))| QueuedRequest {
+                    id,
+                    arrival_ns,
+                    deadline_ns,
+                }),
+        );
+        out.sort_by_key(|qr| (qr.arrival_ns, qr.id));
+        out
     }
 }
 
@@ -143,6 +170,54 @@ mod tests {
         q.offer(req(1, 1, 2));
         let drained = q.drain();
         assert_eq!(drained.len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn edf_heap_matches_naive_scan_under_interleaving() {
+        // The heap must reproduce the old O(n) min-scan's order exactly,
+        // including across interleaved offers and pops.
+        let mut q = AdmissionQueue::new(AdmissionPolicy::EarliestDeadlineFirst);
+        let mut naive: Vec<QueuedRequest> = Vec::new();
+        let mut popped = Vec::new();
+        for step in 0u64..200 {
+            // Pseudo-random but deterministic offer/pop pattern.
+            let deadline = 1_000 + (step * 7919) % 97;
+            let r = req(step, step, deadline);
+            q.offer(r);
+            naive.push(r);
+            if step % 3 == 0 {
+                let got = q.pop().unwrap();
+                let best = naive
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, r)| (r.deadline_ns, r.arrival_ns, r.id))
+                    .unwrap()
+                    .0;
+                assert_eq!(got, naive.remove(best));
+                popped.push(got);
+            }
+        }
+        while let Some(got) = q.pop() {
+            let best = naive
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| (r.deadline_ns, r.arrival_ns, r.id))
+                .unwrap()
+                .0;
+            assert_eq!(got, naive.remove(best));
+        }
+        assert!(naive.is_empty() && q.is_empty());
+    }
+
+    #[test]
+    fn edf_drain_returns_arrival_order() {
+        let mut q = AdmissionQueue::new(AdmissionPolicy::EarliestDeadlineFirst);
+        q.offer(req(2, 20, 100));
+        q.offer(req(0, 5, 900));
+        q.offer(req(1, 5, 500));
+        let drained: Vec<u64> = q.drain().iter().map(|r| r.id).collect();
+        assert_eq!(drained, vec![0, 1, 2]);
         assert!(q.is_empty());
     }
 }

@@ -7,13 +7,13 @@
 //! a queue the moment the previous one leaves it — the paper's pipelining.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use s2m3_core::error::CoreError;
 use s2m3_core::plan::Plan;
-use s2m3_core::problem::Instance;
-use s2m3_core::routing::{dispatch_order, head_assignment};
-use s2m3_models::module::{ModuleId, ModuleKind};
+use s2m3_core::problem::{Instance, Request, Route};
+use s2m3_core::resolved::ResolvedInstance;
+use s2m3_models::module::ModuleKind;
 use s2m3_net::device::DeviceId;
 
 use crate::report::{GanttSpan, Phase, RequestTiming, SimReport};
@@ -82,8 +82,12 @@ fn secs(t: u64) -> f64 {
 
 #[derive(Debug, Clone)]
 struct Task {
+    /// Request id, for the report boundary.
     request: u64,
-    module: ModuleId,
+    /// Dense request index (position in `plan.routed`).
+    req_idx: usize,
+    /// Interned module index.
+    module: u32,
     device: usize,
     dur: f64,
     /// For encoders: embedding transfer time to the head device.
@@ -130,6 +134,25 @@ enum Event {
     DeviceOpen(usize),
 }
 
+/// Resolves the routed device of module `m` for `route`, with the same
+/// error split as the string path: missing from the route is
+/// [`CoreError::Unrouted`], outside the fleet is
+/// [`CoreError::UnknownDevice`].
+fn routed_device(resolved: &ResolvedInstance, route: &Route, m: u32) -> Result<u32, CoreError> {
+    let dev = route
+        .device_for(resolved.module_name(m))
+        .ok_or_else(|| CoreError::Unrouted(resolved.module_name(m).clone()))?;
+    resolved
+        .device_index(dev)
+        .ok_or_else(|| CoreError::UnknownDevice(dev.clone()))
+}
+
+fn source_index(resolved: &ResolvedInstance, request: &Request) -> Result<u32, CoreError> {
+    resolved
+        .device_index(&request.source)
+        .ok_or_else(|| CoreError::UnknownDevice(request.source.clone()))
+}
+
 /// Runs a plan to completion in virtual time.
 ///
 /// # Errors
@@ -155,11 +178,7 @@ pub fn simulate(
     };
 
     let devices = instance.fleet().devices();
-    let dev_index: BTreeMap<&DeviceId, usize> = devices
-        .iter()
-        .enumerate()
-        .map(|(i, d)| (&d.id, i))
-        .collect();
+    let resolved = ResolvedInstance::new(instance)?;
 
     let mut report = SimReport::default();
 
@@ -167,16 +186,14 @@ pub fn simulate(
     //     first, deterministic) sequentially from t=0.
     let mut open_at = vec![0u64; devices.len()];
     if config.include_loading {
-        let specs: BTreeMap<_, _> = instance
-            .distinct_modules()
-            .into_iter()
-            .map(|m| (m.id.clone(), m.clone()))
-            .collect();
         for (m, n) in plan.placement.iter() {
-            let Some(spec) = specs.get(m) else { continue };
-            let di = *dev_index
-                .get(n)
-                .ok_or_else(|| CoreError::UnknownDevice(n.clone()))?;
+            let Some(mi) = resolved.module_index(m) else {
+                continue;
+            };
+            let spec = resolved.module_spec(mi);
+            let di = resolved
+                .device_index(n)
+                .ok_or_else(|| CoreError::UnknownDevice(n.clone()))? as usize;
             let dur = devices[di].load_time(spec);
             if dur <= 0.0 {
                 continue;
@@ -210,7 +227,7 @@ pub fn simulate(
 
     // --- Build tasks and initial events.
     let mut tasks: Vec<Task> = Vec::new();
-    let mut req_states: BTreeMap<u64, RequestState> = BTreeMap::new();
+    let mut req_states: Vec<RequestState> = Vec::with_capacity(plan.routed.len());
     let mut queue: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
     let mut seq = 0u64;
     let push = |q: &mut BinaryHeap<Reverse<(u64, u64, Event)>>, t: u64, s: &mut u64, e: Event| {
@@ -218,17 +235,23 @@ pub fn simulate(
         q.push(Reverse((t, *s, e)));
     };
 
-    for ((request, route), &arrival) in plan.routed.iter().zip(&arrivals) {
-        let (head, head_dev) = head_assignment(instance, route, request)?;
-        let head_di = *dev_index
-            .get(&head_dev)
-            .ok_or_else(|| CoreError::UnknownDevice(head_dev.clone()))?;
-        let head_dur = instance.compute_time_for(head, &head_dev, &request.profile)?;
+    for (req_idx, ((request, route), &arrival)) in plan.routed.iter().zip(&arrivals).enumerate() {
+        let model = resolved
+            .model_index(&request.model)
+            .ok_or_else(|| CoreError::UnknownModel(request.model.clone()))?;
+        let rmodel = &resolved.models()[model];
+        let source = source_index(&resolved, request)?;
+        let head_m = rmodel.head;
+        let head_kind = resolved.module_kind(head_m);
+        let head_di = routed_device(&resolved, route, head_m)?;
+        let head_dur =
+            resolved.compute_time_units(head_m, head_di, request.profile.units(head_kind));
         let head_task = tasks.len();
         tasks.push(Task {
             request: request.id,
-            module: head.id.clone(),
-            device: head_di,
+            req_idx,
+            module: head_m,
+            device: head_di as usize,
             dur: head_dur,
             output_tx: 0.0,
             is_head: true,
@@ -236,53 +259,41 @@ pub fn simulate(
 
         // Raw-query transfer for generative heads (travels immediately).
         let mut head_ready = ns(arrival);
-        if head.kind == ModuleKind::LanguageModel {
-            let q_tx = instance
-                .fleet()
-                .topology()
-                .transfer_time(
-                    &request.source,
-                    &head_dev,
-                    request.profile.input_bytes(ModuleKind::LanguageModel),
-                )
-                .map_err(CoreError::UnknownDevice)?;
+        if head_kind == ModuleKind::LanguageModel {
+            let q_tx = resolved.transfer_time(
+                source,
+                head_di,
+                request.profile.input_bytes(ModuleKind::LanguageModel),
+            );
             head_ready = ns(arrival + q_tx);
         }
 
-        let order = dispatch_order(instance, route, request)?;
-        let deployment = instance
-            .deployment(&request.model)
-            .ok_or_else(|| CoreError::UnknownModel(request.model.clone()))?;
+        // Dispatch order: longest-running encoder first, module id (==
+        // index) breaking ties — Algorithm 1's send rule.
+        let mut order: Vec<(u32, u32, f64)> = Vec::with_capacity(rmodel.encoders.len());
+        for &m in &rmodel.encoders {
+            let di = routed_device(&resolved, route, m)?;
+            let units = request.profile.units(resolved.module_kind(m));
+            order.push((m, di, resolved.compute_time_units(m, di, units)));
+        }
+        order.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+
         let mut pending = 0usize;
-        for (module_id, dev, dur) in &order {
-            let spec = deployment
-                .model
-                .encoders()
-                .iter()
-                .find(|m| &m.id == module_id)
-                .expect("dispatch order yields model encoders");
-            let di = *dev_index
-                .get(dev)
-                .ok_or_else(|| CoreError::UnknownDevice(dev.clone()))?;
-            let input_tx = instance
-                .fleet()
-                .topology()
-                .transfer_time(&request.source, dev, request.profile.input_bytes(spec.kind))
-                .map_err(CoreError::UnknownDevice)?;
-            let output_tx = instance
-                .fleet()
-                .topology()
-                .transfer_time(
-                    dev,
-                    &head_dev,
-                    spec.output_bytes(request.profile.units(spec.kind)),
-                )
-                .map_err(CoreError::UnknownDevice)?;
+        for &(m, di, dur) in &order {
+            let kind = resolved.module_kind(m);
+            let units = request.profile.units(kind);
+            let input_tx = resolved.transfer_time(source, di, request.profile.input_bytes(kind));
+            let output_tx =
+                resolved.transfer_time(di, head_di, resolved.module_spec(m).output_bytes(units));
             if input_tx > 0.0 {
                 report.spans.push(GanttSpan {
-                    device: dev.clone(),
+                    device: resolved.device_name(di).clone(),
                     request: Some(request.id),
-                    phase: Phase::InputTx(module_id.clone()),
+                    phase: Phase::InputTx(resolved.module_name(m).clone()),
                     start: arrival,
                     end: arrival + input_tx,
                 });
@@ -290,9 +301,10 @@ pub fn simulate(
             let tid = tasks.len();
             tasks.push(Task {
                 request: request.id,
-                module: module_id.clone(),
-                device: di,
-                dur: *dur,
+                req_idx,
+                module: m,
+                device: di as usize,
+                dur,
                 output_tx,
                 is_head: false,
             });
@@ -305,15 +317,12 @@ pub fn simulate(
             pending += 1;
         }
 
-        req_states.insert(
-            request.id,
-            RequestState {
-                pending_encoders: pending,
-                head_ready,
-                head_task,
-                arrival,
-            },
-        );
+        req_states.push(RequestState {
+            pending_encoders: pending,
+            head_ready,
+            head_task,
+            arrival,
+        });
         // Encoder-less models cannot exist (ModelSpec validates ≥1), but
         // guard anyway: head fires directly.
         if pending == 0 {
@@ -341,6 +350,7 @@ pub fn simulate(
                 try_dispatch(
                     di,
                     now,
+                    &resolved,
                     &mut dev_states,
                     &tasks,
                     &mut queue,
@@ -353,6 +363,7 @@ pub fn simulate(
                 try_dispatch(
                     di,
                     now,
+                    &resolved,
                     &mut dev_states,
                     &tasks,
                     &mut queue,
@@ -369,7 +380,7 @@ pub fn simulate(
                 task_done_at[tid] = now;
                 let t = &tasks[tid];
                 if t.is_head {
-                    let rs = req_states.get(&t.request).expect("request exists");
+                    let rs = &req_states[t.req_idx];
                     report.requests.insert(
                         t.request,
                         RequestTiming {
@@ -381,17 +392,17 @@ pub fn simulate(
                     // Embedding transfer to the head device.
                     if t.output_tx > 0.0 {
                         report.spans.push(GanttSpan {
-                            device: dev_states[tasks[req_states[&t.request].head_task].device]
+                            device: dev_states[tasks[req_states[t.req_idx].head_task].device]
                                 .id
                                 .clone(),
                             request: Some(t.request),
-                            phase: Phase::OutputTx(t.module.clone()),
+                            phase: Phase::OutputTx(resolved.module_name(t.module).clone()),
                             start: secs(now),
                             end: secs(now) + t.output_tx,
                         });
                     }
                     let ready_contrib = ns(secs(now) + t.output_tx);
-                    let rs = req_states.get_mut(&t.request).expect("request exists");
+                    let rs = &mut req_states[t.req_idx];
                     rs.head_ready = rs.head_ready.max(ready_contrib);
                     rs.pending_encoders -= 1;
                     if rs.pending_encoders == 0 {
@@ -406,6 +417,7 @@ pub fn simulate(
                                 try_dispatch(
                                     hdi,
                                     now,
+                                    &resolved,
                                     &mut dev_states,
                                     &tasks,
                                     &mut queue,
@@ -427,6 +439,7 @@ pub fn simulate(
                 try_dispatch(
                     di,
                     now,
+                    &resolved,
                     &mut dev_states,
                     &tasks,
                     &mut queue,
@@ -456,6 +469,7 @@ pub fn simulate(
 fn try_dispatch(
     di: usize,
     now: u64,
+    resolved: &ResolvedInstance,
     dev_states: &mut [DeviceState],
     tasks: &[Task],
     queue: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
@@ -497,9 +511,9 @@ fn try_dispatch(
                 device: d.id.clone(),
                 request: Some(gt.request),
                 phase: if gt.is_head {
-                    Phase::Head(gt.module.clone())
+                    Phase::Head(resolved.module_name(gt.module).clone())
                 } else {
-                    Phase::Encode(gt.module.clone())
+                    Phase::Encode(resolved.module_name(gt.module).clone())
                 },
                 start,
                 end,

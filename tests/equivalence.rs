@@ -1,0 +1,175 @@
+//! Equivalence pins for the interned-index hot paths.
+//!
+//! The `ResolvedInstance` refactor replaced every string-keyed map in
+//! placement, objective evaluation, the Upper-bound search, and both
+//! discrete-event engines with dense `u32` indices. These tests prove
+//! the rewrite changed *nothing observable*: `Plan`, `SimReport`, and
+//! `ServeReport` JSON is byte-identical to golden fixtures captured
+//! from the pre-refactor tree (regenerate with
+//! `cargo run --release -p s2m3-bench --bin capture_fixtures`), and
+//! interning round-trips every id (property-tested over arbitrary
+//! multi-model instances).
+
+use proptest::prelude::*;
+
+use s2m3::core::plan::Plan;
+use s2m3::core::resolved::ResolvedInstance;
+use s2m3::prelude::*;
+
+/// The zoo models pinned by the fixtures (kept in sync with
+/// `capture_fixtures`).
+const FIXTURE_MODELS: [(&str, usize); 3] = [
+    ("CLIP ViT-B/16", 101),
+    ("Encoder-only VQA (Small)", 1),
+    ("Flint-v0.5-1B", 1),
+];
+
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn fixture(file: &str) -> String {
+    let path = format!("{}/tests/fixtures/{file}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing fixture {path}: {e}"))
+}
+
+fn plan_for(name: &str, candidates: usize, n_requests: usize) -> (Instance, Plan) {
+    let i = Instance::single_model(name, candidates).unwrap();
+    let requests: Vec<_> = (0..n_requests)
+        .map(|k| i.request(k as u64, name).unwrap())
+        .collect();
+    let plan = Plan::greedy(&i, requests).unwrap();
+    (i, plan)
+}
+
+#[test]
+fn plans_are_byte_identical_to_seed_behavior() {
+    for (name, candidates) in FIXTURE_MODELS {
+        let (_, plan) = plan_for(name, candidates, 2);
+        let json = serde_json::to_string_pretty(&plan).unwrap();
+        assert_eq!(
+            json,
+            fixture(&format!("plan_{}.json", slug(name))).trim_end(),
+            "{name}: Plan JSON diverged from the pre-refactor fixture"
+        );
+    }
+}
+
+#[test]
+fn sim_reports_are_byte_identical_to_seed_behavior() {
+    for (name, candidates) in FIXTURE_MODELS {
+        let (i, plan) = plan_for(name, candidates, 2);
+        let report = simulate(&i, &plan, &SimConfig::default()).unwrap();
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert_eq!(
+            json,
+            fixture(&format!("sim_{}.json", slug(name))).trim_end(),
+            "{name}: SimReport JSON diverged from the pre-refactor fixture"
+        );
+    }
+}
+
+#[test]
+fn serve_report_for_default_churn_is_byte_identical_to_seed_behavior() {
+    let report = serve(&ServeScenario::churn_default()).unwrap();
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    assert_eq!(
+        json,
+        fixture("serve_churn_default.json").trim_end(),
+        "ServeReport JSON diverged from the pre-refactor fixture"
+    );
+}
+
+#[test]
+fn resolved_objective_matches_string_objective_across_the_zoo() {
+    use s2m3::core::objective::total_latency;
+    use s2m3::core::routing::route_request;
+
+    for (name, candidates) in [
+        ("CLIP ViT-B/16", 101),
+        ("CLIP ResNet-50", 10),
+        ("Encoder-only VQA (Small)", 1),
+        ("AlignBind-B", 16),
+        ("CLIP-Classifier Food-101", 0),
+        ("Flint-v0.5-1B", 1),
+    ] {
+        let i = Instance::single_model(name, candidates).unwrap();
+        let r = ResolvedInstance::new(&i).unwrap();
+        let p = greedy_place(&i).unwrap();
+        let q = i.request(0, name).unwrap();
+        let route = route_request(&i, &p, &q).unwrap();
+        let via_string = total_latency(&i, &route, &q).unwrap();
+        let resolved_route = r.resolve_route(&route);
+        let via_index =
+            r.total_latency(0, &q.profile, r.requester(), |m| resolved_route[m as usize]);
+        assert_eq!(
+            via_string.to_bits(),
+            via_index.to_bits(),
+            "{name}: index path diverged from string path"
+        );
+    }
+}
+
+/// Strategy: a multi-model deployment over one of the two testbeds,
+/// small enough that every subset is placeable.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    let models = proptest::sample::subsequence(
+        vec![
+            ("CLIP ViT-B/16", 101usize),
+            ("Encoder-only VQA (Small)", 1),
+            ("AlignBind-B", 16),
+            ("CLIP-Classifier Food-101", 0),
+            ("Flint-v0.5-1B", 1),
+        ],
+        1..=5,
+    );
+    let edge = prop_oneof![Just(true), Just(false)];
+    (models, edge).prop_map(|(models, edge)| {
+        let fleet = if edge {
+            Fleet::edge_testbed()
+        } else {
+            Fleet::standard_testbed()
+        };
+        Instance::on_fleet(fleet, &models).expect("zoo models deploy")
+    })
+}
+
+proptest! {
+    /// Interning round-trips every device and module id: name → index →
+    /// name is the identity, indices are dense, and module index order
+    /// is module id order.
+    #[test]
+    fn interning_round_trips_all_ids(instance in arb_instance()) {
+        let r = ResolvedInstance::new(&instance).unwrap();
+        prop_assert_eq!(r.device_count(), instance.fleet().len());
+        prop_assert_eq!(r.module_count(), instance.distinct_modules().len());
+        for d in instance.fleet().devices() {
+            let di = r.device_index(&d.id).expect("fleet device interns");
+            prop_assert_eq!(r.device_name(di), &d.id);
+        }
+        for m in instance.distinct_modules() {
+            let mi = r.module_index(&m.id).expect("distinct module interns");
+            prop_assert_eq!(r.module_name(mi), &m.id);
+        }
+        for w in 1..r.module_count() {
+            prop_assert!(r.module_name(w as u32 - 1) < r.module_name(w as u32));
+        }
+        // Ranks are a permutation consistent with name order.
+        for a in 0..r.device_count() as u32 {
+            for b in 0..r.device_count() as u32 {
+                prop_assert_eq!(
+                    r.device_rank(a) < r.device_rank(b),
+                    r.device_name(a) < r.device_name(b)
+                );
+            }
+        }
+    }
+}

@@ -89,7 +89,7 @@ fn runtime_survives_bad_route_then_serves() {
     // The same runtime still serves correct requests. Request ids are
     // unique per submission (the failed request may have left a partial
     // aggregation under its id), so the retry uses a fresh id.
-    let mut retry = request.clone();
+    let mut retry = request;
     retry.id = 99;
     let ok = runtime.infer(&retry, &plan.routed[0].1, &input).unwrap();
     assert!(ok.cols() > 0);
@@ -111,7 +111,7 @@ fn corrupted_placement_rejected_by_validation() {
     let result = s2m3::core::objective::validate(
         &instance,
         &corrupted,
-        &[(request.clone(), plan.routed[0].1.clone())],
+        &[(request, plan.routed[0].1.clone())],
     );
     assert!(matches!(result, Err(CoreError::OverCapacity { .. })));
 }
