@@ -1,6 +1,7 @@
 //! Hot-path wall-clock baseline: times placement, the brute-force Upper
-//! bound, the offline simulator, and the online serving loop, and records
-//! the medians in `BENCH_serve.json` — the repo's performance trajectory.
+//! bound, the offline simulator, the online serving loop, and the raw
+//! discrete-event kernel, and records the medians in `BENCH_serve.json`
+//! — the repo's performance trajectory.
 //!
 //! Usage (from the repo root):
 //!
@@ -31,6 +32,7 @@ use s2m3_core::problem::Instance;
 use s2m3_core::upper::optimal_placement;
 use s2m3_serve::{serve, AdmissionPolicy, ServeScenario};
 use s2m3_sim::engine::{simulate, SimConfig};
+use s2m3_sim::kernel::{Device, Driver, Kernel, Policy, RequestSlot};
 
 const OUT_PATH: &str = "BENCH_serve.json";
 
@@ -66,6 +68,75 @@ fn median_ns(iters: usize, mut op: impl FnMut()) -> u64 {
         .collect();
     samples.sort_unstable();
     samples[samples.len() / 2]
+}
+
+/// A no-op driver with fixed 1 ms executions: what remains is the
+/// kernel's own event-heap + lane-scheduler overhead.
+struct FixedDur;
+
+impl Driver for FixedDur {
+    type Custom = u32;
+    type Payload = ();
+    type Error = std::convert::Infallible;
+
+    fn dispatched(
+        &mut self,
+        _k: &mut Kernel<u32, ()>,
+        _device: usize,
+        _group: &[usize],
+        now: u64,
+    ) -> Result<u64, Self::Error> {
+        Ok(now + 1_000_000)
+    }
+
+    fn encoder_ready_ns(
+        &mut self,
+        _k: &mut Kernel<u32, ()>,
+        _tid: usize,
+        now: u64,
+    ) -> Result<u64, Self::Error> {
+        Ok(now + 50_000)
+    }
+
+    fn head_done(
+        &mut self,
+        _k: &mut Kernel<u32, ()>,
+        _req: usize,
+        _now: u64,
+    ) -> Result<(), Self::Error> {
+        Ok(())
+    }
+}
+
+/// One synthetic kernel run: `n_req` requests, each fanning two encoder
+/// tasks across 4 devices plus a head, arrivals staggered 0.5 ms apart.
+/// Returns the number of events processed (sanity-checked below).
+fn kernel_fanout_run(n_req: usize) -> u64 {
+    let mut k: Kernel<u32, ()> = Kernel::new(
+        (0..4).map(|_| Device::new(2, 0)).collect(),
+        Policy::default(),
+    );
+    let mut d = FixedDur;
+    for req in 0..n_req {
+        let head = k.spawn_task(req, 2, req % 4, true, ());
+        let at = req as u64 * 500_000;
+        for e in 0..2u32 {
+            let enc = k.spawn_task(req, e, (req + 1 + e as usize) % 4, false, ());
+            k.push_ready(at, enc);
+        }
+        k.set_request(
+            req,
+            RequestSlot {
+                pending_encoders: 2,
+                head_ready_ns: at,
+                head_task: head,
+            },
+        );
+    }
+    match k.run_until_idle(&mut d) {
+        Ok(n) => n,
+        Err(e) => match e {},
+    }
 }
 
 fn serve_scenario(requests: usize, admission: AdmissionPolicy, churn: bool) -> ServeScenario {
@@ -144,6 +215,15 @@ fn main() {
         "serve_loop/500req_churn_replan",
         median_ns(iters, || {
             std::hint::black_box(serve(&churn).unwrap());
+        }),
+    ));
+    // The shared kernel in isolation: ~2k requests × (2 ready + 2 done
+    // + 1 head) events through a no-op driver.
+    assert!(kernel_fanout_run(2_000) >= 10_000);
+    results.push((
+        "kernel_step/2k_req_fanout",
+        median_ns(iters * 4, || {
+            std::hint::black_box(kernel_fanout_run(2_000));
         }),
     ));
 

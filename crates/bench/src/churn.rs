@@ -25,6 +25,7 @@ pub fn scenario(policy: AdmissionPolicy, horizon_s: f64) -> ServeScenario {
         replan: ReplanPolicy {
             horizon_s,
             charge_switching_downtime: true,
+            ..ReplanPolicy::default()
         },
         ..ServeScenario::churn_default()
     }

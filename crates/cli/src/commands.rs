@@ -13,7 +13,7 @@ use s2m3_data::{evaluate, Benchmark, Dataset};
 use s2m3_models::zoo::Zoo;
 use s2m3_net::fleet::Fleet;
 use s2m3_runtime::{reference, RequestInput, Runtime};
-use s2m3_serve::{serve as serve_scenario, AdmissionPolicy, ServeScenario};
+use s2m3_serve::{serve as serve_scenario, AdmissionPolicy, ServeScenario, SloReplanTrigger};
 use s2m3_sim::workload::{latency_stats, mixed_stream, ArrivalProcess};
 use s2m3_sim::{simulate, SimConfig};
 
@@ -34,10 +34,13 @@ COMMANDS:
                                sustained-load simulation with p50/p95/p99
   serve      [--config FILE] [--requests N] [--rate R] [--deadline S]
              [--policy fifo|edf|shed] [--queue N] [--seed S] [--json]
-             [--print-config]
+             [--slo-replan COOLDOWN_S] [--print-config]
                                online serving control plane: admission
                                control, SLO windows, live replanning under
-                               fleet churn (default: 10k-request churn run)
+                               fleet churn (default: 10k-request churn run);
+                               --slo-replan also replans on rolling-p95
+                               breaches; multi-source traffic via the
+                               config file's `sources` list
   evaluate   --model M --benchmark B [--samples N]
                                zero-shot accuracy on a synthetic benchmark
   infer      --model M [--label L] [--candidates N]
@@ -232,6 +235,12 @@ pub fn serve_cmd(args: &Args) -> CmdResult {
                 )
             }
         }
+    }
+    if let Some(cooldown) = args.flags.get("slo-replan") {
+        scenario.replan.slo_trigger = Some(SloReplanTrigger {
+            cooldown_s: cooldown.parse().map_err(|_| "bad --slo-replan cooldown")?,
+            ..SloReplanTrigger::default()
+        });
     }
     if args.has("print-config") {
         return scenario.to_json();
@@ -471,6 +480,12 @@ mod tests {
         assert!(config.contains("\"requests\": 10000"));
         assert!(run(&["serve", "--policy", "bogus"]).is_err());
         assert!(run(&["serve", "--config", "/nonexistent.json"]).is_err());
+        // --slo-replan enables the rolling-p95 trigger with the given
+        // cooldown; bad cooldowns are rejected.
+        let slo_config = run(&["serve", "--slo-replan", "45", "--print-config"]).unwrap();
+        assert!(slo_config.contains("slo_trigger"));
+        assert!(slo_config.contains("\"cooldown_s\": 45"));
+        assert!(run(&["serve", "--slo-replan", "soon"]).is_err());
     }
 
     #[test]

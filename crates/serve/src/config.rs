@@ -64,6 +64,30 @@ pub struct FleetEvent {
     pub kind: FleetEventKind,
 }
 
+/// The SLO-breach replan trigger: on top of fleet events, the replan
+/// controller may also fire when the *rolling* p95 latency exceeds the
+/// deadline — the signal that the current placement underperforms even
+/// though the fleet itself did not change (e.g. after a rejected
+/// event-replan, or under traffic the analytic model did not foresee).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SloReplanTrigger {
+    /// Completions required in the rolling window before the trigger
+    /// arms (avoids reacting to startup noise).
+    pub min_window: usize,
+    /// Minimum virtual seconds between trigger evaluations; the window
+    /// is sampled at most once per cooldown.
+    pub cooldown_s: f64,
+}
+
+impl Default for SloReplanTrigger {
+    fn default() -> Self {
+        SloReplanTrigger {
+            min_window: 64,
+            cooldown_s: 60.0,
+        }
+    }
+}
+
 /// Replan-controller knobs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReplanPolicy {
@@ -74,6 +98,11 @@ pub struct ReplanPolicy {
     /// Whether migration costs are charged as downtime on destination
     /// devices (they cannot start new work while weights stream in).
     pub charge_switching_downtime: bool,
+    /// Optional SLO-breach trigger: when set, a rolling-p95 breach of
+    /// the deadline also wakes the replan controller (same break-even
+    /// gate as fleet events). `None` (the default) reacts to fleet
+    /// events only.
+    pub slo_trigger: Option<SloReplanTrigger>,
 }
 
 impl Default for ReplanPolicy {
@@ -81,6 +110,38 @@ impl Default for ReplanPolicy {
         ReplanPolicy {
             horizon_s: 600.0,
             charge_switching_downtime: true,
+            slo_trigger: None,
+        }
+    }
+}
+
+/// One extra request source: a fleet device that emits its own seeded
+/// arrival stream (see [`ServeScenario::sources`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSource {
+    /// Device name in the universe fleet. Must be active at t = 0 and
+    /// may never leave (like the requester).
+    pub device: String,
+    /// The source's arrival process, seeded independently per source.
+    pub arrivals: ArrivalProcess,
+}
+
+/// `#[serde(with)]` adapter treating a missing/`null` field as an empty
+/// list, so pre-multi-source scenario JSON keeps parsing (the vendored
+/// serde derive has no `#[serde(default)]`).
+mod sources_or_empty {
+    use serde::{Deserializer, Serialize, Serializer};
+
+    use super::TrafficSource;
+
+    pub fn serialize<S: Serializer>(v: &[TrafficSource], s: S) -> Result<S::Ok, S::Error> {
+        v.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<TrafficSource>, D::Error> {
+        match d.into_value()? {
+            serde::value::Value::Null => Ok(Vec::new()),
+            v => serde::from_value(v).map_err(D::Error::from),
         }
     }
 }
@@ -95,8 +156,17 @@ pub struct ServeScenario {
     pub initial_devices: Vec<String>,
     /// Models deployed for the whole run.
     pub models: Vec<ModelDeployment>,
-    /// The request arrival process.
+    /// The request arrival process (of the fleet requester when
+    /// [`ServeScenario::sources`] is empty; ignored otherwise).
     pub arrivals: ArrivalProcess,
+    /// Extra traffic sources. Empty (the default) keeps the classic
+    /// single-source behavior: the fleet requester emits `arrivals`.
+    /// Non-empty replaces it: each listed device emits its own seeded
+    /// stream and the union is merged deterministically by
+    /// `(arrival time, source rank, per-source id)`, where rank is the
+    /// position in this list.
+    #[serde(with = "sources_or_empty")]
+    pub sources: Vec<TrafficSource>,
     /// Total number of requests in the stream.
     pub requests: usize,
     /// Seed label: equal labels ⇒ identical streams and reports.
@@ -137,6 +207,7 @@ impl ServeScenario {
                 candidates: 101,
             }],
             arrivals: ArrivalProcess::Poisson { rate_per_s: 0.3 },
+            sources: Vec::new(),
             requests: 10_000,
             seed: "serve/churn-default".to_string(),
             deadline_s: 15.0,

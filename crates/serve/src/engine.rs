@@ -1,19 +1,23 @@
-//! The online serving loop: a discrete-event control plane that admits a
-//! continuous request stream, executes module tasks on per-device lanes
-//! (the same semantics as `s2m3_sim::engine`), applies scheduled fleet
-//! churn, and replans live through `s2m3_core::adaptive`.
+//! The online serving loop: the *online driver* over the shared
+//! discrete-event kernel in [`s2m3_sim::kernel`]. It admits continuous
+//! request streams (one per traffic source), executes module tasks on
+//! per-device lanes, applies scheduled fleet churn, and replans live
+//! through `s2m3_core::adaptive`.
 //!
 //! ## Control flow
 //!
-//! Requests arrive from a seeded
-//! [`ArrivalProcess`](s2m3_sim::workload::ArrivalProcess) and enter the
-//! admission queue of their route's *head* device. A device dispatches a
-//! queued request when it has a free request slot
-//! (`max_inflight_per_device`); dispatching expands the request into
-//! encoder tasks (with modeled input-transfer delays) plus one head task
-//! that fires when the last embedding lands, exactly as the offline
-//! simulator does. Lane counts, FIFO module queues, and head-priority
-//! dispatch mirror `s2m3_sim::engine`.
+//! Requests arrive from seeded
+//! [`ArrivalProcess`](s2m3_sim::workload::ArrivalProcess)es (the fleet
+//! requester's by default; any set of devices via
+//! [`ServeScenario::sources`]) and enter the admission queue of their
+//! route's *head* device. A device dispatches a queued request when it
+//! has a free request slot (`max_inflight_per_device`); dispatching
+//! expands the request into encoder tasks (with modeled input-transfer
+//! delays) plus one head task that fires when the last embedding lands.
+//! Lane counts, FIFO module queues, and head-priority dispatch are the
+//! kernel's — the *same* event loop the offline simulator runs; this
+//! module only supplies the online hooks (admission, SLO windows,
+//! churn, replanning).
 //!
 //! [`FleetEvent`](crate::config::FleetEvent)s change the active fleet at
 //! simulated timestamps. Every event wakes the replan controller, which
@@ -22,25 +26,26 @@
 //! a module) or when its
 //! [`break_even_requests`](s2m3_core::adaptive::ReplanDecision::break_even_requests)
 //! clears the requests expected within the configured horizon at the
-//! *observed* arrival rate. Accepted migrations charge their download +
-//! load cost as downtime on the destination devices. Requests caught on a
-//! leaving device are re-admitted (counted in
-//! [`ServeReport::retried`](crate::report::ServeReport)) — no request is
-//! ever silently lost: every arrival ends as exactly one completion or
-//! one shed.
+//! *observed* arrival rate. With
+//! [`ReplanPolicy::slo_trigger`](crate::config::ReplanPolicy) set, a
+//! rolling-p95 breach of the deadline wakes the same controller between
+//! fleet events. Accepted migrations charge their download + load cost
+//! as downtime on the destination devices; the controller runs while
+//! the kernel is paused between events — drain, requeue, resume — so no
+//! request is ever silently lost: every arrival ends as exactly one
+//! completion or one shed.
 //!
 //! ## Hot-path representation
 //!
 //! The loop runs entirely on [`ResolvedInstance`] indices: devices and
 //! modules are dense `u32`/`usize` ids, per-device state lives in `Vec`s
 //! indexed by *universe* device index, events carry indices, and the
-//! per-model route (placement and instance change only at fleet events)
-//! is cached as a [`ModelRoute`] of precomputed transfer times. String
-//! ids survive only at the boundary: scenario parsing, replan diffs, and
-//! the serialized [`ServeReport`].
+//! per-model, per-source route (placement and instance change only at
+//! replans) is cached as a [`ModelRoute`] of precomputed transfer
+//! times. String ids survive only at the boundary: scenario parsing,
+//! replan diffs, and the serialized [`ServeReport`].
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 
 use s2m3_core::adaptive::replan;
 use s2m3_core::error::CoreError;
@@ -49,8 +54,10 @@ use s2m3_core::problem::{Instance, Placement};
 use s2m3_core::resolved::ResolvedInstance;
 use s2m3_models::module::ModuleKind;
 use s2m3_net::fleet::Fleet;
+use s2m3_sim::kernel::{Device as LaneDevice, Driver, Kernel, Policy as KernelPolicy, RequestSlot};
+use s2m3_sim::workload::ArrivalProcess;
 
-use crate::config::{FleetEventKind, ServeScenario};
+use crate::config::{FleetEventKind, ServeScenario, SloReplanTrigger};
 use crate::queue::{Admission, AdmissionQueue, QueuedRequest};
 use crate::report::{DeviceReport, EventRecord, LatencySummary, ReplanRecord, ServeReport};
 use crate::slo::{DeviceUsage, Outcome, SloWindow};
@@ -91,54 +98,34 @@ fn secs(t: u64) -> f64 {
     t as f64 / NS
 }
 
-#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
-enum Ev {
+/// Driver-defined events injected into the kernel.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum ServeEv {
     /// A scheduled fleet change (index into the time-sorted event list).
     Fleet(usize),
     /// Request `rid` arrives.
     Arrival(usize),
-    /// A module task becomes ready to queue on its device.
-    TaskReady(usize),
-    /// A module task finishes executing.
-    TaskDone(usize),
-    /// Wake a device's scheduler (end of migration downtime), by
-    /// universe device index.
-    Kick(usize),
 }
 
-#[derive(Debug, Clone)]
-struct TaskState {
-    /// Dense request id (index into `Loop::requests`).
-    rid: usize,
-    /// Interned module index.
-    module: u32,
-    /// Universe device index the task executes on.
-    device: usize,
+/// Per-task payload stored inline in the kernel's task table.
+#[derive(Debug, Clone, Copy)]
+struct TaskInfo {
     /// Work units of this execution (profile-dependent), fixed at
     /// dispatch.
     units: f64,
-    is_head: bool,
     /// Embedding transfer time to the head device (encoders only), ns.
     output_tx_ns: u64,
-    cancelled: bool,
-    /// The device's lane epoch when this task was dispatched; a stale
-    /// epoch means the device's lane counter was force-reset (it left
-    /// the fleet) and this task no longer holds a lane.
-    lane_epoch: u64,
     /// Execution duration fixed at dispatch, ns (0 until dispatched).
     dur_ns: u64,
-    /// Set when the task's `TaskDone` fires: its work (and output) has
-    /// left the device, so a later device-leave no longer disturbs it.
-    finished: bool,
 }
 
+/// Driver-side request bookkeeping (the kernel keeps the fan-in state).
 #[derive(Debug, Clone, Default)]
-struct RequestState {
+struct ReqInfo {
     arrival_ns: u64,
     deadline_ns: u64,
-    pending_encoders: usize,
-    head_ready_ns: u64,
-    head_task: usize,
+    /// Rank of the traffic source that emitted this request.
+    source: usize,
     /// Universe index of the device charged with this request's
     /// in-flight slot, when dispatched.
     inflight_on: Option<usize>,
@@ -147,25 +134,29 @@ struct RequestState {
     done: bool,
 }
 
+/// Driver-side per-device serving state (the kernel owns lanes/queues).
 #[derive(Debug)]
-struct DevState {
-    lanes_total: usize,
-    lanes_busy: usize,
-    /// Bumped whenever `lanes_busy` is force-reset (device leave), so
-    /// completions of tasks dispatched before the reset do not free
-    /// phantom lanes after a rejoin.
-    lane_epoch: u64,
-    /// The device cannot start new tasks before this time (weight loads
-    /// from accepted migrations).
-    open_at_ns: u64,
-    /// Head tasks dispatch before queued encoder work.
-    fifo_heads: VecDeque<usize>,
-    fifo: VecDeque<usize>,
+struct DevExtra {
     /// Requests dispatched and not yet finished whose head lives here.
     inflight: usize,
     admission: AdmissionQueue,
     usage: DeviceUsage,
     executions: u64,
+}
+
+/// One resolved traffic source.
+#[derive(Debug, Clone)]
+struct SourceState {
+    name: String,
+    /// Universe device index.
+    uni: usize,
+}
+
+/// One merged arrival: when, and which source emitted it.
+#[derive(Debug, Clone, Copy)]
+struct ArrivalRec {
+    at_ns: u64,
+    source: usize,
 }
 
 /// One routed encoder of a cached per-model route.
@@ -180,9 +171,9 @@ struct EncRoute {
 }
 
 /// The Eq. 7 route of one deployed model under the current placement
-/// and instance, with every dispatch-time transfer precomputed. Valid
-/// until the next fleet event (placement and instance only change
-/// there); every request of the model shares it.
+/// and instance *for one traffic source*, with every dispatch-time
+/// transfer precomputed. Valid until the next replan; every request of
+/// the (model, source) pair shares it.
 #[derive(Debug, Clone)]
 struct ModelRoute {
     head_module: u32,
@@ -194,14 +185,15 @@ struct ModelRoute {
     encoders: Vec<EncRoute>,
 }
 
-struct Loop {
+/// The online driver: everything scenario-specific the kernel does not
+/// own.
+struct Online {
     universe: Fleet,
     /// Universe device names, by universe index.
     uni_names: Vec<String>,
     /// Universe indices in lexicographic name order (the iteration
     /// order the string-keyed maps used).
     by_name_order: Vec<usize>,
-    active: Vec<bool>,
     slowdown: Vec<Option<f64>>,
     instance: Instance,
     resolved: ResolvedInstance,
@@ -210,21 +202,26 @@ struct Loop {
     /// Resolved index of each universe device (`None` while inactive).
     res_of_uni: Vec<Option<u32>>,
     placement: Placement,
-    /// Cached route per deployed model (`None` = placement cannot serve
+    /// Traffic sources, in scenario order (rank = index).
+    sources: Vec<SourceState>,
+    /// Cached route per deployed model and source rank, flattened as
+    /// `model * n_sources + source` (`None` = placement cannot serve
     /// it; arrivals shed).
     model_routes: Vec<Option<ModelRoute>>,
     n_models: usize,
-    devices: Vec<DevState>,
-    tasks: Vec<TaskState>,
-    requests: Vec<RequestState>,
-    queue: BinaryHeap<Reverse<(u64, u64, Ev)>>,
-    seq: u64,
+    devices: Vec<DevExtra>,
+    requests: Vec<ReqInfo>,
     // --- workload ---
-    arrivals_ns: Vec<u64>,
+    arrivals: Vec<ArrivalRec>,
+    events: Vec<crate::config::FleetEvent>,
     deadline_ns: u64,
+    deadline_s: f64,
     max_inflight: usize,
     horizon_s: f64,
     charge_switching_downtime: bool,
+    slo_trigger: Option<SloReplanTrigger>,
+    /// Last virtual time the SLO trigger sampled the window, ns.
+    last_slo_eval_ns: u64,
     // --- accounting ---
     slo: SloWindow,
     snapshot_every: u64,
@@ -234,23 +231,104 @@ struct Loop {
     last_completion_ns: u64,
 }
 
-impl Loop {
-    fn push(&mut self, at: u64, ev: Ev) {
-        self.seq += 1;
-        self.queue.push(Reverse((at, self.seq, ev)));
+type K = Kernel<ServeEv, TaskInfo>;
+
+/// Boxed error for the kernel-facing hooks: hot-path `Result`s stay
+/// pointer-sized; the box is only paid on the (rare) error paths.
+type BoxedErr = Box<ServeError>;
+
+impl Driver for Online {
+    type Custom = ServeEv;
+    type Payload = TaskInfo;
+    type Error = BoxedErr;
+
+    #[inline]
+    fn dispatched(
+        &mut self,
+        k: &mut K,
+        _device: usize,
+        group: &[usize],
+        now: u64,
+    ) -> Result<u64, BoxedErr> {
+        // The online loop never batches: the group is a single task.
+        let tid = group[0];
+        let dur_s = {
+            let task = &k.tasks[tid];
+            match self.res_of_uni[task.device] {
+                Some(rd) => self
+                    .resolved
+                    .compute_time_units(task.module, rd, task.payload.units),
+                // Defensive: the device left between queueing and
+                // dispatch (its tasks are normally cancelled first).
+                None => 0.1,
+            }
+        };
+        let dur_ns = ns(dur_s);
+        k.tasks[tid].payload.dur_ns = dur_ns;
+        Ok(now + dur_ns)
     }
 
+    #[inline]
+    fn task_finished(
+        &mut self,
+        k: &mut K,
+        tid: usize,
+        _now: u64,
+        lane_live: bool,
+    ) -> Result<(), BoxedErr> {
+        // Only account a task whose lane survived to completion: a
+        // leave resets the counter (and bumps the epoch), so stale
+        // completions do not charge busy seconds the departed device
+        // never finished serving.
+        if lane_live {
+            let t = &k.tasks[tid];
+            let dev = &mut self.devices[t.device];
+            dev.usage.busy_s += secs(t.payload.dur_ns);
+            dev.executions += 1;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn encoder_ready_ns(&mut self, k: &mut K, tid: usize, now: u64) -> Result<u64, BoxedErr> {
+        Ok(now + k.tasks[tid].payload.output_tx_ns)
+    }
+
+    fn head_done(&mut self, k: &mut K, req: usize, now: u64) -> Result<(), BoxedErr> {
+        self.complete_request(k, req, now)
+    }
+
+    fn device_opened(&mut self, k: &mut K, device: usize, now: u64) -> Result<(), BoxedErr> {
+        self.drain_admission(k, device, now);
+        Ok(())
+    }
+
+    fn custom(&mut self, k: &mut K, event: ServeEv, now: u64) -> Result<(), BoxedErr> {
+        match event {
+            ServeEv::Fleet(idx) => {
+                let (kind, at_s) = (self.events[idx].kind.clone(), self.events[idx].at_s);
+                self.fleet_event(k, &kind, at_s, now)
+            }
+            ServeEv::Arrival(rid) => {
+                self.arrival(k, rid, now);
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Online {
     fn uni_index(&self, name: &str) -> Option<usize> {
         self.uni_names.iter().position(|n| n == name)
     }
 
     /// Rebuilds the instance over the active fleet with slowdowns
     /// applied, re-interning the resolved view and the index maps.
-    fn rebuild_instance(&mut self) -> Result<(), ServeError> {
+    fn rebuild_instance(&mut self, k: &K) -> Result<(), ServeError> {
         let mut specs = Vec::new();
         let mut uni_of_res = Vec::new();
         for (ui, d) in self.universe.devices().iter().enumerate() {
-            if !self.active[ui] {
+            if !k.devices[ui].active {
                 continue;
             }
             let mut spec = d.clone();
@@ -276,36 +354,29 @@ impl Loop {
         Ok(())
     }
 
-    /// Recomputes the per-model route cache against the current
-    /// placement and instance. Called after every placement change.
+    /// Recomputes the per-(model, source) route cache against the
+    /// current placement and instance. Called after every placement
+    /// change.
     fn refresh_model_routes(&mut self) {
         let hosts = self.resolved.resolve_placement(&self.placement);
-        let source = self.resolved.requester();
-        let mut routes = Vec::with_capacity(self.n_models);
-        for k in 0..self.n_models {
-            let profile = self.resolved.models()[k].profile;
-            let Some(route) = self.resolved.route_model(k, &profile, &hosts) else {
-                routes.push(None);
+        let n_sources = self.sources.len();
+        let mut routes = Vec::with_capacity(self.n_models * n_sources);
+        for m in 0..self.n_models {
+            let profile = self.resolved.models()[m].profile;
+            let Some(route) = self.resolved.route_model(m, &profile, &hosts) else {
+                routes.extend((0..n_sources).map(|_| None));
                 continue;
             };
             let &(head_m, head_d) = route.last().expect("route includes the head");
             let head_kind = self.resolved.module_kind(head_m);
-            let head_query_tx_ns = if head_kind == ModuleKind::LanguageModel {
-                ns(self.resolved.transfer_time(
-                    source,
-                    head_d,
-                    profile.input_bytes(ModuleKind::LanguageModel),
-                ))
-            } else {
-                0
-            };
             // Dispatch order: longest compute first, module id (==
-            // index) breaking ties — Algorithm 1's send rule.
+            // index) breaking ties — Algorithm 1's send rule. Shared by
+            // every source (routing ignores the query's origin).
             let mut encs: Vec<(u32, u32, f64)> = route[..route.len() - 1]
                 .iter()
-                .map(|&(m, d)| {
-                    let units = profile.units(self.resolved.module_kind(m));
-                    (m, d, self.resolved.compute_time_units(m, d, units))
+                .map(|&(em, ed)| {
+                    let units = profile.units(self.resolved.module_kind(em));
+                    (em, ed, self.resolved.compute_time_units(em, ed, units))
                 })
                 .collect();
             encs.sort_by(|a, b| {
@@ -313,42 +384,55 @@ impl Loop {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| a.0.cmp(&b.0))
             });
-            let encoders = encs
-                .iter()
-                .map(|&(m, d, _)| {
-                    let kind = self.resolved.module_kind(m);
-                    let units = profile.units(kind);
-                    EncRoute {
-                        module: m,
-                        uni: self.uni_of_res[d as usize],
-                        units,
-                        input_tx_ns: ns(self.resolved.transfer_time(
-                            source,
-                            d,
-                            profile.input_bytes(kind),
-                        )),
-                        output_tx_ns: ns(self.resolved.transfer_time(
-                            d,
-                            head_d,
-                            self.resolved.module_spec(m).output_bytes(units),
-                        )),
-                    }
+            routes.extend(self.sources.iter().map(|src| {
+                let source = self.res_of_uni[src.uni].expect("sources never leave the fleet");
+                let head_query_tx_ns = if head_kind == ModuleKind::LanguageModel {
+                    ns(self.resolved.transfer_time(
+                        source,
+                        head_d,
+                        profile.input_bytes(ModuleKind::LanguageModel),
+                    ))
+                } else {
+                    0
+                };
+                let encoders = encs
+                    .iter()
+                    .map(|&(em, ed, _)| {
+                        let kind = self.resolved.module_kind(em);
+                        let units = profile.units(kind);
+                        EncRoute {
+                            module: em,
+                            uni: self.uni_of_res[ed as usize],
+                            units,
+                            input_tx_ns: ns(self.resolved.transfer_time(
+                                source,
+                                ed,
+                                profile.input_bytes(kind),
+                            )),
+                            output_tx_ns: ns(self.resolved.transfer_time(
+                                ed,
+                                head_d,
+                                self.resolved.module_spec(em).output_bytes(units),
+                            )),
+                        }
+                    })
+                    .collect();
+                Some(ModelRoute {
+                    head_module: head_m,
+                    head_uni: self.uni_of_res[head_d as usize],
+                    head_units: profile.units(head_kind),
+                    head_query_tx_ns,
+                    encoders,
                 })
-                .collect();
-            routes.push(Some(ModelRoute {
-                head_module: head_m,
-                head_uni: self.uni_of_res[head_d as usize],
-                head_units: profile.units(head_kind),
-                head_query_tx_ns,
-                encoders,
             }));
         }
         self.model_routes = routes;
     }
 
     /// Offers a request to its head device's admission queue.
-    fn admit(&mut self, rid: usize, now: u64) {
-        let Some(head_uni) = self.model_routes[rid % self.n_models]
+    fn admit(&mut self, k: &mut K, rid: usize, now: u64) {
+        let (model, source) = (rid % self.n_models, self.requests[rid].source);
+        let Some(head_uni) = self.model_routes[model * self.sources.len() + source]
             .as_ref()
             .map(|mr| mr.head_uni)
         else {
@@ -367,193 +451,93 @@ impl Loop {
         if outcome == Admission::Shed {
             self.record_shed(rid, now);
         } else {
-            self.drain_admission(head_uni, now);
+            self.drain_admission(k, head_uni, now);
         }
     }
 
     /// Dispatches queued requests while the device has free request slots.
-    fn drain_admission(&mut self, device: usize, now: u64) {
+    fn drain_admission(&mut self, k: &mut K, device: usize, now: u64) {
         loop {
             let popped = {
                 let dev = &mut self.devices[device];
-                if !self.active[device] || dev.inflight >= self.max_inflight {
+                // Empty-queue first: the common case bails without
+                // touching the kernel's device table at all.
+                if dev.admission.is_empty()
+                    || dev.inflight >= self.max_inflight
+                    || !k.devices[device].active
+                {
                     return;
                 }
                 dev.admission.pop()
             };
             let Some(qr) = popped else { return };
-            self.dispatch_request(qr.id as usize, now);
+            self.dispatch_request(k, qr.id as usize, now);
         }
     }
 
     /// Expands a request into module tasks from its model's cached route.
-    fn dispatch_request(&mut self, rid: usize, now: u64) {
-        if self.model_routes[rid % self.n_models].is_none() {
+    fn dispatch_request(&mut self, k: &mut K, rid: usize, now: u64) {
+        let (model, source) = (rid % self.n_models, self.requests[rid].source);
+        let Some(mr) = self.model_routes[model * self.sources.len() + source].as_ref() else {
             self.record_shed(rid, now);
             return;
-        }
-        let mr = self.model_routes[rid % self.n_models]
-            .as_ref()
-            .expect("checked above");
+        };
         let head_uni = mr.head_uni;
         let head_ready = now + mr.head_query_tx_ns;
 
-        let head_task = self.tasks.len();
-        self.tasks.push(TaskState {
+        let head_task = k.spawn_task(
             rid,
-            module: mr.head_module,
-            device: head_uni,
-            units: mr.head_units,
-            is_head: true,
-            output_tx_ns: 0,
-            cancelled: false,
-            lane_epoch: 0,
-            dur_ns: 0,
-            finished: false,
-        });
+            mr.head_module,
+            head_uni,
+            true,
+            TaskInfo {
+                units: mr.head_units,
+                output_tx_ns: 0,
+                dur_ns: 0,
+            },
+        );
         let mut task_ids = vec![head_task];
 
         let mut pending = 0usize;
         let mut ready_events = Vec::with_capacity(mr.encoders.len());
         for e in &mr.encoders {
-            let tid = self.tasks.len();
-            self.tasks.push(TaskState {
+            let tid = k.spawn_task(
                 rid,
-                module: e.module,
-                device: e.uni,
-                units: e.units,
-                is_head: false,
-                output_tx_ns: e.output_tx_ns,
-                cancelled: false,
-                lane_epoch: 0,
-                dur_ns: 0,
-                finished: false,
-            });
+                e.module,
+                e.uni,
+                false,
+                TaskInfo {
+                    units: e.units,
+                    output_tx_ns: e.output_tx_ns,
+                    dur_ns: 0,
+                },
+            );
             task_ids.push(tid);
             ready_events.push((now + e.input_tx_ns, tid));
             pending += 1;
         }
 
+        k.set_request(
+            rid,
+            RequestSlot {
+                pending_encoders: pending,
+                head_ready_ns: head_ready,
+                head_task,
+            },
+        );
         {
             let r = &mut self.requests[rid];
-            r.pending_encoders = pending;
-            r.head_ready_ns = head_ready;
-            r.head_task = head_task;
             r.tasks = task_ids;
             r.inflight_on = Some(head_uni);
         }
         self.devices[head_uni].inflight += 1;
 
         for (at, tid) in ready_events {
-            self.push(at, Ev::TaskReady(tid));
+            k.push_ready(at, tid);
         }
         if pending == 0 {
-            self.push(head_ready, Ev::TaskReady(head_task));
+            k.push_ready(head_ready, head_task);
         }
-    }
-
-    /// Queues a ready task on its device and tries to dispatch.
-    fn task_ready(&mut self, tid: usize, now: u64) {
-        if self.tasks[tid].cancelled {
-            return;
-        }
-        let device = self.tasks[tid].device;
-        let dev = &mut self.devices[device];
-        if self.tasks[tid].is_head {
-            dev.fifo_heads.push_back(tid);
-        } else {
-            dev.fifo.push_back(tid);
-        }
-        self.try_dispatch(device, now);
-    }
-
-    /// The per-device lane scheduler (mirrors the offline engine).
-    fn try_dispatch(&mut self, device: usize, now: u64) {
-        if !self.active[device] {
-            return;
-        }
-        loop {
-            // Find the next non-cancelled task while a lane is free.
-            let tid = {
-                let dev = &mut self.devices[device];
-                if now < dev.open_at_ns || dev.lanes_busy >= dev.lanes_total {
-                    return;
-                }
-                let mut next = None;
-                while let Some(t) = dev.fifo_heads.pop_front().or_else(|| dev.fifo.pop_front()) {
-                    if !self.tasks[t].cancelled {
-                        next = Some(t);
-                        break;
-                    }
-                }
-                match next {
-                    None => return,
-                    Some(t) => t,
-                }
-            };
-            let dur_s = {
-                let task = &self.tasks[tid];
-                match self.res_of_uni[task.device] {
-                    Some(rd) => self
-                        .resolved
-                        .compute_time_units(task.module, rd, task.units),
-                    // Defensive: the device left between queueing and
-                    // dispatch (its tasks are normally cancelled first).
-                    None => 0.1,
-                }
-            };
-            let dev = &mut self.devices[device];
-            dev.lanes_busy += 1;
-            self.tasks[tid].lane_epoch = dev.lane_epoch;
-            self.tasks[tid].dur_ns = ns(dur_s);
-            self.push(now + ns(dur_s), Ev::TaskDone(tid));
-        }
-    }
-
-    fn task_done(&mut self, tid: usize, now: u64) {
-        let (device, cancelled, is_head, rid, output_tx_ns, lane_epoch, dur_ns) = {
-            let t = &self.tasks[tid];
-            (
-                t.device,
-                t.cancelled,
-                t.is_head,
-                t.rid,
-                t.output_tx_ns,
-                t.lane_epoch,
-                t.dur_ns,
-            )
-        };
-        self.tasks[tid].finished = true;
-        {
-            let dev = &mut self.devices[device];
-            // Only account a task whose lane survived to completion: a
-            // leave resets the counter (and bumps the epoch), so stale
-            // completions neither free lanes after a rejoin nor charge
-            // busy seconds the departed device never finished serving.
-            if dev.lane_epoch == lane_epoch {
-                dev.lanes_busy = dev.lanes_busy.saturating_sub(1);
-                dev.usage.busy_s += secs(dur_ns);
-                dev.executions += 1;
-            }
-        }
-        if cancelled {
-            self.try_dispatch(device, now);
-            return;
-        }
-        if is_head {
-            self.complete_request(rid, now);
-        } else {
-            let fire_head = {
-                let r = &mut self.requests[rid];
-                r.head_ready_ns = r.head_ready_ns.max(now + output_tx_ns);
-                r.pending_encoders -= 1;
-                (r.pending_encoders == 0).then_some((r.head_task, r.head_ready_ns))
-            };
-            if let Some((head_task, at)) = fire_head {
-                self.push(at.max(now), Ev::TaskReady(head_task));
-            }
-        }
-        self.try_dispatch(device, now);
     }
 
     fn record_outcome(&mut self, outcome: Outcome) {
@@ -565,7 +549,7 @@ impl Loop {
         }
     }
 
-    fn complete_request(&mut self, rid: usize, now: u64) {
+    fn complete_request(&mut self, k: &mut K, rid: usize, now: u64) -> Result<(), BoxedErr> {
         let (arrival_ns, deadline_ns, head_dev) = {
             let r = &mut self.requests[rid];
             r.done = true;
@@ -588,8 +572,9 @@ impl Loop {
             missed,
         });
         if let Some(ui) = head_dev {
-            self.drain_admission(ui, now);
+            self.drain_admission(k, ui, now);
         }
+        self.maybe_slo_replan(k, now)
     }
 
     fn record_shed(&mut self, rid: usize, now: u64) {
@@ -609,7 +594,7 @@ impl Loop {
     }
 
     /// Cancels a request's current attempt and re-admits it.
-    fn requeue_request(&mut self, rid: usize, now: u64) {
+    fn requeue_request(&mut self, k: &mut K, rid: usize, now: u64) {
         let (task_ids, inflight_on) = {
             let r = &mut self.requests[rid];
             if r.done {
@@ -621,32 +606,81 @@ impl Loop {
             self.devices[ui].inflight = self.devices[ui].inflight.saturating_sub(1);
         }
         for tid in task_ids {
-            self.tasks[tid].cancelled = true;
+            k.tasks[tid].cancelled = true;
         }
         self.report.retried += 1;
-        self.admit(rid, now);
+        self.admit(k, rid, now);
+    }
+
+    /// Charges accepted migrations as downtime on their destination
+    /// devices and schedules scheduler wake-ups when the weights land.
+    fn charge_migrations(
+        &mut self,
+        k: &mut K,
+        now: u64,
+        migrations: &[s2m3_core::adaptive::Migration],
+    ) {
+        let mut per_dev: BTreeMap<String, f64> = BTreeMap::new();
+        for m in migrations {
+            *per_dev.entry(m.to.as_str().to_string()).or_default() += m.cost_s;
+        }
+        for (name, cost) in per_dev {
+            let ui = self.uni_index(&name).expect("migration target exists");
+            let dev = &mut k.devices[ui];
+            dev.open_at_ns = dev.open_at_ns.max(now + ns(cost));
+            // Wake the scheduler when the weights finish loading;
+            // without this, queued tasks could strand on a device
+            // that receives no further events.
+            let at = dev.open_at_ns;
+            k.push_device_open(at, ui);
+        }
+    }
+
+    /// Re-keys every waiting request against the current placement,
+    /// oldest arrivals first.
+    fn rekey_waiting(&mut self, k: &mut K, now: u64) {
+        let mut waiting: Vec<QueuedRequest> = Vec::new();
+        for i in 0..self.by_name_order.len() {
+            let ui = self.by_name_order[i];
+            waiting.extend(self.devices[ui].admission.drain());
+        }
+        waiting.sort_by_key(|qr| (qr.arrival_ns, qr.id));
+        for qr in waiting {
+            self.admit(k, qr.id as usize, now);
+        }
+    }
+
+    /// One dispatch + admission round over every device, in name order.
+    fn kick_all(&mut self, k: &mut K, now: u64) -> Result<(), BoxedErr> {
+        for i in 0..self.by_name_order.len() {
+            let ui = self.by_name_order[i];
+            k.try_dispatch(ui, now, self)?;
+            self.drain_admission(k, ui, now);
+        }
+        Ok(())
     }
 
     /// Applies one fleet event and runs the replan controller.
     fn fleet_event(
         &mut self,
+        k: &mut K,
         kind: &FleetEventKind,
         at_s: f64,
         now: u64,
-    ) -> Result<(), ServeError> {
+    ) -> Result<(), BoxedErr> {
         let description = match kind {
             FleetEventKind::DeviceJoin { device } => {
                 let Some(ui) = self.uni_index(device) else {
-                    return Err(ServeError::BadScenario(format!(
+                    return Err(Box::new(ServeError::BadScenario(format!(
                         "unknown device `{device}` in join event"
-                    )));
+                    ))));
                 };
-                if self.active[ui] {
-                    return Err(ServeError::BadScenario(format!(
+                if k.devices[ui].active {
+                    return Err(Box::new(ServeError::BadScenario(format!(
                         "device `{device}` joined but was already active"
-                    )));
+                    ))));
                 }
-                self.active[ui] = true;
+                k.devices[ui].active = true;
                 let dev = &mut self.devices[ui];
                 dev.usage.active = true;
                 dev.usage.active_since_s = at_s;
@@ -654,17 +688,22 @@ impl Loop {
             }
             FleetEventKind::DeviceLeave { device } => {
                 if device == self.universe.requester().as_str() {
-                    return Err(ServeError::BadScenario(format!(
+                    return Err(Box::new(ServeError::BadScenario(format!(
                         "requester {device} cannot leave the fleet"
-                    )));
+                    ))));
                 }
-                let leaving = self.uni_index(device).filter(|&ui| self.active[ui]);
+                if self.sources.iter().any(|s| &s.name == device) {
+                    return Err(Box::new(ServeError::BadScenario(format!(
+                        "traffic source {device} cannot leave the fleet"
+                    ))));
+                }
+                let leaving = self.uni_index(device).filter(|&ui| k.devices[ui].active);
                 let Some(ui) = leaving else {
-                    return Err(ServeError::BadScenario(format!(
+                    return Err(Box::new(ServeError::BadScenario(format!(
                         "device `{device}` left but was not active"
-                    )));
+                    ))));
                 };
-                self.active[ui] = false;
+                k.devices[ui].active = false;
                 let dev = &mut self.devices[ui];
                 if dev.usage.active {
                     dev.usage.active = false;
@@ -673,11 +712,11 @@ impl Loop {
                 format!("{device} leaves")
             }
             FleetEventKind::DeviceSlowdown { device, factor } => {
-                let slowed = self.uni_index(device).filter(|&ui| self.active[ui]);
+                let slowed = self.uni_index(device).filter(|&ui| k.devices[ui].active);
                 let Some(ui) = slowed else {
-                    return Err(ServeError::BadScenario(format!(
+                    return Err(Box::new(ServeError::BadScenario(format!(
                         "device `{device}` slowed but is not active"
-                    )));
+                    ))));
                 };
                 self.slowdown[ui] = Some(factor.max(1e-3));
                 format!("{device} slows to {factor:.2}x")
@@ -693,28 +732,64 @@ impl Loop {
         let mut disturbed: BTreeSet<usize> = BTreeSet::new();
         if let FleetEventKind::DeviceLeave { device } = kind {
             let ui = self.uni_index(device).expect("validated above");
-            let dev = &mut self.devices[ui];
-            for qr in dev.admission.drain() {
+            for qr in self.devices[ui].admission.drain() {
                 disturbed.insert(qr.id as usize);
             }
-            dev.fifo_heads.clear();
-            dev.fifo.clear();
-            dev.lanes_busy = 0;
-            dev.lane_epoch += 1;
-            dev.inflight = 0;
-            for t in &self.tasks {
-                if !t.cancelled && !t.finished && t.device == ui && !self.requests[t.rid].done {
-                    disturbed.insert(t.rid);
+            k.devices[ui].reset_lanes();
+            self.devices[ui].inflight = 0;
+            for t in &k.tasks {
+                if !t.cancelled && !t.finished && t.device == ui && !self.requests[t.req].done {
+                    disturbed.insert(t.req);
                 }
             }
         }
 
         let old_placement = self.placement.clone();
-        self.rebuild_instance()?;
+        self.rebuild_instance(k).map_err(Box::new)?;
 
         // Replan controller: mandatory switches always apply; optional
         // ones must amortize within the horizon at the observed rate.
-        let decision = replan(&self.instance, &old_placement)?;
+        let decision =
+            replan(&self.instance, &old_placement).map_err(|e| Box::new(ServeError::Core(e)))?;
+        let accepted = self.gate_and_apply_replan(k, decision, description, at_s, now);
+        if !accepted {
+            // Keep serving on the surviving subset of the old placement.
+            let mut surviving = Placement::new();
+            for (m, d) in old_placement.iter() {
+                let survives = self
+                    .uni_index(d.as_str())
+                    .is_some_and(|ui| k.devices[ui].active);
+                if survives {
+                    surviving.place(m.clone(), d.clone());
+                }
+            }
+            self.placement = surviving;
+        }
+        self.refresh_model_routes();
+
+        // Re-key every waiting request against the (possibly new)
+        // placement, oldest arrivals first, then re-admit the disturbed.
+        self.rekey_waiting(k, now);
+        for rid in disturbed {
+            self.requeue_request(k, rid, now);
+        }
+        self.kick_all(k, now)
+    }
+
+    /// The shared replan gate: computes the observed-rate break-even
+    /// acceptance test, records the evaluation in the report, and — if
+    /// accepted — installs the new placement and charges migration
+    /// downtime. Both the fleet-event controller and the SLO-breach
+    /// trigger go through here, so the gate cannot diverge between
+    /// them. Returns whether the switch was accepted.
+    fn gate_and_apply_replan(
+        &mut self,
+        k: &mut K,
+        decision: s2m3_core::adaptive::ReplanDecision,
+        trigger: String,
+        at_s: f64,
+        now: u64,
+    ) -> bool {
         let observed_rate = if now == 0 {
             0.0
         } else {
@@ -726,7 +801,7 @@ impl Loop {
             || matches!(break_even, Some(b) if (b as f64) <= expected_in_horizon);
         self.report.replans.push(ReplanRecord {
             at_s,
-            trigger: description,
+            trigger,
             mandatory: decision.mandatory(),
             break_even_requests: break_even,
             observed_rate_per_s: observed_rate,
@@ -742,79 +817,89 @@ impl Loop {
                 0
             },
         });
-
         if accepted {
+            let migrations = decision.migrations;
             self.placement = decision.placement;
             if self.charge_switching_downtime {
-                let mut per_dev: BTreeMap<String, f64> = BTreeMap::new();
-                for m in &decision.migrations {
-                    *per_dev.entry(m.to.as_str().to_string()).or_default() += m.cost_s;
-                }
-                for (name, cost) in per_dev {
-                    let ui = self.uni_index(&name).expect("migration target exists");
-                    let dev = &mut self.devices[ui];
-                    dev.open_at_ns = dev.open_at_ns.max(now + ns(cost));
-                    // Wake the scheduler when the weights finish loading;
-                    // without this, queued tasks could strand on a device
-                    // that receives no further events.
-                    let at = dev.open_at_ns;
-                    self.push(at, Ev::Kick(ui));
-                }
+                self.charge_migrations(k, now, &migrations);
             }
-        } else {
-            // Keep serving on the surviving subset of the old placement.
-            let mut surviving = Placement::new();
-            for (m, d) in old_placement.iter() {
-                let survives = self.uni_index(d.as_str()).is_some_and(|ui| self.active[ui]);
-                if survives {
-                    surviving.place(m.clone(), d.clone());
-                }
-            }
-            self.placement = surviving;
         }
-        self.refresh_model_routes();
+        accepted
+    }
 
-        // Re-key every waiting request against the (possibly new)
-        // placement, oldest arrivals first, then re-admit the disturbed.
-        let mut waiting: Vec<QueuedRequest> = Vec::new();
-        for &ui in &self.by_name_order.clone() {
-            waiting.extend(self.devices[ui].admission.drain());
+    /// The SLO-breach replan path ([`ReplanPolicy::slo_trigger`]): at
+    /// most once per cooldown, sample the rolling window; when its p95
+    /// exceeds the deadline and a migration is on the table, run the
+    /// same break-even gate the fleet-event controller uses.
+    ///
+    /// [`ReplanPolicy::slo_trigger`]: crate::config::ReplanPolicy
+    fn maybe_slo_replan(&mut self, k: &mut K, now: u64) -> Result<(), BoxedErr> {
+        let Some(trig) = self.slo_trigger else {
+            return Ok(());
+        };
+        // `min_window` is clamped to the ring's capacity: a scenario
+        // whose `slo_window` is smaller than the trigger's arming
+        // threshold would otherwise never evaluate.
+        let arm_at = trig.min_window.max(1).min(self.slo.capacity());
+        if self.slo.len() < arm_at
+            || now
+                < self
+                    .last_slo_eval_ns
+                    .saturating_add(ns(trig.cooldown_s.max(0.0)))
+        {
+            return Ok(());
         }
-        waiting.sort_by_key(|qr| (qr.arrival_ns, qr.id));
-        for qr in waiting {
-            self.admit(qr.id as usize, now);
+        self.last_slo_eval_ns = now;
+        let snap = self.slo.snapshot(secs(now));
+        if snap.p95_s <= self.deadline_s {
+            return Ok(());
         }
-        for rid in disturbed {
-            self.requeue_request(rid, now);
+        let old_placement = self.placement.clone();
+        let decision =
+            replan(&self.instance, &old_placement).map_err(|e| Box::new(ServeError::Core(e)))?;
+        if decision.migrations.is_empty() {
+            // The breach is real but greedy has nothing better to offer
+            // (pure overload): no decision to record.
+            return Ok(());
         }
-        for i in 0..self.by_name_order.len() {
-            let ui = self.by_name_order[i];
-            self.try_dispatch(ui, now);
-            self.drain_admission(ui, now);
+        let trigger = format!(
+            "SLO breach: rolling p95 {:.2}s exceeds {:.2}s deadline",
+            snap.p95_s, self.deadline_s
+        );
+        if self.gate_and_apply_replan(k, decision, trigger, secs(now), now) {
+            self.refresh_model_routes();
+            self.rekey_waiting(k, now);
+            self.kick_all(k, now)?;
         }
         Ok(())
     }
 
-    fn arrival(&mut self, rid: usize, now: u64) {
+    fn arrival(&mut self, k: &mut K, rid: usize, now: u64) {
         self.report.arrived += 1;
         debug_assert_eq!(self.requests.len(), rid);
-        self.requests.push(RequestState {
+        self.requests.push(ReqInfo {
             arrival_ns: now,
             deadline_ns: now + self.deadline_ns,
-            ..RequestState::default()
+            source: self.arrivals[rid].source,
+            ..ReqInfo::default()
         });
+        k.set_request(rid, RequestSlot::default());
         // Schedule the next arrival lazily to keep the heap small.
         let next = rid + 1;
-        if next < self.arrivals_ns.len() {
-            self.push(self.arrivals_ns[next], Ev::Arrival(next));
+        if next < self.arrivals.len() {
+            k.push_custom(self.arrivals[next].at_ns, ServeEv::Arrival(next));
         }
-        self.admit(rid, now);
+        self.admit(k, rid, now);
     }
 
     fn finish(mut self) -> ServeReport {
         let now = self.last_completion_ns;
-        // Defensive flush: anything still waiting (a bug if it happens)
-        // is recorded as shed so arrivals always balance.
+        // Flush everything still unresolved so arrivals always balance:
+        // first the admission queues (a bug if non-empty after an idle
+        // run), then any request caught mid-flight — which exists only
+        // when a session is finished before running to idle (its kernel
+        // events are dropped with the session, so the request can never
+        // complete; shedding it keeps `arrived == completed + shed`).
         let leftover: Vec<usize> = self
             .by_name_order
             .clone()
@@ -824,6 +909,11 @@ impl Loop {
             .collect();
         for rid in leftover {
             self.record_shed(rid, now);
+        }
+        for rid in 0..self.requests.len() {
+            if !self.requests[rid].done {
+                self.record_shed(rid, now);
+            }
         }
 
         let now_s = secs(now);
@@ -862,194 +952,323 @@ impl Loop {
     }
 }
 
+/// A serving run as a *resumable* session over the shared kernel: run
+/// it in slices of virtual time ([`ServeSession::run_until`]), pause,
+/// resume, and [`ServeSession::finish`] when idle. Pausing is
+/// invisible: any schedule of `run_until` calls followed by
+/// [`ServeSession::run_to_idle`] yields a report byte-identical to an
+/// uninterrupted [`serve`] (property-tested in this crate).
+pub struct ServeSession {
+    kernel: K,
+    driver: Online,
+}
+
+impl ServeSession {
+    /// Builds the session: universe fleet, initial placement, merged
+    /// arrival stream, kernel state.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadScenario`] on inconsistent configuration;
+    /// [`ServeError::Core`] if placement or routing fails.
+    pub fn new(scenario: &ServeScenario) -> Result<Self, ServeError> {
+        // --- Universe fleet and initial membership. ---
+        let universe = match scenario.fleet.as_str() {
+            "edge" => Fleet::edge_testbed(),
+            "standard" => Fleet::standard_testbed(),
+            other => {
+                return Err(ServeError::BadScenario(format!(
+                    "unknown fleet `{other}` (edge|standard)"
+                )))
+            }
+        };
+        if scenario.models.is_empty() {
+            return Err(ServeError::BadScenario("no models deployed".into()));
+        }
+        if scenario.requests == 0 {
+            return Err(ServeError::BadScenario("empty request stream".into()));
+        }
+        let uni_names: Vec<String> = universe
+            .devices()
+            .iter()
+            .map(|d| d.id.as_str().to_string())
+            .collect();
+        let by_name_order = {
+            let mut order: Vec<usize> = (0..uni_names.len()).collect();
+            order.sort_by(|&a, &b| uni_names[a].cmp(&uni_names[b]));
+            order
+        };
+        let mut active = vec![false; uni_names.len()];
+        for name in &scenario.initial_devices {
+            let Some(ui) = uni_names.iter().position(|n| n == name) else {
+                return Err(ServeError::BadScenario(format!(
+                    "initial device `{name}` is not in the {} fleet",
+                    scenario.fleet
+                )));
+            };
+            active[ui] = true;
+        }
+        let requester = universe.requester().as_str().to_string();
+        let requester_active = uni_names
+            .iter()
+            .position(|n| *n == requester)
+            .is_some_and(|ui| active[ui]);
+        if !requester_active {
+            return Err(ServeError::BadScenario(format!(
+                "initial devices must include the requester `{requester}`"
+            )));
+        }
+
+        // --- Traffic sources and the merged arrival stream. ---
+        // An empty source list is the classic single-source scenario:
+        // the requester emits `scenario.arrivals` under the scenario
+        // seed (bit-for-bit the pre-multi-source stream).
+        let source_specs: Vec<(String, ArrivalProcess, String)> = if scenario.sources.is_empty() {
+            vec![(
+                requester.clone(),
+                scenario.arrivals.clone(),
+                scenario.seed.clone(),
+            )]
+        } else {
+            scenario
+                .sources
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    (
+                        s.device.clone(),
+                        s.arrivals.clone(),
+                        format!("{}/source-{i}", scenario.seed),
+                    )
+                })
+                .collect()
+        };
+        let mut sources = Vec::with_capacity(source_specs.len());
+        for (name, _, _) in &source_specs {
+            let Some(ui) = uni_names.iter().position(|n| n == name) else {
+                return Err(ServeError::BadScenario(format!(
+                    "traffic source `{name}` is not in the {} fleet",
+                    scenario.fleet
+                )));
+            };
+            if !active[ui] {
+                return Err(ServeError::BadScenario(format!(
+                    "traffic source `{name}` must be active at t = 0"
+                )));
+            }
+            sources.push(SourceState {
+                name: name.clone(),
+                uni: ui,
+            });
+        }
+        // Round-robin request split, then a deterministic merge by
+        // (time, source rank, per-source id): per-source streams are
+        // time-sorted with ids in emission order, so a stable sort on
+        // (time, rank) realizes exactly that order.
+        let n_sources = source_specs.len();
+        let mut merged: Vec<ArrivalRec> = Vec::with_capacity(scenario.requests);
+        for (rank, (_, process, label)) in source_specs.iter().enumerate() {
+            let count =
+                scenario.requests / n_sources + usize::from(rank < scenario.requests % n_sources);
+            for t in process.arrivals(count, label) {
+                merged.push(ArrivalRec {
+                    at_ns: ns(t),
+                    source: rank,
+                });
+            }
+        }
+        merged.sort_by_key(|a| (a.at_ns, a.source));
+
+        // --- Instance, placement, resolved index maps. ---
+        let model_pairs: Vec<(&str, usize)> = scenario
+            .models
+            .iter()
+            .map(|m| (m.name.as_str(), m.candidates))
+            .collect();
+        let initial_fleet = {
+            let devices: Vec<_> = universe
+                .devices()
+                .iter()
+                .zip(&active)
+                .filter(|(_, &a)| a)
+                .map(|(d, _)| d.clone())
+                .collect();
+            Fleet::new(
+                devices,
+                universe.topology().clone(),
+                universe.requester().clone(),
+            )
+            .map_err(ServeError::BadScenario)?
+        };
+        let instance = Instance::on_fleet(initial_fleet, &model_pairs)?;
+        let resolved = ResolvedInstance::new(&instance)?;
+        let placement = greedy_place_resolved(&resolved, PlacementOptions::default())?;
+        let uni_of_res: Vec<usize> = (0..uni_names.len()).filter(|&ui| active[ui]).collect();
+        let mut res_of_uni: Vec<Option<u32>> = vec![None; uni_names.len()];
+        for (ri, &ui) in uni_of_res.iter().enumerate() {
+            res_of_uni[ui] = Some(ri as u32);
+        }
+        let n_models = instance.deployments().len();
+
+        // --- Kernel + driver device state over the whole universe. ---
+        let lane_devices: Vec<LaneDevice> = universe
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(ui, d)| {
+                let mut lanes = LaneDevice::new(d.parallelism.max(1), 0);
+                lanes.active = active[ui];
+                lanes
+            })
+            .collect();
+        let devices: Vec<DevExtra> = universe
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(ui, d)| DevExtra {
+                inflight: 0,
+                admission: AdmissionQueue::new(scenario.admission.clone()),
+                usage: DeviceUsage {
+                    busy_s: 0.0,
+                    active_since_s: 0.0,
+                    active_s: 0.0,
+                    active: active[ui],
+                    lanes: d.parallelism.max(1),
+                },
+                executions: 0,
+            })
+            .collect();
+
+        let mut events = scenario.events.clone();
+        events.sort_by(|a, b| {
+            a.at_s
+                .partial_cmp(&b.at_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        // Tasks per request: one head plus one per encoder; size for
+        // the largest deployed fan-out so the table never reallocates.
+        let max_fanout = 1 + resolved
+            .models()
+            .iter()
+            .map(|m| m.encoders.len())
+            .max()
+            .unwrap_or(0);
+        let mut kernel: K = Kernel::with_capacity(
+            lane_devices,
+            KernelPolicy {
+                immediate_head_fire: false,
+                max_batch: None,
+            },
+            scenario.requests.saturating_mul(max_fanout),
+            scenario.requests,
+        );
+        let mut driver = Online {
+            universe,
+            uni_names,
+            by_name_order,
+            slowdown: vec![None; res_of_uni.len()],
+            instance,
+            resolved,
+            uni_of_res,
+            res_of_uni,
+            placement,
+            sources,
+            model_routes: Vec::new(),
+            n_models,
+            devices,
+            requests: Vec::with_capacity(scenario.requests),
+            arrivals: merged,
+            events,
+            deadline_ns: ns(scenario.deadline_s.max(1e-3)),
+            deadline_s: scenario.deadline_s.max(1e-3),
+            max_inflight: scenario.max_inflight_per_device.max(1),
+            horizon_s: scenario.replan.horizon_s.max(0.0),
+            charge_switching_downtime: scenario.replan.charge_switching_downtime,
+            slo_trigger: scenario.replan.slo_trigger,
+            last_slo_eval_ns: 0,
+            slo: SloWindow::new(scenario.slo_window.max(1)),
+            snapshot_every: scenario.snapshot_every.max(1) as u64,
+            last_snapshot_seen: 0,
+            latencies: Vec::with_capacity(scenario.requests),
+            report: ServeReport {
+                seed: scenario.seed.clone(),
+                ..ServeReport::default()
+            },
+            last_completion_ns: 0,
+        };
+        driver.refresh_model_routes();
+
+        for (idx, ev) in driver.events.iter().enumerate() {
+            kernel.push_custom(ns(ev.at_s.max(0.0)), ServeEv::Fleet(idx));
+        }
+        kernel.push_custom(driver.arrivals[0].at_ns, ServeEv::Arrival(0));
+
+        Ok(ServeSession { kernel, driver })
+    }
+
+    /// Processes every event up to `until_s` seconds of virtual time,
+    /// then pauses. Returns the number of events processed.
+    ///
+    /// # Errors
+    ///
+    /// Scenario errors surfaced by fleet events or replanning.
+    pub fn run_until(&mut self, until_s: f64) -> Result<u64, ServeError> {
+        self.kernel
+            .run_until(&mut self.driver, ns(until_s.max(0.0)))
+            .map_err(|e| *e)
+    }
+
+    /// Runs the session to idle (no events left).
+    ///
+    /// # Errors
+    ///
+    /// Scenario errors surfaced by fleet events or replanning.
+    pub fn run_to_idle(&mut self) -> Result<u64, ServeError> {
+        self.kernel.run_until_idle(&mut self.driver).map_err(|e| *e)
+    }
+
+    /// Whether every event has been processed.
+    pub fn is_idle(&self) -> bool {
+        self.kernel.pending_events() == 0
+    }
+
+    /// Virtual time of the last processed event, seconds.
+    pub fn now_s(&self) -> f64 {
+        secs(self.kernel.now())
+    }
+
+    /// Consumes the session and produces the final report. Normally
+    /// called once idle; finishing early sheds every request that has
+    /// arrived but not completed (queued *or* mid-flight — its pending
+    /// events die with the session), so `arrived == completed + shed`
+    /// holds in every report this type produces.
+    pub fn finish(self) -> ServeReport {
+        self.driver.finish()
+    }
+}
+
 /// Runs a serving scenario to completion and returns its deterministic
 /// report: same scenario (including seed) ⇒ byte-identical report.
 ///
 /// # Errors
 ///
 /// [`ServeError::BadScenario`] on inconsistent configuration (unknown
-/// fleet/devices/models, requester leaving, empty stream);
-/// [`ServeError::Core`] if placement or routing fails irrecoverably.
+/// fleet/devices/models, requester or a traffic source leaving, empty
+/// stream); [`ServeError::Core`] if placement or routing fails
+/// irrecoverably.
 pub fn serve(scenario: &ServeScenario) -> Result<ServeReport, ServeError> {
-    // --- Universe fleet and initial membership. ---
-    let universe = match scenario.fleet.as_str() {
-        "edge" => Fleet::edge_testbed(),
-        "standard" => Fleet::standard_testbed(),
-        other => {
-            return Err(ServeError::BadScenario(format!(
-                "unknown fleet `{other}` (edge|standard)"
-            )))
-        }
-    };
-    if scenario.models.is_empty() {
-        return Err(ServeError::BadScenario("no models deployed".into()));
-    }
-    if scenario.requests == 0 {
-        return Err(ServeError::BadScenario("empty request stream".into()));
-    }
-    let uni_names: Vec<String> = universe
-        .devices()
-        .iter()
-        .map(|d| d.id.as_str().to_string())
-        .collect();
-    let by_name_order = {
-        let mut order: Vec<usize> = (0..uni_names.len()).collect();
-        order.sort_by(|&a, &b| uni_names[a].cmp(&uni_names[b]));
-        order
-    };
-    let mut active = vec![false; uni_names.len()];
-    for name in &scenario.initial_devices {
-        let Some(ui) = uni_names.iter().position(|n| n == name) else {
-            return Err(ServeError::BadScenario(format!(
-                "initial device `{name}` is not in the {} fleet",
-                scenario.fleet
-            )));
-        };
-        active[ui] = true;
-    }
-    let requester = universe.requester().as_str().to_string();
-    let requester_active = uni_names
-        .iter()
-        .position(|n| *n == requester)
-        .is_some_and(|ui| active[ui]);
-    if !requester_active {
-        return Err(ServeError::BadScenario(format!(
-            "initial devices must include the requester `{requester}`"
-        )));
-    }
-
-    // --- Instance, placement, resolved index maps. ---
-    let model_pairs: Vec<(&str, usize)> = scenario
-        .models
-        .iter()
-        .map(|m| (m.name.as_str(), m.candidates))
-        .collect();
-    let initial_fleet = {
-        let devices: Vec<_> = universe
-            .devices()
-            .iter()
-            .zip(&active)
-            .filter(|(_, &a)| a)
-            .map(|(d, _)| d.clone())
-            .collect();
-        Fleet::new(
-            devices,
-            universe.topology().clone(),
-            universe.requester().clone(),
-        )
-        .map_err(ServeError::BadScenario)?
-    };
-    let instance = Instance::on_fleet(initial_fleet, &model_pairs)?;
-    let resolved = ResolvedInstance::new(&instance)?;
-    let placement = greedy_place_resolved(&resolved, PlacementOptions::default())?;
-    let uni_of_res: Vec<usize> = (0..uni_names.len()).filter(|&ui| active[ui]).collect();
-    let mut res_of_uni: Vec<Option<u32>> = vec![None; uni_names.len()];
-    for (ri, &ui) in uni_of_res.iter().enumerate() {
-        res_of_uni[ui] = Some(ri as u32);
-    }
-    let n_models = instance.deployments().len();
-
-    // --- Device runtime state over the whole universe. ---
-    let devices: Vec<DevState> = universe
-        .devices()
-        .iter()
-        .enumerate()
-        .map(|(ui, d)| DevState {
-            lanes_total: d.parallelism.max(1),
-            lanes_busy: 0,
-            lane_epoch: 0,
-            open_at_ns: 0,
-            fifo_heads: VecDeque::new(),
-            fifo: VecDeque::new(),
-            inflight: 0,
-            admission: AdmissionQueue::new(scenario.admission.clone()),
-            usage: DeviceUsage {
-                busy_s: 0.0,
-                active_since_s: 0.0,
-                active_s: 0.0,
-                active: active[ui],
-                lanes: d.parallelism.max(1),
-            },
-            executions: 0,
-        })
-        .collect();
-
-    // --- Workload. ---
-    let arrivals = scenario
-        .arrivals
-        .arrivals(scenario.requests, &scenario.seed);
-    let arrivals_ns: Vec<u64> = arrivals.iter().map(|&t| ns(t)).collect();
-
-    let mut events = scenario.events.clone();
-    events.sort_by(|a, b| {
-        a.at_s
-            .partial_cmp(&b.at_s)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-
-    let mut state = Loop {
-        universe,
-        uni_names,
-        by_name_order,
-        active,
-        slowdown: vec![None; res_of_uni.len()],
-        instance,
-        resolved,
-        uni_of_res,
-        res_of_uni,
-        placement,
-        model_routes: Vec::new(),
-        n_models,
-        devices,
-        tasks: Vec::new(),
-        requests: Vec::with_capacity(scenario.requests),
-        queue: BinaryHeap::new(),
-        seq: 0,
-        arrivals_ns,
-        deadline_ns: ns(scenario.deadline_s.max(1e-3)),
-        max_inflight: scenario.max_inflight_per_device.max(1),
-        horizon_s: scenario.replan.horizon_s.max(0.0),
-        charge_switching_downtime: scenario.replan.charge_switching_downtime,
-        slo: SloWindow::new(scenario.slo_window.max(1)),
-        snapshot_every: scenario.snapshot_every.max(1) as u64,
-        last_snapshot_seen: 0,
-        latencies: Vec::with_capacity(scenario.requests),
-        report: ServeReport {
-            seed: scenario.seed.clone(),
-            ..ServeReport::default()
-        },
-        last_completion_ns: 0,
-    };
-    state.refresh_model_routes();
-
-    for (idx, ev) in events.iter().enumerate() {
-        state.push(ns(ev.at_s.max(0.0)), Ev::Fleet(idx));
-    }
-    state.push(state.arrivals_ns[0], Ev::Arrival(0));
-
-    while let Some(Reverse((now, _, ev))) = state.queue.pop() {
-        match ev {
-            Ev::Fleet(idx) => {
-                let kind = events[idx].kind.clone();
-                state.fleet_event(&kind, events[idx].at_s, now)?;
-            }
-            Ev::Arrival(rid) => state.arrival(rid, now),
-            Ev::TaskReady(tid) => state.task_ready(tid, now),
-            Ev::TaskDone(tid) => state.task_done(tid, now),
-            Ev::Kick(ui) => {
-                state.try_dispatch(ui, now);
-                state.drain_admission(ui, now);
-            }
-        }
-    }
-
-    Ok(state.finish())
+    let mut session = ServeSession::new(scenario)?;
+    session.run_to_idle()?;
+    Ok(session.finish())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{AdmissionPolicy, FleetEvent, ModelDeployment, ReplanPolicy};
+    use crate::config::{
+        AdmissionPolicy, FleetEvent, ModelDeployment, ReplanPolicy, TrafficSource,
+    };
     use s2m3_sim::workload::ArrivalProcess;
 
     fn small_scenario(n: usize) -> ServeScenario {
@@ -1129,6 +1348,7 @@ mod tests {
         busy.replan = ReplanPolicy {
             horizon_s: 3600.0,
             charge_switching_downtime: true,
+            ..ReplanPolicy::default()
         };
         let busy_report = serve(&busy).unwrap();
         assert_eq!(busy_report.replans.len(), 1);
@@ -1147,6 +1367,7 @@ mod tests {
         idle.replan = ReplanPolicy {
             horizon_s: 1.0,
             charge_switching_downtime: true,
+            ..ReplanPolicy::default()
         };
         let idle_report = serve(&idle).unwrap();
         assert_eq!(idle_report.replans.len(), 1);
@@ -1333,5 +1554,223 @@ mod tests {
             assert!(w.p95_s <= w.p99_s + 1e-12);
             assert!((0.0..=1.0).contains(&w.miss_rate));
         }
+    }
+
+    /// The SLO-trigger churn scenario: the GPU server joins during an
+    /// MMPP calm phase, so the break-even gate rejects the migration at
+    /// event time (0.02 req/s × 120 s horizon < 8-request break-even).
+    /// The storm phase then floods the server-less placement, the
+    /// rolling p95 breaches the deadline, and the trigger re-runs the
+    /// same gate — now clearing it at the risen observed rate.
+    fn slo_trigger_scenario(trigger: Option<SloReplanTrigger>) -> ServeScenario {
+        let mut s = small_scenario(400);
+        s.seed = "serve/slo-breach-12".to_string();
+        s.deadline_s = 8.0;
+        s.arrivals = ArrivalProcess::Mmpp {
+            rates_per_s: vec![0.02, 2.0],
+            mean_dwell_s: 150.0,
+        };
+        s.admission = AdmissionPolicy::Fifo;
+        s.slo_window = 64;
+        s.events = vec![FleetEvent {
+            at_s: 50.0,
+            kind: FleetEventKind::DeviceJoin {
+                device: "server".to_string(),
+            },
+        }];
+        s.replan = ReplanPolicy {
+            horizon_s: 120.0,
+            charge_switching_downtime: true,
+            slo_trigger: trigger,
+        };
+        s
+    }
+
+    #[test]
+    fn slo_breach_fires_replan_that_the_event_gate_rejected() {
+        let with = serve(&slo_trigger_scenario(Some(SloReplanTrigger {
+            min_window: 32,
+            cooldown_s: 60.0,
+        })))
+        .unwrap();
+        assert_eq!(with.completed + with.shed, with.arrived);
+        assert_eq!(with.replans.len(), 2, "{:#?}", with.replans);
+        let event_replan = &with.replans[0];
+        assert!(event_replan.trigger.contains("joins"));
+        assert!(
+            !event_replan.accepted,
+            "the calm-phase join must not clear the gate"
+        );
+        let slo_replan = &with.replans[1];
+        assert!(slo_replan.trigger.contains("SLO breach"), "{slo_replan:?}");
+        assert!(!slo_replan.mandatory);
+        assert!(slo_replan.accepted);
+        assert!(slo_replan.migrations >= 1);
+        assert!(slo_replan.switching_cost_s > 0.0);
+        assert!(slo_replan.observed_rate_per_s > event_replan.observed_rate_per_s);
+
+        // Without the trigger the rejected join is never revisited and
+        // the storm runs on the slow placement: strictly worse SLO.
+        let without = serve(&slo_trigger_scenario(None)).unwrap();
+        assert_eq!(without.replans.len(), 1);
+        assert!(without
+            .replans
+            .iter()
+            .all(|r| !r.trigger.contains("SLO breach")));
+        assert!(
+            with.late < without.late,
+            "trigger on: {} late, off: {} late",
+            with.late,
+            without.late
+        );
+        assert!(with.latency.p95_s < without.latency.p95_s);
+
+        // Deterministic like every other serve path.
+        let again = serve(&slo_trigger_scenario(Some(SloReplanTrigger {
+            min_window: 32,
+            cooldown_s: 60.0,
+        })))
+        .unwrap();
+        assert_eq!(with, again);
+    }
+
+    #[test]
+    fn slo_trigger_respects_cooldown_spacing() {
+        let mut s = slo_trigger_scenario(Some(SloReplanTrigger {
+            min_window: 16,
+            cooldown_s: 45.0,
+        }));
+        // No fleet events at all: pure overload. The trigger may sample
+        // and (with nothing better to place) record nothing, but any
+        // records it does produce must be spaced by the cooldown.
+        s.events.clear();
+        let report = serve(&s).unwrap();
+        let slo_times: Vec<f64> = report
+            .replans
+            .iter()
+            .filter(|r| r.trigger.contains("SLO breach"))
+            .map(|r| r.at_s)
+            .collect();
+        assert!(
+            slo_times.windows(2).all(|w| w[1] - w[0] >= 45.0 - 1e-6),
+            "{slo_times:?}"
+        );
+        assert_eq!(report.completed + report.shed, report.arrived);
+    }
+
+    #[test]
+    fn session_pause_resume_matches_one_shot_run() {
+        let s = ServeScenario {
+            requests: 300,
+            ..ServeScenario::churn_default()
+        };
+        let one_shot = serve(&s).unwrap();
+        let mut session = ServeSession::new(&s).unwrap();
+        // Pause at several mid-run times, including one inside the
+        // churn window.
+        for t in [10.0, 300.0, 1800.5, 4200.5] {
+            session.run_until(t).unwrap();
+            assert!(session.now_s() <= t + 1e-9 || session.is_idle());
+        }
+        session.run_to_idle().unwrap();
+        assert!(session.is_idle());
+        assert_eq!(session.finish(), one_shot);
+    }
+
+    #[test]
+    fn finishing_a_paused_session_sheds_inflight_and_conserves() {
+        let s = ServeScenario {
+            requests: 200,
+            events: vec![],
+            ..ServeScenario::churn_default()
+        };
+        let mut session = ServeSession::new(&s).unwrap();
+        session.run_until(120.0).unwrap();
+        assert!(!session.is_idle(), "a 200-request stream outlives 120s");
+        let report = session.finish();
+        assert!(report.arrived > 0);
+        assert!(report.arrived < 200, "the stream must be cut mid-run");
+        assert_eq!(
+            report.completed + report.shed,
+            report.arrived,
+            "early finish must shed, not drop, unresolved requests"
+        );
+    }
+
+    #[test]
+    fn multi_source_streams_merge_and_conserve() {
+        let mut s = small_scenario(240);
+        s.sources = vec![
+            TrafficSource {
+                device: "jetson-a".to_string(),
+                arrivals: ArrivalProcess::Poisson { rate_per_s: 0.4 },
+            },
+            TrafficSource {
+                device: "laptop".to_string(),
+                arrivals: ArrivalProcess::Uniform { interval_s: 3.0 },
+            },
+            TrafficSource {
+                device: "desktop".to_string(),
+                arrivals: ArrivalProcess::Poisson { rate_per_s: 0.2 },
+            },
+        ];
+        let report = serve(&s).unwrap();
+        assert_eq!(report.arrived, 240);
+        assert_eq!(report.completed + report.shed, 240);
+        // Deterministic under replay.
+        assert_eq!(report, serve(&s).unwrap());
+        // A different source mix produces different traffic.
+        let mut other = s.clone();
+        other.sources.pop();
+        let other_report = serve(&other).unwrap();
+        assert_ne!(report.latency, other_report.latency);
+    }
+
+    #[test]
+    fn multi_source_ties_break_by_source_rank() {
+        // Two simultaneous-burst sources: every arrival is at t=0, so
+        // the merge order is exactly (source rank, per-source id) and
+        // the run must stay deterministic and conserving.
+        let mut s = small_scenario(60);
+        s.deadline_s = 10_000.0;
+        s.admission = AdmissionPolicy::Fifo;
+        s.sources = vec![
+            TrafficSource {
+                device: "jetson-a".to_string(),
+                arrivals: ArrivalProcess::Simultaneous,
+            },
+            TrafficSource {
+                device: "desktop".to_string(),
+                arrivals: ArrivalProcess::Simultaneous,
+            },
+        ];
+        let a = serve(&s).unwrap();
+        assert_eq!(a.completed, 60);
+        assert_eq!(a, serve(&s).unwrap());
+    }
+
+    #[test]
+    fn multi_source_rejects_unknown_inactive_or_leaving_sources() {
+        let src = |device: &str| TrafficSource {
+            device: device.to_string(),
+            arrivals: ArrivalProcess::Poisson { rate_per_s: 0.5 },
+        };
+        let mut unknown = small_scenario(10);
+        unknown.sources = vec![src("mars-rover")];
+        assert!(matches!(serve(&unknown), Err(ServeError::BadScenario(_))));
+
+        let mut inactive = small_scenario(10);
+        inactive.sources = vec![src("server")]; // in universe, not initial
+        assert!(matches!(serve(&inactive), Err(ServeError::BadScenario(_))));
+
+        let mut leaving = small_scenario(40);
+        leaving.sources = vec![src("jetson-a"), src("desktop")];
+        leaving.events = vec![FleetEvent {
+            at_s: 10.0,
+            kind: FleetEventKind::DeviceLeave {
+                device: "desktop".to_string(),
+            },
+        }];
+        assert!(matches!(serve(&leaving), Err(ServeError::BadScenario(_))));
     }
 }

@@ -53,7 +53,8 @@ mod proptests;
 
 pub use config::{
     AdmissionPolicy, FleetEvent, FleetEventKind, ModelDeployment, ReplanPolicy, ServeScenario,
+    SloReplanTrigger, TrafficSource,
 };
-pub use engine::{serve, ServeError};
+pub use engine::{serve, ServeError, ServeSession};
 pub use report::{DeviceReport, EventRecord, LatencySummary, ReplanRecord, ServeReport};
 pub use slo::{SloWindow, WindowSnapshot};

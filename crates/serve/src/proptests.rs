@@ -8,13 +8,18 @@
 //! 2. **Conservation** — no request is lost or duplicated across
 //!    admission, shedding, device churn, and replanning: every arrival is
 //!    exactly one completion or one shed.
+//!
+//! Plus the kernel-resumability guarantee the shared-event-loop refactor
+//! introduced: pausing a [`ServeSession`](crate::engine::ServeSession)
+//! at arbitrary virtual times and resuming is invisible — the final
+//! report is byte-identical to an uninterrupted run.
 
 use proptest::prelude::*;
 
 use s2m3_sim::workload::ArrivalProcess;
 
 use crate::config::{AdmissionPolicy, FleetEvent, FleetEventKind, ReplanPolicy, ServeScenario};
-use crate::engine::serve;
+use crate::engine::{serve, ServeSession};
 
 fn arb_policy() -> impl Strategy<Value = AdmissionPolicy> {
     prop_oneof![
@@ -101,6 +106,7 @@ fn scenario(
         replan: ReplanPolicy {
             horizon_s: 300.0,
             charge_switching_downtime: true,
+            ..ReplanPolicy::default()
         },
         ..ServeScenario::churn_default()
     }
@@ -156,6 +162,39 @@ proptest! {
         let expected_miss =
             (report.late + report.shed) as f64 / report.arrived.max(1) as f64;
         prop_assert!((report.miss_rate - expected_miss).abs() < 1e-12);
+    }
+
+    /// Pause-at-arbitrary-time + resume is invisible: running the
+    /// session in arbitrary virtual-time slices then draining it yields
+    /// a report byte-identical to the uninterrupted run, whatever the
+    /// policy, traffic, churn schedule, or pause points.
+    #[test]
+    fn pause_resume_is_byte_invisible(
+        policy in arb_policy(),
+        arrivals in arb_arrivals(),
+        events in arb_events(),
+        n in 20usize..100,
+        mut pauses in proptest::collection::vec(0.0f64..2_000.0, 1..6),
+    ) {
+        let s = scenario(policy, arrivals, events, n, "prop/resume".to_string());
+        let uninterrupted = serve(&s).unwrap();
+        let mut session = ServeSession::new(&s).unwrap();
+        pauses.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for t in pauses {
+            session.run_until(t).unwrap();
+            // ns() rounds, so an event tick may land up to half a
+            // nanosecond past the raw pause point.
+            prop_assert!(session.now_s() <= t + 1e-9 || session.is_idle());
+        }
+        session.run_to_idle().unwrap();
+        prop_assert!(session.is_idle());
+        let resumed = session.finish();
+        prop_assert_eq!(&resumed, &uninterrupted);
+        prop_assert_eq!(
+            resumed.to_json().unwrap(),
+            uninterrupted.to_json().unwrap(),
+            "JSON export must be identical too"
+        );
     }
 
     /// Windows are time-ordered with coherent percentiles, and device

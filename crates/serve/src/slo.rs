@@ -56,6 +56,21 @@ impl SloWindow {
         self.seen
     }
 
+    /// Configured ring size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Outcomes currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
     /// Summarizes the current window contents at virtual time `now_s`.
     pub fn snapshot(&self, now_s: f64) -> WindowSnapshot {
         let mut latencies: Vec<f64> = self.buf.iter().map(|o| o.latency_s).collect();

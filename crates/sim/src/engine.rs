@@ -1,21 +1,25 @@
-//! The discrete-event engine.
+//! The offline discrete-event engine: the *bounded driver* over the
+//! shared [`kernel`](crate::kernel).
 //!
 //! Devices are modeled as `parallelism`-lane executors with FIFO module
 //! queues; transfers are pure delays computed from the topology. Requests
 //! fan their encoders out at arrival (longest-first dispatch), the head
 //! fires when the last embedding lands, and the next request's work enters
 //! a queue the moment the previous one leaves it — the paper's pipelining.
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+//!
+//! The event loop itself lives in [`crate::kernel`]; this module seeds a
+//! fixed request set, supplies the timing arithmetic and Gantt-span
+//! bookkeeping through the [`Driver`] hooks, and runs the machine to
+//! idle. The online counterpart (`s2m3-serve`) layers admission control
+//! and live replanning over the *same* kernel.
 
 use s2m3_core::error::CoreError;
 use s2m3_core::plan::Plan;
 use s2m3_core::problem::{Instance, Request, Route};
 use s2m3_core::resolved::ResolvedInstance;
 use s2m3_models::module::ModuleKind;
-use s2m3_net::device::DeviceId;
 
+use crate::kernel::{Device, Driver, Kernel, Policy, RequestSlot};
 use crate::report::{GanttSpan, Phase, RequestTiming, SimReport};
 
 /// Simulation options.
@@ -80,58 +84,104 @@ fn secs(t: u64) -> f64 {
     t as f64 / NS
 }
 
-#[derive(Debug, Clone)]
-struct Task {
+/// The bounded driver never schedules custom events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum NoCustom {}
+
+/// Per-task payload stored inline in the kernel's task table.
+#[derive(Debug, Clone, Copy)]
+struct TaskInfo {
     /// Request id, for the report boundary.
     request: u64,
-    /// Dense request index (position in `plan.routed`).
-    req_idx: usize,
-    /// Interned module index.
-    module: u32,
-    device: usize,
+    /// Execution duration, seconds (fixed at task creation).
     dur: f64,
-    /// For encoders: embedding transfer time to the head device.
+    /// For encoders: embedding transfer time to the head device, seconds.
     output_tx: f64,
-    is_head: bool,
 }
 
-#[derive(Debug)]
-struct DeviceState {
-    id: DeviceId,
-    lanes_total: usize,
-    lanes_busy: usize,
-    /// Per-execution overhead, amortized when batching merges runs.
-    exec_overhead_s: f64,
-    /// Head tasks: dispatched before queued encoder work, so in-flight
-    /// requests complete before the next request's encoding begins (the
-    /// paper's one-by-one processing with opportunistic pipelining).
-    fifo_heads: VecDeque<usize>,
-    fifo: VecDeque<usize>,
-    open_at: u64,
+/// The bounded (offline) driver: fixed durations, Gantt spans, request
+/// timings.
+struct Bounded<'a> {
+    resolved: &'a ResolvedInstance,
+    /// Per-device execution overhead, amortized when batching merges
+    /// runs.
+    exec_overhead: Vec<f64>,
+    /// Per-request `(id, arrival)` (index-aligned with
+    /// `Kernel::requests`).
+    req_info: Vec<(u64, f64)>,
+    report: SimReport,
 }
 
-#[derive(Debug)]
-struct RequestState {
-    pending_encoders: usize,
-    /// Max over (encoder completion + output transfer) and the raw-query
-    /// arrival at the head device.
-    head_ready: u64,
-    head_task: usize,
-    arrival: f64,
-}
+impl Driver for Bounded<'_> {
+    type Custom = NoCustom;
+    type Payload = TaskInfo;
+    type Error = SimError;
 
-#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
-enum Event {
-    Ready(usize),
-    Done {
-        task: usize,
-    },
-    /// A batched follower finishing alongside its leader: completes the
-    /// task's request bookkeeping without freeing a lane.
-    BatchedDone {
-        task: usize,
-    },
-    DeviceOpen(usize),
+    fn dispatched(
+        &mut self,
+        k: &mut Kernel<NoCustom, TaskInfo>,
+        device: usize,
+        group: &[usize],
+        now: u64,
+    ) -> Result<u64, SimError> {
+        let dur: f64 = group.iter().map(|&g| k.tasks[g].payload.dur).sum::<f64>()
+            - (group.len() as f64 - 1.0) * self.exec_overhead[device];
+        let start = secs(now);
+        let end = start + dur;
+        for &g in group {
+            let t = &k.tasks[g];
+            self.report.spans.push(GanttSpan {
+                device: self.resolved.device_name(device as u32).clone(),
+                request: Some(t.payload.request),
+                phase: if t.is_head {
+                    Phase::Head(self.resolved.module_name(t.module).clone())
+                } else {
+                    Phase::Encode(self.resolved.module_name(t.module).clone())
+                },
+                start,
+                end,
+            });
+        }
+        Ok(ns(end))
+    }
+
+    fn encoder_ready_ns(
+        &mut self,
+        k: &mut Kernel<NoCustom, TaskInfo>,
+        tid: usize,
+        now: u64,
+    ) -> Result<u64, SimError> {
+        let info = k.tasks[tid].payload;
+        if info.output_tx > 0.0 {
+            let req = k.tasks[tid].req;
+            let head_dev = k.tasks[k.requests[req].head_task].device;
+            self.report.spans.push(GanttSpan {
+                device: self.resolved.device_name(head_dev as u32).clone(),
+                request: Some(info.request),
+                phase: Phase::OutputTx(self.resolved.module_name(k.tasks[tid].module).clone()),
+                start: secs(now),
+                end: secs(now) + info.output_tx,
+            });
+        }
+        Ok(ns(secs(now) + info.output_tx))
+    }
+
+    fn head_done(
+        &mut self,
+        _k: &mut Kernel<NoCustom, TaskInfo>,
+        req: usize,
+        now: u64,
+    ) -> Result<(), SimError> {
+        let (id, arrival) = self.req_info[req];
+        self.report.requests.insert(
+            id,
+            RequestTiming {
+                arrival,
+                completion: secs(now),
+            },
+        );
+        Ok(())
+    }
 }
 
 /// Resolves the routed device of module `m` for `route`, with the same
@@ -211,56 +261,67 @@ pub fn simulate(
         report.loading_done = open_at.iter().copied().map(secs).fold(0.0, f64::max);
     }
 
-    let mut dev_states: Vec<DeviceState> = devices
+    // One head task per request plus its encoders: exact table sizes.
+    let tasks_cap: usize = plan
+        .routed
         .iter()
-        .enumerate()
-        .map(|(i, d)| DeviceState {
-            id: d.id.clone(),
-            lanes_total: d.parallelism.max(1),
-            lanes_busy: 0,
-            exec_overhead_s: d.exec_overhead_s,
-            fifo_heads: VecDeque::new(),
-            fifo: VecDeque::new(),
-            open_at: open_at[i],
+        .map(|(r, _)| {
+            1 + resolved
+                .model_index(&r.model)
+                .map_or(0, |m| resolved.models()[m].encoders.len())
         })
-        .collect();
-
-    // --- Build tasks and initial events.
-    let mut tasks: Vec<Task> = Vec::new();
-    let mut req_states: Vec<RequestState> = Vec::with_capacity(plan.routed.len());
-    let mut queue: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let push = |q: &mut BinaryHeap<Reverse<(u64, u64, Event)>>, t: u64, s: &mut u64, e: Event| {
-        *s += 1;
-        q.push(Reverse((t, *s, e)));
+        .sum();
+    let mut kernel: Kernel<NoCustom, TaskInfo> = Kernel::with_capacity(
+        devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| Device::new(d.parallelism.max(1), open_at[i]))
+            .collect(),
+        Policy {
+            immediate_head_fire: true,
+            max_batch: config.max_batch,
+        },
+        tasks_cap,
+        plan.routed.len(),
+    );
+    let mut driver = Bounded {
+        resolved: &resolved,
+        exec_overhead: devices.iter().map(|d| d.exec_overhead_s).collect(),
+        req_info: Vec::with_capacity(plan.routed.len()),
+        report,
     };
 
+    // --- Build tasks and initial events.
     for (req_idx, ((request, route), &arrival)) in plan.routed.iter().zip(&arrivals).enumerate() {
-        let model = resolved
+        let model = driver
+            .resolved
             .model_index(&request.model)
             .ok_or_else(|| CoreError::UnknownModel(request.model.clone()))?;
-        let rmodel = &resolved.models()[model];
-        let source = source_index(&resolved, request)?;
+        let rmodel = &driver.resolved.models()[model];
+        let source = source_index(driver.resolved, request)?;
         let head_m = rmodel.head;
-        let head_kind = resolved.module_kind(head_m);
-        let head_di = routed_device(&resolved, route, head_m)?;
+        let head_kind = driver.resolved.module_kind(head_m);
+        let head_di = routed_device(driver.resolved, route, head_m)?;
         let head_dur =
-            resolved.compute_time_units(head_m, head_di, request.profile.units(head_kind));
-        let head_task = tasks.len();
-        tasks.push(Task {
-            request: request.id,
+            driver
+                .resolved
+                .compute_time_units(head_m, head_di, request.profile.units(head_kind));
+        let head_task = kernel.spawn_task(
             req_idx,
-            module: head_m,
-            device: head_di as usize,
-            dur: head_dur,
-            output_tx: 0.0,
-            is_head: true,
-        });
+            head_m,
+            head_di as usize,
+            true,
+            TaskInfo {
+                request: request.id,
+                dur: head_dur,
+                output_tx: 0.0,
+            },
+        );
 
         // Raw-query transfer for generative heads (travels immediately).
         let mut head_ready = ns(arrival);
         if head_kind == ModuleKind::LanguageModel {
-            let q_tx = resolved.transfer_time(
+            let q_tx = driver.resolved.transfer_time(
                 source,
                 head_di,
                 request.profile.input_bytes(ModuleKind::LanguageModel),
@@ -272,9 +333,9 @@ pub fn simulate(
         // index) breaking ties — Algorithm 1's send rule.
         let mut order: Vec<(u32, u32, f64)> = Vec::with_capacity(rmodel.encoders.len());
         for &m in &rmodel.encoders {
-            let di = routed_device(&resolved, route, m)?;
-            let units = request.profile.units(resolved.module_kind(m));
-            order.push((m, di, resolved.compute_time_units(m, di, units)));
+            let di = routed_device(driver.resolved, route, m)?;
+            let units = request.profile.units(driver.resolved.module_kind(m));
+            order.push((m, di, driver.resolved.compute_time_units(m, di, units)));
         }
         order.sort_by(|a, b| {
             b.2.partial_cmp(&a.2)
@@ -284,173 +345,67 @@ pub fn simulate(
 
         let mut pending = 0usize;
         for &(m, di, dur) in &order {
-            let kind = resolved.module_kind(m);
+            let kind = driver.resolved.module_kind(m);
             let units = request.profile.units(kind);
-            let input_tx = resolved.transfer_time(source, di, request.profile.input_bytes(kind));
-            let output_tx =
-                resolved.transfer_time(di, head_di, resolved.module_spec(m).output_bytes(units));
+            let input_tx =
+                driver
+                    .resolved
+                    .transfer_time(source, di, request.profile.input_bytes(kind));
+            let output_tx = driver.resolved.transfer_time(
+                di,
+                head_di,
+                driver.resolved.module_spec(m).output_bytes(units),
+            );
             if input_tx > 0.0 {
-                report.spans.push(GanttSpan {
-                    device: resolved.device_name(di).clone(),
+                driver.report.spans.push(GanttSpan {
+                    device: driver.resolved.device_name(di).clone(),
                     request: Some(request.id),
-                    phase: Phase::InputTx(resolved.module_name(m).clone()),
+                    phase: Phase::InputTx(driver.resolved.module_name(m).clone()),
                     start: arrival,
                     end: arrival + input_tx,
                 });
             }
-            let tid = tasks.len();
-            tasks.push(Task {
-                request: request.id,
+            let tid = kernel.spawn_task(
                 req_idx,
-                module: m,
-                device: di as usize,
-                dur,
-                output_tx,
-                is_head: false,
-            });
-            push(
-                &mut queue,
-                ns(arrival + input_tx),
-                &mut seq,
-                Event::Ready(tid),
+                m,
+                di as usize,
+                false,
+                TaskInfo {
+                    request: request.id,
+                    dur,
+                    output_tx,
+                },
             );
+            kernel.push_ready(ns(arrival + input_tx), tid);
             pending += 1;
         }
 
-        req_states.push(RequestState {
-            pending_encoders: pending,
-            head_ready,
-            head_task,
-            arrival,
-        });
+        driver.req_info.push((request.id, arrival));
+        kernel.set_request(
+            req_idx,
+            RequestSlot {
+                pending_encoders: pending,
+                head_ready_ns: head_ready,
+                head_task,
+            },
+        );
         // Encoder-less models cannot exist (ModelSpec validates ≥1), but
         // guard anyway: head fires directly.
         if pending == 0 {
-            push(&mut queue, head_ready, &mut seq, Event::Ready(head_task));
+            kernel.push_ready(head_ready, head_task);
         }
     }
 
-    for (i, d) in dev_states.iter().enumerate() {
-        if d.open_at > 0 {
-            push(&mut queue, d.open_at, &mut seq, Event::DeviceOpen(i));
+    for (i, &at) in open_at.iter().enumerate() {
+        if at > 0 {
+            kernel.push_device_open(at, i);
         }
     }
 
-    // --- Event loop.
-    let mut task_done_at: Vec<u64> = vec![0; tasks.len()];
-    while let Some(Reverse((now, _, event))) = queue.pop() {
-        match event {
-            Event::Ready(tid) => {
-                let di = tasks[tid].device;
-                if tasks[tid].is_head {
-                    dev_states[di].fifo_heads.push_back(tid);
-                } else {
-                    dev_states[di].fifo.push_back(tid);
-                }
-                try_dispatch(
-                    di,
-                    now,
-                    &resolved,
-                    &mut dev_states,
-                    &tasks,
-                    &mut queue,
-                    &mut seq,
-                    &mut report,
-                    config.max_batch,
-                );
-            }
-            Event::DeviceOpen(di) => {
-                try_dispatch(
-                    di,
-                    now,
-                    &resolved,
-                    &mut dev_states,
-                    &tasks,
-                    &mut queue,
-                    &mut seq,
-                    &mut report,
-                    config.max_batch,
-                );
-            }
-            Event::Done { task: tid } | Event::BatchedDone { task: tid } => {
-                let di = tasks[tid].device;
-                if matches!(event, Event::Done { .. }) {
-                    dev_states[di].lanes_busy -= 1;
-                }
-                task_done_at[tid] = now;
-                let t = &tasks[tid];
-                if t.is_head {
-                    let rs = &req_states[t.req_idx];
-                    report.requests.insert(
-                        t.request,
-                        RequestTiming {
-                            arrival: rs.arrival,
-                            completion: secs(now),
-                        },
-                    );
-                } else {
-                    // Embedding transfer to the head device.
-                    if t.output_tx > 0.0 {
-                        report.spans.push(GanttSpan {
-                            device: dev_states[tasks[req_states[t.req_idx].head_task].device]
-                                .id
-                                .clone(),
-                            request: Some(t.request),
-                            phase: Phase::OutputTx(resolved.module_name(t.module).clone()),
-                            start: secs(now),
-                            end: secs(now) + t.output_tx,
-                        });
-                    }
-                    let ready_contrib = ns(secs(now) + t.output_tx);
-                    let rs = &mut req_states[t.req_idx];
-                    rs.head_ready = rs.head_ready.max(ready_contrib);
-                    rs.pending_encoders -= 1;
-                    if rs.pending_encoders == 0 {
-                        if rs.head_ready <= now {
-                            // Enqueue directly so the head wins the lane
-                            // this task just freed, ahead of later
-                            // requests' queued encoder work.
-                            let head_task = rs.head_task;
-                            let hdi = tasks[head_task].device;
-                            dev_states[hdi].fifo_heads.push_back(head_task);
-                            if hdi != di {
-                                try_dispatch(
-                                    hdi,
-                                    now,
-                                    &resolved,
-                                    &mut dev_states,
-                                    &tasks,
-                                    &mut queue,
-                                    &mut seq,
-                                    &mut report,
-                                    config.max_batch,
-                                );
-                            }
-                        } else {
-                            push(
-                                &mut queue,
-                                rs.head_ready,
-                                &mut seq,
-                                Event::Ready(rs.head_task),
-                            );
-                        }
-                    }
-                }
-                try_dispatch(
-                    di,
-                    now,
-                    &resolved,
-                    &mut dev_states,
-                    &tasks,
-                    &mut queue,
-                    &mut seq,
-                    &mut report,
-                    config.max_batch,
-                );
-            }
-        }
-    }
+    // --- Run the shared event loop to idle.
+    kernel.run_until_idle(&mut driver)?;
 
+    let mut report = driver.report;
     report.spans.sort_by(|a, b| {
         a.start
             .partial_cmp(&b.start)
@@ -463,73 +418,6 @@ pub fn simulate(
         .map(|r| r.completion)
         .fold(report.loading_done, f64::max);
     Ok(report)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn try_dispatch(
-    di: usize,
-    now: u64,
-    resolved: &ResolvedInstance,
-    dev_states: &mut [DeviceState],
-    tasks: &[Task],
-    queue: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
-    seq: &mut u64,
-    report: &mut SimReport,
-    max_batch: Option<usize>,
-) {
-    let d = &mut dev_states[di];
-    if now < d.open_at {
-        return;
-    }
-    while d.lanes_busy < d.lanes_total {
-        let Some(tid) = d.fifo_heads.pop_front().or_else(|| d.fifo.pop_front()) else {
-            break;
-        };
-        let t = &tasks[tid];
-
-        // Module-level batching (Sec. VI-C): absorb queued runs of the
-        // same module into this execution, paying exec_overhead once.
-        let mut group = vec![tid];
-        if let Some(cap) = max_batch {
-            while group.len() < cap {
-                let Some(&next) = d.fifo.front() else { break };
-                if tasks[next].is_head != t.is_head || tasks[next].module != t.module {
-                    break;
-                }
-                group.push(d.fifo.pop_front().expect("front exists"));
-            }
-        }
-        let dur: f64 = group.iter().map(|&g| tasks[g].dur).sum::<f64>()
-            - (group.len() as f64 - 1.0) * d.exec_overhead_s;
-
-        d.lanes_busy += 1;
-        let start = secs(now);
-        let end = start + dur;
-        for &g in &group {
-            let gt = &tasks[g];
-            report.spans.push(GanttSpan {
-                device: d.id.clone(),
-                request: Some(gt.request),
-                phase: if gt.is_head {
-                    Phase::Head(resolved.module_name(gt.module).clone())
-                } else {
-                    Phase::Encode(resolved.module_name(gt.module).clone())
-                },
-                start,
-                end,
-            });
-        }
-        // All batched members complete together; only the lane of the
-        // leader is occupied, and it frees once.
-        for (i, &g) in group.iter().enumerate() {
-            *seq += 1;
-            if i == 0 {
-                queue.push(Reverse((ns(end), *seq, Event::Done { task: g })));
-            } else {
-                queue.push(Reverse((ns(end), *seq, Event::BatchedDone { task: g })));
-            }
-        }
-    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@
 pub mod batching;
 pub mod energy;
 pub mod engine;
+pub mod kernel;
 pub mod loading;
 pub mod report;
 pub mod workload;

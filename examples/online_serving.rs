@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     scenario.replan = ReplanPolicy {
         horizon_s: 900.0,
         charge_switching_downtime: true,
+        ..ReplanPolicy::default()
     };
     // Fleet churn: the desktop (vision host) dies mid-run; later the GPU
     // server appears one MAN hop away.

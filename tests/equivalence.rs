@@ -89,6 +89,25 @@ fn serve_report_for_default_churn_is_byte_identical_to_seed_behavior() {
 }
 
 #[test]
+fn chunked_serve_session_matches_the_golden_fixture() {
+    // The resumable-kernel guarantee against the pinned bytes: running
+    // the default churn scenario in 2 500 s virtual-time slices (pause,
+    // resume, repeat) reproduces the golden fixture exactly.
+    let mut session = s2m3::serve::ServeSession::new(&ServeScenario::churn_default()).unwrap();
+    let mut until_s = 0.0;
+    while !session.is_idle() {
+        until_s += 2_500.0;
+        session.run_until(until_s).unwrap();
+    }
+    let json = serde_json::to_string_pretty(&session.finish()).unwrap();
+    assert_eq!(
+        json,
+        fixture("serve_churn_default.json").trim_end(),
+        "chunked session diverged from the uninterrupted fixture"
+    );
+}
+
+#[test]
 fn resolved_objective_matches_string_objective_across_the_zoo() {
     use s2m3::core::objective::total_latency;
     use s2m3::core::routing::route_request;
