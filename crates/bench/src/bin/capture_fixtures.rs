@@ -9,13 +9,19 @@
 //! ```text
 //! cargo run --release -p s2m3-bench --bin capture_fixtures
 //! ```
+//!
+//! Regenerating goldens only makes sense from a known-good tree, so the
+//! binary refuses to run with uncommitted changes unless `--allow-dirty`
+//! is passed (the escape hatch for capturing fixtures of an intentional
+//! behavior change before committing it).
 
 use std::fs;
 use std::path::Path;
+use std::process::Command;
 
 use s2m3_core::plan::Plan;
 use s2m3_core::problem::Instance;
-use s2m3_serve::{serve, ServeScenario};
+use s2m3_serve::{serve, BatchPolicy, ServeScenario};
 use s2m3_sim::engine::{simulate, SimConfig};
 
 /// The zoo models pinned by the equivalence fixtures.
@@ -33,7 +39,32 @@ fn plan_for(name: &str, candidates: usize, n_requests: usize) -> Plan {
     Plan::greedy(&i, requests).expect("fixture plan builds")
 }
 
+/// Fails loudly when the git tree has uncommitted changes: goldens
+/// captured from a half-edited tree would silently pin the wrong
+/// behavior. Unreachable git (no binary, not a repo) is a warning, not
+/// a wall — fixture capture still works in exported source trees.
+fn refuse_dirty_tree() {
+    match Command::new("git").args(["status", "--porcelain"]).output() {
+        Ok(out) if out.status.success() => {
+            if !out.stdout.is_empty() {
+                eprintln!(
+                    "error: the git tree is dirty — fixtures must be captured from a \
+                     committed state so the pinned bytes are reproducible.\n\
+                     Commit (or stash) first, or pass --allow-dirty to capture an \
+                     intentional in-progress behavior change:\n\n{}",
+                    String::from_utf8_lossy(&out.stdout)
+                );
+                std::process::exit(1);
+            }
+        }
+        _ => eprintln!("warning: cannot query git status; skipping the dirty-tree check"),
+    }
+}
+
 fn main() {
+    if !std::env::args().any(|a| a == "--allow-dirty") {
+        refuse_dirty_tree();
+    }
     let dir = Path::new("tests/fixtures");
     fs::create_dir_all(dir).expect("fixture dir");
 
@@ -62,6 +93,21 @@ fn main() {
     let report = serve(&scenario).expect("churn scenario serves");
     let json = serde_json::to_string_pretty(&report).expect("serve report serializes");
     fs::write(dir.join("serve_churn_default.json"), &json).expect("write serve fixture");
+
+    // The batched-serve golden: the same churn scenario with module-level
+    // batching on (global cap 4). Pinned separately from the unbatched
+    // fixture so `batch: None` byte-identity and batched-dispatch
+    // semantics are each guarded on their own.
+    let batched_scenario = ServeScenario {
+        batch: Some(BatchPolicy {
+            max_batch: 4,
+            per_kind: vec![],
+        }),
+        ..ServeScenario::churn_default()
+    };
+    let report = serve(&batched_scenario).expect("batched churn scenario serves");
+    let json = serde_json::to_string_pretty(&report).expect("serve report serializes");
+    fs::write(dir.join("serve_churn_batched.json"), &json).expect("write batched serve fixture");
 
     println!("fixtures written to {}", dir.display());
 }

@@ -30,7 +30,7 @@ use s2m3_core::placement::greedy_place;
 use s2m3_core::plan::Plan;
 use s2m3_core::problem::Instance;
 use s2m3_core::upper::optimal_placement;
-use s2m3_serve::{serve, AdmissionPolicy, ServeScenario};
+use s2m3_serve::{serve, AdmissionPolicy, BatchPolicy, ServeScenario};
 use s2m3_sim::engine::{simulate, SimConfig};
 use s2m3_sim::kernel::{Device, Driver, Kernel, Policy, RequestSlot};
 
@@ -179,6 +179,14 @@ fn main() {
     let fifo = serve_scenario(500, AdmissionPolicy::Fifo, false);
     let edf = serve_scenario(500, AdmissionPolicy::EarliestDeadlineFirst, false);
     let churn = serve_scenario(500, AdmissionPolicy::ShedOnOverload { max_queue: 48 }, true);
+    let batched = {
+        let mut s = serve_scenario(500, AdmissionPolicy::Fifo, false);
+        s.batch = Some(BatchPolicy {
+            max_batch: 4,
+            per_kind: vec![],
+        });
+        s
+    };
 
     let mut results: Vec<(&str, u64)> = Vec::new();
     results.push((
@@ -215,6 +223,14 @@ fn main() {
         "serve_loop/500req_churn_replan",
         median_ns(iters, || {
             std::hint::black_box(serve(&churn).unwrap());
+        }),
+    ));
+    // Batched online dispatch: the kernel's group-merge path (absent
+    // from the other serve benches, which run the singleton fast path).
+    results.push((
+        "serve_loop/500req_batched",
+        median_ns(iters, || {
+            std::hint::black_box(serve(&batched).unwrap());
         }),
     ));
     // The shared kernel in isolation: ~2k requests × (2 ready + 2 done

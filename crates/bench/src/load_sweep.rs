@@ -11,7 +11,7 @@
 use s2m3_core::plan::Plan;
 use s2m3_core::problem::Instance;
 use s2m3_net::fleet::Fleet;
-use s2m3_sim::workload::{latency_stats, mixed_stream, ArrivalProcess, LatencyStats};
+use s2m3_sim::workload::{latency_stats, ArrivalProcess, LatencyStats, WorkloadSpec};
 use s2m3_sim::{simulate, SimConfig};
 
 use crate::table::Table;
@@ -35,15 +35,21 @@ pub fn instance() -> Instance {
     .unwrap()
 }
 
-/// Runs one sweep point.
+/// Runs one sweep point: the offered load is a [`WorkloadSpec`] — the
+/// same unified layer `s2m3-serve` streams from — materialized into a
+/// bounded request set plus aligned arrival times.
 ///
 /// # Panics
 ///
 /// On internal plan/simulation failures (the standard instance is valid).
 pub fn point(instance: &Instance, rate: f64, max_batch: Option<usize>) -> LatencyStats {
-    let requests = mixed_stream(instance, REQUESTS).expect("stream builds");
-    let arrivals =
-        ArrivalProcess::Poisson { rate_per_s: rate }.arrivals(REQUESTS, &format!("sweep/{rate}"));
+    let spec = WorkloadSpec::single_source(
+        ArrivalProcess::Poisson { rate_per_s: rate },
+        format!("sweep/{rate}"),
+    );
+    let (requests, arrivals) = spec
+        .materialize(instance, REQUESTS)
+        .expect("workload materializes");
     let plan = Plan::greedy(instance, requests).expect("plan builds");
     let report = simulate(
         instance,

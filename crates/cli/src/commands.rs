@@ -13,8 +13,10 @@ use s2m3_data::{evaluate, Benchmark, Dataset};
 use s2m3_models::zoo::Zoo;
 use s2m3_net::fleet::Fleet;
 use s2m3_runtime::{reference, RequestInput, Runtime};
-use s2m3_serve::{serve as serve_scenario, AdmissionPolicy, ServeScenario, SloReplanTrigger};
-use s2m3_sim::workload::{latency_stats, mixed_stream, ArrivalProcess};
+use s2m3_serve::{
+    serve as serve_scenario, AdmissionPolicy, BatchPolicy, ServeScenario, SloReplanTrigger,
+};
+use s2m3_sim::workload::{latency_stats, mixed_stream, ArrivalProcess, ModelMix, ModelWeight};
 use s2m3_sim::{simulate, SimConfig};
 
 use crate::args::Args;
@@ -34,13 +36,18 @@ COMMANDS:
                                sustained-load simulation with p50/p95/p99
   serve      [--config FILE] [--requests N] [--rate R] [--deadline S]
              [--policy fifo|edf|shed] [--queue N] [--seed S] [--json]
-             [--slo-replan COOLDOWN_S] [--print-config]
+             [--slo-replan COOLDOWN_S] [--mix M=W,M=W,...] [--batch N]
+             [--print-config]
                                online serving control plane: admission
                                control, SLO windows, live replanning under
                                fleet churn (default: 10k-request churn run);
                                --slo-replan also replans on rolling-p95
-                               breaches; multi-source traffic via the
-                               config file's `sources` list
+                               breaches; --mix weights the model mix
+                               (default: round-robin); --batch merges up
+                               to N same-module runs per dispatch;
+                               multi-source traffic, per-source mixes,
+                               deadline classes, and per-kind batch caps
+                               via the config file
   evaluate   --model M --benchmark B [--samples N]
                                zero-shot accuracy on a synthetic benchmark
   infer      --model M [--label L] [--candidates N]
@@ -240,6 +247,32 @@ pub fn serve_cmd(args: &Args) -> CmdResult {
         scenario.replan.slo_trigger = Some(SloReplanTrigger {
             cooldown_s: cooldown.parse().map_err(|_| "bad --slo-replan cooldown")?,
             ..SloReplanTrigger::default()
+        });
+    }
+    if let Some(mix) = args.flags.get("mix") {
+        // `model=weight` pairs, comma-separated; weights apply to the
+        // scenario's deployed models via the unified workload layer.
+        let weights: Vec<ModelWeight> = mix
+            .split(',')
+            .map(|pair| {
+                let (model, weight) = pair
+                    .rsplit_once('=')
+                    .ok_or_else(|| format!("bad --mix entry `{pair}` (want model=weight)"))?;
+                Ok(ModelWeight {
+                    model: model.trim().to_string(),
+                    weight: weight
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad --mix weight in `{pair}`"))?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        scenario.mix = Some(ModelMix::Weighted { weights });
+    }
+    if let Some(batch) = args.flags.get("batch") {
+        scenario.batch = Some(BatchPolicy {
+            max_batch: batch.parse().map_err(|_| "bad --batch")?,
+            per_kind: vec![],
         });
     }
     if args.has("print-config") {
@@ -486,6 +519,50 @@ mod tests {
         assert!(slo_config.contains("slo_trigger"));
         assert!(slo_config.contains("\"cooldown_s\": 45"));
         assert!(run(&["serve", "--slo-replan", "soon"]).is_err());
+    }
+
+    #[test]
+    fn serve_mix_and_batch_flags_shape_the_scenario() {
+        // --batch merges same-module runs; the run still conserves.
+        let batched = run(&[
+            "serve",
+            "--requests",
+            "60",
+            "--rate",
+            "2.0",
+            "--batch",
+            "4",
+            "--seed",
+            "b",
+        ])
+        .unwrap();
+        assert!(batched.contains("60 arrived"));
+        let config = run(&["serve", "--batch", "8", "--print-config"]).unwrap();
+        assert!(config.contains("\"max_batch\": 8"));
+
+        // --mix takes model=weight pairs against the deployed models.
+        let mix_config = run(&["serve", "--mix", "CLIP ViT-B/16=3", "--print-config"]).unwrap();
+        assert!(mix_config.contains("Weighted"));
+        assert!(mix_config.contains("\"weight\": 3"));
+        let mixed = run(&[
+            "serve",
+            "--requests",
+            "40",
+            "--rate",
+            "0.5",
+            "--mix",
+            "CLIP ViT-B/16=1",
+            "--seed",
+            "m",
+        ])
+        .unwrap();
+        assert!(mixed.contains("40 arrived"));
+
+        // Malformed mixes and unknown models fail loudly.
+        assert!(run(&["serve", "--mix", "CLIP ViT-B/16"]).is_err());
+        assert!(run(&["serve", "--mix", "CLIP ViT-B/16=lots"]).is_err());
+        assert!(run(&["serve", "--requests", "10", "--mix", "nope=1"]).is_err());
+        assert!(run(&["serve", "--batch", "many"]).is_err());
     }
 
     #[test]

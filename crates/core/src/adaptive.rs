@@ -80,6 +80,22 @@ impl ReplanDecision {
     /// Number of future requests after which the switch pays for itself;
     /// 0 when mandatory, `None` when the new placement is not faster.
     pub fn break_even_requests(&self) -> Option<u64> {
+        self.break_even_requests_with_queue(0)
+    }
+
+    /// [`Self::break_even_requests`] with a queue-drain credit: `queued`
+    /// requests already waiting realize the per-request gain immediately
+    /// after the switch (they are served from the backlog, not from
+    /// hypothetical future traffic), so their combined gain is charged
+    /// against the switching cost before counting future requests.
+    ///
+    /// The steady-state gate compares means and therefore under-values a
+    /// replan whose main benefit is draining an existing backlog — the
+    /// overload case where the old placement keeps falling behind. With
+    /// `queued = 0` this is exactly the steady-state break-even; the
+    /// credit only ever lowers the answer (`max(0, steady - queued)` up
+    /// to rounding), never raises it.
+    pub fn break_even_requests_with_queue(&self, queued: u64) -> Option<u64> {
         if self.mandatory() {
             return Some(0);
         }
@@ -87,7 +103,8 @@ impl ReplanDecision {
         if gain <= 0.0 {
             return None;
         }
-        Some((self.switching_cost_s / gain).ceil() as u64)
+        let drained_s = queued as f64 * gain;
+        Some(((self.switching_cost_s - drained_s).max(0.0) / gain).ceil() as u64)
     }
 }
 
@@ -234,6 +251,46 @@ mod tests {
         // Footnote 1 regime: placement ~20 s vs per-request gains ~1 s →
         // tens of requests.
         assert!((1..=200).contains(&be), "break-even after {be} requests");
+    }
+
+    #[test]
+    fn queue_drain_credit_accepts_what_the_steady_state_gate_rejects() {
+        // The server-join opportunity: a finite positive break-even.
+        let edge = Instance::single_model("CLIP ViT-B/16", 101).unwrap();
+        let old = greedy_place(&edge).unwrap();
+        let upgraded = edge
+            .with_fleet(s2m3_net::fleet::Fleet::standard_testbed())
+            .unwrap();
+        let decision = replan(&upgraded, &old).unwrap();
+        let steady = decision.break_even_requests().expect("switch pays off");
+        assert!(steady > 0);
+
+        // A trickle of traffic: fewer requests expected in the horizon
+        // than the steady-state break-even, so that gate rejects…
+        let expected_in_horizon = (steady - 1) as f64;
+        assert!((steady as f64) > expected_in_horizon);
+
+        // …but a backlog as deep as the break-even drains the switching
+        // cost by itself: the queue-aware gate accepts immediately.
+        assert_eq!(decision.break_even_requests_with_queue(steady), Some(0));
+        let with_credit = decision
+            .break_even_requests_with_queue(steady / 2)
+            .expect("still a win");
+        assert!(
+            (with_credit as f64) <= expected_in_horizon,
+            "break-even {steady} with {} queued leaves {with_credit} future requests",
+            steady / 2
+        );
+
+        // The credit is monotone and never worse than steady state.
+        let mut last = steady;
+        for q in 0..=steady {
+            let b = decision.break_even_requests_with_queue(q).unwrap();
+            assert!(b <= last, "credit must not raise the break-even");
+            last = b;
+        }
+        // Zero credit is exactly the steady-state gate.
+        assert_eq!(decision.break_even_requests_with_queue(0), Some(steady));
     }
 
     #[test]

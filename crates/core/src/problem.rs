@@ -85,8 +85,28 @@ pub struct Deployment {
     pub profile: RequestProfile,
 }
 
-/// An inference request `q`: which model it needs, where it originates.
+/// A request's service class: the latency deadline it is held to and a
+/// scheduling priority (higher dispatches first under priority-aware
+/// admission policies). Workload layers attach classes by seeded
+/// weighted sampling; a request without a class falls back to whatever
+/// scenario-wide deadline its consumer defines.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineClass {
+    /// Human-readable class name (e.g. `"interactive"`, `"batch"`).
+    pub name: String,
+    /// Per-request latency SLO, seconds (deadline = arrival + this).
+    pub deadline_s: f64,
+    /// Scheduling priority; larger is more urgent. The default class of
+    /// consumers that predate classes is priority 0.
+    pub priority: u32,
+}
+
+/// An inference request `q`: which model it needs, where it originates.
+///
+/// Serialization note: `class` is omitted when `None` (hand-written
+/// impls below) so plans from class-free workloads keep the exact JSON
+/// shape pinned by `tests/fixtures/plan_*.json`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Request identifier.
     pub id: u64,
@@ -96,6 +116,40 @@ pub struct Request {
     pub source: DeviceId,
     /// Workload of this request.
     pub profile: RequestProfile,
+    /// Service class, when the workload assigns one.
+    pub class: Option<DeadlineClass>,
+}
+
+impl Serialize for Request {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut obj: Vec<(String, serde::value::Value)> = vec![
+            ("id".to_string(), serde::to_value(&self.id)?),
+            ("model".to_string(), serde::to_value(&self.model)?),
+            ("source".to_string(), serde::to_value(&self.source)?),
+            ("profile".to_string(), serde::to_value(&self.profile)?),
+        ];
+        if let Some(class) = &self.class {
+            obj.push(("class".to_string(), serde::to_value(class)?));
+        }
+        s.serialize_value(serde::value::Value::Object(obj))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Request {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.into_value()?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::msg(format!("expected object for Request, got {v:?}")))?;
+        let field = |name: &str| serde::value::get_field(obj, name);
+        Ok(Request {
+            id: serde::from_value(field("id")?)?,
+            model: serde::from_value(field("model")?)?,
+            source: serde::from_value(field("source")?)?,
+            profile: serde::from_value(field("profile")?)?,
+            class: serde::from_value(serde::value::get_field_or_null(obj, "class"))?,
+        })
+    }
 }
 
 /// Placement decision `x`: which devices host each module. A module may
@@ -336,6 +390,7 @@ impl Instance {
             model: d.model.name.clone(),
             source: self.fleet.requester().clone(),
             profile: d.profile,
+            class: None,
         })
     }
 

@@ -3,7 +3,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use s2m3_sim::workload::ArrivalProcess;
+use s2m3_models::module::ModuleKind;
+use s2m3_sim::workload::{ArrivalProcess, ClassShare, ModelMix, SourceSpec, WorkloadSpec};
 
 /// How a device's admission queue orders and bounds waiting requests.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -124,21 +125,62 @@ pub struct TrafficSource {
     pub device: String,
     /// The source's arrival process, seeded independently per source.
     pub arrivals: ArrivalProcess,
+    /// Relative share of the scenario's bounded request budget. All
+    /// sources `null` (the default, and what pre-weight JSON parses as)
+    /// keeps the legacy equal round-robin split.
+    pub weight: Option<f64>,
+    /// Per-source model mix, overriding [`ServeScenario::mix`]. `null`
+    /// inherits the scenario mix.
+    pub mix: Option<ModelMix>,
+}
+
+/// Module-level batching for the online serving loop: when a device
+/// lane frees, up to `max_batch` queued executions of the same module
+/// merge into one run, paying the per-execution overhead once (the
+/// kernel's Sec. VI-C lever, previously wired only into the offline
+/// simulator).
+///
+/// **Fixture rule:** batching changes every completion time, so the
+/// golden `ServeReport` fixtures in `tests/fixtures/` are captured per
+/// batching mode — `serve_churn_default.json` pins `batch: None` (which
+/// must stay byte-identical across refactors) and
+/// `serve_churn_batched.json` pins this knob. Changing batched-dispatch
+/// semantics intentionally means regenerating *only* the batched
+/// fixture via `capture_fixtures`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchPolicy {
+    /// Global per-dispatch batch cap (≥ 2 to have any effect).
+    pub max_batch: usize,
+    /// Per-module-kind overrides of the global cap (e.g. batch text
+    /// encoders 8-deep but never batch generative heads: `max_batch: 1`
+    /// for [`ModuleKind::LanguageModel`]).
+    pub per_kind: Vec<KindBatchCap>,
+}
+
+/// One module kind's batch cap (see [`BatchPolicy::per_kind`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KindBatchCap {
+    /// The module kind the override applies to.
+    pub kind: ModuleKind,
+    /// Batch cap for modules of this kind (1 disables batching).
+    pub max_batch: usize,
 }
 
 /// `#[serde(with)]` adapter treating a missing/`null` field as an empty
-/// list, so pre-multi-source scenario JSON keeps parsing (the vendored
-/// serde derive has no `#[serde(default)]`).
-mod sources_or_empty {
-    use serde::{Deserializer, Serialize, Serializer};
+/// list, so scenario JSON predating a list-valued field keeps parsing
+/// (the vendored serde derive has no `#[serde(default)]`; it hands the
+/// adapter `Null` for absent fields). Generic: the `with` call sites
+/// infer the element type.
+mod vec_or_empty {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
-    use super::TrafficSource;
-
-    pub fn serialize<S: Serializer>(v: &[TrafficSource], s: S) -> Result<S::Ok, S::Error> {
+    pub fn serialize<T: Serialize, S: Serializer>(v: &[T], s: S) -> Result<S::Ok, S::Error> {
         v.serialize(s)
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Vec<TrafficSource>, D::Error> {
+    pub fn deserialize<'de, T: Deserialize<'de>, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<Vec<T>, D::Error> {
         match d.into_value()? {
             serde::value::Value::Null => Ok(Vec::new()),
             v => serde::from_value(v).map_err(D::Error::from),
@@ -165,8 +207,23 @@ pub struct ServeScenario {
     /// stream and the union is merged deterministically by
     /// `(arrival time, source rank, per-source id)`, where rank is the
     /// position in this list.
-    #[serde(with = "sources_or_empty")]
+    #[serde(with = "vec_or_empty")]
     pub sources: Vec<TrafficSource>,
+    /// Scenario-wide model mix for sources without their own. `null`
+    /// (the default) is [`ModelMix::LegacyRoundRobin`]: request `rid`
+    /// of the merged stream asks for model `rid % n_models` — the
+    /// byte-pinned historic behavior.
+    pub mix: Option<ModelMix>,
+    /// Weighted deadline/priority classes sampled per request (seeded by
+    /// the scenario seed). A classed request's deadline replaces
+    /// [`ServeScenario::deadline_s`], and its priority orders EDF
+    /// admission ahead of the deadline. Empty (and `null`): every
+    /// request uses the scenario deadline at priority 0.
+    #[serde(with = "vec_or_empty")]
+    pub classes: Vec<ClassShare>,
+    /// Module-level batching in the serve loop. `None` (the default)
+    /// dispatches singletons — the byte-pinned historic behavior.
+    pub batch: Option<BatchPolicy>,
     /// Total number of requests in the stream.
     pub requests: usize,
     /// Seed label: equal labels ⇒ identical streams and reports.
@@ -208,6 +265,9 @@ impl ServeScenario {
             }],
             arrivals: ArrivalProcess::Poisson { rate_per_s: 0.3 },
             sources: Vec::new(),
+            mix: None,
+            classes: Vec::new(),
+            batch: None,
             requests: 10_000,
             seed: "serve/churn-default".to_string(),
             deadline_s: 15.0,
@@ -230,6 +290,42 @@ impl ServeScenario {
             ],
             slo_window: 256,
             snapshot_every: 500,
+        }
+    }
+
+    /// The scenario's traffic as a unified [`WorkloadSpec`] — the same
+    /// layer the offline simulator materializes requests from. An empty
+    /// [`ServeScenario::sources`] list becomes the classic single
+    /// default-origin source whose arrival label is the bare scenario
+    /// seed (bit-for-bit the pre-multi-source stream); explicit sources
+    /// get labels `"{seed}/source-{rank}"` exactly as before.
+    pub fn workload(&self) -> WorkloadSpec {
+        let sources = if self.sources.is_empty() {
+            vec![SourceSpec {
+                device: None,
+                arrivals: self.arrivals.clone(),
+                label: self.seed.clone(),
+                weight: None,
+                mix: None,
+            }]
+        } else {
+            self.sources
+                .iter()
+                .enumerate()
+                .map(|(i, s)| SourceSpec {
+                    device: Some(s.device.clone()),
+                    arrivals: s.arrivals.clone(),
+                    label: format!("{}/source-{i}", self.seed),
+                    weight: s.weight,
+                    mix: s.mix.clone(),
+                })
+                .collect()
+        };
+        WorkloadSpec {
+            sources,
+            mix: self.mix.clone().unwrap_or(ModelMix::LegacyRoundRobin),
+            classes: self.classes.clone(),
+            seed: self.seed.clone(),
         }
     }
 

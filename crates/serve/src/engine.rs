@@ -55,7 +55,6 @@ use s2m3_core::resolved::ResolvedInstance;
 use s2m3_models::module::ModuleKind;
 use s2m3_net::fleet::Fleet;
 use s2m3_sim::kernel::{Device as LaneDevice, Driver, Kernel, Policy as KernelPolicy, RequestSlot};
-use s2m3_sim::workload::ArrivalProcess;
 
 use crate::config::{FleetEventKind, ServeScenario, SloReplanTrigger};
 use crate::queue::{Admission, AdmissionQueue, QueuedRequest};
@@ -126,6 +125,12 @@ struct ReqInfo {
     deadline_ns: u64,
     /// Rank of the traffic source that emitted this request.
     source: usize,
+    /// Deployed-model index this request asks for (assigned by the
+    /// workload layer's model mix).
+    model: usize,
+    /// Admission priority from the request's deadline class (0 without
+    /// classes).
+    priority: u32,
     /// Universe index of the device charged with this request's
     /// in-flight slot, when dispatched.
     inflight_on: Option<usize>,
@@ -152,11 +157,14 @@ struct SourceState {
     uni: usize,
 }
 
-/// One merged arrival: when, and which source emitted it.
+/// One merged arrival: when, which source emitted it, which model it
+/// asks for, and its deadline class (all fixed by the workload layer).
 #[derive(Debug, Clone, Copy)]
 struct ArrivalRec {
     at_ns: u64,
     source: usize,
+    model: u32,
+    class: Option<u32>,
 }
 
 /// One routed encoder of a cached per-model route.
@@ -210,9 +218,15 @@ struct Online {
     model_routes: Vec<Option<ModelRoute>>,
     n_models: usize,
     devices: Vec<DevExtra>,
+    /// Per-universe-device execution overhead, amortized when batching
+    /// merges runs (mirrors the bounded engine's batch arithmetic).
+    exec_overhead_s: Vec<f64>,
     requests: Vec<ReqInfo>,
     // --- workload ---
     arrivals: Vec<ArrivalRec>,
+    /// Per-class `(deadline_ns, priority)` from the scenario's workload
+    /// classes, indexed by class id.
+    class_table: Vec<(u64, u32)>,
     events: Vec<crate::config::FleetEvent>,
     deadline_ns: u64,
     deadline_s: f64,
@@ -246,25 +260,38 @@ impl Driver for Online {
     fn dispatched(
         &mut self,
         k: &mut K,
-        _device: usize,
+        device: usize,
         group: &[usize],
         now: u64,
     ) -> Result<u64, BoxedErr> {
-        // The online loop never batches: the group is a single task.
-        let tid = group[0];
-        let dur_s = {
+        // With `batch: None` the group is always a single task (the hot
+        // path); under a `BatchPolicy` same-module queued runs merge and
+        // the per-execution overhead is paid once — the same arithmetic
+        // the bounded engine uses for `SimConfig::max_batch`.
+        let rd = self.res_of_uni[device];
+        let mut dur_s = 0.0;
+        for &tid in group {
             let task = &k.tasks[tid];
-            match self.res_of_uni[task.device] {
+            dur_s += match rd {
                 Some(rd) => self
                     .resolved
                     .compute_time_units(task.module, rd, task.payload.units),
                 // Defensive: the device left between queueing and
                 // dispatch (its tasks are normally cancelled first).
                 None => 0.1,
-            }
-        };
+            };
+        }
+        if group.len() > 1 {
+            dur_s -= (group.len() - 1) as f64 * self.exec_overhead_s[device];
+        }
         let dur_ns = ns(dur_s);
-        k.tasks[tid].payload.dur_ns = dur_ns;
+        // The leader owns the lane: busy time (and the device's
+        // execution count) charges once per merged run, followers ride
+        // along at zero.
+        k.tasks[group[0]].payload.dur_ns = dur_ns;
+        for &tid in &group[1..] {
+            k.tasks[tid].payload.dur_ns = 0;
+        }
         Ok(now + dur_ns)
     }
 
@@ -431,7 +458,10 @@ impl Online {
 
     /// Offers a request to its head device's admission queue.
     fn admit(&mut self, k: &mut K, rid: usize, now: u64) {
-        let (model, source) = (rid % self.n_models, self.requests[rid].source);
+        let (model, source) = {
+            let r = &self.requests[rid];
+            (r.model, r.source)
+        };
         let Some(head_uni) = self.model_routes[model * self.sources.len() + source]
             .as_ref()
             .map(|mr| mr.head_uni)
@@ -439,14 +469,15 @@ impl Online {
             self.record_shed(rid, now);
             return;
         };
-        let (arrival_ns, deadline_ns) = {
+        let (arrival_ns, deadline_ns, priority) = {
             let r = &self.requests[rid];
-            (r.arrival_ns, r.deadline_ns)
+            (r.arrival_ns, r.deadline_ns, r.priority)
         };
         let outcome = self.devices[head_uni].admission.offer(QueuedRequest {
             id: rid as u64,
             arrival_ns,
             deadline_ns,
+            priority,
         });
         if outcome == Admission::Shed {
             self.record_shed(rid, now);
@@ -477,7 +508,10 @@ impl Online {
 
     /// Expands a request into module tasks from its model's cached route.
     fn dispatch_request(&mut self, k: &mut K, rid: usize, now: u64) {
-        let (model, source) = (rid % self.n_models, self.requests[rid].source);
+        let (model, source) = {
+            let r = &self.requests[rid];
+            (r.model, r.source)
+        };
         let Some(mr) = self.model_routes[model * self.sources.len() + source].as_ref() else {
             self.record_shed(rid, now);
             return;
@@ -496,10 +530,13 @@ impl Online {
                 dur_ns: 0,
             },
         );
-        let mut task_ids = vec![head_task];
+        let mut task_ids = Vec::with_capacity(1 + mr.encoders.len());
+        task_ids.push(head_task);
 
+        // Ready events push inline: task spawning never touches the
+        // event queue, so the push sequence (hence the run) is the same
+        // as staging them — without a second per-request allocation.
         let mut pending = 0usize;
-        let mut ready_events = Vec::with_capacity(mr.encoders.len());
         for e in &mr.encoders {
             let tid = k.spawn_task(
                 rid,
@@ -513,7 +550,7 @@ impl Online {
                 },
             );
             task_ids.push(tid);
-            ready_events.push((now + e.input_tx_ns, tid));
+            k.push_ready(now + e.input_tx_ns, tid);
             pending += 1;
         }
 
@@ -532,9 +569,6 @@ impl Online {
         }
         self.devices[head_uni].inflight += 1;
 
-        for (at, tid) in ready_events {
-            k.push_ready(at, tid);
-        }
         if pending == 0 {
             k.push_ready(head_ready, head_task);
         }
@@ -751,7 +785,7 @@ impl Online {
         // ones must amortize within the horizon at the observed rate.
         let decision =
             replan(&self.instance, &old_placement).map_err(|e| Box::new(ServeError::Core(e)))?;
-        let accepted = self.gate_and_apply_replan(k, decision, description, at_s, now);
+        let accepted = self.gate_and_apply_replan(k, decision, description, at_s, now, 0);
         if !accepted {
             // Keep serving on the surviving subset of the old placement.
             let mut surviving = Placement::new();
@@ -776,12 +810,31 @@ impl Online {
         self.kick_all(k, now)
     }
 
+    /// Requests waiting in admission queues across the fleet — the
+    /// backlog a replan would drain.
+    fn total_queued(&self) -> u64 {
+        self.devices.iter().map(|d| d.admission.len() as u64).sum()
+    }
+
     /// The shared replan gate: computes the observed-rate break-even
     /// acceptance test, records the evaluation in the report, and — if
     /// accepted — installs the new placement and charges migration
     /// downtime. Both the fleet-event controller and the SLO-breach
     /// trigger go through here, so the gate cannot diverge between
     /// them. Returns whether the switch was accepted.
+    ///
+    /// `queued` is the queue-drain credit
+    /// ([`ReplanDecision::break_even_requests_with_queue`]): waiting
+    /// requests realize the per-request gain immediately, so an
+    /// overloaded fleet accepts earlier than the steady-state gate
+    /// would. The fleet-event path passes 0 (pure steady-state, the
+    /// byte-pinned historic behavior); the SLO-breach path — which only
+    /// fires *because* of backlog symptoms — passes the live queue
+    /// depth. The record keeps the steady-state break-even so both
+    /// paths stay comparable in reports.
+    ///
+    /// [`ReplanDecision::break_even_requests_with_queue`]:
+    /// s2m3_core::adaptive::ReplanDecision::break_even_requests_with_queue
     fn gate_and_apply_replan(
         &mut self,
         k: &mut K,
@@ -789,6 +842,7 @@ impl Online {
         trigger: String,
         at_s: f64,
         now: u64,
+        queued: u64,
     ) -> bool {
         let observed_rate = if now == 0 {
             0.0
@@ -797,8 +851,9 @@ impl Online {
         };
         let expected_in_horizon = observed_rate * self.horizon_s;
         let break_even = decision.break_even_requests();
+        let effective = decision.break_even_requests_with_queue(queued);
         let accepted = decision.mandatory()
-            || matches!(break_even, Some(b) if (b as f64) <= expected_in_horizon);
+            || matches!(effective, Some(b) if (b as f64) <= expected_in_horizon);
         self.report.replans.push(ReplanRecord {
             at_s,
             trigger,
@@ -866,7 +921,8 @@ impl Online {
             "SLO breach: rolling p95 {:.2}s exceeds {:.2}s deadline",
             snap.p95_s, self.deadline_s
         );
-        if self.gate_and_apply_replan(k, decision, trigger, secs(now), now) {
+        let queued = self.total_queued();
+        if self.gate_and_apply_replan(k, decision, trigger, secs(now), now, queued) {
             self.refresh_model_routes();
             self.rekey_waiting(k, now);
             self.kick_all(k, now)?;
@@ -877,10 +933,19 @@ impl Online {
     fn arrival(&mut self, k: &mut K, rid: usize, now: u64) {
         self.report.arrived += 1;
         debug_assert_eq!(self.requests.len(), rid);
+        let rec = self.arrivals[rid];
+        // A classed request carries its own SLO; unclassed requests use
+        // the scenario-wide deadline at priority 0.
+        let (deadline_ns, priority) = match rec.class {
+            Some(ci) => self.class_table[ci as usize],
+            None => (self.deadline_ns, 0),
+        };
         self.requests.push(ReqInfo {
             arrival_ns: now,
-            deadline_ns: now + self.deadline_ns,
-            source: self.arrivals[rid].source,
+            deadline_ns: now + deadline_ns,
+            source: rec.source,
+            model: rec.model as usize,
+            priority,
             ..ReqInfo::default()
         });
         k.set_request(rid, RequestSlot::default());
@@ -1019,33 +1084,21 @@ impl ServeSession {
             )));
         }
 
-        // --- Traffic sources and the merged arrival stream. ---
-        // An empty source list is the classic single-source scenario:
-        // the requester emits `scenario.arrivals` under the scenario
-        // seed (bit-for-bit the pre-multi-source stream).
-        let source_specs: Vec<(String, ArrivalProcess, String)> = if scenario.sources.is_empty() {
-            vec![(
-                requester.clone(),
-                scenario.arrivals.clone(),
-                scenario.seed.clone(),
-            )]
-        } else {
-            scenario
-                .sources
-                .iter()
-                .enumerate()
-                .map(|(i, s)| {
-                    (
-                        s.device.clone(),
-                        s.arrivals.clone(),
-                        format!("{}/source-{i}", scenario.seed),
-                    )
-                })
-                .collect()
-        };
-        let mut sources = Vec::with_capacity(source_specs.len());
-        for (name, _, _) in &source_specs {
-            let Some(ui) = uni_names.iter().position(|n| n == name) else {
+        // --- The merged arrival stream, from the unified workload
+        //     layer: sim and serve share this generator (see
+        //     `s2m3_sim::workload::WorkloadSpec`). An empty source list
+        //     is the classic single-source scenario: the requester
+        //     emits `scenario.arrivals` under the scenario seed
+        //     (bit-for-bit the pre-workload stream).
+        let workload = scenario.workload();
+        let model_names: Vec<String> = scenario.models.iter().map(|m| m.name.clone()).collect();
+        let stream = workload
+            .generate(scenario.requests, &model_names)
+            .map_err(|e| ServeError::BadScenario(e.to_string()))?;
+        let mut sources = Vec::with_capacity(workload.sources.len());
+        for spec in &workload.sources {
+            let name = spec.device.clone().unwrap_or_else(|| requester.clone());
+            let Some(ui) = uni_names.iter().position(|n| *n == name) else {
                 return Err(ServeError::BadScenario(format!(
                     "traffic source `{name}` is not in the {} fleet",
                     scenario.fleet
@@ -1056,28 +1109,22 @@ impl ServeSession {
                     "traffic source `{name}` must be active at t = 0"
                 )));
             }
-            sources.push(SourceState {
-                name: name.clone(),
-                uni: ui,
-            });
+            sources.push(SourceState { name, uni: ui });
         }
-        // Round-robin request split, then a deterministic merge by
-        // (time, source rank, per-source id): per-source streams are
-        // time-sorted with ids in emission order, so a stable sort on
-        // (time, rank) realizes exactly that order.
-        let n_sources = source_specs.len();
-        let mut merged: Vec<ArrivalRec> = Vec::with_capacity(scenario.requests);
-        for (rank, (_, process, label)) in source_specs.iter().enumerate() {
-            let count =
-                scenario.requests / n_sources + usize::from(rank < scenario.requests % n_sources);
-            for t in process.arrivals(count, label) {
-                merged.push(ArrivalRec {
-                    at_ns: ns(t),
-                    source: rank,
-                });
-            }
-        }
-        merged.sort_by_key(|a| (a.at_ns, a.source));
+        let merged: Vec<ArrivalRec> = stream
+            .iter()
+            .map(|wr| ArrivalRec {
+                at_ns: wr.at_ns,
+                source: wr.source as usize,
+                model: wr.model,
+                class: wr.class,
+            })
+            .collect();
+        let class_table: Vec<(u64, u32)> = workload
+            .classes
+            .iter()
+            .map(|c| (ns(c.class.deadline_s.max(1e-3)), c.class.priority))
+            .collect();
 
         // --- Instance, placement, resolved index maps. ---
         let model_pairs: Vec<(&str, usize)> = scenario
@@ -1154,15 +1201,40 @@ impl ServeSession {
             .map(|m| m.encoders.len())
             .max()
             .unwrap_or(0);
+        // Batching policy: `None` keeps the singleton fast path (and
+        // the golden fixtures); a `BatchPolicy` enables the kernel's
+        // same-module merge with per-module caps resolved from the
+        // per-kind overrides (module interning is stable across fleet
+        // rebuilds — the model set never changes — so the cap table
+        // survives replans).
+        let batch = scenario.batch.as_ref().map(|b| b.max_batch.max(1));
+        let module_batch_caps: Vec<usize> = match &scenario.batch {
+            Some(b) if !b.per_kind.is_empty() => (0..resolved.module_count() as u32)
+                .map(|m| {
+                    let kind = resolved.module_kind(m);
+                    b.per_kind
+                        .iter()
+                        .find(|c| c.kind == kind)
+                        .map_or(b.max_batch.max(1), |c| c.max_batch.max(1))
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
         let mut kernel: K = Kernel::with_capacity(
             lane_devices,
             KernelPolicy {
                 immediate_head_fire: false,
-                max_batch: None,
+                max_batch: batch,
             },
             scenario.requests.saturating_mul(max_fanout),
             scenario.requests,
         );
+        kernel.module_batch_caps = module_batch_caps;
+        let exec_overhead_s: Vec<f64> = universe
+            .devices()
+            .iter()
+            .map(|d| d.exec_overhead_s)
+            .collect();
         let mut driver = Online {
             universe,
             uni_names,
@@ -1177,8 +1249,10 @@ impl ServeSession {
             model_routes: Vec::new(),
             n_models,
             devices,
+            exec_overhead_s,
             requests: Vec::with_capacity(scenario.requests),
             arrivals: merged,
+            class_table,
             events,
             deadline_ns: ns(scenario.deadline_s.max(1e-3)),
             deadline_s: scenario.deadline_s.max(1e-3),
@@ -1704,14 +1778,20 @@ mod tests {
             TrafficSource {
                 device: "jetson-a".to_string(),
                 arrivals: ArrivalProcess::Poisson { rate_per_s: 0.4 },
+                weight: None,
+                mix: None,
             },
             TrafficSource {
                 device: "laptop".to_string(),
                 arrivals: ArrivalProcess::Uniform { interval_s: 3.0 },
+                weight: None,
+                mix: None,
             },
             TrafficSource {
                 device: "desktop".to_string(),
                 arrivals: ArrivalProcess::Poisson { rate_per_s: 0.2 },
+                weight: None,
+                mix: None,
             },
         ];
         let report = serve(&s).unwrap();
@@ -1738,10 +1818,14 @@ mod tests {
             TrafficSource {
                 device: "jetson-a".to_string(),
                 arrivals: ArrivalProcess::Simultaneous,
+                weight: None,
+                mix: None,
             },
             TrafficSource {
                 device: "desktop".to_string(),
                 arrivals: ArrivalProcess::Simultaneous,
+                weight: None,
+                mix: None,
             },
         ];
         let a = serve(&s).unwrap();
@@ -1749,11 +1833,230 @@ mod tests {
         assert_eq!(a, serve(&s).unwrap());
     }
 
+    fn two_model_scenario(n: usize) -> ServeScenario {
+        ServeScenario {
+            models: vec![
+                ModelDeployment {
+                    name: "CLIP ViT-B/16".to_string(),
+                    candidates: 64,
+                },
+                ModelDeployment {
+                    name: "CLIP-Classifier Food-101".to_string(),
+                    candidates: 0,
+                },
+            ],
+            requests: n,
+            events: vec![],
+            ..ServeScenario::churn_default()
+        }
+    }
+
+    #[test]
+    fn weighted_mix_changes_traffic_and_stays_deterministic() {
+        use s2m3_sim::workload::{ModelMix, ModelWeight};
+        let mut s = two_model_scenario(300);
+        s.arrivals = ArrivalProcess::Poisson { rate_per_s: 1.0 };
+        let legacy = serve(&s).unwrap();
+        s.mix = Some(ModelMix::Weighted {
+            weights: vec![
+                ModelWeight {
+                    model: "CLIP ViT-B/16".to_string(),
+                    weight: 1.0,
+                },
+                ModelWeight {
+                    model: "CLIP-Classifier Food-101".to_string(),
+                    weight: 9.0,
+                },
+            ],
+        });
+        let mixed = serve(&s).unwrap();
+        assert_eq!(mixed.arrived, 300);
+        assert_eq!(mixed.completed + mixed.shed, 300);
+        assert_eq!(mixed, serve(&s).unwrap(), "same seed, same report");
+        // 90% classifier traffic is far lighter than the 50/50 split.
+        assert_ne!(mixed.latency, legacy.latency);
+        assert!(mixed.latency.p95_s < legacy.latency.p95_s);
+
+        // An unknown model in the mix is a scenario error.
+        let mut bad = s.clone();
+        bad.mix = Some(ModelMix::Weighted {
+            weights: vec![ModelWeight {
+                model: "nope".to_string(),
+                weight: 1.0,
+            }],
+        });
+        assert!(matches!(serve(&bad), Err(ServeError::BadScenario(_))));
+    }
+
+    #[test]
+    fn deadline_classes_drive_slo_accounting_and_edf_order() {
+        use s2m3_core::problem::DeadlineClass;
+        use s2m3_sim::workload::ClassShare;
+        // Near-capacity load with a roomy scenario deadline: the
+        // uniform run rarely misses, while the 3 s interactive class
+        // (below the model's own service time plus queueing) must.
+        let mut s = small_scenario(250);
+        s.arrivals = ArrivalProcess::Poisson { rate_per_s: 0.3 };
+        s.admission = AdmissionPolicy::EarliestDeadlineFirst;
+        s.deadline_s = 120.0;
+        let uniform = serve(&s).unwrap();
+        s.classes = vec![
+            ClassShare {
+                class: DeadlineClass {
+                    name: "interactive".to_string(),
+                    deadline_s: 3.0,
+                    priority: 10,
+                },
+                weight: 1.0,
+            },
+            ClassShare {
+                class: DeadlineClass {
+                    name: "batch".to_string(),
+                    deadline_s: 600.0,
+                    priority: 0,
+                },
+                weight: 1.0,
+            },
+        ];
+        let classed = serve(&s).unwrap();
+        assert_eq!(classed.completed + classed.shed, classed.arrived);
+        assert_eq!(classed, serve(&s).unwrap());
+        // Half the stream now runs against the 3 s interactive deadline
+        // instead of 120 s: miss accounting must reflect per-class SLOs.
+        assert!(classed.late > uniform.late);
+
+        // A non-positive class weight is rejected, not ignored.
+        let mut bad = s.clone();
+        bad.classes[0].weight = 0.0;
+        assert!(matches!(serve(&bad), Err(ServeError::BadScenario(_))));
+    }
+
+    #[test]
+    fn batching_relieves_a_burst_and_preserves_conservation() {
+        use crate::config::BatchPolicy;
+        // A simultaneous burst piles all requests onto the shared
+        // encoders: exactly the regime module-level batching exists for.
+        let mut s = small_scenario(80);
+        s.arrivals = ArrivalProcess::Simultaneous;
+        s.admission = AdmissionPolicy::Fifo;
+        s.deadline_s = 10_000.0;
+        let plain = serve(&s).unwrap();
+        s.batch = Some(BatchPolicy {
+            max_batch: 8,
+            per_kind: vec![],
+        });
+        let batched = serve(&s).unwrap();
+        assert_eq!(batched.arrived, 80);
+        assert_eq!(batched.completed + batched.shed, 80);
+        assert_eq!(batched, serve(&s).unwrap(), "batched runs stay seeded");
+        assert!(
+            batched.makespan_s < plain.makespan_s,
+            "batched {:.2}s vs plain {:.2}s",
+            batched.makespan_s,
+            plain.makespan_s
+        );
+        assert!(batched.latency.p95_s < plain.latency.p95_s);
+    }
+
+    #[test]
+    fn per_kind_caps_bound_the_batched_speedup() {
+        use crate::config::{BatchPolicy, KindBatchCap};
+        use s2m3_models::module::ModuleKind;
+        let mut s = small_scenario(80);
+        s.arrivals = ArrivalProcess::Simultaneous;
+        s.admission = AdmissionPolicy::Fifo;
+        s.deadline_s = 10_000.0;
+        s.batch = Some(BatchPolicy {
+            max_batch: 8,
+            per_kind: vec![],
+        });
+        let full = serve(&s).unwrap();
+        // Cap every kind at 1: batching enabled but never merging —
+        // the per-kind override path must reproduce the unbatched run's
+        // timing exactly.
+        s.batch = Some(BatchPolicy {
+            max_batch: 8,
+            per_kind: ModuleKind::all()
+                .into_iter()
+                .map(|kind| KindBatchCap { kind, max_batch: 1 })
+                .collect(),
+        });
+        let capped = serve(&s).unwrap();
+        let mut unbatched_scenario = s.clone();
+        unbatched_scenario.batch = None;
+        let unbatched = serve(&unbatched_scenario).unwrap();
+        assert_eq!(capped.latency, unbatched.latency);
+        assert_eq!(capped.makespan_s, unbatched.makespan_s);
+        assert!(full.makespan_s < capped.makespan_s);
+    }
+
+    #[test]
+    fn batching_survives_churn_and_replanning() {
+        use crate::config::BatchPolicy;
+        let mut s = ServeScenario {
+            requests: 300,
+            ..ServeScenario::churn_default()
+        };
+        s.arrivals = ArrivalProcess::Poisson { rate_per_s: 2.0 };
+        s.batch = Some(BatchPolicy {
+            max_batch: 4,
+            per_kind: vec![],
+        });
+        s.events = vec![
+            FleetEvent {
+                at_s: 20.0,
+                kind: FleetEventKind::DeviceLeave {
+                    device: "desktop".to_string(),
+                },
+            },
+            FleetEvent {
+                at_s: 60.0,
+                kind: FleetEventKind::DeviceJoin {
+                    device: "server".to_string(),
+                },
+            },
+        ];
+        let report = serve(&s).unwrap();
+        assert_eq!(report.completed + report.shed, report.arrived);
+        assert_eq!(report, serve(&s).unwrap());
+        for d in &report.devices {
+            assert!((0.0..=1.0).contains(&d.utilization), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn source_weights_split_the_budget() {
+        let mut s = small_scenario(200);
+        s.sources = vec![
+            TrafficSource {
+                device: "jetson-a".to_string(),
+                arrivals: ArrivalProcess::Poisson { rate_per_s: 0.4 },
+                weight: Some(3.0),
+                mix: None,
+            },
+            TrafficSource {
+                device: "laptop".to_string(),
+                arrivals: ArrivalProcess::Poisson { rate_per_s: 0.4 },
+                weight: Some(1.0),
+                mix: None,
+            },
+        ];
+        let report = serve(&s).unwrap();
+        assert_eq!(report.arrived, 200);
+        assert_eq!(report.completed + report.shed, 200);
+        assert_eq!(report, serve(&s).unwrap());
+        // A zero weight is rejected.
+        s.sources[0].weight = Some(-2.0);
+        assert!(matches!(serve(&s), Err(ServeError::BadScenario(_))));
+    }
+
     #[test]
     fn multi_source_rejects_unknown_inactive_or_leaving_sources() {
         let src = |device: &str| TrafficSource {
             device: device.to_string(),
             arrivals: ArrivalProcess::Poisson { rate_per_s: 0.5 },
+            weight: None,
+            mix: None,
         };
         let mut unknown = small_scenario(10);
         unknown.sources = vec![src("mars-rover")];

@@ -52,9 +52,12 @@ pub mod slo;
 mod proptests;
 
 pub use config::{
-    AdmissionPolicy, FleetEvent, FleetEventKind, ModelDeployment, ReplanPolicy, ServeScenario,
-    SloReplanTrigger, TrafficSource,
+    AdmissionPolicy, BatchPolicy, FleetEvent, FleetEventKind, KindBatchCap, ModelDeployment,
+    ReplanPolicy, ServeScenario, SloReplanTrigger, TrafficSource,
 };
 pub use engine::{serve, ServeError, ServeSession};
+// The unified workload layer lives in `s2m3_sim::workload`; re-export
+// the pieces serving scenarios embed so configs build from one import.
 pub use report::{DeviceReport, EventRecord, LatencySummary, ReplanRecord, ServeReport};
+pub use s2m3_sim::workload::{ClassShare, ModelMix, ModelWeight, WorkloadSpec};
 pub use slo::{SloWindow, WindowSnapshot};

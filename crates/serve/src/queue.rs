@@ -15,6 +15,10 @@ pub struct QueuedRequest {
     pub arrival_ns: u64,
     /// SLO deadline, nanoseconds of virtual time.
     pub deadline_ns: u64,
+    /// Deadline-class priority (larger dispatches first under EDF);
+    /// class-free workloads leave every request at 0, reproducing the
+    /// pure deadline order byte-for-byte.
+    pub priority: u32,
 }
 
 /// What happened when a request was offered to a queue.
@@ -30,18 +34,22 @@ pub enum Admission {
 ///
 /// FIFO and shed-on-overload use arrival order (a `VecDeque`);
 /// earliest-deadline-first always dispatches the waiting request with
-/// the nearest deadline and keeps a `BinaryHeap` keyed on
-/// `(deadline_ns, arrival_ns, id)` — an `O(log n)` pop instead of the
-/// former `O(n)` scan-and-remove per dispatch, with the identical
-/// deadline → arrival → id tie-break order (ids are unique, so the key
-/// is a total order and reports stay byte-identical per seed).
+/// the highest priority class, nearest deadline first within a class,
+/// and keeps a `BinaryHeap` keyed on
+/// `(inverted priority, deadline_ns, arrival_ns, id)` — an `O(log n)`
+/// pop with a total order (ids are unique), so reports stay
+/// byte-identical per seed. Workloads without deadline classes put
+/// every request at priority 0, collapsing the key to the historic
+/// deadline → arrival → id order.
 #[derive(Debug, Clone)]
 pub struct AdmissionQueue {
     policy: AdmissionPolicy,
     /// Arrival-ordered waiting room (FIFO / shed-on-overload).
     waiting: VecDeque<QueuedRequest>,
-    /// Deadline-ordered waiting room (EDF).
-    by_deadline: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    /// Priority+deadline-ordered waiting room (EDF). The first key
+    /// component is `u32::MAX - priority` so larger priorities pop
+    /// first from the min-heap.
+    by_deadline: BinaryHeap<Reverse<(u32, u64, u64, u64)>>,
 }
 
 impl AdmissionQueue {
@@ -67,6 +75,7 @@ impl AdmissionQueue {
         }
         if self.is_edf() {
             self.by_deadline.push(Reverse((
+                u32::MAX - request.priority,
                 request.deadline_ns,
                 request.arrival_ns,
                 request.id,
@@ -80,11 +89,12 @@ impl AdmissionQueue {
     /// Removes and returns the next request to dispatch, per policy.
     pub fn pop(&mut self) -> Option<QueuedRequest> {
         if self.is_edf() {
-            let Reverse((deadline_ns, arrival_ns, id)) = self.by_deadline.pop()?;
+            let Reverse((inv_priority, deadline_ns, arrival_ns, id)) = self.by_deadline.pop()?;
             return Some(QueuedRequest {
                 id,
                 arrival_ns,
                 deadline_ns,
+                priority: u32::MAX - inv_priority,
             });
         }
         self.waiting.pop_front()
@@ -105,15 +115,14 @@ impl AdmissionQueue {
     /// (`(arrival_ns, id)`), the canonical re-admission order.
     pub fn drain(&mut self) -> Vec<QueuedRequest> {
         let mut out: Vec<QueuedRequest> = self.waiting.drain(..).collect();
-        out.extend(
-            self.by_deadline
-                .drain()
-                .map(|Reverse((deadline_ns, arrival_ns, id))| QueuedRequest {
-                    id,
-                    arrival_ns,
-                    deadline_ns,
-                }),
-        );
+        out.extend(self.by_deadline.drain().map(
+            |Reverse((inv_priority, deadline_ns, arrival_ns, id))| QueuedRequest {
+                id,
+                arrival_ns,
+                deadline_ns,
+                priority: u32::MAX - inv_priority,
+            },
+        ));
         out.sort_by_key(|qr| (qr.arrival_ns, qr.id));
         out
     }
@@ -128,7 +137,25 @@ mod tests {
             id,
             arrival_ns,
             deadline_ns,
+            priority: 0,
         }
+    }
+
+    #[test]
+    fn edf_priority_classes_preempt_the_deadline_order() {
+        let mut q = AdmissionQueue::new(AdmissionPolicy::EarliestDeadlineFirst);
+        q.offer(req(0, 0, 100)); // priority 0, earliest deadline
+        q.offer(QueuedRequest {
+            priority: 5,
+            ..req(1, 1, 900)
+        });
+        q.offer(QueuedRequest {
+            priority: 5,
+            ..req(2, 2, 400)
+        });
+        // Higher class first; deadlines order within a class.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.id).collect();
+        assert_eq!(order, vec![2, 1, 0]);
     }
 
     #[test]

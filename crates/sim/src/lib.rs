@@ -51,3 +51,7 @@ mod proptests;
 
 pub use engine::{simulate, SimConfig, SimError};
 pub use report::{GanttSpan, Phase, SimReport};
+pub use workload::{
+    ArrivalProcess, ClassShare, ModelMix, ModelWeight, SourceSpec, WorkloadError, WorkloadRequest,
+    WorkloadSpec,
+};

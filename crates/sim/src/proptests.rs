@@ -5,11 +5,33 @@ use proptest::prelude::*;
 use s2m3_core::plan::Plan;
 use s2m3_core::problem::Instance;
 
-use crate::workload::{latency_stats, mixed_stream, ArrivalProcess};
+use crate::workload::{
+    latency_stats, mixed_stream, ArrivalProcess, ModelMix, ModelWeight, SourceSpec, WorkloadSpec,
+};
 use crate::{simulate, SimConfig};
 
 fn instance() -> Instance {
     Instance::single_model("CLIP ViT-B/16", 32).unwrap()
+}
+
+/// An arbitrary multi-source spec under the legacy round-robin mix.
+fn arb_legacy_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (1usize..6, "[a-z]{1,6}").prop_map(|(n_sources, seed)| WorkloadSpec {
+        sources: (0..n_sources)
+            .map(|i| SourceSpec {
+                device: None,
+                arrivals: ArrivalProcess::Poisson {
+                    rate_per_s: 0.5 + i as f64,
+                },
+                label: format!("{seed}/source-{i}"),
+                weight: None,
+                mix: None,
+            })
+            .collect(),
+        mix: ModelMix::LegacyRoundRobin,
+        classes: Vec::new(),
+        seed,
+    })
 }
 
 fn arb_arrival_process() -> impl Strategy<Value = ArrivalProcess> {
@@ -53,6 +75,132 @@ proptest! {
         prop_assert_eq!(a[0], 0.0);
         prop_assert!(a.iter().all(|t| t.is_finite() && *t >= 0.0), "{a:?}");
         prop_assert!(a.windows(2).all(|w| w[0] <= w[1]), "unsorted: {a:?}");
+    }
+
+    /// `LegacyRoundRobin` over arbitrary source counts is exactly the
+    /// historic `rid % n_models` assignment on the merged stream, and
+    /// the merge is the historic `(time, source rank, per-source id)`
+    /// order.
+    #[test]
+    fn legacy_round_robin_equals_rid_mod_n_models(
+        spec in arb_legacy_spec(),
+        n in 1usize..300,
+        n_models in 1usize..5,
+    ) {
+        let models: Vec<String> = (0..n_models).map(|k| format!("model-{k}")).collect();
+        let stream = spec.generate(n, &models).unwrap();
+        prop_assert_eq!(stream.len(), n);
+        for (rid, wr) in stream.iter().enumerate() {
+            prop_assert_eq!(wr.model as usize, rid % n_models, "rid {rid}");
+        }
+        // The merge is sorted by (time, rank); per-source emission
+        // order is preserved (same-source entries sorted by time
+        // already implies it; ids are implicit in order).
+        prop_assert!(stream
+            .windows(2)
+            .all(|w| (w[0].at_ns, w[0].source) <= (w[1].at_ns, w[1].source)));
+        // The legacy split is round-robin: source counts differ by ≤1
+        // and earlier ranks get the remainder.
+        let mut counts = vec![0usize; spec.sources.len()];
+        for wr in &stream {
+            counts[wr.source as usize] += 1;
+        }
+        let k = counts.len();
+        for (rank, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(c, n / k + usize::from(rank < n % k));
+        }
+    }
+
+    /// Weighted mixes are deterministic per seed: the same spec streams
+    /// identically, a different seed differs (statistically certain for
+    /// non-trivial streams), and every drawn model is one of the
+    /// weighted ones.
+    #[test]
+    fn weighted_mix_is_deterministic_and_closed(
+        w0 in 0.1f64..10.0,
+        w1 in 0.1f64..10.0,
+        n in 50usize..300,
+        seed in "[a-z]{1,6}",
+    ) {
+        let models = vec!["a".to_string(), "b".to_string(), "c".to_string()];
+        let mut spec = WorkloadSpec::single_source(
+            ArrivalProcess::Poisson { rate_per_s: 2.0 },
+            seed.clone(),
+        );
+        spec.mix = ModelMix::Weighted {
+            weights: vec![
+                ModelWeight { model: "a".to_string(), weight: w0 },
+                ModelWeight { model: "c".to_string(), weight: w1 },
+            ],
+        };
+        let stream = spec.generate(n, &models).unwrap();
+        prop_assert_eq!(&stream, &spec.generate(n, &models).unwrap());
+        // Model "b" (weight 0 ≡ absent) never appears; a and c both
+        // can.
+        prop_assert!(stream.iter().all(|wr| wr.model == 0 || wr.model == 2));
+        let mut other = spec.clone();
+        other.sources[0].label = format!("{seed}-x");
+        prop_assert_ne!(&stream, &other.generate(n, &models).unwrap());
+    }
+
+    /// Weight validation rejects non-finite, non-positive, unknown-model,
+    /// and empty weighted mixes — and never panics on valid input.
+    #[test]
+    fn weight_validation_rejects_degenerate_mixes(
+        bad_weight in prop_oneof![
+            Just(0.0f64),
+            Just(-3.5f64),
+            Just(f64::NAN),
+            Just(f64::INFINITY)
+        ],
+    ) {
+        let models = vec!["a".to_string()];
+        let mut spec = WorkloadSpec::single_source(ArrivalProcess::Simultaneous, "w");
+        spec.mix = ModelMix::Weighted {
+            weights: vec![ModelWeight { model: "a".to_string(), weight: bad_weight }],
+        };
+        prop_assert!(spec.generate(8, &models).is_err());
+
+        let mut unknown = WorkloadSpec::single_source(ArrivalProcess::Simultaneous, "w");
+        unknown.mix = ModelMix::Weighted {
+            weights: vec![ModelWeight { model: "ghost".to_string(), weight: 1.0 }],
+        };
+        prop_assert!(unknown.generate(8, &models).is_err());
+
+        let mut empty = WorkloadSpec::single_source(ArrivalProcess::Simultaneous, "w");
+        empty.mix = ModelMix::Weighted { weights: vec![] };
+        prop_assert!(empty.generate(8, &models).is_err());
+
+        let mut source_weight = WorkloadSpec::single_source(ArrivalProcess::Simultaneous, "w");
+        source_weight.sources[0].weight = Some(bad_weight);
+        prop_assert!(source_weight.generate(8, &models).is_err());
+    }
+
+    /// Weighted source splits hand out exactly `n` requests whatever the
+    /// weights (largest-remainder never loses or invents one).
+    #[test]
+    fn weighted_source_split_conserves_the_budget(
+        weights in proptest::collection::vec(0.1f64..20.0, 1..6),
+        n in 0usize..500,
+    ) {
+        let spec = WorkloadSpec {
+            sources: weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| SourceSpec {
+                    device: None,
+                    arrivals: ArrivalProcess::Uniform { interval_s: 1.0 },
+                    label: format!("s{i}"),
+                    weight: Some(w),
+                    mix: None,
+                })
+                .collect(),
+            mix: ModelMix::LegacyRoundRobin,
+            classes: Vec::new(),
+            seed: "split".to_string(),
+        };
+        let stream = spec.generate(n, &["m".to_string()]).unwrap();
+        prop_assert_eq!(stream.len(), n);
     }
 
     /// Batching never increases the burst makespan (it only merges queued

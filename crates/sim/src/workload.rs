@@ -1,27 +1,35 @@
-//! Request-arrival workloads and latency statistics.
+//! The unified workload layer: request streams specified once, consumed
+//! by both execution engines.
 //!
 //! The paper evaluates single requests and a simultaneous four-task burst
 //! (Table X). This module generalizes to sustained load: seeded arrival
 //! processes (Poisson / uniform / burst, plus the bursty
 //! [`ArrivalProcess::Mmpp`], time-varying [`ArrivalProcess::Diurnal`],
-//! and [`ArrivalProcess::Trace`] replay), mixed multi-task request
-//! streams, and percentile statistics — the instrument behind the
-//! `load_sweep` experiment, which asks where the shared deployment's
-//! queuing knee sits as the offered rate grows (Sec. VI-C's concern,
-//! quantified).
+//! and [`ArrivalProcess::Trace`] replay), and — since the workload
+//! unification — [`WorkloadSpec`]: multi-source traffic with weighted
+//! budget splits, per-source model mixes ([`ModelMix`]: legacy
+//! round-robin, seeded weighted sampling, or trace replay), and weighted
+//! deadline/priority classes ([`ClassShare`] over
+//! [`DeadlineClass`]).
 //!
-//! Two consumers drive the API shape: the offline simulator feeds
-//! [`ArrivalProcess::arrivals`] into `SimConfig::arrivals` for one-shot
-//! runs, and the `s2m3-serve` control plane treats the same vectors as
-//! an unbounded request stream — identical seeds give identical traffic
-//! in both, which is what makes serving reports reproducible.
+//! Two consumers drive the API shape, and both go through the same
+//! generator: the offline simulator **materializes** a bounded request
+//! set ([`WorkloadSpec::materialize`] → requests + arrival times for
+//! `SimConfig::arrivals`), and the `s2m3-serve` control plane
+//! **streams** the same merged sequence unbounded
+//! ([`WorkloadSpec::generate`], assembled from a scenario by
+//! `ServeScenario::workload`). Identical specs (including seeds) give
+//! identical traffic in both, which is what makes serving reports
+//! reproducible — and [`ModelMix::LegacyRoundRobin`] reproduces the
+//! pre-unification `rid % n_models` streams byte-for-byte (pinned by
+//! the golden fixtures and property-tested in this crate).
 
 use rand_chacha::rand_core::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use s2m3_core::error::CoreError;
-use s2m3_core::problem::{Instance, Request};
+use s2m3_core::problem::{DeadlineClass, Instance, Request};
 use s2m3_tensor::seed::seed_from_label;
 
 use crate::report::SimReport;
@@ -78,9 +86,7 @@ impl ArrivalProcess {
     /// Generates `n` deterministic arrival times (sorted, starting at 0),
     /// seeded by `label`.
     pub fn arrivals(&self, n: usize, label: &str) -> Vec<f64> {
-        let mut rng = ChaCha8Rng::from_seed(seed_from_label(&format!("arrivals/{label}")));
-        // Uniform (0, 1) from the top 24 bits of a ChaCha word.
-        let mut unit = move || ((rng.next_u32() >> 8) as f64 + 0.5) / (1u32 << 24) as f64;
+        let mut unit = unit_sampler(&format!("arrivals/{label}"));
         let out = match self {
             ArrivalProcess::Simultaneous => vec![0.0; n],
             ArrivalProcess::Uniform { interval_s } => {
@@ -211,23 +217,493 @@ fn shift_to_zero(mut out: Vec<f64>) -> Vec<f64> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// The unified workload-specification layer.
+// ---------------------------------------------------------------------------
+
+/// How a request stream chooses among the deployed models.
+///
+/// This is *the* model-mix abstraction shared by the bounded simulator
+/// and the online serving control plane: both materialize their traffic
+/// through [`WorkloadSpec`], so a mix defined once means the same thing
+/// in a one-shot `load_sweep` run and a 10k-request serving scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelMix {
+    /// The historic default: model = stream index mod the number of
+    /// deployed models. At the spec level the index is the *merged*
+    /// stream position (exactly the pre-`WorkloadSpec` `rid % n_models`
+    /// behavior the golden fixtures pin); as a per-source override it is
+    /// the source's own emission index.
+    LegacyRoundRobin,
+    /// Seeded weighted sampling over deployed models: each request
+    /// draws a model with probability `weight / Σ weights`. Same seed ⇒
+    /// same model sequence.
+    Weighted {
+        /// Per-model weights; every named model must be deployed and
+        /// every weight finite and positive.
+        weights: Vec<ModelWeight>,
+    },
+    /// Replays a recorded model-name sequence, cycling when the stream
+    /// outlives the trace — the model-mix analogue of
+    /// [`ArrivalProcess::Trace`].
+    Trace {
+        /// Model names in replay order (all must be deployed).
+        models: Vec<String>,
+    },
+}
+
+/// One model's share of a [`ModelMix::Weighted`] mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelWeight {
+    /// Deployed model name.
+    pub model: String,
+    /// Relative weight (finite, > 0).
+    pub weight: f64,
+}
+
+/// One weighted service class of a workload: requests draw a
+/// [`DeadlineClass`] with probability `weight / Σ weights` (seeded by
+/// the spec seed, so the class sequence is deterministic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassShare {
+    /// The deadline/priority class assigned to sampled requests.
+    pub class: DeadlineClass,
+    /// Relative share of the stream (finite, > 0).
+    pub weight: f64,
+}
+
+/// One traffic source of a workload: a device emitting its own seeded
+/// arrival stream, with an optional share of the bounded request budget
+/// and an optional per-source model mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceSpec {
+    /// Emitting device name; `None` is the consumer's default origin
+    /// (the fleet requester).
+    pub device: Option<String>,
+    /// The source's arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Seed label for this source's arrivals (and, suffixed `/mix`, its
+    /// model sampling). Distinct labels keep sources independent.
+    pub label: String,
+    /// Relative share of the bounded request budget. When every source
+    /// leaves this `None` the budget splits round-robin (the legacy
+    /// multi-source behavior); otherwise missing weights count as 1.
+    pub weight: Option<f64>,
+    /// Per-source model mix, overriding the spec-level mix.
+    pub mix: Option<ModelMix>,
+}
+
+/// A complete workload specification: traffic sources (arrival
+/// processes), the model mix, and optional deadline/priority classes.
+///
+/// This is the one place request streams are defined. The bounded
+/// simulator materializes `n` [`Request`]s from it
+/// ([`WorkloadSpec::materialize`]); the serving control plane consumes
+/// the same generator as an unbounded merged stream
+/// ([`WorkloadSpec::generate`]). Identical specs (including seeds)
+/// produce identical traffic in both worlds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Traffic sources (≥ 1). Their order is their *rank*: the merge
+    /// tie-break for simultaneous arrivals.
+    pub sources: Vec<SourceSpec>,
+    /// Spec-level model mix for sources without an override.
+    pub mix: ModelMix,
+    /// Weighted service classes; empty means no per-request classes
+    /// (consumers fall back to their scenario-wide deadline).
+    pub classes: Vec<ClassShare>,
+    /// Seed label for stream-level sampling (class assignment).
+    pub seed: String,
+}
+
+/// One generated request of a workload stream, in merged arrival order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadRequest {
+    /// Arrival time, nanoseconds (the merge key).
+    pub at_ns: u64,
+    /// Arrival time, seconds, exactly as the arrival process produced
+    /// it (bounded consumers keep full `f64` precision).
+    pub at_s: f64,
+    /// Rank of the emitting source.
+    pub source: u32,
+    /// Index into the consumer's deployed-model list.
+    pub model: u32,
+    /// Index into [`WorkloadSpec::classes`], when classes are defined.
+    pub class: Option<u32>,
+}
+
+/// Workload-specification errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// The spec has no traffic sources (or the consumer no models).
+    Empty(String),
+    /// A mix or trace references a model that is not deployed.
+    UnknownModel(String),
+    /// A weight is non-finite, non-positive, or the weights are empty.
+    BadWeight(String),
+    /// Materializing requests against an instance failed.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Empty(msg) => write!(f, "empty workload: {msg}"),
+            WorkloadError::UnknownModel(m) => write!(f, "workload references unknown model `{m}`"),
+            WorkloadError::BadWeight(msg) => write!(f, "bad workload weight: {msg}"),
+            WorkloadError::Core(e) => write!(f, "workload materialization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<CoreError> for WorkloadError {
+    fn from(e: CoreError) -> Self {
+        WorkloadError::Core(e)
+    }
+}
+
+/// A seeded uniform-`(0,1)` sampler: top 24 bits of a ChaCha word. The
+/// one construction every stochastic workload draw flows through —
+/// arrival gaps, model-mix sampling, class assignment — so the streams
+/// stay bit-for-bit reproducible from their labels.
+fn unit_sampler(label: &str) -> impl FnMut() -> f64 {
+    let mut rng = ChaCha8Rng::from_seed(seed_from_label(label));
+    move || ((rng.next_u32() >> 8) as f64 + 0.5) / (1u32 << 24) as f64
+}
+
+/// Draws an index from cumulative weighted sampling: `weights` must be
+/// validated positive.
+fn weighted_index(weights: &[f64], total: f64, u: f64) -> u32 {
+    let target = u * total;
+    let mut acc = 0.0;
+    for (i, w) in weights.iter().enumerate() {
+        acc += w;
+        if target < acc {
+            return i as u32;
+        }
+    }
+    (weights.len() - 1) as u32
+}
+
+/// Per-weight checks alone admit sums that overflow to infinity (every
+/// weight finite, total not), which would zero every proportional
+/// share downstream — so weight *sets* are validated by their sum.
+fn validate_weight_sum(weights: impl Iterator<Item = f64>, at: &str) -> Result<(), WorkloadError> {
+    let total: f64 = weights.sum();
+    if !total.is_finite() {
+        return Err(WorkloadError::BadWeight(format!(
+            "{at}: weights sum to {total}"
+        )));
+    }
+    Ok(())
+}
+
+fn validate_mix(mix: &ModelMix, models: &[String], at: &str) -> Result<(), WorkloadError> {
+    match mix {
+        ModelMix::LegacyRoundRobin => Ok(()),
+        ModelMix::Weighted { weights } => {
+            if weights.is_empty() {
+                return Err(WorkloadError::BadWeight(format!(
+                    "{at}: weighted mix needs at least one weight"
+                )));
+            }
+            for w in weights {
+                if !models.contains(&w.model) {
+                    return Err(WorkloadError::UnknownModel(w.model.clone()));
+                }
+                if !w.weight.is_finite() || w.weight <= 0.0 {
+                    return Err(WorkloadError::BadWeight(format!(
+                        "{at}: model `{}` has weight {}",
+                        w.model, w.weight
+                    )));
+                }
+            }
+            validate_weight_sum(weights.iter().map(|w| w.weight), at)
+        }
+        ModelMix::Trace { models: trace } => {
+            if trace.is_empty() {
+                return Err(WorkloadError::Empty(format!("{at}: empty model trace")));
+            }
+            for name in trace {
+                if !models.iter().any(|m| m == name) {
+                    return Err(WorkloadError::UnknownModel(name.clone()));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// The classic single-source workload: the consumer's default origin
+    /// emits `arrivals` under `seed`, models round-robin, no classes —
+    /// byte-identical traffic to the pre-`WorkloadSpec` engines.
+    pub fn single_source(arrivals: ArrivalProcess, seed: impl Into<String>) -> Self {
+        let seed = seed.into();
+        WorkloadSpec {
+            sources: vec![SourceSpec {
+                device: None,
+                arrivals,
+                label: seed.clone(),
+                weight: None,
+                mix: None,
+            }],
+            mix: ModelMix::LegacyRoundRobin,
+            classes: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Validates the spec against a deployed-model list.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError`] naming the offending source, mix, or class.
+    pub fn validate(&self, models: &[String]) -> Result<(), WorkloadError> {
+        if self.sources.is_empty() {
+            return Err(WorkloadError::Empty("no traffic sources".into()));
+        }
+        if models.is_empty() {
+            return Err(WorkloadError::Empty("no deployed models".into()));
+        }
+        validate_mix(&self.mix, models, "spec mix")?;
+        for (i, s) in self.sources.iter().enumerate() {
+            if let Some(w) = s.weight {
+                if !w.is_finite() || w <= 0.0 {
+                    return Err(WorkloadError::BadWeight(format!("source {i} weight {w}")));
+                }
+            }
+            if let Some(mix) = &s.mix {
+                validate_mix(mix, models, &format!("source {i} mix"))?;
+            }
+        }
+        validate_weight_sum(
+            self.sources.iter().map(|s| s.weight.unwrap_or(1.0)),
+            "source weights",
+        )?;
+        for (i, c) in self.classes.iter().enumerate() {
+            if !c.weight.is_finite() || c.weight <= 0.0 {
+                return Err(WorkloadError::BadWeight(format!(
+                    "class {i} weight {}",
+                    c.weight
+                )));
+            }
+            if !c.class.deadline_s.is_finite() || c.class.deadline_s <= 0.0 {
+                return Err(WorkloadError::BadWeight(format!(
+                    "class {i} (`{}`) deadline {}",
+                    c.class.name, c.class.deadline_s
+                )));
+            }
+        }
+        validate_weight_sum(self.classes.iter().map(|c| c.weight), "class weights")?;
+        Ok(())
+    }
+
+    /// Splits a bounded budget of `n` requests across the sources:
+    /// round-robin when no source declares a weight (the legacy split),
+    /// otherwise largest-remainder proportional shares (missing weights
+    /// count as 1).
+    fn source_counts(&self, n: usize) -> Vec<usize> {
+        let k = self.sources.len();
+        if self.sources.iter().all(|s| s.weight.is_none()) {
+            return (0..k)
+                .map(|rank| n / k + usize::from(rank < n % k))
+                .collect();
+        }
+        let weights: Vec<f64> = self
+            .sources
+            .iter()
+            .map(|s| s.weight.unwrap_or(1.0))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let shares: Vec<f64> = weights.iter().map(|w| n as f64 * w / total).collect();
+        let mut counts: Vec<usize> = shares.iter().map(|s| s.floor() as usize).collect();
+        let assigned: usize = counts.iter().sum();
+        // Distribute the remainder by largest fractional part, source
+        // rank breaking ties — deterministic for equal fractions.
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by(|&a, &b| {
+            let fa = shares[a] - shares[a].floor();
+            let fb = shares[b] - shares[b].floor();
+            fb.partial_cmp(&fa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(&b))
+        });
+        for &rank in order.iter().take(n - assigned) {
+            counts[rank] += 1;
+        }
+        counts
+    }
+
+    /// Generates the first `n` requests of the stream, merged across
+    /// sources by `(arrival time, source rank, per-source emission
+    /// order)` and annotated with model and class choices. Deterministic:
+    /// equal specs (including seeds) produce equal streams.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError`] if the spec does not validate against `models`.
+    pub fn generate(
+        &self,
+        n: usize,
+        models: &[String],
+    ) -> Result<Vec<WorkloadRequest>, WorkloadError> {
+        self.validate(models)?;
+        let n_models = models.len() as u32;
+        let counts = self.source_counts(n);
+
+        let mut merged: Vec<WorkloadRequest> = Vec::with_capacity(n);
+        // Per-source emission: arrival times plus any per-source model
+        // assignment (everything except the global round-robin, which by
+        // definition needs the merged index).
+        for (rank, (source, &count)) in self.sources.iter().zip(&counts).enumerate() {
+            let times = source.arrivals.arrivals(count, &source.label);
+            let mix = source.mix.as_ref().unwrap_or(&self.mix);
+            let per_source_models: Option<Vec<u32>> = match (mix, source.mix.is_some()) {
+                // Spec-level round-robin walks the merged stream: filled
+                // in after the merge.
+                (ModelMix::LegacyRoundRobin, false) => None,
+                // A per-source round-robin override walks the source's
+                // own emission index.
+                (ModelMix::LegacyRoundRobin, true) => {
+                    Some((0..count as u32).map(|i| i % n_models).collect())
+                }
+                (ModelMix::Weighted { weights }, _) => {
+                    let idx: Vec<u32> = weights
+                        .iter()
+                        .map(|w| {
+                            models
+                                .iter()
+                                .position(|m| *m == w.model)
+                                .expect("validated") as u32
+                        })
+                        .collect();
+                    let ws: Vec<f64> = weights.iter().map(|w| w.weight).collect();
+                    let total: f64 = ws.iter().sum();
+                    let mut unit = unit_sampler(&format!("{}/mix", source.label));
+                    Some(
+                        (0..count)
+                            .map(|_| idx[weighted_index(&ws, total, unit()) as usize])
+                            .collect(),
+                    )
+                }
+                (ModelMix::Trace { models: trace }, _) => {
+                    let idx: Vec<u32> = trace
+                        .iter()
+                        .map(|name| {
+                            models.iter().position(|m| m == name).expect("validated") as u32
+                        })
+                        .collect();
+                    Some((0..count).map(|i| idx[i % idx.len()]).collect())
+                }
+            };
+            for (i, &t) in times.iter().enumerate() {
+                merged.push(WorkloadRequest {
+                    at_ns: (t * 1.0e9).round() as u64,
+                    at_s: t,
+                    source: rank as u32,
+                    model: per_source_models.as_ref().map_or(u32::MAX, |m| m[i]),
+                    class: None,
+                });
+            }
+        }
+        // The deterministic merge: per-source streams are time-sorted
+        // with emission order preserved, so a stable sort on
+        // `(at_ns, source)` realizes (time, rank, per-source id).
+        merged.sort_by_key(|r| (r.at_ns, r.source));
+
+        // Global round-robin and class assignment walk the merged order.
+        let mut class_sampler = if self.classes.is_empty() {
+            None
+        } else {
+            let ws: Vec<f64> = self.classes.iter().map(|c| c.weight).collect();
+            let total: f64 = ws.iter().sum();
+            Some((ws, total, unit_sampler(&format!("{}/class", self.seed))))
+        };
+        for (i, r) in merged.iter_mut().enumerate() {
+            if r.model == u32::MAX {
+                r.model = i as u32 % n_models;
+            }
+            if let Some((ws, total, unit)) = &mut class_sampler {
+                r.class = Some(weighted_index(ws, *total, unit()));
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Materializes a bounded workload against an instance: `n`
+    /// [`Request`]s (ids in merged stream order, class attached, source
+    /// resolved to a fleet device) plus their arrival times for
+    /// `SimConfig::arrivals`.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError`] on an invalid spec, unknown source devices, or
+    /// request construction failure.
+    pub fn materialize(
+        &self,
+        instance: &Instance,
+        n: usize,
+    ) -> Result<(Vec<Request>, Vec<f64>), WorkloadError> {
+        let models: Vec<String> = instance
+            .deployments()
+            .iter()
+            .map(|d| d.model.name.clone())
+            .collect();
+        let stream = self.generate(n, &models)?;
+        // Resolve each source's origin device once, up front — the
+        // per-request loop then just clones interned ids.
+        let source_ids: Vec<Option<s2m3_net::device::DeviceId>> = self
+            .sources
+            .iter()
+            .map(|s| match &s.device {
+                None => Ok(None),
+                Some(device) => {
+                    if instance.fleet().device(device).is_none() {
+                        return Err(WorkloadError::Core(CoreError::UnknownDevice(
+                            device.as_str().into(),
+                        )));
+                    }
+                    Ok(Some(device.as_str().into()))
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        let mut requests = Vec::with_capacity(stream.len());
+        let mut arrivals = Vec::with_capacity(stream.len());
+        for (i, wr) in stream.iter().enumerate() {
+            let mut request = instance.request(i as u64, &models[wr.model as usize])?;
+            if let Some(id) = &source_ids[wr.source as usize] {
+                request.source = id.clone();
+            }
+            if let Some(ci) = wr.class {
+                request.class = Some(self.classes[ci as usize].class.clone());
+            }
+            requests.push(request);
+            arrivals.push(wr.at_s);
+        }
+        Ok((requests, arrivals))
+    }
+}
+
 /// A mixed request stream over an instance's deployed models.
 ///
 /// Requests round-robin over the deployments (a uniform task mix) with
-/// ids `0..n` and the fleet requester as source.
+/// ids `0..n` and the fleet requester as source — the
+/// [`ModelMix::LegacyRoundRobin`] workload, materialized.
 ///
 /// # Errors
 ///
 /// [`CoreError`] if a deployment cannot build requests.
 pub fn mixed_stream(instance: &Instance, n: usize) -> Result<Vec<Request>, CoreError> {
-    let models: Vec<_> = instance
-        .deployments()
-        .iter()
-        .map(|d| d.model.name.clone())
-        .collect();
-    (0..n)
-        .map(|i| instance.request(i as u64, &models[i % models.len()]))
-        .collect()
+    let spec = WorkloadSpec::single_source(ArrivalProcess::Simultaneous, "mixed");
+    let (requests, _) = spec.materialize(instance, n).map_err(|e| match e {
+        WorkloadError::Core(e) => e,
+        // The legacy spec validates unless the instance has no models.
+        other => CoreError::UnknownModel(other.to_string()),
+    })?;
+    Ok(requests)
 }
 
 /// Latency distribution summary of a simulation.
@@ -433,6 +909,231 @@ mod tests {
         assert_eq!(stream[0].model, "CLIP ViT-B/16");
         assert_eq!(stream[1].model, "CLIP-Classifier Food-101");
         assert_eq!(stream[4].model, "CLIP ViT-B/16");
+    }
+
+    fn names(i: &Instance) -> Vec<String> {
+        i.deployments()
+            .iter()
+            .map(|d| d.model.name.clone())
+            .collect()
+    }
+
+    fn two_model_instance() -> Instance {
+        Instance::on_fleet(
+            s2m3_net::fleet::Fleet::edge_testbed(),
+            &[("CLIP ViT-B/16", 16), ("CLIP-Classifier Food-101", 0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn legacy_spec_reproduces_the_round_robin_stream() {
+        let i = two_model_instance();
+        let spec = WorkloadSpec::single_source(ArrivalProcess::Poisson { rate_per_s: 1.0 }, "leg");
+        let (requests, arrivals) = spec.materialize(&i, 9).unwrap();
+        let expected_arrivals = ArrivalProcess::Poisson { rate_per_s: 1.0 }.arrivals(9, "leg");
+        assert_eq!(arrivals, expected_arrivals, "bit-identical arrival times");
+        let models = names(&i);
+        for (k, r) in requests.iter().enumerate() {
+            assert_eq!(r.id, k as u64);
+            assert_eq!(r.model, models[k % models.len()], "rid % n_models");
+            assert_eq!(r.source.as_str(), "jetson-a");
+            assert_eq!(r.class, None);
+        }
+    }
+
+    #[test]
+    fn weighted_mix_samples_near_the_declared_shares() {
+        let i = two_model_instance();
+        let mut spec = WorkloadSpec::single_source(ArrivalProcess::Simultaneous, "wmix");
+        spec.mix = ModelMix::Weighted {
+            weights: vec![
+                ModelWeight {
+                    model: "CLIP ViT-B/16".to_string(),
+                    weight: 3.0,
+                },
+                ModelWeight {
+                    model: "CLIP-Classifier Food-101".to_string(),
+                    weight: 1.0,
+                },
+            ],
+        };
+        let stream = spec.generate(4000, &names(&i)).unwrap();
+        let clip = stream.iter().filter(|r| r.model == 0).count();
+        let share = clip as f64 / 4000.0;
+        assert!(
+            (share - 0.75).abs() < 0.03,
+            "3:1 weights drew a {share:.3} share"
+        );
+        // Determinism: same spec, same stream; different seed differs.
+        assert_eq!(stream, spec.generate(4000, &names(&i)).unwrap());
+        let mut other = spec.clone();
+        other.sources[0].label = "other".to_string();
+        assert_ne!(stream, other.generate(4000, &names(&i)).unwrap());
+    }
+
+    #[test]
+    fn per_source_mixes_and_weights_shape_the_stream() {
+        let i = two_model_instance();
+        let clip_only = ModelMix::Weighted {
+            weights: vec![ModelWeight {
+                model: "CLIP ViT-B/16".to_string(),
+                weight: 1.0,
+            }],
+        };
+        let spec = WorkloadSpec {
+            sources: vec![
+                SourceSpec {
+                    device: Some("laptop".to_string()),
+                    arrivals: ArrivalProcess::Uniform { interval_s: 1.0 },
+                    label: "a".to_string(),
+                    weight: Some(3.0),
+                    mix: Some(clip_only),
+                },
+                SourceSpec {
+                    device: Some("desktop".to_string()),
+                    arrivals: ArrivalProcess::Uniform { interval_s: 1.0 },
+                    label: "b".to_string(),
+                    weight: Some(1.0),
+                    mix: Some(ModelMix::Trace {
+                        models: vec!["CLIP-Classifier Food-101".to_string()],
+                    }),
+                },
+            ],
+            mix: ModelMix::LegacyRoundRobin,
+            classes: Vec::new(),
+            seed: "ps".to_string(),
+        };
+        let (requests, _) = spec.materialize(&i, 40).unwrap();
+        // 3:1 budget split.
+        let from_laptop = requests.iter().filter(|r| r.source.as_str() == "laptop");
+        assert_eq!(from_laptop.clone().count(), 30);
+        // Per-source mixes: every laptop request is CLIP, every desktop
+        // request the classifier.
+        assert!(from_laptop.clone().all(|r| r.model == "CLIP ViT-B/16"));
+        assert!(requests
+            .iter()
+            .filter(|r| r.source.as_str() == "desktop")
+            .all(|r| r.model == "CLIP-Classifier Food-101"));
+    }
+
+    #[test]
+    fn classes_assign_deterministically_with_declared_shares() {
+        let i = two_model_instance();
+        let mut spec = WorkloadSpec::single_source(ArrivalProcess::Simultaneous, "cls");
+        spec.classes = vec![
+            ClassShare {
+                class: DeadlineClass {
+                    name: "interactive".to_string(),
+                    deadline_s: 5.0,
+                    priority: 10,
+                },
+                weight: 1.0,
+            },
+            ClassShare {
+                class: DeadlineClass {
+                    name: "batch".to_string(),
+                    deadline_s: 120.0,
+                    priority: 0,
+                },
+                weight: 3.0,
+            },
+        ];
+        let (requests, _) = spec.materialize(&i, 2000).unwrap();
+        let interactive = requests
+            .iter()
+            .filter(|r| r.class.as_ref().is_some_and(|c| c.name == "interactive"))
+            .count();
+        let share = interactive as f64 / 2000.0;
+        assert!((share - 0.25).abs() < 0.04, "1:3 classes drew {share:.3}");
+        assert!(requests.iter().all(|r| r.class.is_some()));
+        let (again, _) = spec.materialize(&i, 2000).unwrap();
+        assert_eq!(requests, again);
+    }
+
+    #[test]
+    fn workload_validation_rejects_bad_specs() {
+        let i = two_model_instance();
+        let models = names(&i);
+        let base = WorkloadSpec::single_source(ArrivalProcess::Simultaneous, "v");
+
+        let empty = WorkloadSpec {
+            sources: Vec::new(),
+            ..base.clone()
+        };
+        assert!(matches!(
+            empty.validate(&models),
+            Err(WorkloadError::Empty(_))
+        ));
+
+        let mut unknown = base.clone();
+        unknown.mix = ModelMix::Weighted {
+            weights: vec![ModelWeight {
+                model: "nope".to_string(),
+                weight: 1.0,
+            }],
+        };
+        assert!(matches!(
+            unknown.validate(&models),
+            Err(WorkloadError::UnknownModel(_))
+        ));
+
+        let mut negative = base.clone();
+        negative.mix = ModelMix::Weighted {
+            weights: vec![ModelWeight {
+                model: models[0].clone(),
+                weight: -1.0,
+            }],
+        };
+        assert!(matches!(
+            negative.validate(&models),
+            Err(WorkloadError::BadWeight(_))
+        ));
+
+        let mut bad_source_weight = base.clone();
+        bad_source_weight.sources[0].weight = Some(0.0);
+        assert!(matches!(
+            bad_source_weight.validate(&models),
+            Err(WorkloadError::BadWeight(_))
+        ));
+
+        let mut bad_class = base.clone();
+        bad_class.classes = vec![ClassShare {
+            class: DeadlineClass {
+                name: "x".to_string(),
+                deadline_s: 0.0,
+                priority: 0,
+            },
+            weight: 1.0,
+        }];
+        assert!(matches!(
+            bad_class.validate(&models),
+            Err(WorkloadError::BadWeight(_))
+        ));
+
+        let mut empty_trace = base.clone();
+        empty_trace.mix = ModelMix::Trace { models: Vec::new() };
+        assert!(matches!(
+            empty_trace.validate(&models),
+            Err(WorkloadError::Empty(_))
+        ));
+
+        // Each weight finite, but the *sum* overflows to infinity:
+        // proportional shares would all floor to zero.
+        let mut overflow = base;
+        overflow.sources = (0..2)
+            .map(|i| SourceSpec {
+                device: None,
+                arrivals: ArrivalProcess::Simultaneous,
+                label: format!("o{i}"),
+                weight: Some(f64::MAX),
+                mix: None,
+            })
+            .collect();
+        assert!(matches!(
+            overflow.validate(&models),
+            Err(WorkloadError::BadWeight(_))
+        ));
     }
 
     #[test]

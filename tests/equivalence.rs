@@ -89,6 +89,31 @@ fn serve_report_for_default_churn_is_byte_identical_to_seed_behavior() {
 }
 
 #[test]
+fn batched_serve_report_matches_its_golden_fixture() {
+    // Module-level batching in the serve loop is a *deliberate*
+    // behavior change behind `ServeScenario::batch`, so it gets its own
+    // golden: the default churn scenario with a global batch cap of 4.
+    // Regenerate (via `capture_fixtures`) only when batched-dispatch
+    // semantics change intentionally — `batch: None` stays pinned by
+    // the unbatched fixture above.
+    use s2m3::serve::BatchPolicy;
+    let scenario = ServeScenario {
+        batch: Some(BatchPolicy {
+            max_batch: 4,
+            per_kind: vec![],
+        }),
+        ..ServeScenario::churn_default()
+    };
+    let report = serve(&scenario).unwrap();
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    assert_eq!(
+        json,
+        fixture("serve_churn_batched.json").trim_end(),
+        "batched ServeReport JSON diverged from its golden fixture"
+    );
+}
+
+#[test]
 fn chunked_serve_session_matches_the_golden_fixture() {
     // The resumable-kernel guarantee against the pinned bytes: running
     // the default churn scenario in 2 500 s virtual-time slices (pause,
