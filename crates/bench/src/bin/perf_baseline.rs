@@ -33,6 +33,7 @@ use s2m3_core::upper::optimal_placement;
 use s2m3_serve::{serve, AdmissionPolicy, BatchPolicy, ServeScenario};
 use s2m3_sim::engine::{simulate, SimConfig};
 use s2m3_sim::kernel::{Device, Driver, Kernel, Policy, RequestSlot};
+use s2m3_sweep::{run_sweep, SweepSpec};
 
 const OUT_PATH: &str = "BENCH_serve.json";
 
@@ -231,6 +232,29 @@ fn main() {
         "serve_loop/500req_batched",
         median_ns(iters, || {
             std::hint::black_box(serve(&batched).unwrap());
+        }),
+    ));
+    // The sweep harness end to end: 64 replicas (4 seeds x 4 rates x 4
+    // fleet sizes) of a short churn stream through the thread pool,
+    // shared-start preparation and aggregation included.
+    let sweep_spec = {
+        let mut base = serve_scenario(48, AdmissionPolicy::Fifo, true);
+        base.snapshot_every = 12;
+        SweepSpec {
+            base,
+            seeds: 4,
+            rate_scales: vec![0.5, 1.0, 2.0, 4.0],
+            fleet_sizes: vec![1, 2, 3, 4],
+            bin_s: 600.0,
+            miss_budget: 0.01,
+            threads: 0,
+        }
+    };
+    assert_eq!(sweep_spec.replica_count(), 64);
+    results.push((
+        "sweep/64rep",
+        median_ns(iters, || {
+            std::hint::black_box(run_sweep(&sweep_spec).unwrap());
         }),
     ));
     // The shared kernel in isolation: ~2k requests × (2 ready + 2 done

@@ -1,0 +1,4 @@
+//! Regenerates the Monte Carlo capacity-frontier sweep.
+fn main() {
+    println!("{}", s2m3_bench::sweep::run().render());
+}

@@ -28,6 +28,7 @@ pub mod load_sweep;
 pub mod optimality;
 pub mod perturb;
 pub mod scalability;
+pub mod sweep;
 pub mod table;
 pub mod table10;
 pub mod table11;

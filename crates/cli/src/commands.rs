@@ -18,6 +18,7 @@ use s2m3_serve::{
 };
 use s2m3_sim::workload::{latency_stats, mixed_stream, ArrivalProcess, ModelMix, ModelWeight};
 use s2m3_sim::{simulate, SimConfig};
+use s2m3_sweep::{run_sweep, SweepSpec};
 
 use crate::args::Args;
 
@@ -48,6 +49,17 @@ COMMANDS:
                                multi-source traffic, per-source mixes,
                                deadline classes, and per-kind batch caps
                                via the config file
+  sweep      [--config FILE] [--seeds N] [--requests N] [--threads N]
+             [--budget F] [--json] [--print-config]
+                               parallel Monte Carlo sweep: the serving
+                               scenario fanned over a seed x rate x
+                               fleet-size grid on a thread pool, with
+                               p50/p95/p99 bands across replicas and the
+                               capacity frontier (max rate at <1% miss);
+                               --config takes a SweepSpec JSON (default:
+                               quick grid over the churn scenario);
+                               deterministic: same grid => byte-identical
+                               report at any --threads
   evaluate   --model M --benchmark B [--samples N]
                                zero-shot accuracy on a synthetic benchmark
   infer      --model M [--label L] [--candidates N]
@@ -286,6 +298,46 @@ pub fn serve_cmd(args: &Args) -> CmdResult {
     }
 }
 
+/// `s2m3 sweep`.
+pub fn sweep_cmd(args: &Args) -> CmdResult {
+    let mut spec = match args.flags.get("config") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read config `{path}`: {e}"))?;
+            SweepSpec::from_json(&text)?
+        }
+        None => {
+            // A quick grid over the churn scenario, kept modest so the
+            // default invocation finishes in seconds.
+            let mut base = ServeScenario::churn_default();
+            base.requests = 400;
+            base.snapshot_every = 50;
+            SweepSpec::quick(base)
+        }
+    };
+    if let Some(n) = args.flags.get("seeds") {
+        spec.seeds = n.parse().map_err(|_| "bad --seeds")?;
+    }
+    if let Some(n) = args.flags.get("requests") {
+        spec.base.requests = n.parse().map_err(|_| "bad --requests")?;
+    }
+    if let Some(n) = args.flags.get("threads") {
+        spec.threads = n.parse().map_err(|_| "bad --threads")?;
+    }
+    if let Some(b) = args.flags.get("budget") {
+        spec.miss_budget = b.parse().map_err(|_| "bad --budget")?;
+    }
+    if args.has("print-config") {
+        return spec.to_json();
+    }
+    let report = run_sweep(&spec).map_err(|e| e.to_string())?;
+    if args.has("json") {
+        report.to_json().map_err(|e| e.to_string())
+    } else {
+        Ok(report.render_summary())
+    }
+}
+
 /// `s2m3 evaluate`.
 pub fn evaluate_cmd(args: &Args) -> CmdResult {
     let model_name = args
@@ -387,6 +439,7 @@ pub fn experiments(_args: &Args) -> CmdResult {
   cargo run --release -p s2m3-bench --bin ablations     mechanism ablations
   cargo run --release -p s2m3-bench --bin load_sweep    queuing knee under Poisson load
   cargo run --release -p s2m3-bench --bin churn         serving SLOs under fleet churn
+  cargo run --release -p s2m3-bench --bin sweep         Monte Carlo capacity frontier (all cores)
   cargo run --release -p s2m3-bench --bin scalability   placement cost vs fleet size
   cargo run --release -p s2m3-bench --bin all_experiments  everything + markdown export
 "
@@ -403,6 +456,7 @@ pub fn dispatch(args: &Args) -> CmdResult {
         "plan" => plan(args),
         "simulate" => simulate_cmd(args),
         "serve" => serve_cmd(args),
+        "sweep" => sweep_cmd(args),
         "evaluate" => evaluate_cmd(args),
         "infer" => infer(args),
         "compare" => compare(args),
@@ -612,6 +666,38 @@ mod tests {
             .unwrap();
             assert!(out.contains("20 arrived"), "{policy}: {out}");
         }
+    }
+
+    #[test]
+    fn sweep_runs_grid_and_prints_frontier() {
+        let out = run(&[
+            "sweep",
+            "--requests",
+            "40",
+            "--seeds",
+            "1",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("capacity frontier"), "{out}");
+        assert!(out.contains("replicas"));
+        let json = run(&[
+            "sweep",
+            "--requests",
+            "40",
+            "--seeds",
+            "1",
+            "--threads",
+            "2",
+            "--json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"frontier\""));
+        let config = run(&["sweep", "--print-config"]).unwrap();
+        assert!(config.contains("\"rate_scales\""));
+        assert!(run(&["sweep", "--seeds", "none"]).is_err());
+        assert!(run(&["sweep", "--config", "/nonexistent.json"]).is_err());
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   Fig. 3 timelines);
 //! - [`serve`] — the online serving control plane: admission control,
 //!   rolling SLO windows, and live adaptive replanning under fleet churn;
+//! - [`sweep`] — parallel Monte Carlo sweeps: seeded replica grids on a
+//!   work-stealing pool, aggregated into deterministic distribution
+//!   bands and a capacity frontier;
 //! - [`runtime`] — an executable distributed runtime over real threads
 //!   and channels with bit-identical split-vs-centralized outputs;
 //! - [`data`] — ten synthetic benchmarks and the Table VIII accuracy
@@ -50,6 +53,7 @@ pub use s2m3_net as net;
 pub use s2m3_runtime as runtime;
 pub use s2m3_serve as serve;
 pub use s2m3_sim as sim;
+pub use s2m3_sweep as sweep;
 pub use s2m3_tensor as tensor;
 
 /// Everything most applications need.
@@ -61,4 +65,5 @@ pub mod prelude {
     pub use s2m3_runtime::{reference, RequestInput, Runtime};
     pub use s2m3_serve::{serve, AdmissionPolicy, ServeReport, ServeScenario};
     pub use s2m3_sim::{simulate, SimConfig, SimReport};
+    pub use s2m3_sweep::{run_sweep, SweepReport, SweepSpec};
 }

@@ -46,6 +46,7 @@
 //! replan diffs, and the serialized [`ServeReport`].
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use s2m3_core::adaptive::replan;
 use s2m3_core::error::CoreError;
@@ -58,7 +59,9 @@ use s2m3_sim::kernel::{Device as LaneDevice, Driver, Kernel, Policy as KernelPol
 
 use crate::config::{FleetEventKind, ServeScenario, SloReplanTrigger};
 use crate::queue::{Admission, AdmissionQueue, QueuedRequest};
-use crate::report::{DeviceReport, EventRecord, LatencySummary, ReplanRecord, ServeReport};
+use crate::report::{
+    ClassReport, DeviceReport, EventRecord, LatencySummary, ReplanRecord, ServeReport,
+};
 use crate::slo::{DeviceUsage, Outcome, SloWindow};
 
 /// Errors surfaced by the serving loop.
@@ -131,6 +134,8 @@ struct ReqInfo {
     /// Admission priority from the request's deadline class (0 without
     /// classes).
     priority: u32,
+    /// Deadline-class index (`None` for unclassed scenarios).
+    class: Option<u32>,
     /// Universe index of the device charged with this request's
     /// in-flight slot, when dispatched.
     inflight_on: Option<usize>,
@@ -147,6 +152,17 @@ struct DevExtra {
     admission: AdmissionQueue,
     usage: DeviceUsage,
     executions: u64,
+}
+
+/// Running per-deadline-class counters, folded into
+/// [`ClassReport`]s at the end of the run.
+#[derive(Debug, Clone, Default)]
+struct ClassStats {
+    arrived: u64,
+    completed: u64,
+    shed: u64,
+    late: u64,
+    latencies: Vec<f64>,
 }
 
 /// One resolved traffic source.
@@ -204,7 +220,9 @@ struct Online {
     by_name_order: Vec<usize>,
     slowdown: Vec<Option<f64>>,
     instance: Instance,
-    resolved: ResolvedInstance,
+    /// The interned hot-path view, behind `Arc` so parallel replicas of
+    /// the same scenario share one table set instead of re-interning.
+    resolved: Arc<ResolvedInstance>,
     /// Universe index of each resolved (active-fleet) device.
     uni_of_res: Vec<usize>,
     /// Resolved index of each universe device (`None` while inactive).
@@ -227,6 +245,10 @@ struct Online {
     /// Per-class `(deadline_ns, priority)` from the scenario's workload
     /// classes, indexed by class id.
     class_table: Vec<(u64, u32)>,
+    /// Class names, indexed by class id (report boundary).
+    class_names: Vec<String>,
+    /// Per-class running counters, indexed by class id.
+    class_stats: Vec<ClassStats>,
     events: Vec<crate::config::FleetEvent>,
     deadline_ns: u64,
     deadline_s: f64,
@@ -372,7 +394,7 @@ impl Online {
         )
         .map_err(ServeError::BadScenario)?;
         self.instance = self.instance.with_fleet(fleet)?;
-        self.resolved = ResolvedInstance::new(&self.instance)?;
+        self.resolved = Arc::new(ResolvedInstance::new(&self.instance)?);
         self.res_of_uni = vec![None; self.uni_names.len()];
         for (ri, &ui) in uni_of_res.iter().enumerate() {
             self.res_of_uni[ui] = Some(ri as u32);
@@ -574,20 +596,37 @@ impl Online {
         }
     }
 
+    /// Fleet-wide utilization at `now_s`: busy lane-seconds over offered
+    /// lane-seconds summed in universe device order (deterministic).
+    fn fleet_utilization(&self, now_s: f64) -> f64 {
+        let mut busy = 0.0;
+        let mut offered = 0.0;
+        for d in &self.devices {
+            busy += d.usage.busy_s;
+            offered += d.usage.active_total_s(now_s) * d.usage.lanes.max(1) as f64;
+        }
+        if offered <= 0.0 {
+            0.0
+        } else {
+            (busy / offered).min(1.0)
+        }
+    }
+
     fn record_outcome(&mut self, outcome: Outcome) {
         self.slo.push(outcome);
         if self.slo.total_seen().is_multiple_of(self.snapshot_every) {
-            let snap = self.slo.snapshot(outcome.completed_at_s);
+            let mut snap = self.slo.snapshot(outcome.completed_at_s);
+            snap.utilization = self.fleet_utilization(outcome.completed_at_s);
             self.report.windows.push(snap);
             self.last_snapshot_seen = self.slo.total_seen();
         }
     }
 
     fn complete_request(&mut self, k: &mut K, rid: usize, now: u64) -> Result<(), BoxedErr> {
-        let (arrival_ns, deadline_ns, head_dev) = {
+        let (arrival_ns, deadline_ns, head_dev, class) = {
             let r = &mut self.requests[rid];
             r.done = true;
-            (r.arrival_ns, r.deadline_ns, r.inflight_on.take())
+            (r.arrival_ns, r.deadline_ns, r.inflight_on.take(), r.class)
         };
         if let Some(ui) = head_dev {
             self.devices[ui].inflight = self.devices[ui].inflight.saturating_sub(1);
@@ -597,6 +636,14 @@ impl Online {
         self.report.completed += 1;
         if missed {
             self.report.late += 1;
+        }
+        if let Some(ci) = class {
+            let cs = &mut self.class_stats[ci as usize];
+            cs.completed += 1;
+            if missed {
+                cs.late += 1;
+            }
+            cs.latencies.push(latency);
         }
         self.latencies.push(latency);
         self.last_completion_ns = self.last_completion_ns.max(now);
@@ -612,12 +659,15 @@ impl Online {
     }
 
     fn record_shed(&mut self, rid: usize, now: u64) {
-        let (deadline_ns, arrival_ns) = {
+        let (deadline_ns, arrival_ns, class) = {
             let r = &mut self.requests[rid];
             r.done = true;
-            (r.deadline_ns, r.arrival_ns)
+            (r.deadline_ns, r.arrival_ns, r.class)
         };
         self.report.shed += 1;
+        if let Some(ci) = class {
+            self.class_stats[ci as usize].shed += 1;
+        }
         // A shed request is an SLO miss; the window records it at the
         // deadline bound so percentiles reflect the rejection.
         self.record_outcome(Outcome {
@@ -940,12 +990,16 @@ impl Online {
             Some(ci) => self.class_table[ci as usize],
             None => (self.deadline_ns, 0),
         };
+        if let Some(ci) = rec.class {
+            self.class_stats[ci as usize].arrived += 1;
+        }
         self.requests.push(ReqInfo {
             arrival_ns: now,
             deadline_ns: now + deadline_ns,
             source: rec.source,
             model: rec.model as usize,
             priority,
+            class: rec.class,
             ..ReqInfo::default()
         });
         k.set_request(rid, RequestSlot::default());
@@ -996,9 +1050,28 @@ impl Online {
         };
         // Final rolling-window snapshot (unless one just landed there).
         if self.slo.total_seen() != self.last_snapshot_seen {
-            let final_snap = self.slo.snapshot(now_s);
+            let mut final_snap = self.slo.snapshot(now_s);
+            final_snap.utilization = self.fleet_utilization(now_s);
             self.report.windows.push(final_snap);
         }
+        self.report.classes = self
+            .class_names
+            .iter()
+            .zip(std::mem::take(&mut self.class_stats))
+            .map(|(name, cs)| ClassReport {
+                class: name.clone(),
+                arrived: cs.arrived,
+                completed: cs.completed,
+                shed: cs.shed,
+                late: cs.late,
+                miss_rate: if cs.arrived == 0 {
+                    0.0
+                } else {
+                    (cs.late + cs.shed) as f64 / cs.arrived as f64
+                },
+                latency: LatencySummary::from_latencies(cs.latencies),
+            })
+            .collect();
         self.report.devices = self
             .by_name_order
             .iter()
@@ -1015,6 +1088,146 @@ impl Online {
             .collect();
         self.report
     }
+}
+
+/// Resolves the scenario's universe fleet by name.
+fn universe_fleet(fleet: &str) -> Result<Fleet, ServeError> {
+    match fleet {
+        "edge" => Ok(Fleet::edge_testbed()),
+        "standard" => Ok(Fleet::standard_testbed()),
+        other => Err(ServeError::BadScenario(format!(
+            "unknown fleet `{other}` (edge|standard)"
+        ))),
+    }
+}
+
+/// Resolves the scenario's initial membership over `uni_names`,
+/// validating every name and that the requester starts active.
+fn initial_active(
+    scenario: &ServeScenario,
+    uni_names: &[String],
+    requester: &str,
+) -> Result<Vec<bool>, ServeError> {
+    let mut active = vec![false; uni_names.len()];
+    for name in &scenario.initial_devices {
+        let Some(ui) = uni_names.iter().position(|n| n == name) else {
+            return Err(ServeError::BadScenario(format!(
+                "initial device `{name}` is not in the {} fleet",
+                scenario.fleet
+            )));
+        };
+        active[ui] = true;
+    }
+    let requester_active = uni_names
+        .iter()
+        .position(|n| n == requester)
+        .is_some_and(|ui| active[ui]);
+    if !requester_active {
+        return Err(ServeError::BadScenario(format!(
+            "initial devices must include the requester `{requester}`"
+        )));
+    }
+    Ok(active)
+}
+
+/// The replica-invariant prefix of a serving run: the initial instance,
+/// its interned [`ResolvedInstance`] view, and the greedy starting
+/// placement. These depend only on the scenario's fleet, initial
+/// devices, and model set — not on its seed, traffic, or events — so a
+/// sweep builds one `SharedStart` per grid cell and every seeded
+/// replica clones the `Arc` instead of re-interning the tables.
+///
+/// Produced by [`prepare`]; consumed by [`ServeSession::with_shared`].
+#[derive(Debug, Clone)]
+pub struct SharedStart {
+    /// Scenario bits the shared state was derived from, re-validated at
+    /// session construction so a `SharedStart` cannot silently be
+    /// replayed against a different deployment.
+    fleet: String,
+    initial_devices: Vec<String>,
+    models: Vec<(String, usize)>,
+    instance: Instance,
+    resolved: Arc<ResolvedInstance>,
+    placement: Placement,
+}
+
+impl SharedStart {
+    /// The shared interned view (one allocation for all replicas).
+    pub fn resolved(&self) -> &Arc<ResolvedInstance> {
+        &self.resolved
+    }
+
+    /// Whether `scenario` deploys the same fleet, initial devices, and
+    /// models this shared start was built from.
+    pub fn matches(&self, scenario: &ServeScenario) -> bool {
+        self.fleet == scenario.fleet
+            && self.initial_devices == scenario.initial_devices
+            && self.models.len() == scenario.models.len()
+            && self
+                .models
+                .iter()
+                .zip(&scenario.models)
+                .all(|(a, b)| a.0 == b.name && a.1 == b.candidates)
+    }
+}
+
+/// Builds the replica-invariant prefix of a serving run once: initial
+/// fleet → [`Instance`] → `Arc<`[`ResolvedInstance`]`>` → greedy
+/// placement. [`ServeSession::new`] calls this internally; sweeps call
+/// it per grid cell and fan the result out with
+/// [`ServeSession::with_shared`].
+///
+/// # Errors
+///
+/// [`ServeError::BadScenario`] on inconsistent configuration;
+/// [`ServeError::Core`] if placement fails.
+pub fn prepare(scenario: &ServeScenario) -> Result<SharedStart, ServeError> {
+    let universe = universe_fleet(&scenario.fleet)?;
+    if scenario.models.is_empty() {
+        return Err(ServeError::BadScenario("no models deployed".into()));
+    }
+    let uni_names: Vec<String> = universe
+        .devices()
+        .iter()
+        .map(|d| d.id.as_str().to_string())
+        .collect();
+    let requester = universe.requester().as_str().to_string();
+    let active = initial_active(scenario, &uni_names, &requester)?;
+    let initial_fleet = {
+        let devices: Vec<_> = universe
+            .devices()
+            .iter()
+            .zip(&active)
+            .filter(|(_, &a)| a)
+            .map(|(d, _)| d.clone())
+            .collect();
+        Fleet::new(
+            devices,
+            universe.topology().clone(),
+            universe.requester().clone(),
+        )
+        .map_err(ServeError::BadScenario)?
+    };
+    let model_pairs: Vec<(&str, usize)> = scenario
+        .models
+        .iter()
+        .map(|m| (m.name.as_str(), m.candidates))
+        .collect();
+    let instance = Instance::on_fleet(initial_fleet, &model_pairs)?;
+    let resolved = Arc::new(ResolvedInstance::new(&instance)?);
+    let placement = greedy_place_resolved(&resolved, PlacementOptions::default())?;
+    Ok(SharedStart {
+        fleet: scenario.fleet.clone(),
+        initial_devices: scenario.initial_devices.clone(),
+        models: scenario
+            .models
+            .iter()
+            .map(|m| (m.name.clone(), m.candidates))
+            .collect(),
+        instance,
+        resolved,
+        placement,
+    })
 }
 
 /// A serving run as a *resumable* session over the shared kernel: run
@@ -1037,19 +1250,27 @@ impl ServeSession {
     /// [`ServeError::BadScenario`] on inconsistent configuration;
     /// [`ServeError::Core`] if placement or routing fails.
     pub fn new(scenario: &ServeScenario) -> Result<Self, ServeError> {
-        // --- Universe fleet and initial membership. ---
-        let universe = match scenario.fleet.as_str() {
-            "edge" => Fleet::edge_testbed(),
-            "standard" => Fleet::standard_testbed(),
-            other => {
-                return Err(ServeError::BadScenario(format!(
-                    "unknown fleet `{other}` (edge|standard)"
-                )))
-            }
-        };
-        if scenario.models.is_empty() {
-            return Err(ServeError::BadScenario("no models deployed".into()));
+        ServeSession::with_shared(scenario, &prepare(scenario)?)
+    }
+
+    /// Builds the session from a prepared [`SharedStart`], sharing its
+    /// `Arc<ResolvedInstance>` instead of re-interning: the constructor
+    /// parallel sweeps use for every replica of a grid cell. Behavior
+    /// is byte-identical to [`ServeSession::new`] on the same scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadScenario`] when `shared` was prepared for a
+    /// different fleet/devices/models (or the scenario is otherwise
+    /// inconsistent); [`ServeError::Core`] if routing fails.
+    pub fn with_shared(scenario: &ServeScenario, shared: &SharedStart) -> Result<Self, ServeError> {
+        if !shared.matches(scenario) {
+            return Err(ServeError::BadScenario(
+                "shared start was prepared for a different fleet/devices/models".into(),
+            ));
         }
+        // --- Universe fleet and initial membership. ---
+        let universe = universe_fleet(&scenario.fleet)?;
         if scenario.requests == 0 {
             return Err(ServeError::BadScenario("empty request stream".into()));
         }
@@ -1063,26 +1284,8 @@ impl ServeSession {
             order.sort_by(|&a, &b| uni_names[a].cmp(&uni_names[b]));
             order
         };
-        let mut active = vec![false; uni_names.len()];
-        for name in &scenario.initial_devices {
-            let Some(ui) = uni_names.iter().position(|n| n == name) else {
-                return Err(ServeError::BadScenario(format!(
-                    "initial device `{name}` is not in the {} fleet",
-                    scenario.fleet
-                )));
-            };
-            active[ui] = true;
-        }
         let requester = universe.requester().as_str().to_string();
-        let requester_active = uni_names
-            .iter()
-            .position(|n| *n == requester)
-            .is_some_and(|ui| active[ui]);
-        if !requester_active {
-            return Err(ServeError::BadScenario(format!(
-                "initial devices must include the requester `{requester}`"
-            )));
-        }
+        let active = initial_active(scenario, &uni_names, &requester)?;
 
         // --- The merged arrival stream, from the unified workload
         //     layer: sim and serve share this generator (see
@@ -1125,31 +1328,18 @@ impl ServeSession {
             .iter()
             .map(|c| (ns(c.class.deadline_s.max(1e-3)), c.class.priority))
             .collect();
-
-        // --- Instance, placement, resolved index maps. ---
-        let model_pairs: Vec<(&str, usize)> = scenario
-            .models
+        let class_names: Vec<String> = workload
+            .classes
             .iter()
-            .map(|m| (m.name.as_str(), m.candidates))
+            .map(|c| c.class.name.clone())
             .collect();
-        let initial_fleet = {
-            let devices: Vec<_> = universe
-                .devices()
-                .iter()
-                .zip(&active)
-                .filter(|(_, &a)| a)
-                .map(|(d, _)| d.clone())
-                .collect();
-            Fleet::new(
-                devices,
-                universe.topology().clone(),
-                universe.requester().clone(),
-            )
-            .map_err(ServeError::BadScenario)?
-        };
-        let instance = Instance::on_fleet(initial_fleet, &model_pairs)?;
-        let resolved = ResolvedInstance::new(&instance)?;
-        let placement = greedy_place_resolved(&resolved, PlacementOptions::default())?;
+        let class_stats = vec![ClassStats::default(); class_names.len()];
+
+        // --- Instance, placement, resolved index maps: the
+        //     replica-invariant prefix, shared instead of rebuilt. ---
+        let instance = shared.instance.clone();
+        let resolved = Arc::clone(&shared.resolved);
+        let placement = shared.placement.clone();
         let uni_of_res: Vec<usize> = (0..uni_names.len()).filter(|&ui| active[ui]).collect();
         let mut res_of_uni: Vec<Option<u32>> = vec![None; uni_names.len()];
         for (ri, &ui) in uni_of_res.iter().enumerate() {
@@ -1253,6 +1443,8 @@ impl ServeSession {
             requests: Vec::with_capacity(scenario.requests),
             arrivals: merged,
             class_table,
+            class_names,
+            class_stats,
             events,
             deadline_ns: ns(scenario.deadline_s.max(1e-3)),
             deadline_s: scenario.deadline_s.max(1e-3),

@@ -55,9 +55,11 @@ pub use config::{
     AdmissionPolicy, BatchPolicy, FleetEvent, FleetEventKind, KindBatchCap, ModelDeployment,
     ReplanPolicy, ServeScenario, SloReplanTrigger, TrafficSource,
 };
-pub use engine::{serve, ServeError, ServeSession};
+pub use engine::{prepare, serve, ServeError, ServeSession, SharedStart};
 // The unified workload layer lives in `s2m3_sim::workload`; re-export
 // the pieces serving scenarios embed so configs build from one import.
-pub use report::{DeviceReport, EventRecord, LatencySummary, ReplanRecord, ServeReport};
+pub use report::{
+    ClassReport, DeviceReport, EventRecord, LatencySummary, ReplanRecord, ServeReport,
+};
 pub use s2m3_sim::workload::{ClassShare, ModelMix, ModelWeight, WorkloadSpec};
 pub use slo::{SloWindow, WindowSnapshot};

@@ -73,6 +73,29 @@ pub struct ReplanRecord {
     pub migrations: usize,
 }
 
+/// Per-[`DeadlineClass`](s2m3_core::problem::DeadlineClass) serving
+/// statistics: the scenario-level counters and latency summary, split
+/// by the class each request drew from the workload's
+/// [`ClassShare`](s2m3_sim::workload::ClassShare)s. Empty when the
+/// scenario defines no classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// Class name (from the workload's `DeadlineClass`).
+    pub class: String,
+    /// Requests of this class that arrived.
+    pub arrived: u64,
+    /// Requests of this class that completed.
+    pub completed: u64,
+    /// Requests of this class shed at admission.
+    pub shed: u64,
+    /// Completed requests of this class past their class deadline.
+    pub late: u64,
+    /// Class deadline-miss rate: (late + shed) / arrived.
+    pub miss_rate: f64,
+    /// Latency summary over this class's completed requests.
+    pub latency: LatencySummary,
+}
+
 /// Per-device serving statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceReport {
@@ -111,6 +134,9 @@ pub struct ServeReport {
     pub throughput_per_s: f64,
     /// Virtual time when the last request finished, seconds.
     pub makespan_s: f64,
+    /// Per-deadline-class statistics, in workload class order (empty
+    /// without classes).
+    pub classes: Vec<ClassReport>,
     /// Rolling-window SLO snapshots over the run.
     pub windows: Vec<WindowSnapshot>,
     /// Fleet events applied.
@@ -161,6 +187,20 @@ impl ServeReport {
             self.throughput_per_s,
             self.makespan_s
         );
+        for c in &self.classes {
+            let _ = writeln!(
+                out,
+                "class  {:<12} {:>6} arrived  {:>6} completed  {:>5} shed  {:>5} late  \
+                 miss {:>5.1}%  p95 {:.2}s",
+                c.class,
+                c.arrived,
+                c.completed,
+                c.shed,
+                c.late,
+                100.0 * c.miss_rate,
+                c.latency.p95_s
+            );
+        }
         for e in &self.events {
             let _ = writeln!(out, "event  t={:>7.0}s  {}", e.at_s, e.description);
         }
@@ -231,6 +271,15 @@ mod tests {
             latency: LatencySummary::from_latencies(vec![1.0, 2.0, 3.0]),
             throughput_per_s: 0.5,
             makespan_s: 20.0,
+            classes: vec![ClassReport {
+                class: "interactive".into(),
+                arrived: 6,
+                completed: 5,
+                shed: 1,
+                late: 1,
+                miss_rate: 2.0 / 6.0,
+                latency: LatencySummary::from_latencies(vec![1.0, 2.0]),
+            }],
             windows: vec![],
             events: vec![EventRecord {
                 at_s: 5.0,
@@ -255,5 +304,6 @@ mod tests {
         assert!(text.contains("ACCEPTED"));
         assert!(text.contains("desktop leaves"));
         assert!(text.contains("p95"));
+        assert!(text.contains("interactive"));
     }
 }

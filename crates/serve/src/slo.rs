@@ -88,6 +88,9 @@ impl SloWindow {
             } else {
                 missed as f64 / n as f64
             },
+            // The window tracks outcomes only; the serving loop stamps
+            // the fleet-wide busy fraction before a snapshot is recorded.
+            utilization: 0.0,
         }
     }
 }
@@ -118,6 +121,9 @@ pub struct WindowSnapshot {
     pub p99_s: f64,
     /// Fraction of windowed requests that missed their deadline.
     pub miss_rate: f64,
+    /// Fleet-wide utilization when the snapshot was taken: busy
+    /// lane-seconds over offered lane-seconds across active devices.
+    pub utilization: f64,
 }
 
 /// Per-device busy-time accounting for utilization reporting.

@@ -205,12 +205,35 @@ fn source_index(resolved: &ResolvedInstance, request: &Request) -> Result<u32, C
 
 /// Runs a plan to completion in virtual time.
 ///
+/// Builds the interned [`ResolvedInstance`] view internally; callers
+/// that already hold one (parallel sweeps running many replicas of the
+/// same instance) use [`simulate_shared`] instead.
+///
 /// # Errors
 ///
 /// [`SimError::ArrivalsMismatch`] on bad config; [`SimError::Core`] if the
 /// plan references unknown models/devices (a validated plan cannot).
 pub fn simulate(
     instance: &Instance,
+    plan: &Plan,
+    config: &SimConfig,
+) -> Result<SimReport, SimError> {
+    let resolved = ResolvedInstance::new(instance)?;
+    simulate_shared(instance, &resolved, plan, config)
+}
+
+/// [`simulate`] against a pre-built interned view: replicas of the same
+/// instance share one `ResolvedInstance` (typically behind an `Arc`)
+/// instead of re-interning per run. `resolved` must be built from
+/// `instance`; results are byte-identical to [`simulate`].
+///
+/// # Errors
+///
+/// [`SimError::ArrivalsMismatch`] on bad config; [`SimError::Core`] if the
+/// plan references unknown models/devices (a validated plan cannot).
+pub fn simulate_shared(
+    instance: &Instance,
+    resolved: &ResolvedInstance,
     plan: &Plan,
     config: &SimConfig,
 ) -> Result<SimReport, SimError> {
@@ -228,7 +251,6 @@ pub fn simulate(
     };
 
     let devices = instance.fleet().devices();
-    let resolved = ResolvedInstance::new(instance)?;
 
     let mut report = SimReport::default();
 
@@ -285,7 +307,7 @@ pub fn simulate(
         plan.routed.len(),
     );
     let mut driver = Bounded {
-        resolved: &resolved,
+        resolved,
         exec_overhead: devices.iter().map(|d| d.exec_overhead_s).collect(),
         req_info: Vec::with_capacity(plan.routed.len()),
         report,

@@ -49,7 +49,7 @@ pub mod workload;
 #[cfg(test)]
 mod proptests;
 
-pub use engine::{simulate, SimConfig, SimError};
+pub use engine::{simulate, simulate_shared, SimConfig, SimError};
 pub use report::{GanttSpan, Phase, SimReport};
 pub use workload::{
     ArrivalProcess, ClassShare, ModelMix, ModelWeight, SourceSpec, WorkloadError, WorkloadRequest,

@@ -1,0 +1,449 @@
+//! Cross-replica aggregation: per-cell scalar summaries, per-timestep
+//! distribution bands, and the capacity frontier.
+
+use serde::{Deserialize, Serialize};
+
+use s2m3_serve::ServeReport;
+
+/// p50/p95/p99 of one metric across a cell's replicas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Band {
+    /// Median across replicas.
+    pub p50: f64,
+    /// 95th percentile across replicas.
+    pub p95: f64,
+    /// 99th percentile across replicas.
+    pub p99: f64,
+}
+
+impl Band {
+    /// Ceil-rank percentile bands over `samples` (order irrelevant —
+    /// the values are sorted here, which is what makes the aggregate
+    /// independent of replica completion order).
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pick = |q: f64| {
+            let rank = (q * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        Some(Band {
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+        })
+    }
+}
+
+/// Distribution bands of the serving metrics in one aggregation bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeBand {
+    /// End of the bin, virtual seconds.
+    pub t_s: f64,
+    /// Replicas that produced a window snapshot in this bin.
+    pub replicas: usize,
+    /// p95 request latency across replicas, seconds.
+    pub latency_p95_s: Band,
+    /// Rolling deadline-miss rate across replicas.
+    pub miss_rate: Band,
+    /// Fleet utilization across replicas.
+    pub utilization: Band,
+}
+
+/// Scalar whole-run summaries of one cell, averaged over replicas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellScalars {
+    /// Mean deadline-miss rate: (late + shed) / arrived.
+    pub miss_rate_mean: f64,
+    /// Worst replica's miss rate.
+    pub miss_rate_max: f64,
+    /// Mean of per-replica p95 latency, seconds.
+    pub latency_p95_mean_s: f64,
+    /// Mean completion throughput, requests per virtual second.
+    pub throughput_mean_per_s: f64,
+    /// Mean shed count.
+    pub shed_mean: f64,
+    /// Mean of per-replica makespan, virtual seconds.
+    pub makespan_mean_s: f64,
+}
+
+/// One (rate-scale × fleet-size) grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Active devices at t = 0.
+    pub fleet_size: usize,
+    /// Arrival-rate multiplier applied to the base workload.
+    pub rate_scale: f64,
+    /// Mean offered arrival rate, requests/s (`null` when the workload
+    /// has no mean rate, e.g. simultaneous bursts).
+    pub offered_rate_per_s: Option<f64>,
+    /// Replicas aggregated into this cell.
+    pub replicas: usize,
+    /// Whole-run scalar summaries.
+    pub scalars: CellScalars,
+    /// Per-timestep distribution bands, in time order.
+    pub bands: Vec<TimeBand>,
+}
+
+/// The largest sustainable rate scale for one fleet size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierPoint {
+    /// Active devices at t = 0.
+    pub fleet_size: usize,
+    /// Largest swept rate scale whose mean miss rate stayed within the
+    /// budget (`null` when even the smallest scale breached it).
+    pub max_rate_scale: Option<f64>,
+    /// The offered rate at that scale, requests/s.
+    pub max_rate_per_s: Option<f64>,
+    /// Mean miss rate observed at the frontier scale.
+    pub miss_rate: Option<f64>,
+}
+
+/// The deterministic product of a sweep: same spec ⇒ byte-identical
+/// JSON at any thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Base seed label the replica seeds derive from.
+    pub seed: String,
+    /// Replicas per cell.
+    pub seeds_per_cell: usize,
+    /// Total replicas executed.
+    pub replicas: usize,
+    /// Miss budget the frontier was computed against.
+    pub miss_budget: f64,
+    /// Aggregation bin width, virtual seconds.
+    pub bin_s: f64,
+    /// Grid cells, fleet-size-major then rate-scale order.
+    pub cells: Vec<CellReport>,
+    /// Max sustainable rate per fleet size (the capacity frontier).
+    pub frontier: Vec<FrontierPoint>,
+}
+
+impl SweepReport {
+    /// JSON export.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failure (not expected for this type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the parse failure.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Human-readable frontier + per-cell table.
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sweep  seed {}  {} cells x {} seeds = {} replicas\n",
+            self.seed,
+            self.cells.len(),
+            self.seeds_per_cell,
+            self.replicas
+        ));
+        out.push_str(&format!(
+            "{:>6}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}\n",
+            "fleet", "scale", "rate/s", "miss", "p95 s", "thru/s"
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:>6}  {:>6.2}  {:>9}  {:>8.2}%  {:>9.3}  {:>9.3}\n",
+                c.fleet_size,
+                c.rate_scale,
+                c.offered_rate_per_s
+                    .map_or_else(|| "-".to_string(), |r| format!("{r:.3}")),
+                c.scalars.miss_rate_mean * 100.0,
+                c.scalars.latency_p95_mean_s,
+                c.scalars.throughput_mean_per_s,
+            ));
+        }
+        out.push_str(&format!(
+            "capacity frontier (miss <= {:.2}%):\n",
+            self.miss_budget * 100.0
+        ));
+        for f in &self.frontier {
+            match f.max_rate_scale {
+                Some(scale) => out.push_str(&format!(
+                    "  {} devices: up to x{:.2}{} ({:.2}% miss)\n",
+                    f.fleet_size,
+                    scale,
+                    f.max_rate_per_s
+                        .map_or_else(String::new, |r| format!(" = {r:.3} req/s")),
+                    f.miss_rate.unwrap_or(0.0) * 100.0,
+                )),
+                None => out.push_str(&format!(
+                    "  {} devices: no swept rate met the budget\n",
+                    f.fleet_size
+                )),
+            }
+        }
+        out
+    }
+}
+
+/// One replica's contribution to its cell: the scalars plus the last
+/// window snapshot per time bin, reduced from the full [`ServeReport`]
+/// so the sweep never holds per-request data for the whole grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaSummary {
+    /// Whole-run deadline-miss rate.
+    pub miss_rate: f64,
+    /// p95 latency over completed requests, seconds.
+    pub latency_p95_s: f64,
+    /// Completion throughput, requests per virtual second.
+    pub throughput_per_s: f64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Virtual time when the last request finished, seconds.
+    pub makespan_s: f64,
+    /// `(bin index, latency p95, miss rate, utilization)` — the last
+    /// window snapshot falling in each bin, in bin order.
+    pub bins: Vec<(usize, f64, f64, f64)>,
+}
+
+impl ReplicaSummary {
+    /// Reduces a full serving report to the sweep's per-replica view,
+    /// binning window snapshots at `bin_s`.
+    pub fn from_report(report: &ServeReport, bin_s: f64) -> Self {
+        let mut bins: Vec<(usize, f64, f64, f64)> = Vec::new();
+        for w in &report.windows {
+            let idx = (w.at_s / bin_s).floor() as usize;
+            let entry = (idx, w.p95_s, w.miss_rate, w.utilization);
+            match bins.last_mut() {
+                // Later snapshot in the same bin wins: it reflects the
+                // window state at the bin boundary.
+                Some(last) if last.0 == idx => *last = entry,
+                _ => bins.push(entry),
+            }
+        }
+        ReplicaSummary {
+            miss_rate: report.miss_rate,
+            latency_p95_s: report.latency.p95_s,
+            throughput_per_s: report.throughput_per_s,
+            shed: report.shed,
+            makespan_s: report.makespan_s,
+            bins,
+        }
+    }
+}
+
+/// Aggregates one cell's replicas (in replica-index order — the caller
+/// guarantees the slice order, which fixes every floating-point sum).
+pub fn aggregate_cell(
+    fleet_size: usize,
+    rate_scale: f64,
+    offered_rate_per_s: Option<f64>,
+    replicas: &[ReplicaSummary],
+    bin_s: f64,
+) -> CellReport {
+    let n = replicas.len().max(1) as f64;
+    let scalars = CellScalars {
+        miss_rate_mean: replicas.iter().map(|r| r.miss_rate).sum::<f64>() / n,
+        miss_rate_max: replicas.iter().map(|r| r.miss_rate).fold(0.0, f64::max),
+        latency_p95_mean_s: replicas.iter().map(|r| r.latency_p95_s).sum::<f64>() / n,
+        throughput_mean_per_s: replicas.iter().map(|r| r.throughput_per_s).sum::<f64>() / n,
+        shed_mean: replicas.iter().map(|r| r.shed as f64).sum::<f64>() / n,
+        makespan_mean_s: replicas.iter().map(|r| r.makespan_s).sum::<f64>() / n,
+    };
+    let max_bin = replicas
+        .iter()
+        .flat_map(|r| r.bins.iter().map(|b| b.0))
+        .max();
+    let mut bands = Vec::new();
+    if let Some(max_bin) = max_bin {
+        for idx in 0..=max_bin {
+            // Replica-index order again: each replica contributes at
+            // most one snapshot per bin.
+            let mut lat = Vec::new();
+            let mut miss = Vec::new();
+            let mut util = Vec::new();
+            for r in replicas {
+                if let Some(b) = r.bins.iter().find(|b| b.0 == idx) {
+                    lat.push(b.1);
+                    miss.push(b.2);
+                    util.push(b.3);
+                }
+            }
+            let (Some(latency_p95_s), Some(miss_rate), Some(utilization)) = (
+                Band::from_samples(&lat),
+                Band::from_samples(&miss),
+                Band::from_samples(&util),
+            ) else {
+                continue;
+            };
+            bands.push(TimeBand {
+                t_s: (idx + 1) as f64 * bin_s,
+                replicas: lat.len(),
+                latency_p95_s,
+                miss_rate,
+                utilization,
+            });
+        }
+    }
+    CellReport {
+        fleet_size,
+        rate_scale,
+        offered_rate_per_s,
+        replicas: replicas.len(),
+        scalars,
+        bands,
+    }
+}
+
+/// Scans each fleet size's cells in ascending rate-scale order and
+/// keeps the largest scale whose mean miss rate stays within `budget`.
+pub fn capacity_frontier(cells: &[CellReport], budget: f64) -> Vec<FrontierPoint> {
+    let mut sizes: Vec<usize> = cells.iter().map(|c| c.fleet_size).collect();
+    sizes.dedup();
+    sizes
+        .into_iter()
+        .map(|fleet_size| {
+            let mut row: Vec<&CellReport> = cells
+                .iter()
+                .filter(|c| c.fleet_size == fleet_size)
+                .collect();
+            row.sort_by(|a, b| {
+                a.rate_scale
+                    .partial_cmp(&b.rate_scale)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let best = row
+                .iter()
+                .take_while(|c| c.scalars.miss_rate_mean <= budget)
+                .last();
+            FrontierPoint {
+                fleet_size,
+                max_rate_scale: best.map(|c| c.rate_scale),
+                max_rate_per_s: best.and_then(|c| c.offered_rate_per_s),
+                miss_rate: best.map(|c| c.scalars.miss_rate_mean),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_percentiles_use_ceil_rank() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let b = Band::from_samples(&samples).unwrap();
+        assert_eq!(b.p50, 50.0);
+        assert_eq!(b.p95, 95.0);
+        assert_eq!(b.p99, 99.0);
+        let one = Band::from_samples(&[7.0]).unwrap();
+        assert_eq!((one.p50, one.p95, one.p99), (7.0, 7.0, 7.0));
+        assert!(Band::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn band_is_order_independent() {
+        let a = Band::from_samples(&[3.0, 1.0, 2.0]).unwrap();
+        let b = Band::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    fn summary(miss: f64, bins: Vec<(usize, f64, f64, f64)>) -> ReplicaSummary {
+        ReplicaSummary {
+            miss_rate: miss,
+            latency_p95_s: 1.0,
+            throughput_per_s: 2.0,
+            shed: 1,
+            makespan_s: 100.0,
+            bins,
+        }
+    }
+
+    #[test]
+    fn aggregate_bins_align_across_replicas() {
+        let cell = aggregate_cell(
+            3,
+            1.0,
+            Some(0.3),
+            &[
+                summary(0.0, vec![(0, 1.0, 0.0, 0.5), (1, 2.0, 0.1, 0.6)]),
+                summary(0.2, vec![(0, 3.0, 0.0, 0.7)]),
+            ],
+            600.0,
+        );
+        assert_eq!(cell.replicas, 2);
+        assert_eq!(cell.bands.len(), 2);
+        assert_eq!(cell.bands[0].t_s, 600.0);
+        assert_eq!(cell.bands[0].replicas, 2);
+        assert_eq!(cell.bands[1].replicas, 1);
+        assert!((cell.scalars.miss_rate_mean - 0.1).abs() < 1e-12);
+        assert_eq!(cell.scalars.miss_rate_max, 0.2);
+    }
+
+    fn cell(fleet: usize, scale: f64, miss: f64) -> CellReport {
+        CellReport {
+            fleet_size: fleet,
+            rate_scale: scale,
+            offered_rate_per_s: Some(0.3 * scale),
+            replicas: 1,
+            scalars: CellScalars {
+                miss_rate_mean: miss,
+                miss_rate_max: miss,
+                latency_p95_mean_s: 1.0,
+                throughput_mean_per_s: 1.0,
+                shed_mean: 0.0,
+                makespan_mean_s: 10.0,
+            },
+            bands: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn frontier_finds_largest_sustainable_scale() {
+        let cells = vec![
+            cell(2, 0.5, 0.0),
+            cell(2, 1.0, 0.005),
+            cell(2, 2.0, 0.3),
+            cell(4, 0.5, 0.0),
+            cell(4, 1.0, 0.0),
+            cell(4, 2.0, 0.002),
+        ];
+        let f = capacity_frontier(&cells, 0.01);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].fleet_size, 2);
+        assert_eq!(f[0].max_rate_scale, Some(1.0));
+        assert_eq!(f[1].max_rate_scale, Some(2.0));
+        assert_eq!(f[1].max_rate_per_s, Some(0.6));
+    }
+
+    #[test]
+    fn frontier_reports_unsustainable_rows_as_none() {
+        let f = capacity_frontier(&[cell(2, 0.5, 0.9)], 0.01);
+        assert_eq!(f[0].max_rate_scale, None);
+        assert_eq!(f[0].miss_rate, None);
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let report = SweepReport {
+            seed: "s".into(),
+            seeds_per_cell: 1,
+            replicas: 1,
+            miss_budget: 0.01,
+            bin_s: 600.0,
+            cells: vec![cell(2, 1.0, 0.0)],
+            frontier: capacity_frontier(&[cell(2, 1.0, 0.0)], 0.01),
+        };
+        let back = SweepReport::from_json(&report.to_json().unwrap()).unwrap();
+        assert_eq!(report, back);
+        let text = report.render_summary();
+        assert!(text.contains("capacity frontier"));
+        assert!(text.contains("2 devices"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Workspace-local stand-in for the `rayon` crate: just enough data
+//! parallelism for the sweep harness.
+//!
+//! The real rayon is a work-stealing fork/join scheduler with per-thread
+//! deques. This shim keeps the two entry points the workspace needs and
+//! implements them with the vendored `crossbeam` channel instead:
+//!
+//! - [`ThreadPool::par_map`] — map a `Vec<T>` to a `Vec<R>` across the
+//!   pool. Workers *self-schedule* over a shared atomic cursor (the
+//!   channel only ferries one "start helping" job per worker), so load
+//!   balances like rayon's stealing does for this shape: whichever
+//!   thread finishes an item grabs the next unclaimed index. Results are
+//!   written to index-addressed slots, so the output order — and
+//!   therefore anything folded from it in index order — is **independent
+//!   of thread count and scheduling**.
+//! - [`join`] — run two closures in parallel via a scoped thread; the
+//!   cheap structured-concurrency primitive for two-way splits.
+//!
+//! Thread accounting: `num_threads` is the *total* parallelism including
+//! the calling thread. A pool built with `num_threads(1)` spawns no
+//! workers and runs `par_map` entirely inline, which keeps
+//! single-threaded runs free of thread overhead and makes
+//! thread-count-invariance tests exercise a genuinely different path.
+//!
+//! Panics inside the mapped closure are caught per item and re-thrown on
+//! the calling thread once the batch drains, mirroring rayon's
+//! propagation semantics (no deadlock on a poisoned batch).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use crossbeam::channel::{self, Sender};
+
+/// A queued unit of work for a pool worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Builder for [`ThreadPool`], mirroring rayon's API shape.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with `num_threads = 0` (auto-detect).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the total parallelism, **including the calling thread**.
+    /// `0` means [`available_parallelism`].
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Spawns the pool: `num_threads - 1` workers (the caller is the
+    /// last thread).
+    pub fn build(self) -> ThreadPool {
+        let total = if self.num_threads == 0 {
+            available_parallelism()
+        } else {
+            self.num_threads
+        };
+        ThreadPool::with_total_threads(total)
+    }
+}
+
+/// The number of hardware threads, falling back to 1 when unknown.
+pub fn available_parallelism() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A persistent pool of worker threads fed by a shared MPMC job queue.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    total: usize,
+}
+
+impl ThreadPool {
+    fn with_total_threads(total: usize) -> ThreadPool {
+        let total = total.max(1);
+        let (tx, rx) = channel::unbounded::<Job>();
+        let workers = (0..total - 1)
+            .map(|i| {
+                let rx = rx.clone();
+                thread::Builder::new()
+                    .name(format!("rayon-lite-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn rayon-lite worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(tx),
+            workers,
+            total,
+        }
+    }
+
+    /// Total parallelism of the pool, including the calling thread.
+    pub fn num_threads(&self) -> usize {
+        self.total
+    }
+
+    /// Enqueues a fire-and-forget job on the pool workers.
+    ///
+    /// With no workers (a 1-thread pool) the job runs inline instead.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        if self.workers.is_empty() {
+            job();
+            return;
+        }
+        let tx = self.sender.as_ref().expect("pool sender alive");
+        assert!(tx.send(Box::new(job)).is_ok(), "pool workers disconnected");
+    }
+
+    /// Maps `items` through `f` across the pool and returns results in
+    /// input order.
+    ///
+    /// Work is claimed item-by-item from a shared cursor by up to
+    /// `num_threads` threads (pool workers plus the caller, which always
+    /// participates — so this never deadlocks and a 1-thread pool is
+    /// simply a sequential map). Each result lands in the slot of its
+    /// input index: the returned `Vec` is identical for every thread
+    /// count.
+    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let batch = Arc::new(Batch {
+            slots: items.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+            results: (0..n).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            f,
+        });
+        // One helper job per worker, capped at n - 1: the caller drives
+        // too, and an item can only be claimed once.
+        let helpers = self.workers.len().min(n - 1);
+        let (done_tx, done_rx) = channel::unbounded::<usize>();
+        for _ in 0..helpers {
+            let batch = Arc::clone(&batch);
+            let done_tx = done_tx.clone();
+            self.spawn(move || batch.drive(&done_tx));
+        }
+        batch.drive(&done_tx);
+        // Every claimed item reports exactly once (even on panic), so
+        // this drains without spinning.
+        let mut seen = 0;
+        while seen < n {
+            seen += done_rx.recv().expect("batch drivers alive");
+        }
+        if let Some(payload) = batch.panic.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            panic::resume_unwind(payload);
+        }
+        batch
+            .results
+            .iter()
+            .map(|slot| {
+                lock(slot)
+                    .take()
+                    .expect("every slot filled once the batch drains")
+            })
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Disconnect the queue so workers fall out of their recv loop.
+        drop(self.sender.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Shared state for one `par_map` call.
+struct Batch<T, R, F> {
+    slots: Vec<Mutex<Option<T>>>,
+    results: Vec<Mutex<Option<R>>>,
+    cursor: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    f: F,
+}
+
+impl<T, R, F> Batch<T, R, F>
+where
+    F: Fn(T) -> R + Send + Sync,
+{
+    /// Claims and runs items until the cursor passes the end, reporting
+    /// one completion per claimed item.
+    fn drive(&self, done: &Sender<usize>) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.slots.len() {
+                return;
+            }
+            let item = lock(&self.slots[i]).take().expect("index claimed once");
+            match panic::catch_unwind(AssertUnwindSafe(|| (self.f)(item))) {
+                Ok(out) => *lock(&self.results[i]) = Some(out),
+                Err(payload) => {
+                    let mut first = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                    first.get_or_insert(payload);
+                }
+            }
+            let _ = done.send(1);
+        }
+    }
+}
+
+/// Locks ignoring poison: a panicked item is recorded in `Batch::panic`
+/// and re-thrown by the caller, so other slots stay usable.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `a` and `b` in parallel on scoped threads and returns both
+/// results, propagating either panic.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        for threads in [1, 2, 4, 9] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build();
+            let out = pool.par_map((0..100u64).collect(), |x| x * x);
+            assert_eq!(out, (0..100u64).map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn one_thread_pool_spawns_no_workers_and_maps_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build();
+        assert_eq!(pool.num_threads(), 1);
+        assert!(pool.workers.is_empty());
+        assert_eq!(pool.par_map(vec![1, 2, 3], |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_batches() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build();
+        for round in 0..5u64 {
+            let out = pool.par_map((0..17).collect(), move |x: u64| x + round);
+            assert_eq!(out, (0..17).map(|x| x + round).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_work() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build();
+        assert_eq!(pool.par_map(Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+        assert_eq!(pool.par_map(vec![41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let work = |x: u64| {
+            // Uneven per-item cost so scheduling actually interleaves.
+            (0..(x % 7) * 50).fold(x, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+        };
+        let baseline = ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .par_map((0..64).collect(), work);
+        for threads in [2, 3, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build();
+            assert_eq!(pool.par_map((0..64).collect(), work), baseline);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at 13")]
+    fn panics_propagate_to_the_caller() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build();
+        let _ = pool.par_map((0..32u32).collect(), |x| {
+            if x == 13 {
+                panic!("boom at 13");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn spawn_runs_detached_jobs() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        let (tx, rx) = channel::unbounded();
+        pool.spawn(move || tx.send(99u8).unwrap());
+        assert_eq!(rx.recv().unwrap(), 99);
+    }
+
+    #[test]
+    fn join_returns_both_and_runs_in_parallel() {
+        let (a, b) = join(|| 2 + 2, || "right".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "right");
+    }
+
+    #[test]
+    fn zero_means_available_parallelism() {
+        let pool = ThreadPoolBuilder::new().build();
+        assert_eq!(pool.num_threads(), available_parallelism().max(1));
+    }
+}
