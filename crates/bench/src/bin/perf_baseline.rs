@@ -30,7 +30,7 @@ use s2m3_core::placement::greedy_place;
 use s2m3_core::plan::Plan;
 use s2m3_core::problem::Instance;
 use s2m3_core::upper::optimal_placement;
-use s2m3_serve::{serve, AdmissionPolicy, BatchPolicy, ServeScenario};
+use s2m3_serve::{serve, AdmissionPolicy, BatchPolicy, ServeScenario, StreamingConfig};
 use s2m3_sim::engine::{simulate, SimConfig};
 use s2m3_sim::kernel::{Device, Driver, Kernel, Policy, RequestSlot};
 use s2m3_sweep::{run_sweep, SweepSpec};
@@ -188,6 +188,18 @@ fn main() {
         });
         s
     };
+    let streaming_scenario = |requests: usize| {
+        let mut s = serve_scenario(
+            requests,
+            AdmissionPolicy::ShedOnOverload { max_queue: 48 },
+            true,
+        );
+        s.arrivals = s2m3_sim::workload::ArrivalProcess::Poisson { rate_per_s: 3.0 };
+        s.streaming = Some(StreamingConfig::default());
+        s.max_windows = Some(64);
+        s
+    };
+    let streaming_small = streaming_scenario(500);
 
     let mut results: Vec<(&str, u64)> = Vec::new();
     results.push((
@@ -234,6 +246,26 @@ fn main() {
             std::hint::black_box(serve(&batched).unwrap());
         }),
     ));
+    // Memory-flat streaming mode: slab recycling + sketch aggregation
+    // on the same loop (quick-safe size, for regression visibility).
+    results.push((
+        "serve_loop/500req_streaming",
+        median_ns(iters, || {
+            std::hint::black_box(serve(&streaming_small).unwrap());
+        }),
+    ));
+    // The ISSUE's headline run: five million requests through the
+    // streaming path in O(in-flight) heap. Seconds per run, so it
+    // samples a small fixed count and sits out `--quick` CI smoke.
+    if !quick {
+        let streaming_5m = streaming_scenario(5_000_000);
+        results.push((
+            "serve_loop/5M_req",
+            median_ns(3, || {
+                std::hint::black_box(serve(&streaming_5m).unwrap());
+            }),
+        ));
+    }
     // The sweep harness end to end: 64 replicas (4 seeds x 4 rates x 4
     // fleet sizes) of a short churn stream through the thread pool,
     // shared-start preparation and aggregation included.

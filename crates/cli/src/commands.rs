@@ -15,6 +15,7 @@ use s2m3_net::fleet::Fleet;
 use s2m3_runtime::{reference, RequestInput, Runtime};
 use s2m3_serve::{
     serve as serve_scenario, AdmissionPolicy, BatchPolicy, ServeScenario, SloReplanTrigger,
+    StreamingConfig,
 };
 use s2m3_sim::workload::{latency_stats, mixed_stream, ArrivalProcess, ModelMix, ModelWeight};
 use s2m3_sim::{simulate, SimConfig};
@@ -38,7 +39,7 @@ COMMANDS:
   serve      [--config FILE] [--requests N] [--rate R] [--deadline S]
              [--policy fifo|edf|shed] [--queue N] [--seed S] [--json]
              [--slo-replan COOLDOWN_S] [--mix M=W,M=W,...] [--batch N]
-             [--print-config]
+             [--streaming] [--sink FILE] [--max-windows N] [--print-config]
                                online serving control plane: admission
                                control, SLO windows, live replanning under
                                fleet churn (default: 10k-request churn run);
@@ -48,7 +49,11 @@ COMMANDS:
                                to N same-module runs per dispatch;
                                multi-source traffic, per-source mixes,
                                deadline classes, and per-kind batch caps
-                               via the config file
+                               via the config file; --streaming serves in
+                               O(in-flight) memory (sketch percentiles,
+                               <=1% error), --sink streams per-completion
+                               rows to a columnar file, --max-windows
+                               caps snapshot history
   sweep      [--config FILE] [--seeds N] [--requests N] [--threads N]
              [--budget F] [--json] [--print-config]
                                parallel Monte Carlo sweep: the serving
@@ -287,6 +292,20 @@ pub fn serve_cmd(args: &Args) -> CmdResult {
             per_kind: vec![],
         });
     }
+    if args.has("streaming") {
+        scenario
+            .streaming
+            .get_or_insert_with(StreamingConfig::default);
+    }
+    if let Some(path) = args.flags.get("sink") {
+        let streaming = scenario
+            .streaming
+            .get_or_insert_with(StreamingConfig::default);
+        streaming.sink = Some(path.clone());
+    }
+    if let Some(w) = args.flags.get("max-windows") {
+        scenario.max_windows = Some(w.parse().map_err(|_| "bad --max-windows")?);
+    }
     if args.has("print-config") {
         return scenario.to_json();
     }
@@ -472,8 +491,11 @@ mod tests {
 
     fn run(argv: &[&str]) -> CmdResult {
         let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
-        let args = parse(&v, &["replicate", "upper", "json", "print-config"])
-            .map_err(|e| e.to_string())?;
+        let args = parse(
+            &v,
+            &["replicate", "upper", "json", "print-config", "streaming"],
+        )
+        .map_err(|e| e.to_string())?;
         dispatch(&args)
     }
 
@@ -743,5 +765,56 @@ mod tests {
         assert!(run(&["help"]).unwrap().contains("USAGE"));
         let err = run(&["frobnicate"]).unwrap_err();
         assert!(err.contains("unknown command"));
+    }
+
+    #[test]
+    fn serve_streaming_flags_work_end_to_end() {
+        // --streaming alone: memory-flat run, same counters in the
+        // summary, streaming block in the echoed config.
+        let out = run(&[
+            "serve",
+            "--requests",
+            "60",
+            "--rate",
+            "0.5",
+            "--seed",
+            "cli-stream",
+            "--streaming",
+        ])
+        .unwrap();
+        assert!(out.contains("60 arrived"));
+        let config = run(&[
+            "serve",
+            "--streaming",
+            "--max-windows",
+            "32",
+            "--print-config",
+        ])
+        .unwrap();
+        assert!(config.contains("\"streaming\""));
+        assert!(config.contains("\"max_windows\": 32"));
+        assert!(!config.contains("\"sink\": \""), "no sink unless asked");
+
+        // --sink implies streaming and writes a readable columnar file.
+        let path = std::env::temp_dir().join(format!("s2m3_cli_sink_{}.bin", std::process::id()));
+        let sink = path.to_string_lossy().into_owned();
+        let json = run(&[
+            "serve",
+            "--requests",
+            "60",
+            "--rate",
+            "0.5",
+            "--seed",
+            "cli-stream",
+            "--sink",
+            &sink,
+            "--json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"arrived\": 60"));
+        let rows = s2m3_data::sink::read_rows(std::fs::File::open(&path).unwrap()).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(!rows.is_empty());
+        assert!(run(&["serve", "--max-windows", "zero?"]).is_err());
     }
 }

@@ -5,7 +5,10 @@ mod commands;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let parsed = match args::parse(&argv, &["replicate", "upper", "json", "print-config"]) {
+    let parsed = match args::parse(
+        &argv,
+        &["replicate", "upper", "json", "print-config", "streaming"],
+    ) {
         Ok(a) => a,
         Err(args::ArgError::MissingCommand) => {
             print!("{}", commands::USAGE);

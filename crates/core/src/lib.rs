@@ -67,6 +67,7 @@ pub mod problem;
 pub mod resolved;
 pub mod routing;
 pub mod sharing;
+pub mod sketch;
 pub mod upper;
 
 /// Convenient glob-import surface.

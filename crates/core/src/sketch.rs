@@ -1,0 +1,277 @@
+//! Streaming quantile sketch: a fixed-size log-spaced histogram for
+//! memory-flat latency summaries.
+//!
+//! The online serving driver must summarize millions of latencies
+//! without holding them: this sketch buckets values on a geometric
+//! grid with growth factor [`GROWTH`] over `[1 ns, 1e9 s]`, so any
+//! reported quantile is the geometric midpoint of its bucket and lies
+//! within **√GROWTH − 1 ≈ 0.995% < 1% relative error** of the exact
+//! order statistic. Count and sum are tracked exactly (the mean is
+//! exact), as are the minimum and maximum, and quantile answers are
+//! clamped into `[min, max]`. The whole sketch is ~16 KiB regardless
+//! of how many values it absorbs.
+//!
+//! Quantile semantics match
+//! [`percentile_sorted`](../../s2m3_serve/slo/fn.percentile_sorted.html)'s
+//! ceil-rank rule (`k = clamp(⌈p·n⌉, 1, n)`), so with streaming off
+//! and on, the *same* order statistic is being estimated.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometric bucket growth factor. Relative quantile error is bounded
+/// by `sqrt(GROWTH) - 1` (≈ 0.995%).
+pub const GROWTH: f64 = 1.02;
+
+/// Smallest representable value, seconds (1 ns). Values below clamp
+/// into the first bucket.
+pub const MIN_VALUE: f64 = 1.0e-9;
+
+/// Largest representable value, seconds. Values above clamp into the
+/// last bucket.
+pub const MAX_VALUE: f64 = 1.0e9;
+
+/// Number of geometric buckets covering `[MIN_VALUE, MAX_VALUE]`.
+/// `ceil(ln(MAX/MIN) / ln(GROWTH))` = 2094 at the constants above.
+fn bucket_count() -> usize {
+    ((MAX_VALUE / MIN_VALUE).ln() / GROWTH.ln()).ceil() as usize
+}
+
+/// A fixed-memory log-spaced histogram over positive latencies.
+///
+/// Records are `O(1)`; quantiles are one pass over the (constant-size)
+/// bucket array. See the module docs for the error bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySketch {
+    /// Per-bucket counts; bucket `i` covers
+    /// `[MIN_VALUE·GROWTH^i, MIN_VALUE·GROWTH^(i+1))`.
+    counts: Vec<u64>,
+    /// Total values recorded (exact).
+    count: u64,
+    /// Sum of recorded values (exact mean numerator).
+    sum: f64,
+    /// Exact minimum recorded value.
+    min: f64,
+    /// Exact maximum recorded value.
+    max: f64,
+}
+
+impl Default for LatencySketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencySketch {
+    /// An empty sketch (~16 KiB, fixed).
+    pub fn new() -> Self {
+        LatencySketch {
+            counts: vec![0; bucket_count()],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Bucket index for `v`, clamped to the covered range.
+    fn bucket_of(&self, v: f64) -> usize {
+        if v.is_nan() || v <= MIN_VALUE {
+            return 0;
+        }
+        let i = ((v / MIN_VALUE).ln() / GROWTH.ln()).floor() as usize;
+        i.min(self.counts.len() - 1)
+    }
+
+    /// Records one value. Non-finite and negative values clamp to the
+    /// range edges (latencies are non-negative by construction).
+    pub fn record(&mut self, v: f64) {
+        let v = if v.is_finite() { v } else { MAX_VALUE };
+        let idx = self.bucket_of(v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// The `p`-quantile (`p ∈ [0, 1]`) under the ceil-rank rule
+    /// `k = clamp(⌈p·n⌉, 1, n)`: the geometric midpoint of the bucket
+    /// holding the k-th smallest value, clamped into `[min, max]`.
+    /// Relative error vs. the exact order statistic is ≤
+    /// `sqrt(GROWTH) - 1` (≈ 0.995%). Returns 0 when empty.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let k = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= k {
+                let mid = MIN_VALUE * GROWTH.powf(i as f64 + 0.5);
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another sketch into this one (bucket-wise).
+    pub fn merge(&mut self, other: &LatencySketch) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact ceil-rank order statistic over a sorted slice — the
+    /// reference the sketch approximates.
+    fn exact_quantile(sorted: &[f64], p: f64) -> f64 {
+        let n = sorted.len();
+        let k = ((p * n as f64).ceil() as usize).clamp(1, n);
+        sorted[k - 1]
+    }
+
+    #[test]
+    fn empty_sketch_reports_zeroes() {
+        let s = LatencySketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn single_value_is_recovered_within_bound() {
+        let mut s = LatencySketch::new();
+        s.record(3.7);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.7);
+        assert_eq!(s.max(), 3.7);
+        let q = s.quantile(0.5);
+        assert!((q - 3.7).abs() / 3.7 <= GROWTH.sqrt() - 1.0);
+    }
+
+    #[test]
+    fn quantiles_match_exact_within_one_percent() {
+        let mut s = LatencySketch::new();
+        let mut vals: Vec<f64> = (1..=10_000)
+            .map(|i| 0.001 * (i as f64) * (1.0 + 0.3 * ((i * 7) % 13) as f64))
+            .collect();
+        for &v in &vals {
+            s.record(v);
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &p in &[0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&vals, p);
+            let approx = s.quantile(p);
+            let rel = (approx - exact).abs() / exact;
+            assert!(
+                rel <= 0.01,
+                "p={p}: exact {exact}, sketch {approx}, rel err {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_count_max_are_exact() {
+        let mut s = LatencySketch::new();
+        let vals = [0.5, 1.5, 2.5, 10.0];
+        for &v in &vals {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), vals.iter().sum::<f64>() / 4.0);
+        assert_eq!(s.max(), 10.0);
+        assert_eq!(s.min(), 0.5);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_without_panic() {
+        let mut s = LatencySketch::new();
+        s.record(0.0);
+        s.record(-1.0);
+        s.record(1.0e12);
+        s.record(f64::NAN);
+        assert_eq!(s.count(), 4);
+        assert!(s.quantile(0.5).is_finite());
+        assert!(s.quantile(1.0).is_finite());
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencySketch::new();
+        let mut b = LatencySketch::new();
+        let mut all = LatencySketch::new();
+        for i in 1..200 {
+            let v = 0.01 * i as f64;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn quantile_is_clamped_into_observed_range() {
+        let mut s = LatencySketch::new();
+        s.record(5.0);
+        s.record(5.0);
+        assert!(s.quantile(0.0) >= 5.0 * (1.0 - 0.01));
+        assert!(s.quantile(1.0) <= 5.0 * (1.0 + 0.01));
+        assert!(s.quantile(1.0) >= s.quantile(0.0));
+    }
+}

@@ -38,6 +38,7 @@ pub mod benchmark;
 pub mod dataset;
 pub mod eval;
 pub mod metrics;
+pub mod sink;
 pub mod table_viii;
 
 pub use benchmark::Benchmark;

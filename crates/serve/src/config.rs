@@ -188,6 +188,28 @@ mod vec_or_empty {
     }
 }
 
+/// Memory-flat streaming mode for the serving loop (see the README's
+/// "Memory-flat serving" section). When set on a scenario:
+///
+/// - arrivals are pulled lazily from the workload stream (never
+///   materialized as a vector),
+/// - driver-side request slots recycle through a free-list slab, and
+///   the kernel recycles its task table, so resident state is
+///   proportional to *in-flight* work rather than total arrivals,
+/// - latency summaries (global and per-class) come from the fixed-size
+///   [`LatencySketch`](s2m3_core::sketch::LatencySketch): count, mean,
+///   and max stay exact, percentiles carry a ≤ 1% relative error.
+///
+/// `None` (the default) keeps the exact path byte-identical to the
+/// golden fixtures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct StreamingConfig {
+    /// Optional path for the columnar completion-event sink (one row
+    /// per completed request; see `s2m3_data::sink`). `None` records
+    /// nothing.
+    pub sink: Option<String>,
+}
+
 /// A complete serving scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeScenario {
@@ -242,6 +264,15 @@ pub struct ServeScenario {
     pub slo_window: usize,
     /// Emit a windowed SLO snapshot every this many completions.
     pub snapshot_every: usize,
+    /// Memory-flat streaming mode. `None` (the default, and what every
+    /// pre-streaming scenario JSON parses as — absent and `null` both
+    /// deserialize to `None`) keeps the exact path.
+    pub streaming: Option<StreamingConfig>,
+    /// Cap on retained SLO window snapshots: when the report would
+    /// exceed this, every other snapshot is dropped and the snapshot
+    /// stride doubles, bounding `report.windows` for unbounded runs.
+    /// `None` (the default) retains every snapshot.
+    pub max_windows: Option<usize>,
 }
 
 impl ServeScenario {
@@ -290,6 +321,8 @@ impl ServeScenario {
             ],
             slo_window: 256,
             snapshot_every: 500,
+            streaming: None,
+            max_windows: None,
         }
     }
 
@@ -368,6 +401,32 @@ mod tests {
             .filter(|e| matches!(e.kind, FleetEventKind::DeviceJoin { .. }))
             .count();
         assert!(leaves >= 1 && joins >= 1);
+    }
+
+    #[test]
+    fn streaming_fields_roundtrip_and_default_off() {
+        let mut s = ServeScenario::churn_default();
+        // Pre-streaming scenario JSON — no `streaming`/`max_windows`
+        // keys at all — must parse with both knobs off.
+        let legacy_json = s
+            .to_json()
+            .unwrap()
+            .lines()
+            .filter(|l| !l.contains("\"streaming\"") && !l.contains("\"max_windows\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .replace("\"snapshot_every\": 500,", "\"snapshot_every\": 500");
+        let parsed = ServeScenario::from_json(&legacy_json).unwrap();
+        assert_eq!(parsed.streaming, None);
+        assert_eq!(parsed.max_windows, None);
+        assert_eq!(parsed, s);
+
+        s.streaming = Some(StreamingConfig {
+            sink: Some("completions.bin".to_string()),
+        });
+        s.max_windows = Some(64);
+        let back = ServeScenario::from_json(&s.to_json().unwrap()).unwrap();
+        assert_eq!(s, back);
     }
 
     #[test]

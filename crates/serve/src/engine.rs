@@ -53,15 +53,19 @@ use s2m3_core::error::CoreError;
 use s2m3_core::placement::{greedy_place_resolved, PlacementOptions};
 use s2m3_core::problem::{Instance, Placement};
 use s2m3_core::resolved::ResolvedInstance;
+use s2m3_core::sketch::LatencySketch;
+use s2m3_data::sink::{ColumnWriter, CompletionRow};
 use s2m3_models::module::ModuleKind;
 use s2m3_net::fleet::Fleet;
 use s2m3_sim::kernel::{Device as LaneDevice, Driver, Kernel, Policy as KernelPolicy, RequestSlot};
+use s2m3_sim::workload::{WorkloadRequest, WorkloadStream};
 
 use crate::config::{FleetEventKind, ServeScenario, SloReplanTrigger};
 use crate::queue::{Admission, AdmissionQueue, QueuedRequest};
 use crate::report::{
     ClassReport, DeviceReport, EventRecord, LatencySummary, ReplanRecord, ServeReport,
 };
+use crate::slab::{ReqHandle, Slab};
 use crate::slo::{DeviceUsage, Outcome, SloWindow};
 
 /// Errors surfaced by the serving loop.
@@ -71,6 +75,8 @@ pub enum ServeError {
     BadScenario(String),
     /// A core placement/routing operation failed.
     Core(CoreError),
+    /// Writing the streaming completion sink failed.
+    Sink(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -78,6 +84,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::BadScenario(msg) => write!(f, "bad scenario: {msg}"),
             ServeError::Core(e) => write!(f, "core error: {e}"),
+            ServeError::Sink(msg) => write!(f, "completion sink: {msg}"),
         }
     }
 }
@@ -124,6 +131,11 @@ struct TaskInfo {
 /// Driver-side request bookkeeping (the kernel keeps the fan-in state).
 #[derive(Debug, Clone, Default)]
 struct ReqInfo {
+    /// Arrival sequence number: unique and monotone in arrival order.
+    /// Queue ordering and re-admission tie-breaks key on this, never on
+    /// the (recyclable) slab slot, so streaming-mode slot reuse cannot
+    /// perturb dispatch order.
+    seq: u64,
     arrival_ns: u64,
     deadline_ns: u64,
     /// Rank of the traffic source that emitted this request.
@@ -154,6 +166,54 @@ struct DevExtra {
     executions: u64,
 }
 
+/// Latency accumulator behind [`LatencySummary`]: the exact path keeps
+/// every sample (sorted once at `finish`, byte-identical to the golden
+/// fixtures), the streaming path folds into a fixed-size
+/// [`LatencySketch`] so memory stays flat over unbounded runs.
+#[derive(Debug, Clone)]
+enum LatAgg {
+    /// Every sample, summarized by an in-place sort at the end.
+    Exact(Vec<f64>),
+    /// Fixed-memory log-bucket histogram (≤ 1% quantile error).
+    Sketch(LatencySketch),
+}
+
+impl Default for LatAgg {
+    fn default() -> Self {
+        LatAgg::Exact(Vec::new())
+    }
+}
+
+impl LatAgg {
+    fn new(streaming: bool, capacity: usize) -> Self {
+        if streaming {
+            LatAgg::Sketch(LatencySketch::new())
+        } else {
+            LatAgg::Exact(Vec::with_capacity(capacity))
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, v: f64) {
+        match self {
+            LatAgg::Exact(samples) => samples.push(v),
+            LatAgg::Sketch(sketch) => sketch.record(v),
+        }
+    }
+
+    /// Folds the accumulator into a summary. Sorts the exact buffer in
+    /// place — one pass, no clone or reallocation.
+    fn summarize(&mut self) -> LatencySummary {
+        match self {
+            LatAgg::Exact(samples) => {
+                samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                LatencySummary::from_sorted(samples)
+            }
+            LatAgg::Sketch(sketch) => LatencySummary::from_sketch(sketch),
+        }
+    }
+}
+
 /// Running per-deadline-class counters, folded into
 /// [`ClassReport`]s at the end of the run.
 #[derive(Debug, Clone, Default)]
@@ -162,7 +222,7 @@ struct ClassStats {
     completed: u64,
     shed: u64,
     late: u64,
-    latencies: Vec<f64>,
+    latencies: LatAgg,
 }
 
 /// One resolved traffic source.
@@ -171,16 +231,6 @@ struct SourceState {
     name: String,
     /// Universe device index.
     uni: usize,
-}
-
-/// One merged arrival: when, which source emitted it, which model it
-/// asks for, and its deadline class (all fixed by the workload layer).
-#[derive(Debug, Clone, Copy)]
-struct ArrivalRec {
-    at_ns: u64,
-    source: usize,
-    model: u32,
-    class: Option<u32>,
 }
 
 /// One routed encoder of a cached per-model route.
@@ -239,9 +289,24 @@ struct Online {
     /// Per-universe-device execution overhead, amortized when batching
     /// merges runs (mirrors the bounded engine's batch arithmetic).
     exec_overhead_s: Vec<f64>,
-    requests: Vec<ReqInfo>,
+    /// Driver-side request table. Slot-indexed (the kernel's request
+    /// ids are slots); streaming mode recycles completed/shed slots
+    /// through the slab's free list so the table stays O(in-flight).
+    requests: Slab<ReqInfo>,
+    /// Optional columnar per-completion event sink (streaming mode
+    /// only): one row per completed request, O(1) driver memory.
+    sink: Option<ColumnWriter<std::io::BufWriter<std::fs::File>>>,
     // --- workload ---
-    arrivals: Vec<ArrivalRec>,
+    /// The lazily pulled merged arrival stream: the driver holds at
+    /// most one future arrival (in `pending_arrival`) plus the
+    /// constant-size per-source stream states — never the full
+    /// materialized schedule.
+    stream: WorkloadStream,
+    /// The next arrival, prefetched so its timestamp could be pushed
+    /// onto the event heap.
+    pending_arrival: Option<WorkloadRequest>,
+    /// Arrival sequence counter (`ReqInfo::seq` of the next arrival).
+    next_seq: u64,
     /// Per-class `(deadline_ns, priority)` from the scenario's workload
     /// classes, indexed by class id.
     class_table: Vec<(u64, u32)>,
@@ -260,9 +325,14 @@ struct Online {
     last_slo_eval_ns: u64,
     // --- accounting ---
     slo: SloWindow,
-    snapshot_every: u64,
+    /// Completions between window snapshots. Starts at the scenario's
+    /// `snapshot_every` and doubles whenever `max_windows` forces a
+    /// downsample.
+    snapshot_stride: u64,
+    /// Snapshot-count cap (`None`: retain every snapshot).
+    max_windows: Option<usize>,
     last_snapshot_seen: u64,
-    latencies: Vec<f64>,
+    latencies: LatAgg,
     report: ServeReport,
     last_completion_ns: u64,
 }
@@ -491,12 +561,13 @@ impl Online {
             self.record_shed(rid, now);
             return;
         };
-        let (arrival_ns, deadline_ns, priority) = {
+        let (seq, arrival_ns, deadline_ns, priority) = {
             let r = &self.requests[rid];
-            (r.arrival_ns, r.deadline_ns, r.priority)
+            (r.seq, r.arrival_ns, r.deadline_ns, r.priority)
         };
         let outcome = self.devices[head_uni].admission.offer(QueuedRequest {
-            id: rid as u64,
+            id: seq,
+            handle: self.requests.handle_of(rid).pack(),
             arrival_ns,
             deadline_ns,
             priority,
@@ -524,7 +595,9 @@ impl Online {
                 dev.admission.pop()
             };
             let Some(qr) = popped else { return };
-            self.dispatch_request(k, qr.id as usize, now);
+            let handle = ReqHandle::unpack(qr.handle);
+            debug_assert!(self.requests.is_current(handle));
+            self.dispatch_request(k, handle.slot as usize, now);
         }
     }
 
@@ -614,11 +687,25 @@ impl Online {
 
     fn record_outcome(&mut self, outcome: Outcome) {
         self.slo.push(outcome);
-        if self.slo.total_seen().is_multiple_of(self.snapshot_every) {
+        if self.slo.total_seen().is_multiple_of(self.snapshot_stride) {
             let mut snap = self.slo.snapshot(outcome.completed_at_s);
             snap.utilization = self.fleet_utilization(outcome.completed_at_s);
             self.report.windows.push(snap);
             self.last_snapshot_seen = self.slo.total_seen();
+            // Bounded-report mode: over the cap, drop every other
+            // retained snapshot and double the stride, so `windows`
+            // holds at most `max_windows` entries at a geometrically
+            // coarsening (still deterministic) cadence.
+            if let Some(cap) = self.max_windows {
+                if self.report.windows.len() >= cap.max(2) {
+                    let mut keep = false;
+                    self.report.windows.retain(|_| {
+                        keep = !keep;
+                        keep
+                    });
+                    self.snapshot_stride = self.snapshot_stride.saturating_mul(2);
+                }
+            }
         }
     }
 
@@ -632,6 +719,16 @@ impl Online {
             self.devices[ui].inflight = self.devices[ui].inflight.saturating_sub(1);
         }
         let latency = secs(now - arrival_ns);
+        if let Some(w) = self.sink.as_mut() {
+            w.push(CompletionRow {
+                arrival_ns,
+                finish_ns: now,
+                device: head_dev.map_or(u32::MAX, |u| u as u32),
+                class,
+                latency_s: latency,
+            })
+            .map_err(|e| Box::new(ServeError::Sink(e.to_string())))?;
+        }
         let missed = now > deadline_ns;
         self.report.completed += 1;
         if missed {
@@ -643,9 +740,9 @@ impl Online {
             if missed {
                 cs.late += 1;
             }
-            cs.latencies.push(latency);
+            cs.latencies.record(latency);
         }
-        self.latencies.push(latency);
+        self.latencies.record(latency);
         self.last_completion_ns = self.last_completion_ns.max(now);
         self.record_outcome(Outcome {
             completed_at_s: secs(now),
@@ -655,7 +752,11 @@ impl Online {
         if let Some(ui) = head_dev {
             self.drain_admission(k, ui, now);
         }
-        self.maybe_slo_replan(k, now)
+        self.maybe_slo_replan(k, now)?;
+        // The request is fully accounted: release its slot (a no-op in
+        // exact mode, where the slab is append-only).
+        self.requests.free(rid);
+        Ok(())
     }
 
     fn record_shed(&mut self, rid: usize, now: u64) {
@@ -675,10 +776,17 @@ impl Online {
             latency_s: secs(deadline_ns.saturating_sub(arrival_ns)),
             missed: true,
         });
+        self.requests.free(rid);
     }
 
     /// Cancels a request's current attempt and re-admits it.
-    fn requeue_request(&mut self, k: &mut K, rid: usize, now: u64) {
+    fn requeue_request(&mut self, k: &mut K, handle: ReqHandle, now: u64) {
+        // A stale handle means the slot was resolved (and possibly
+        // reused) since the caller collected it; nothing to requeue.
+        if !self.requests.is_current(handle) {
+            return;
+        }
+        let rid = handle.slot as usize;
         let (task_ids, inflight_on) = {
             let r = &mut self.requests[rid];
             if r.done {
@@ -690,7 +798,13 @@ impl Online {
             self.devices[ui].inflight = self.devices[ui].inflight.saturating_sub(1);
         }
         for tid in task_ids {
-            k.tasks[tid].cancelled = true;
+            // Only cancel a task that still belongs to this attempt:
+            // with task recycling, finished slots may already host
+            // another request's task.
+            let t = &mut k.tasks[tid];
+            if t.req == rid && !t.finished {
+                t.cancelled = true;
+            }
         }
         self.report.retried += 1;
         self.admit(k, rid, now);
@@ -730,7 +844,7 @@ impl Online {
         }
         waiting.sort_by_key(|qr| (qr.arrival_ns, qr.id));
         for qr in waiting {
-            self.admit(k, qr.id as usize, now);
+            self.admit(k, ReqHandle::unpack(qr.handle).slot as usize, now);
         }
     }
 
@@ -813,19 +927,25 @@ impl Online {
 
         // Collect every request disturbed by a leave: queued in the
         // departed device's admission queue, or with live tasks there.
-        let mut disturbed: BTreeSet<usize> = BTreeSet::new();
+        // Keyed `(seq, handle)` so re-admission runs oldest-arrival
+        // first regardless of slab slot numbering.
+        let mut disturbed: BTreeSet<(u64, u64)> = BTreeSet::new();
         if let FleetEventKind::DeviceLeave { device } = kind {
             let ui = self.uni_index(device).expect("validated above");
             for qr in self.devices[ui].admission.drain() {
-                disturbed.insert(qr.id as usize);
+                disturbed.insert((qr.id, qr.handle));
             }
-            k.devices[ui].reset_lanes();
             self.devices[ui].inflight = 0;
+            // Scan for stranded live tasks *before* resetting the
+            // lanes: with task recycling the reset releases the
+            // device's queued task slots, severing their request links.
             for t in &k.tasks {
                 if !t.cancelled && !t.finished && t.device == ui && !self.requests[t.req].done {
-                    disturbed.insert(t.req);
+                    let r = &self.requests[t.req];
+                    disturbed.insert((r.seq, self.requests.handle_of(t.req).pack()));
                 }
             }
+            k.reset_device_lanes(ui);
         }
 
         let old_placement = self.placement.clone();
@@ -854,8 +974,8 @@ impl Online {
         // Re-key every waiting request against the (possibly new)
         // placement, oldest arrivals first, then re-admit the disturbed.
         self.rekey_waiting(k, now);
-        for rid in disturbed {
-            self.requeue_request(k, rid, now);
+        for (_, handle) in disturbed {
+            self.requeue_request(k, ReqHandle::unpack(handle), now);
         }
         self.kick_all(k, now)
     }
@@ -982,8 +1102,13 @@ impl Online {
 
     fn arrival(&mut self, k: &mut K, rid: usize, now: u64) {
         self.report.arrived += 1;
-        debug_assert_eq!(self.requests.len(), rid);
-        let rec = self.arrivals[rid];
+        let rec = self
+            .pending_arrival
+            .take()
+            .expect("arrival event fired without a prefetched record");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        debug_assert_eq!(seq as usize, rid);
         // A classed request carries its own SLO; unclassed requests use
         // the scenario-wide deadline at priority 0.
         let (deadline_ns, priority) = match rec.class {
@@ -993,22 +1118,25 @@ impl Online {
         if let Some(ci) = rec.class {
             self.class_stats[ci as usize].arrived += 1;
         }
-        self.requests.push(ReqInfo {
+        let handle = self.requests.insert(ReqInfo {
+            seq,
             arrival_ns: now,
             deadline_ns: now + deadline_ns,
-            source: rec.source,
+            source: rec.source as usize,
             model: rec.model as usize,
             priority,
             class: rec.class,
             ..ReqInfo::default()
         });
-        k.set_request(rid, RequestSlot::default());
-        // Schedule the next arrival lazily to keep the heap small.
-        let next = rid + 1;
-        if next < self.arrivals.len() {
-            k.push_custom(self.arrivals[next].at_ns, ServeEv::Arrival(next));
+        let slot = handle.slot as usize;
+        k.set_request(slot, RequestSlot::default());
+        // Prefetch the next arrival and schedule it lazily: the event
+        // heap and the driver hold at most one future arrival each.
+        if let Some(next) = self.stream.next_request() {
+            k.push_custom(next.at_ns, ServeEv::Arrival(rid + 1));
+            self.pending_arrival = Some(next);
         }
-        self.admit(k, rid, now);
+        self.admit(k, slot, now);
     }
 
     fn finish(mut self) -> ServeReport {
@@ -1024,20 +1152,36 @@ impl Online {
             .clone()
             .into_iter()
             .flat_map(|ui| self.devices[ui].admission.drain())
-            .map(|qr| qr.id as usize)
+            .map(|qr| ReqHandle::unpack(qr.handle).slot as usize)
             .collect();
         for rid in leftover {
             self.record_shed(rid, now);
         }
-        for rid in 0..self.requests.len() {
-            if !self.requests[rid].done {
-                self.record_shed(rid, now);
-            }
+        // Mid-flight requests, shed oldest arrival first: seq order is
+        // slot order in exact mode (byte-identical to the historic
+        // scan) and keeps streaming mode deterministic under slot
+        // reuse.
+        let mut inflight: Vec<(u64, usize)> = self
+            .requests
+            .iter_occupied()
+            .filter(|(_, r)| !r.done)
+            .map(|(slot, r)| (r.seq, slot))
+            .collect();
+        inflight.sort_unstable();
+        for (_, rid) in inflight {
+            self.record_shed(rid, now);
+        }
+
+        // Flush the sink's buffered tail. Best-effort: `finish()` has
+        // no error channel, and every full row group already surfaced
+        // its write errors through `complete_request`.
+        if let Some(w) = self.sink.take() {
+            let _ = w.finish();
         }
 
         let now_s = secs(now);
         self.report.makespan_s = now_s;
-        self.report.latency = LatencySummary::from_latencies(std::mem::take(&mut self.latencies));
+        self.report.latency = self.latencies.summarize();
         self.report.throughput_per_s = if now_s > 0.0 {
             self.report.completed as f64 / now_s
         } else {
@@ -1054,10 +1198,11 @@ impl Online {
             final_snap.utilization = self.fleet_utilization(now_s);
             self.report.windows.push(final_snap);
         }
-        self.report.classes = self
-            .class_names
+        let class_names = std::mem::take(&mut self.class_names);
+        let mut class_stats = std::mem::take(&mut self.class_stats);
+        self.report.classes = class_names
             .iter()
-            .zip(std::mem::take(&mut self.class_stats))
+            .zip(class_stats.iter_mut())
             .map(|(name, cs)| ClassReport {
                 class: name.clone(),
                 arrived: cs.arrived,
@@ -1069,7 +1214,7 @@ impl Online {
                 } else {
                     (cs.late + cs.shed) as f64 / cs.arrived as f64
                 },
-                latency: LatencySummary::from_latencies(cs.latencies),
+                latency: cs.latencies.summarize(),
             })
             .collect();
         self.report.devices = self
@@ -1295,8 +1440,8 @@ impl ServeSession {
         //     (bit-for-bit the pre-workload stream).
         let workload = scenario.workload();
         let model_names: Vec<String> = scenario.models.iter().map(|m| m.name.clone()).collect();
-        let stream = workload
-            .generate(scenario.requests, &model_names)
+        let mut stream = workload
+            .stream(scenario.requests, &model_names)
             .map_err(|e| ServeError::BadScenario(e.to_string()))?;
         let mut sources = Vec::with_capacity(workload.sources.len());
         for spec in &workload.sources {
@@ -1314,15 +1459,9 @@ impl ServeSession {
             }
             sources.push(SourceState { name, uni: ui });
         }
-        let merged: Vec<ArrivalRec> = stream
-            .iter()
-            .map(|wr| ArrivalRec {
-                at_ns: wr.at_ns,
-                source: wr.source as usize,
-                model: wr.model,
-                class: wr.class,
-            })
-            .collect();
+        // Prefetch the first arrival; the rest stay in the generator
+        // and are pulled one at a time as arrival events fire.
+        let pending_arrival = stream.next_request();
         let class_table: Vec<(u64, u32)> = workload
             .classes
             .iter()
@@ -1333,7 +1472,13 @@ impl ServeSession {
             .iter()
             .map(|c| c.class.name.clone())
             .collect();
-        let class_stats = vec![ClassStats::default(); class_names.len()];
+        let streaming = scenario.streaming.is_some();
+        let class_stats: Vec<ClassStats> = (0..class_names.len())
+            .map(|_| ClassStats {
+                latencies: LatAgg::new(streaming, 0),
+                ..ClassStats::default()
+            })
+            .collect();
 
         // --- Instance, placement, resolved index maps: the
         //     replica-invariant prefix, shared instead of rebuilt. ---
@@ -1410,14 +1555,37 @@ impl ServeSession {
                 .collect(),
             _ => Vec::new(),
         };
+        // Streaming runs are unbounded by design: capacity hints clamp
+        // to the in-flight scale (tables recycle and stay small)
+        // instead of pre-pinning O(requests) memory up front. Task-slot
+        // recycling is on in both modes — task ids are invisible to
+        // every report, so the exact path stays byte-identical while
+        // the table keeps O(in-flight) growth.
+        let cap_requests = if streaming {
+            scenario.requests.min(1024)
+        } else {
+            scenario.requests
+        };
+        let sink = match scenario.streaming.as_ref().and_then(|c| c.sink.as_deref()) {
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| ServeError::Sink(format!("create {path}: {e}")))?;
+                Some(
+                    ColumnWriter::new(std::io::BufWriter::new(file))
+                        .map_err(|e| ServeError::Sink(format!("write {path}: {e}")))?,
+                )
+            }
+            None => None,
+        };
         let mut kernel: K = Kernel::with_capacity(
             lane_devices,
             KernelPolicy {
                 immediate_head_fire: false,
                 max_batch: batch,
+                recycle_tasks: true,
             },
-            scenario.requests.saturating_mul(max_fanout),
-            scenario.requests,
+            cap_requests.saturating_mul(max_fanout),
+            cap_requests,
         );
         kernel.module_batch_caps = module_batch_caps;
         let exec_overhead_s: Vec<f64> = universe
@@ -1440,8 +1608,11 @@ impl ServeSession {
             n_models,
             devices,
             exec_overhead_s,
-            requests: Vec::with_capacity(scenario.requests),
-            arrivals: merged,
+            requests: Slab::new(streaming, cap_requests),
+            sink,
+            stream,
+            pending_arrival,
+            next_seq: 0,
             class_table,
             class_names,
             class_stats,
@@ -1454,9 +1625,10 @@ impl ServeSession {
             slo_trigger: scenario.replan.slo_trigger,
             last_slo_eval_ns: 0,
             slo: SloWindow::new(scenario.slo_window.max(1)),
-            snapshot_every: scenario.snapshot_every.max(1) as u64,
+            snapshot_stride: scenario.snapshot_every.max(1) as u64,
+            max_windows: scenario.max_windows,
             last_snapshot_seen: 0,
-            latencies: Vec::with_capacity(scenario.requests),
+            latencies: LatAgg::new(streaming, cap_requests),
             report: ServeReport {
                 seed: scenario.seed.clone(),
                 ..ServeReport::default()
@@ -1468,7 +1640,12 @@ impl ServeSession {
         for (idx, ev) in driver.events.iter().enumerate() {
             kernel.push_custom(ns(ev.at_s.max(0.0)), ServeEv::Fleet(idx));
         }
-        kernel.push_custom(driver.arrivals[0].at_ns, ServeEv::Arrival(0));
+        let first_at_ns = driver
+            .pending_arrival
+            .as_ref()
+            .expect("a non-empty stream yields a first arrival")
+            .at_ns;
+        kernel.push_custom(first_at_ns, ServeEv::Arrival(0));
 
         Ok(ServeSession { kernel, driver })
     }
@@ -2267,5 +2444,109 @@ mod tests {
             },
         }];
         assert!(matches!(serve(&leaving), Err(ServeError::BadScenario(_))));
+    }
+
+    /// Relative error |a - b| / b, for sketch-percentile assertions.
+    fn rel_err(a: f64, b: f64) -> f64 {
+        if b == 0.0 {
+            a.abs()
+        } else {
+            (a - b).abs() / b
+        }
+    }
+
+    #[test]
+    fn streaming_mode_matches_exact_within_sketch_error() {
+        // The full churn scenario — fleet events, replans, classes —
+        // exact vs memory-flat. Streaming changes only how latency
+        // percentiles are aggregated (sketch vs exact sort), so every
+        // counter, event, replan, window, and device row must agree
+        // bit-for-bit, and percentiles within the sketch's <= 1% bound.
+        let mut exact = ServeScenario::churn_default();
+        exact.requests = 600;
+        let mut streaming = exact.clone();
+        streaming.streaming = Some(crate::config::StreamingConfig::default());
+        let e = serve(&exact).unwrap();
+        let s = serve(&streaming).unwrap();
+        assert_eq!(s, serve(&streaming).unwrap(), "streaming is deterministic");
+
+        let mut s_cmp = s.clone();
+        s_cmp.latency = e.latency;
+        for (cs, ce) in s_cmp.classes.iter_mut().zip(e.classes.iter()) {
+            cs.latency = ce.latency;
+        }
+        assert_eq!(s_cmp, e, "streaming may differ only in latency summaries");
+
+        assert_eq!(s.latency.completed, e.latency.completed);
+        assert!(
+            rel_err(s.latency.mean_s, e.latency.mean_s) < 1e-9,
+            "mean is exact"
+        );
+        assert!(
+            rel_err(s.latency.max_s, e.latency.max_s) < 1e-9,
+            "max is exact"
+        );
+        for (got, want) in [
+            (s.latency.p50_s, e.latency.p50_s),
+            (s.latency.p95_s, e.latency.p95_s),
+            (s.latency.p99_s, e.latency.p99_s),
+        ] {
+            assert!(
+                rel_err(got, want) < 0.01,
+                "sketch percentile {got} vs exact {want} breaks the 1% bound"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_sink_records_every_completion() {
+        let path = std::env::temp_dir().join(format!("s2m3_sink_test_{}.bin", std::process::id()));
+        let mut scenario = ServeScenario::churn_default();
+        scenario.requests = 300;
+        scenario.streaming = Some(crate::config::StreamingConfig {
+            sink: Some(path.to_string_lossy().into_owned()),
+        });
+        let report = serve(&scenario).unwrap();
+        let rows = s2m3_data::sink::read_rows(std::fs::File::open(&path).unwrap()).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(rows.len() as u64, report.completed);
+        let mean = rows.iter().map(|r| r.latency_s).sum::<f64>() / rows.len() as f64;
+        assert!(rel_err(mean, report.latency.mean_s) < 1e-9);
+        for w in rows.windows(2) {
+            assert!(
+                w[0].finish_ns <= w[1].finish_ns,
+                "rows land in completion order"
+            );
+        }
+        let n_classes = report.classes.len() as u32;
+        for r in &rows {
+            assert!(r.finish_ns >= r.arrival_ns);
+            assert!(r.device != u32::MAX, "completions carry their head device");
+            if let Some(c) = r.class {
+                assert!(c < n_classes);
+            }
+        }
+        // Per-class completion counts agree with the report.
+        for (ci, c) in report.classes.iter().enumerate() {
+            let n = rows.iter().filter(|r| r.class == Some(ci as u32)).count();
+            assert_eq!(n as u64, c.completed, "class {} row count", c.class);
+        }
+    }
+
+    #[test]
+    fn max_windows_caps_snapshots_without_touching_counters() {
+        let mut uncapped = ServeScenario::churn_default();
+        uncapped.requests = 600;
+        uncapped.snapshot_every = 20;
+        let mut capped = uncapped.clone();
+        capped.max_windows = Some(8);
+        let u = serve(&uncapped).unwrap();
+        let c = serve(&capped).unwrap();
+        assert!(u.windows.len() > 8);
+        assert!(c.windows.len() <= 9, "cap plus at most the final snapshot");
+        let mut c_cmp = c.clone();
+        c_cmp.windows = u.windows.clone();
+        assert_eq!(c_cmp, u, "downsampling only drops snapshots");
     }
 }

@@ -46,6 +46,7 @@ pub mod config;
 pub mod engine;
 pub mod queue;
 pub mod report;
+pub mod slab;
 pub mod slo;
 
 #[cfg(test)]
@@ -53,7 +54,7 @@ mod proptests;
 
 pub use config::{
     AdmissionPolicy, BatchPolicy, FleetEvent, FleetEventKind, KindBatchCap, ModelDeployment,
-    ReplanPolicy, ServeScenario, SloReplanTrigger, TrafficSource,
+    ReplanPolicy, ServeScenario, SloReplanTrigger, StreamingConfig, TrafficSource,
 };
 pub use engine::{prepare, serve, ServeError, ServeSession, SharedStart};
 // The unified workload layer lives in `s2m3_sim::workload`; re-export

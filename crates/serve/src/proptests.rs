@@ -18,8 +18,11 @@ use proptest::prelude::*;
 
 use s2m3_sim::workload::ArrivalProcess;
 
+use s2m3_core::sketch::LatencySketch;
+
 use crate::config::{AdmissionPolicy, FleetEvent, FleetEventKind, ReplanPolicy, ServeScenario};
 use crate::engine::{serve, ServeSession};
+use crate::report::LatencySummary;
 
 fn arb_policy() -> impl Strategy<Value = AdmissionPolicy> {
     prop_oneof![
@@ -221,6 +224,75 @@ proptest! {
         }
         for d in &report.devices {
             prop_assert!((0.0..=1.0).contains(&d.utilization), "{:?}", d);
+        }
+    }
+
+    /// Streaming mode agrees with the exact run on everything except
+    /// latency percentiles, which stay within the sketch's error bound —
+    /// over arbitrary policies, traffic, and churn schedules.
+    #[test]
+    fn streaming_mode_tracks_exact_mode(
+        policy in arb_policy(),
+        arrivals in arb_arrivals(),
+        events in arb_events(),
+        n in 20usize..120,
+    ) {
+        let exact = scenario(policy, arrivals, events, n, "prop/streaming".to_string());
+        let mut streaming = exact.clone();
+        streaming.streaming = Some(crate::config::StreamingConfig::default());
+        let e = serve(&exact).unwrap();
+        let s = serve(&streaming).unwrap();
+        let mut s_cmp = s.clone();
+        s_cmp.latency = e.latency;
+        for (cs, ce) in s_cmp.classes.iter_mut().zip(e.classes.iter()) {
+            cs.latency = ce.latency;
+        }
+        prop_assert_eq!(&s_cmp, &e, "streaming may differ only in latency summaries");
+        prop_assert_eq!(s.latency.completed, e.latency.completed);
+        for (got, want) in [
+            (s.latency.mean_s, e.latency.mean_s),
+            (s.latency.max_s, e.latency.max_s),
+        ] {
+            prop_assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0));
+        }
+        for (got, want) in [
+            (s.latency.p50_s, e.latency.p50_s),
+            (s.latency.p95_s, e.latency.p95_s),
+            (s.latency.p99_s, e.latency.p99_s),
+        ] {
+            let err = if want == 0.0 { got.abs() } else { (got - want).abs() / want };
+            prop_assert!(err < 0.01, "sketch {} vs exact {}: {}% error", got, want, 100.0 * err);
+        }
+    }
+
+    /// The sketch's quantile error bound holds for *arbitrary* latency
+    /// distributions, not just the ones serving runs happen to produce:
+    /// every percentile of `from_sketch` lands within 1% of the exact
+    /// `from_latencies` value.
+    #[test]
+    fn sketch_summary_tracks_exact_summary(
+        mut latencies in proptest::collection::vec(1e-6f64..1e4, 1..400),
+        scale in 1e-3f64..1e3,
+    ) {
+        for v in &mut latencies {
+            *v *= scale;
+        }
+        let exact = LatencySummary::from_latencies(latencies.clone());
+        let mut sketch = LatencySketch::new();
+        for &v in &latencies {
+            sketch.record(v);
+        }
+        let approx = LatencySummary::from_sketch(&sketch);
+        prop_assert_eq!(approx.completed, exact.completed);
+        prop_assert!((approx.mean_s - exact.mean_s).abs() <= 1e-9 * exact.mean_s.abs());
+        prop_assert!((approx.max_s - exact.max_s).abs() <= f64::EPSILON * exact.max_s);
+        for (got, want) in [
+            (approx.p50_s, exact.p50_s),
+            (approx.p95_s, exact.p95_s),
+            (approx.p99_s, exact.p99_s),
+        ] {
+            let err = (got - want).abs() / want;
+            prop_assert!(err < 0.01, "sketch {} vs exact {}: {}% error", got, want, 100.0 * err);
         }
     }
 }

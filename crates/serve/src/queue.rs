@@ -9,8 +9,15 @@ use crate::config::AdmissionPolicy;
 /// A queued request: everything the dispatcher needs to order it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueuedRequest {
-    /// Request id (index into the scenario's stream).
+    /// Request id: the request's arrival sequence number. Unique and
+    /// monotone in arrival order, so it stays the ordering tie-breaker
+    /// regardless of how driver-side storage numbers its slots.
     pub id: u64,
+    /// Packed [`ReqHandle`](crate::slab::ReqHandle) of the request's
+    /// driver-side slot. Never participates in ordering (ids already
+    /// total-order the keys); carried so dispatch is an O(1) slab
+    /// lookup.
+    pub handle: u64,
     /// Arrival time, nanoseconds of virtual time.
     pub arrival_ns: u64,
     /// SLO deadline, nanoseconds of virtual time.
@@ -29,6 +36,11 @@ pub enum Admission {
     /// The request was rejected by shed-on-overload.
     Shed,
 }
+
+/// EDF heap key: `(inverted priority, deadline_ns, arrival_ns, id,
+/// packed slab handle)`. The handle trails the (unique) id, so it
+/// never affects the order.
+type EdfKey = (u32, u64, u64, u64, u64);
 
 /// One device's admission queue.
 ///
@@ -49,7 +61,7 @@ pub struct AdmissionQueue {
     /// Priority+deadline-ordered waiting room (EDF). The first key
     /// component is `u32::MAX - priority` so larger priorities pop
     /// first from the min-heap.
-    by_deadline: BinaryHeap<Reverse<(u32, u64, u64, u64)>>,
+    by_deadline: BinaryHeap<Reverse<EdfKey>>,
 }
 
 impl AdmissionQueue {
@@ -79,6 +91,7 @@ impl AdmissionQueue {
                 request.deadline_ns,
                 request.arrival_ns,
                 request.id,
+                request.handle,
             )));
         } else {
             self.waiting.push_back(request);
@@ -89,9 +102,11 @@ impl AdmissionQueue {
     /// Removes and returns the next request to dispatch, per policy.
     pub fn pop(&mut self) -> Option<QueuedRequest> {
         if self.is_edf() {
-            let Reverse((inv_priority, deadline_ns, arrival_ns, id)) = self.by_deadline.pop()?;
+            let Reverse((inv_priority, deadline_ns, arrival_ns, id, handle)) =
+                self.by_deadline.pop()?;
             return Some(QueuedRequest {
                 id,
+                handle,
                 arrival_ns,
                 deadline_ns,
                 priority: u32::MAX - inv_priority,
@@ -116,8 +131,9 @@ impl AdmissionQueue {
     pub fn drain(&mut self) -> Vec<QueuedRequest> {
         let mut out: Vec<QueuedRequest> = self.waiting.drain(..).collect();
         out.extend(self.by_deadline.drain().map(
-            |Reverse((inv_priority, deadline_ns, arrival_ns, id))| QueuedRequest {
+            |Reverse((inv_priority, deadline_ns, arrival_ns, id, handle))| QueuedRequest {
                 id,
+                handle,
                 arrival_ns,
                 deadline_ns,
                 priority: u32::MAX - inv_priority,
@@ -135,6 +151,7 @@ mod tests {
     fn req(id: u64, arrival_ns: u64, deadline_ns: u64) -> QueuedRequest {
         QueuedRequest {
             id,
+            handle: id,
             arrival_ns,
             deadline_ns,
             priority: 0,

@@ -28,6 +28,13 @@ impl LatencySummary {
     /// Builds a summary from raw latencies (unsorted is fine).
     pub fn from_latencies(mut latencies: Vec<f64>) -> Self {
         latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Self::from_sorted(&latencies)
+    }
+
+    /// Builds a summary from already-sorted latencies without copying
+    /// or reallocating (the exact serve path sorts its buffer in place
+    /// once and summarizes through here).
+    pub fn from_sorted(latencies: &[f64]) -> Self {
         let n = latencies.len();
         if n == 0 {
             return LatencySummary::default();
@@ -35,10 +42,25 @@ impl LatencySummary {
         LatencySummary {
             completed: n as u64,
             mean_s: latencies.iter().sum::<f64>() / n as f64,
-            p50_s: percentile_sorted(&latencies, 0.50),
-            p95_s: percentile_sorted(&latencies, 0.95),
-            p99_s: percentile_sorted(&latencies, 0.99),
+            p50_s: percentile_sorted(latencies, 0.50),
+            p95_s: percentile_sorted(latencies, 0.95),
+            p99_s: percentile_sorted(latencies, 0.99),
             max_s: latencies[n - 1],
+        }
+    }
+
+    /// Builds a summary from a streaming
+    /// [`LatencySketch`](s2m3_core::sketch::LatencySketch): count,
+    /// mean, and max are exact; the percentiles carry the sketch's
+    /// ≤ 1% relative error bound.
+    pub fn from_sketch(sketch: &s2m3_core::sketch::LatencySketch) -> Self {
+        LatencySummary {
+            completed: sketch.count(),
+            mean_s: sketch.mean(),
+            p50_s: sketch.quantile(0.50),
+            p95_s: sketch.quantile(0.95),
+            p99_s: sketch.quantile(0.99),
+            max_s: sketch.max(),
         }
     }
 }

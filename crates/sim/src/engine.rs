@@ -302,6 +302,9 @@ pub fn simulate_shared(
         Policy {
             immediate_head_fire: true,
             max_batch: config.max_batch,
+            // The Gantt chart indexes spans by task id; ids must stay
+            // append-only.
+            recycle_tasks: false,
         },
         tasks_cap,
         plan.routed.len(),

@@ -166,6 +166,14 @@ pub struct Policy {
     /// Module-level batch inference: when a lane frees, up to this many
     /// queued executions of the same module merge into one run.
     pub max_batch: Option<usize>,
+    /// Recycle task-table slots through a free list: a task's slot is
+    /// released the moment the kernel can prove no queue, event, or
+    /// fan-in slot still references it, and the next
+    /// [`Kernel::spawn_task`] reuses it. Keeps the task table
+    /// O(in-flight) for unbounded online runs. Task ids lose their
+    /// append-only meaning; drivers that index history by task id
+    /// (the bounded engine's Gantt spans) must leave this `false`.
+    pub recycle_tasks: bool,
 }
 
 /// The kernel's event queue: a 4-ary min-heap over packed
@@ -379,9 +387,13 @@ pub struct Kernel<X, P> {
     pub module_batch_caps: Vec<usize>,
     /// Per-device executor state, indexed by dense device id.
     pub devices: Vec<Device>,
-    /// Every task ever spawned (tasks are never removed; cancelled ones
-    /// are skipped).
+    /// Every live task slot. Without [`Policy::recycle_tasks`] this is
+    /// append-only (cancelled tasks are skipped, never removed); with
+    /// it, slots of provably-unreferenced tasks return to `free_tasks`
+    /// and are reused, keeping the table O(in-flight).
     pub tasks: Vec<Task<P>>,
+    /// Released task slots awaiting reuse (recycling mode only).
+    free_tasks: Vec<usize>,
     /// Per-request fan-in state, indexed by dense request id.
     pub requests: Vec<RequestSlot>,
 }
@@ -414,6 +426,7 @@ impl<X, P> Kernel<X, P> {
             module_batch_caps: Vec::new(),
             devices,
             tasks: Vec::with_capacity(tasks_cap),
+            free_tasks: Vec::new(),
             requests: Vec::with_capacity(requests_cap),
         }
     }
@@ -421,6 +434,13 @@ impl<X, P> Kernel<X, P> {
     /// Virtual time of the last processed event, nanoseconds.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Task-table slots currently holding a live (unreleased) task —
+    /// with [`Policy::recycle_tasks`] this tracks in-flight work, not
+    /// total spawns.
+    pub fn live_tasks(&self) -> usize {
+        self.tasks.len() - self.free_tasks.len()
     }
 
     /// Events still queued.
@@ -459,7 +479,9 @@ impl<X, P> Kernel<X, P> {
         self.push(at, Event::Custom(event));
     }
 
-    /// Registers a new task and returns its id (dense, append-only).
+    /// Registers a new task and returns its id. Append-only without
+    /// [`Policy::recycle_tasks`]; with it, a released slot is reused
+    /// (every field overwritten) before the table grows.
     pub fn spawn_task(
         &mut self,
         req: usize,
@@ -468,8 +490,7 @@ impl<X, P> Kernel<X, P> {
         is_head: bool,
         payload: P,
     ) -> usize {
-        let tid = self.tasks.len();
-        self.tasks.push(Task {
+        let task = Task {
             req,
             module,
             device,
@@ -478,8 +499,48 @@ impl<X, P> Kernel<X, P> {
             lane_epoch: 0,
             finished: false,
             payload,
-        });
+        };
+        if self.policy.recycle_tasks {
+            if let Some(tid) = self.free_tasks.pop() {
+                self.tasks[tid] = task;
+                return tid;
+            }
+        }
+        let tid = self.tasks.len();
+        self.tasks.push(task);
         tid
+    }
+
+    /// Returns `tid`'s slot to the free list (recycling mode only).
+    /// Callers guarantee no queue entry, heap event, fan-in slot, or
+    /// pending dispatch still names `tid`.
+    #[inline]
+    fn release_task(&mut self, tid: usize) {
+        if self.policy.recycle_tasks {
+            self.free_tasks.push(tid);
+        }
+    }
+
+    /// Force-resets `device`'s execution state (fleet leave): the
+    /// kernel-level version of [`Device::reset_lanes`]. In recycling
+    /// mode the queued-but-never-dispatched tasks being discarded are
+    /// marked cancelled+finished and their slots released — the queues
+    /// were their only reference. Without recycling this is exactly
+    /// `Device::reset_lanes`.
+    pub fn reset_device_lanes(&mut self, di: usize) {
+        if self.policy.recycle_tasks {
+            while let Some(t) = self.devices[di].fifo_heads.pop_front() {
+                self.tasks[t].cancelled = true;
+                self.tasks[t].finished = true;
+                self.free_tasks.push(t);
+            }
+            while let Some(t) = self.devices[di].fifo.pop_front() {
+                self.tasks[t].cancelled = true;
+                self.tasks[t].finished = true;
+                self.free_tasks.push(t);
+            }
+        }
+        self.devices[di].reset_lanes();
     }
 
     /// Sets (or overwrites, on re-dispatch) request `req`'s fan-in
@@ -509,6 +570,11 @@ impl<X, P> Kernel<X, P> {
                         self.devices[di].fifo.push_back(tid);
                     }
                     self.try_dispatch(di, now, driver)?;
+                } else {
+                    // Cancelled before it ever queued: this `Ready` was
+                    // the task's only reference.
+                    self.tasks[tid].finished = true;
+                    self.release_task(tid);
                 }
             }
             Event::DeviceOpen(di) => {
@@ -634,6 +700,12 @@ impl<X, P> Kernel<X, P> {
                             next = Some(t);
                             break;
                         }
+                        // A popped cancelled task leaves its last
+                        // reference behind.
+                        if self.policy.recycle_tasks {
+                            self.tasks[t].finished = true;
+                            self.free_tasks.push(t);
+                        }
                     }
                     let Some(tid) = next else {
                         return Ok(());
@@ -663,6 +735,10 @@ impl<X, P> Kernel<X, P> {
                     if !self.tasks[t].cancelled {
                         next = Some(t);
                         break;
+                    }
+                    if self.policy.recycle_tasks {
+                        self.tasks[t].finished = true;
+                        self.free_tasks.push(t);
                     }
                 }
                 let Some(tid) = next else {
@@ -735,6 +811,7 @@ impl<X, P> Kernel<X, P> {
         driver.task_finished(self, tid, now, lane_live)?;
         if cancelled {
             self.try_dispatch(di, now, driver)?;
+            self.release_task(tid);
             return Ok(());
         }
         if is_head {
@@ -760,7 +837,12 @@ impl<X, P> Kernel<X, P> {
                 }
             }
         }
-        self.try_dispatch(di, now, driver)
+        self.try_dispatch(di, now, driver)?;
+        // The completion event just consumed was this task's last
+        // kernel-side reference: it is out of every queue, holds no
+        // lane, and its request's fan-in no longer needs it.
+        self.release_task(tid);
+        Ok(())
     }
 }
 
@@ -866,6 +948,7 @@ mod tests {
                 Policy {
                     immediate_head_fire: immediate,
                     max_batch: None,
+                    recycle_tasks: false,
                 },
             );
             let mut d = fixed(10);
@@ -1001,6 +1084,7 @@ mod tests {
             Policy {
                 immediate_head_fire: false,
                 max_batch: Some(4),
+                recycle_tasks: false,
             },
         );
         k.module_batch_caps = caps;
@@ -1043,6 +1127,7 @@ mod tests {
             Policy {
                 immediate_head_fire: false,
                 max_batch: Some(4),
+                recycle_tasks: false,
             },
         );
         let mut d = fixed(10);
@@ -1064,5 +1149,90 @@ mod tests {
         // All three completed together at t=15: one leader + two
         // batched followers sharing its lane.
         assert_eq!(d.done.iter().filter(|&&(_, at)| at == 15).count(), 3);
+    }
+
+    #[test]
+    fn recycling_reuses_slots_and_matches_append_only_timing() {
+        // Serial single-lane fan-outs: with recycling the table stays at
+        // the in-flight high-water (one request's 3 tasks) no matter how
+        // many requests run, and completion times match the append-only
+        // kernel exactly.
+        let run = |recycle: bool| {
+            let mut k: Kernel<u32, ()> = Kernel::new(
+                vec![Device::new(1, 0)],
+                Policy {
+                    immediate_head_fire: false,
+                    max_batch: None,
+                    recycle_tasks: recycle,
+                },
+            );
+            let mut d = fixed(10);
+            for req in 0..8 {
+                // Space the fan-outs so each completes before the next
+                // spawns (spawn at t=req*100 via manual stepping).
+                let head = k.spawn_task(req, 2, 0, true, ());
+                let e0 = k.spawn_task(req, 0, 0, false, ());
+                let e1 = k.spawn_task(req, 1, 0, false, ());
+                k.set_request(
+                    req,
+                    RequestSlot {
+                        pending_encoders: 2,
+                        head_ready_ns: 0,
+                        head_task: head,
+                    },
+                );
+                let at = req as u64 * 100;
+                k.push_ready(at, e0);
+                k.push_ready(at, e1);
+                k.run_until(&mut d, at + 99).unwrap();
+            }
+            k.run_until_idle(&mut d).unwrap();
+            (d.heads, k.tasks.len(), k.live_tasks())
+        };
+        let (heads_a, table_a, live_a) = run(false);
+        let (heads_r, table_r, live_r) = run(true);
+        assert_eq!(heads_a, heads_r, "recycling never changes timing");
+        assert_eq!(heads_r.len(), 8);
+        assert_eq!(table_a, 24, "append-only grows with every spawn");
+        assert_eq!(table_r, 3, "recycled table stays at in-flight peak");
+        assert_eq!((live_a, live_r), (24, 0));
+    }
+
+    #[test]
+    fn reset_device_lanes_releases_queued_tasks_when_recycling() {
+        let mut k: Kernel<u32, ()> = Kernel::new(
+            vec![Device::new(1, 0)],
+            Policy {
+                immediate_head_fire: false,
+                max_batch: None,
+                recycle_tasks: true,
+            },
+        );
+        let mut d = fixed(10);
+        // Three encoders: one dispatches, two queue behind it.
+        for req in 0..3 {
+            let t = k.spawn_task(req, 0, 0, false, ());
+            k.set_request(
+                req,
+                RequestSlot {
+                    pending_encoders: 2,
+                    head_ready_ns: 0,
+                    head_task: usize::MAX,
+                },
+            );
+            k.push_ready(0, t);
+        }
+        // Process the three Ready events (first one dispatches).
+        k.run_until(&mut d, 0).unwrap();
+        assert_eq!(k.devices[0].lanes_busy, 1);
+        assert_eq!(k.devices[0].fifo.len(), 2);
+        k.reset_device_lanes(0);
+        // Queued tasks released immediately; the running one only when
+        // its (stale) completion fires.
+        assert_eq!(k.live_tasks(), 1);
+        k.tasks[0].cancelled = true;
+        k.run_until_idle(&mut d).unwrap();
+        assert_eq!(k.live_tasks(), 0);
+        assert_eq!(k.devices[0].lanes_busy, 0);
     }
 }

@@ -84,88 +84,67 @@ pub enum ArrivalProcess {
 
 impl ArrivalProcess {
     /// Generates `n` deterministic arrival times (sorted, starting at 0),
-    /// seeded by `label`.
+    /// seeded by `label`. A bounded collect of [`ArrivalProcess::stream`]
+    /// — the streaming and batch paths are the same generator.
     pub fn arrivals(&self, n: usize, label: &str) -> Vec<f64> {
-        let mut unit = unit_sampler(&format!("arrivals/{label}"));
-        let out = match self {
-            ArrivalProcess::Simultaneous => vec![0.0; n],
-            ArrivalProcess::Uniform { interval_s } => {
-                (0..n).map(|i| i as f64 * interval_s).collect()
-            }
-            ArrivalProcess::Poisson { rate_per_s } => {
-                let mut t = 0.0;
-                (0..n)
-                    .map(|_| {
-                        // Exponential inter-arrival via inverse CDF.
-                        t += -unit().ln() / rate_per_s.max(1e-9);
-                        t
-                    })
-                    .collect()
-            }
+        let mut stream = self.stream(label);
+        (0..n).map(|_| stream.next_time()).collect()
+    }
+
+    /// The lazy form of [`ArrivalProcess::arrivals`]: an unbounded
+    /// iterator over the same arrival sequence in O(1) memory. The k-th
+    /// [`ArrivalStream::next_time`] is bit-identical to `arrivals(n,
+    /// label)[k]` for any `n > k` — same sampler, same draw order, same
+    /// shift-to-zero arithmetic — which is what lets the online serving
+    /// driver pull millions of arrivals without materializing them.
+    pub fn stream(&self, label: &str) -> ArrivalStream {
+        let mut unit = UnitSampler::new(&format!("arrivals/{label}"));
+        let state = match self {
+            ArrivalProcess::Simultaneous => StreamState::Simultaneous,
+            ArrivalProcess::Uniform { interval_s } => StreamState::Uniform {
+                interval_s: *interval_s,
+                i: 0,
+            },
+            ArrivalProcess::Poisson { rate_per_s } => StreamState::Poisson {
+                rate_per_s: *rate_per_s,
+                t: 0.0,
+            },
             ArrivalProcess::Mmpp {
                 rates_per_s,
                 mean_dwell_s,
-            } => {
-                let mut t = 0.0;
-                let mut state = 0usize;
-                let mut state_left = -unit().ln() * mean_dwell_s.max(1e-9);
-                let mut out = Vec::with_capacity(n);
-                while out.len() < n {
-                    let rate = rates_per_s
-                        .get(state % rates_per_s.len().max(1))
-                        .copied()
-                        .unwrap_or(1.0)
-                        .max(1e-9);
-                    let gap = -unit().ln() / rate;
-                    if gap <= state_left || rates_per_s.len() <= 1 {
-                        t += gap;
-                        state_left -= gap;
-                        out.push(t);
-                    } else {
-                        // Dwell expired before the next arrival: advance to
-                        // the state boundary and redraw under the new rate.
-                        t += state_left;
-                        state += 1;
-                        state_left = -unit().ln() * mean_dwell_s.max(1e-9);
-                    }
-                }
-                out
-            }
+            } => StreamState::Mmpp {
+                rates_per_s: rates_per_s.clone(),
+                mean_dwell_s: *mean_dwell_s,
+                t: 0.0,
+                state: 0,
+                // The batch generator draws the initial dwell before the
+                // first gap; match the draw order exactly.
+                state_left: -unit.next().ln() * mean_dwell_s.max(1e-9),
+            },
             ArrivalProcess::Diurnal {
                 base_rate_per_s,
                 peak_rate_per_s,
                 period_s,
             } => {
                 let base = base_rate_per_s.max(0.0);
-                let peak = peak_rate_per_s.max(base).max(1e-9);
-                let period = period_s.max(1e-9);
-                let mut t = 0.0;
-                let mut out = Vec::with_capacity(n);
-                // Thinning (Lewis–Shedler): candidates at the peak rate,
-                // accepted with probability rate(t)/peak.
-                while out.len() < n {
-                    t += -unit().ln() / peak;
-                    let phase = (t / period) * std::f64::consts::TAU;
-                    let rate = base + (peak - base) * 0.5 * (1.0 - phase.cos());
-                    if unit() * peak <= rate {
-                        out.push(t);
-                    }
+                StreamState::Diurnal {
+                    base,
+                    peak: peak_rate_per_s.max(base).max(1e-9),
+                    period: period_s.max(1e-9),
+                    t: 0.0,
                 }
-                out
             }
-            ArrivalProcess::Trace { inter_arrival_s } => {
-                let mut t = 0.0;
-                (0..n)
-                    .map(|i| {
-                        if !inter_arrival_s.is_empty() {
-                            t += inter_arrival_s[i % inter_arrival_s.len()].max(0.0);
-                        }
-                        t
-                    })
-                    .collect()
-            }
+            ArrivalProcess::Trace { inter_arrival_s } => StreamState::Trace {
+                inter_arrival_s: inter_arrival_s.clone(),
+                t: 0.0,
+                i: 0,
+            },
         };
-        shift_to_zero(out)
+        ArrivalStream {
+            unit,
+            state,
+            offset: None,
+        }
     }
 
     /// The long-run mean arrival rate this process targets, requests per
@@ -205,16 +184,132 @@ impl ArrivalProcess {
     }
 }
 
-/// Shifts a sorted arrival vector so the first arrival is at 0.
-fn shift_to_zero(mut out: Vec<f64>) -> Vec<f64> {
-    if let Some(&t0) = out.first() {
-        if t0 != 0.0 {
-            for v in &mut out {
-                *v -= t0;
+/// Per-variant generator state of an [`ArrivalStream`].
+#[derive(Debug, Clone)]
+enum StreamState {
+    /// Every arrival at t = 0.
+    Simultaneous,
+    /// Evenly spaced: arrival `i` at `i * interval_s`.
+    Uniform { interval_s: f64, i: u64 },
+    /// Exponential inter-arrival gaps via inverse CDF.
+    Poisson { rate_per_s: f64, t: f64 },
+    /// Markov-modulated Poisson: gaps under the current state's rate,
+    /// state advances when the dwell budget expires first.
+    Mmpp {
+        rates_per_s: Vec<f64>,
+        mean_dwell_s: f64,
+        t: f64,
+        state: usize,
+        state_left: f64,
+    },
+    /// Lewis–Shedler thinning of a peak-rate Poisson stream.
+    Diurnal {
+        base: f64,
+        peak: f64,
+        period: f64,
+        t: f64,
+    },
+    /// Recorded gaps, cycled.
+    Trace {
+        inter_arrival_s: Vec<f64>,
+        t: f64,
+        i: u64,
+    },
+}
+
+/// An unbounded, O(1)-memory arrival-time iterator — the lazy
+/// equivalent of [`ArrivalProcess::arrivals`] (see
+/// [`ArrivalProcess::stream`] for the bit-identity contract).
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    unit: UnitSampler,
+    state: StreamState,
+    /// The first raw arrival, once drawn: the batch generator shifts
+    /// every time by it so streams start at t = 0.
+    offset: Option<f64>,
+}
+
+impl ArrivalStream {
+    /// Draws the next raw (unshifted) arrival time.
+    fn raw_next(&mut self) -> f64 {
+        match &mut self.state {
+            StreamState::Simultaneous => 0.0,
+            StreamState::Uniform { interval_s, i } => {
+                let t = *i as f64 * *interval_s;
+                *i += 1;
+                t
+            }
+            StreamState::Poisson { rate_per_s, t } => {
+                // Exponential inter-arrival via inverse CDF.
+                *t += -self.unit.next().ln() / rate_per_s.max(1e-9);
+                *t
+            }
+            StreamState::Mmpp {
+                rates_per_s,
+                mean_dwell_s,
+                t,
+                state,
+                state_left,
+            } => loop {
+                let rate = rates_per_s
+                    .get(*state % rates_per_s.len().max(1))
+                    .copied()
+                    .unwrap_or(1.0)
+                    .max(1e-9);
+                let gap = -self.unit.next().ln() / rate;
+                if gap <= *state_left || rates_per_s.len() <= 1 {
+                    *t += gap;
+                    *state_left -= gap;
+                    break *t;
+                }
+                // Dwell expired before the next arrival: advance to the
+                // state boundary and redraw under the new rate.
+                *t += *state_left;
+                *state += 1;
+                *state_left = -self.unit.next().ln() * mean_dwell_s.max(1e-9);
+            },
+            StreamState::Diurnal {
+                base,
+                peak,
+                period,
+                t,
+            } => loop {
+                // Thinning (Lewis–Shedler): candidates at the peak rate,
+                // accepted with probability rate(t)/peak.
+                *t += -self.unit.next().ln() / *peak;
+                let phase = (*t / *period) * std::f64::consts::TAU;
+                let rate = *base + (*peak - *base) * 0.5 * (1.0 - phase.cos());
+                if self.unit.next() * *peak <= rate {
+                    break *t;
+                }
+            },
+            StreamState::Trace {
+                inter_arrival_s,
+                t,
+                i,
+            } => {
+                if !inter_arrival_s.is_empty() {
+                    *t += inter_arrival_s[*i as usize % inter_arrival_s.len()].max(0.0);
+                }
+                *i += 1;
+                *t
             }
         }
     }
-    out
+
+    /// The next arrival time, seconds, shifted so the stream starts at
+    /// t = 0 (non-decreasing; the stream never ends).
+    pub fn next_time(&mut self) -> f64 {
+        let raw = self.raw_next();
+        let offset = *self.offset.get_or_insert(raw);
+        // Matches the batch shift exactly: no-op when the first arrival
+        // is already at 0.
+        if offset != 0.0 {
+            raw - offset
+        } else {
+            raw
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -332,6 +427,150 @@ pub struct WorkloadRequest {
     pub class: Option<u32>,
 }
 
+/// Per-source model-assignment state of a [`WorkloadStream`].
+#[derive(Debug, Clone)]
+enum ModelAssign {
+    /// Spec-level legacy round-robin: model = merged stream index mod
+    /// the model count, assigned when the merge pops the request.
+    Merged,
+    /// Per-source round-robin override over the source's own emissions.
+    SourceRoundRobin { i: u32, n_models: u32 },
+    /// Seeded weighted sampling, one draw per emission.
+    Weighted {
+        idx: Vec<u32>,
+        weights: Vec<f64>,
+        total: f64,
+        unit: UnitSampler,
+    },
+    /// Recorded model sequence, cycled.
+    Trace { idx: Vec<u32>, i: usize },
+}
+
+/// One source's lazy emission state inside a [`WorkloadStream`].
+#[derive(Debug, Clone)]
+struct SourceStream {
+    arrivals: ArrivalStream,
+    assign: ModelAssign,
+    /// Emissions this source still owes its bounded budget share.
+    remaining: usize,
+    /// Prefetched head of the source's stream: `(at_ns, at_s, model)`,
+    /// with `model == u32::MAX` until merge-time assignment for the
+    /// spec-level round-robin.
+    head: Option<(u64, f64, u32)>,
+}
+
+impl SourceStream {
+    /// Pulls the source's next emission into `head` (or `None` when its
+    /// budget is exhausted).
+    fn refill(&mut self) {
+        if self.remaining == 0 {
+            self.head = None;
+            return;
+        }
+        self.remaining -= 1;
+        let t = self.arrivals.next_time();
+        let model = match &mut self.assign {
+            ModelAssign::Merged => u32::MAX,
+            ModelAssign::SourceRoundRobin { i, n_models } => {
+                let m = *i % *n_models;
+                *i += 1;
+                m
+            }
+            ModelAssign::Weighted {
+                idx,
+                weights,
+                total,
+                unit,
+            } => idx[weighted_index(weights, *total, unit.next()) as usize],
+            ModelAssign::Trace { idx, i } => {
+                let m = idx[*i % idx.len()];
+                *i += 1;
+                m
+            }
+        };
+        self.head = Some(((t * 1.0e9).round() as u64, t, model));
+    }
+}
+
+/// The spec-level class sampler, drawing in merged stream order.
+#[derive(Debug, Clone)]
+struct ClassSampler {
+    weights: Vec<f64>,
+    total: f64,
+    unit: UnitSampler,
+}
+
+/// A bounded, lazily-generated workload: the k-way merge of the spec's
+/// per-source arrival streams, yielding [`WorkloadRequest`]s one at a
+/// time in O(sources) memory. Produced by [`WorkloadSpec::stream`];
+/// bit-identical to [`WorkloadSpec::generate`] (see there for why).
+#[derive(Debug, Clone)]
+pub struct WorkloadStream {
+    sources: Vec<SourceStream>,
+    class_sampler: Option<ClassSampler>,
+    n_models: u32,
+    /// Requests popped so far (the spec-level round-robin index).
+    merged_index: usize,
+    /// Requests the stream still owes.
+    remaining: usize,
+}
+
+impl WorkloadStream {
+    /// Requests the stream will still yield.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Pops the next request in merged `(arrival, source rank)` order.
+    pub fn next_request(&mut self) -> Option<WorkloadRequest> {
+        if self.remaining == 0 {
+            return None;
+        }
+        // Minimum (at_ns, rank) candidate; strict `<` keeps the lowest
+        // rank on ties, matching the batch generator's stable sort.
+        let mut best: Option<(u64, usize)> = None;
+        for (rank, s) in self.sources.iter().enumerate() {
+            if let Some((at_ns, _, _)) = s.head {
+                if best.is_none_or(|(bk, _)| at_ns < bk) {
+                    best = Some((at_ns, rank));
+                }
+            }
+        }
+        let (_, rank) = best?;
+        let source = &mut self.sources[rank];
+        let (at_ns, at_s, mut model) = source.head.take().expect("candidate exists");
+        source.refill();
+        if model == u32::MAX {
+            model = self.merged_index as u32 % self.n_models;
+        }
+        let class = self
+            .class_sampler
+            .as_mut()
+            .map(|cs| weighted_index(&cs.weights, cs.total, cs.unit.next()));
+        self.merged_index += 1;
+        self.remaining -= 1;
+        Some(WorkloadRequest {
+            at_ns,
+            at_s,
+            source: rank as u32,
+            model,
+            class,
+        })
+    }
+}
+
+impl Iterator for WorkloadStream {
+    type Item = WorkloadRequest;
+
+    fn next(&mut self) -> Option<WorkloadRequest> {
+        self.next_request()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
 /// Workload-specification errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadError {
@@ -368,9 +607,22 @@ impl From<CoreError> for WorkloadError {
 /// one construction every stochastic workload draw flows through —
 /// arrival gaps, model-mix sampling, class assignment — so the streams
 /// stay bit-for-bit reproducible from their labels.
-fn unit_sampler(label: &str) -> impl FnMut() -> f64 {
-    let mut rng = ChaCha8Rng::from_seed(seed_from_label(label));
-    move || ((rng.next_u32() >> 8) as f64 + 0.5) / (1u32 << 24) as f64
+#[derive(Debug, Clone)]
+struct UnitSampler {
+    rng: ChaCha8Rng,
+}
+
+impl UnitSampler {
+    fn new(label: &str) -> Self {
+        UnitSampler {
+            rng: ChaCha8Rng::from_seed(seed_from_label(label)),
+        }
+    }
+
+    #[inline]
+    fn next(&mut self) -> f64 {
+        ((self.rng.next_u32() >> 8) as f64 + 0.5) / (1u32 << 24) as f64
+    }
 }
 
 /// Draws an index from cumulative weighted sampling: `weights` must be
@@ -540,7 +792,9 @@ impl WorkloadSpec {
     /// Generates the first `n` requests of the stream, merged across
     /// sources by `(arrival time, source rank, per-source emission
     /// order)` and annotated with model and class choices. Deterministic:
-    /// equal specs (including seeds) produce equal streams.
+    /// equal specs (including seeds) produce equal streams. A bounded
+    /// collect of [`WorkloadSpec::stream`] — the lazy and batch paths
+    /// are the same generator.
     ///
     /// # Errors
     ///
@@ -550,25 +804,40 @@ impl WorkloadSpec {
         n: usize,
         models: &[String],
     ) -> Result<Vec<WorkloadRequest>, WorkloadError> {
+        Ok(self.stream(n, models)?.collect())
+    }
+
+    /// The lazy form of [`WorkloadSpec::generate`]: the same merged
+    /// request sequence, produced one request at a time in O(sources)
+    /// memory instead of O(n).
+    ///
+    /// Per-source arrival iterators are time-sorted with emission order
+    /// preserved, and each stochastic choice (a source's arrival gaps,
+    /// its weighted model mix, the spec-level class assignment) draws
+    /// from its *own* labeled sampler, so a k-way merge popping the
+    /// minimum `(arrival ns, source rank)` candidate replays exactly
+    /// the stable sort the batch generator performs — the request
+    /// sequences are bit-identical (pinned by the golden fixtures and
+    /// this crate's tests).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError`] if the spec does not validate against `models`.
+    pub fn stream(&self, n: usize, models: &[String]) -> Result<WorkloadStream, WorkloadError> {
         self.validate(models)?;
         let n_models = models.len() as u32;
         let counts = self.source_counts(n);
-
-        let mut merged: Vec<WorkloadRequest> = Vec::with_capacity(n);
-        // Per-source emission: arrival times plus any per-source model
-        // assignment (everything except the global round-robin, which by
-        // definition needs the merged index).
-        for (rank, (source, &count)) in self.sources.iter().zip(&counts).enumerate() {
-            let times = source.arrivals.arrivals(count, &source.label);
+        let mut sources = Vec::with_capacity(self.sources.len());
+        for (source, &count) in self.sources.iter().zip(&counts) {
             let mix = source.mix.as_ref().unwrap_or(&self.mix);
-            let per_source_models: Option<Vec<u32>> = match (mix, source.mix.is_some()) {
-                // Spec-level round-robin walks the merged stream: filled
-                // in after the merge.
-                (ModelMix::LegacyRoundRobin, false) => None,
+            let assign = match (mix, source.mix.is_some()) {
+                // Spec-level round-robin walks the merged stream: the
+                // model is assigned at merge time.
+                (ModelMix::LegacyRoundRobin, false) => ModelAssign::Merged,
                 // A per-source round-robin override walks the source's
                 // own emission index.
                 (ModelMix::LegacyRoundRobin, true) => {
-                    Some((0..count as u32).map(|i| i % n_models).collect())
+                    ModelAssign::SourceRoundRobin { i: 0, n_models }
                 }
                 (ModelMix::Weighted { weights }, _) => {
                     let idx: Vec<u32> = weights
@@ -582,12 +851,12 @@ impl WorkloadSpec {
                         .collect();
                     let ws: Vec<f64> = weights.iter().map(|w| w.weight).collect();
                     let total: f64 = ws.iter().sum();
-                    let mut unit = unit_sampler(&format!("{}/mix", source.label));
-                    Some(
-                        (0..count)
-                            .map(|_| idx[weighted_index(&ws, total, unit()) as usize])
-                            .collect(),
-                    )
+                    ModelAssign::Weighted {
+                        idx,
+                        weights: ws,
+                        total,
+                        unit: UnitSampler::new(&format!("{}/mix", source.label)),
+                    }
                 }
                 (ModelMix::Trace { models: trace }, _) => {
                     let idx: Vec<u32> = trace
@@ -596,41 +865,36 @@ impl WorkloadSpec {
                             models.iter().position(|m| m == name).expect("validated") as u32
                         })
                         .collect();
-                    Some((0..count).map(|i| idx[i % idx.len()]).collect())
+                    ModelAssign::Trace { idx, i: 0 }
                 }
             };
-            for (i, &t) in times.iter().enumerate() {
-                merged.push(WorkloadRequest {
-                    at_ns: (t * 1.0e9).round() as u64,
-                    at_s: t,
-                    source: rank as u32,
-                    model: per_source_models.as_ref().map_or(u32::MAX, |m| m[i]),
-                    class: None,
-                });
-            }
+            let mut ss = SourceStream {
+                arrivals: source.arrivals.stream(&source.label),
+                assign,
+                remaining: count,
+                head: None,
+            };
+            ss.refill();
+            sources.push(ss);
         }
-        // The deterministic merge: per-source streams are time-sorted
-        // with emission order preserved, so a stable sort on
-        // `(at_ns, source)` realizes (time, rank, per-source id).
-        merged.sort_by_key(|r| (r.at_ns, r.source));
-
-        // Global round-robin and class assignment walk the merged order.
-        let mut class_sampler = if self.classes.is_empty() {
+        let class_sampler = if self.classes.is_empty() {
             None
         } else {
-            let ws: Vec<f64> = self.classes.iter().map(|c| c.weight).collect();
-            let total: f64 = ws.iter().sum();
-            Some((ws, total, unit_sampler(&format!("{}/class", self.seed))))
+            let weights: Vec<f64> = self.classes.iter().map(|c| c.weight).collect();
+            let total: f64 = weights.iter().sum();
+            Some(ClassSampler {
+                weights,
+                total,
+                unit: UnitSampler::new(&format!("{}/class", self.seed)),
+            })
         };
-        for (i, r) in merged.iter_mut().enumerate() {
-            if r.model == u32::MAX {
-                r.model = i as u32 % n_models;
-            }
-            if let Some((ws, total, unit)) = &mut class_sampler {
-                r.class = Some(weighted_index(ws, *total, unit()));
-            }
-        }
-        Ok(merged)
+        Ok(WorkloadStream {
+            sources,
+            class_sampler,
+            n_models,
+            merged_index: 0,
+            remaining: counts.iter().sum(),
+        })
     }
 
     /// Materializes a bounded workload against an instance: `n`
@@ -1049,6 +1313,96 @@ mod tests {
         assert!(requests.iter().all(|r| r.class.is_some()));
         let (again, _) = spec.materialize(&i, 2000).unwrap();
         assert_eq!(requests, again);
+    }
+
+    #[test]
+    fn stream_yields_exactly_the_batch_sequence() {
+        // A deliberately heterogeneous spec: three sources with distinct
+        // processes and budgets, per-source mix overrides, weighted
+        // classes — every code path the lazy generator must replay.
+        let i = two_model_instance();
+        let models = names(&i);
+        let spec = WorkloadSpec {
+            sources: vec![
+                SourceSpec {
+                    device: None,
+                    arrivals: ArrivalProcess::Poisson { rate_per_s: 2.0 },
+                    label: "sa".to_string(),
+                    weight: Some(2.0),
+                    mix: None,
+                },
+                SourceSpec {
+                    device: Some("laptop".to_string()),
+                    arrivals: ArrivalProcess::Mmpp {
+                        rates_per_s: vec![0.5, 6.0],
+                        mean_dwell_s: 4.0,
+                    },
+                    label: "sb".to_string(),
+                    weight: Some(1.0),
+                    mix: Some(ModelMix::Weighted {
+                        weights: vec![
+                            ModelWeight {
+                                model: models[0].clone(),
+                                weight: 1.0,
+                            },
+                            ModelWeight {
+                                model: models[1].clone(),
+                                weight: 2.0,
+                            },
+                        ],
+                    }),
+                },
+                SourceSpec {
+                    device: Some("desktop".to_string()),
+                    arrivals: ArrivalProcess::Trace {
+                        inter_arrival_s: vec![0.3, 0.0, 1.7],
+                    },
+                    label: "sc".to_string(),
+                    weight: None,
+                    mix: Some(ModelMix::Trace {
+                        models: vec![models[1].clone(), models[0].clone()],
+                    }),
+                },
+            ],
+            mix: ModelMix::LegacyRoundRobin,
+            classes: vec![
+                ClassShare {
+                    class: DeadlineClass {
+                        name: "interactive".to_string(),
+                        deadline_s: 5.0,
+                        priority: 10,
+                    },
+                    weight: 1.0,
+                },
+                ClassShare {
+                    class: DeadlineClass {
+                        name: "batch".to_string(),
+                        deadline_s: 120.0,
+                        priority: 0,
+                    },
+                    weight: 3.0,
+                },
+            ],
+            seed: "stream-eq".to_string(),
+        };
+        for n in [0, 1, 7, 250] {
+            let batch = spec.generate(n, &models).unwrap();
+            let mut stream = spec.stream(n, &models).unwrap();
+            assert_eq!(stream.remaining(), n);
+            let lazy: Vec<WorkloadRequest> = (&mut stream).collect();
+            assert_eq!(batch, lazy, "n={n}");
+            assert_eq!(stream.remaining(), 0);
+            assert!(stream.next_request().is_none());
+        }
+        // Simultaneous arrivals everywhere: the all-ties merge still
+        // reproduces the stable source-major order.
+        let mut ties = spec.clone();
+        for s in &mut ties.sources {
+            s.arrivals = ArrivalProcess::Simultaneous;
+        }
+        let batch = ties.generate(30, &models).unwrap();
+        let lazy: Vec<WorkloadRequest> = ties.stream(30, &models).unwrap().collect();
+        assert_eq!(batch, lazy);
     }
 
     #[test]

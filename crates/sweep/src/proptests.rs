@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use rayon_lite::ThreadPoolBuilder;
 
-use s2m3_serve::ServeScenario;
+use s2m3_serve::{ServeScenario, StreamingConfig};
 
 use crate::run::run_sweep_on;
 use crate::spec::SweepSpec;
@@ -16,11 +16,15 @@ fn arb_spec() -> impl Strategy<Value = SweepSpec> {
         proptest::sample::subsequence(vec![0.5f64, 1.0, 3.0], 1..=2),
         proptest::sample::subsequence(vec![2usize, 3, 4], 1..=2),
         10usize..=30, // requests
+        0usize..=1,   // memory-flat streaming mode
     )
-        .prop_map(|(seeds, rate_scales, fleet_sizes, requests)| {
+        .prop_map(|(seeds, rate_scales, fleet_sizes, requests, streaming)| {
             let mut base = ServeScenario::churn_default();
             base.requests = requests;
             base.snapshot_every = 8;
+            if streaming == 1 {
+                base.streaming = Some(StreamingConfig::default());
+            }
             SweepSpec {
                 base,
                 seeds,
@@ -36,7 +40,9 @@ fn arb_spec() -> impl Strategy<Value = SweepSpec> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
 
-    /// Same grid at 1, 2, and 4 threads ⇒ byte-identical JSON report.
+    /// Same grid at 1, 2, and 4 threads ⇒ byte-identical JSON report —
+    /// in both latency-aggregation modes (`arb_spec` flips streaming),
+    /// since per-replica sketches are merged in deterministic order.
     #[test]
     fn report_is_thread_count_invariant(spec in arb_spec()) {
         let mut reports = Vec::new();

@@ -181,6 +181,13 @@ impl SweepSpec {
             devices.contains(device) != joins
         });
         s.initial_devices = devices;
+        // Replicas run concurrently: a shared sink path would interleave
+        // row groups from different replicas, so the per-replica
+        // scenario keeps streaming mode but drops the file sink (sweeps
+        // aggregate reports, not per-request rows).
+        if let Some(streaming) = &mut s.streaming {
+            streaming.sink = None;
+        }
         Ok(s)
     }
 

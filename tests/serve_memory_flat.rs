@@ -1,0 +1,87 @@
+//! Heap-bound proof for memory-flat streaming serve: with
+//! `ServeScenario::streaming` on, peak heap growth is O(in-flight),
+//! not O(arrivals).
+//!
+//! The whole test binary runs under the counting [`PeakAlloc`] global
+//! allocator (its counters are process-wide, which is why these
+//! measurements live in their own integration-test binary: `cargo`
+//! gives each `tests/*.rs` file its own process, so no other test's
+//! allocations pollute the peaks; the two measurements within are
+//! serialized through one `#[test]`).
+//!
+//! The assertion style is *ratio*, not absolute bytes: scale requests
+//! by 25–50× and require the peak-heap delta to stay within a small
+//! constant factor, so the test is insensitive to allocator slop and
+//! debug-vs-release layout while still catching any O(arrivals)
+//! regression (which would scale the peak by ~25×). The exact path,
+//! measured alongside, demonstrates the contrast: its peak grows with
+//! the request count.
+
+use peak_alloc::PeakAlloc;
+use s2m3::serve::{AdmissionPolicy, ServeScenario, StreamingConfig};
+use s2m3::sim::workload::ArrivalProcess;
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
+fn scenario(n: usize, streaming: bool) -> ServeScenario {
+    let mut s = ServeScenario::churn_default();
+    s.requests = n;
+    // Offered load well above capacity: the shedding bound (not the
+    // arrival rate) caps the queues, so in-flight state stays O(1)
+    // while arrivals stream through.
+    s.arrivals = ArrivalProcess::Poisson { rate_per_s: 3.0 };
+    s.admission = AdmissionPolicy::ShedOnOverload { max_queue: 48 };
+    if streaming {
+        s.streaming = Some(StreamingConfig::default());
+        s.max_windows = Some(64);
+    }
+    s
+}
+
+/// Runs the scenario and returns the run's peak-heap delta in bytes
+/// (peak live bytes during the run minus live bytes before it).
+fn peak_delta_of(s: &ServeScenario) -> usize {
+    let before = ALLOC.live_bytes();
+    ALLOC.reset_peak();
+    let report = s2m3::serve::serve(s).unwrap();
+    assert_eq!(report.arrived, s.requests as u64);
+    assert_eq!(report.completed + report.shed, report.arrived);
+    ALLOC.peak_bytes().saturating_sub(before)
+}
+
+#[test]
+fn streaming_peak_heap_is_flat_in_request_count() {
+    // `cargo test -q` (tier-1) is a debug build — keep it minutes-free
+    // there; the release run covers the ISSUE's 5M-request bound.
+    let (small_n, big_n) = if cfg!(debug_assertions) {
+        (4_000, 100_000)
+    } else {
+        (100_000, 5_000_000)
+    };
+    let scale = big_n / small_n; // 25–50×
+
+    // Warm-up run so one-time global/lazy allocations (fleet tables,
+    // zoo interning) don't count against the small run's peak.
+    let _ = peak_delta_of(&scenario(512, true));
+
+    let small = peak_delta_of(&scenario(small_n, true));
+    let big = peak_delta_of(&scenario(big_n, true));
+    assert!(
+        big < small.saturating_mul(3) + (1 << 20),
+        "streaming peak heap must be flat: {small_n} requests peaked at \
+         {small} B but {big_n} requests peaked at {big} B ({scale}x more \
+         arrivals must not mean more than ~constant heap)"
+    );
+
+    // Contrast: the exact path keeps per-request state for the whole
+    // run, so its peak grows with the request count and overtakes the
+    // streaming path's.
+    let exact_big = peak_delta_of(&scenario(big_n, false));
+    assert!(
+        exact_big > big.saturating_mul(2),
+        "exact-mode peak ({exact_big} B at {big_n} requests) should dwarf \
+         the streaming peak ({big} B); if not, the exact path stopped \
+         retaining per-request state and the contrast baseline is stale"
+    );
+}

@@ -1,0 +1,123 @@
+//! Workspace-local stand-in for the `peak_alloc` crate: a
+//! [`GlobalAlloc`] wrapper over the [`System`] allocator that keeps
+//! two atomic counters — bytes currently live and the high-water mark
+//! of live bytes — so tests and benches can assert heap bounds
+//! (e.g. "the streaming serve path is O(in-flight), not O(arrivals)").
+//!
+//! Install it as the global allocator and read the counters:
+//!
+//! ```ignore
+//! use peak_alloc::PeakAlloc;
+//!
+//! #[global_allocator]
+//! static ALLOC: PeakAlloc = PeakAlloc;
+//!
+//! ALLOC.reset_peak();
+//! run_workload();
+//! assert!(ALLOC.peak_bytes() < 64 << 20);
+//! ```
+//!
+//! The counters use relaxed atomics: totals are exact under
+//! single-threaded allocation, and the peak is a lower bound under
+//! concurrency (two racing allocations may both miss the combined
+//! maximum). That is the right direction for upper-bound assertions —
+//! a test can only under-read the peak, never over-read it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// The counting allocator. Zero-sized: all state is in module statics,
+/// so any instance reads the same counters.
+pub struct PeakAlloc;
+
+impl PeakAlloc {
+    /// Bytes currently allocated and not yet freed.
+    pub fn live_bytes(&self) -> usize {
+        LIVE.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`Self::live_bytes`] since start (or the last
+    /// [`Self::reset_peak`]).
+    pub fn peak_bytes(&self) -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+
+    /// Restarts the peak at the current live level, so a measurement
+    /// window excludes earlier history.
+    pub fn reset_peak(&self) {
+        PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+fn count_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn count_dealloc(size: usize) {
+    LIVE.fetch_sub(size, Ordering::Relaxed);
+}
+
+// SAFETY: delegates every allocation verbatim to `System`; the
+// counters never influence pointers, sizes, or alignment.
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            count_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            count_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        count_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            count_dealloc(layout.size());
+            count_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Not installed as the global allocator here (the test harness
+    // itself would pollute the counters); exercise the trait directly.
+    #[test]
+    fn counters_track_alloc_and_free() {
+        let a = PeakAlloc;
+        a.reset_peak();
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        let base_live = a.live_bytes();
+        let p = unsafe { a.alloc(layout) };
+        assert!(!p.is_null());
+        assert_eq!(a.live_bytes(), base_live + 4096);
+        assert!(a.peak_bytes() >= base_live + 4096);
+        let p2 = unsafe { a.realloc(p, layout, 8192) };
+        assert!(!p2.is_null());
+        assert_eq!(a.live_bytes(), base_live + 8192);
+        unsafe {
+            a.dealloc(p2, Layout::from_size_align(8192, 8).unwrap());
+        }
+        assert_eq!(a.live_bytes(), base_live);
+        assert!(a.peak_bytes() >= base_live + 8192);
+    }
+}
