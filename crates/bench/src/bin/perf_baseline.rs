@@ -15,6 +15,13 @@
 //!
 //! # CI smoke mode: fewer iterations, still writes nothing unless asked.
 //! cargo run --release -p s2m3-bench --bin perf_baseline -- --quick --no-write
+//!
+//! # CI regression gate: fail (exit 1) if any bench regresses more than
+//! # 25% against the recorded after-medians. Writes nothing. A bench
+//! # over the threshold is re-measured up to twice and judged on its
+//! # best of three medians, so a single throttle spike on this ±40%
+//! # box does not fail the job.
+//! cargo run --release -p s2m3-bench --bin perf_baseline -- --quick --compare BENCH_serve.json
 //! ```
 //!
 //! The output JSON maps bench name → `{before_ns, after_ns, speedup}`
@@ -157,6 +164,11 @@ fn main() {
     let record_before = args.iter().any(|a| a == "--record-before");
     let quick = args.iter().any(|a| a == "--quick");
     let no_write = args.iter().any(|a| a == "--no-write");
+    let compare: Option<String> = args
+        .iter()
+        .position(|a| a == "--compare")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let iters = if quick { 5 } else { 21 };
 
     let single = Instance::single_model("CLIP ViT-B/16", 101).expect("zoo model");
@@ -200,72 +212,15 @@ fn main() {
         s
     };
     let streaming_small = streaming_scenario(500);
-
-    let mut results: Vec<(&str, u64)> = Vec::new();
-    results.push((
-        "greedy_place/five-task",
-        median_ns(iters * 20, || {
-            std::hint::black_box(greedy_place(&multi).unwrap());
-        }),
-    ));
-    results.push((
-        "optimal_placement/single-model",
-        median_ns(iters, || {
-            std::hint::black_box(optimal_placement(&single).unwrap());
-        }),
-    ));
-    results.push((
-        "simulate/32req",
-        median_ns(iters * 4, || {
-            std::hint::black_box(simulate(&single, &sim_plan, &SimConfig::default()).unwrap());
-        }),
-    ));
-    results.push((
-        "serve_loop/500req_fifo",
-        median_ns(iters, || {
-            std::hint::black_box(serve(&fifo).unwrap());
-        }),
-    ));
-    results.push((
-        "serve_loop/500req_edf",
-        median_ns(iters, || {
-            std::hint::black_box(serve(&edf).unwrap());
-        }),
-    ));
-    results.push((
-        "serve_loop/500req_churn_replan",
-        median_ns(iters, || {
-            std::hint::black_box(serve(&churn).unwrap());
-        }),
-    ));
-    // Batched online dispatch: the kernel's group-merge path (absent
-    // from the other serve benches, which run the singleton fast path).
-    results.push((
-        "serve_loop/500req_batched",
-        median_ns(iters, || {
-            std::hint::black_box(serve(&batched).unwrap());
-        }),
-    ));
-    // Memory-flat streaming mode: slab recycling + sketch aggregation
-    // on the same loop (quick-safe size, for regression visibility).
-    results.push((
-        "serve_loop/500req_streaming",
-        median_ns(iters, || {
-            std::hint::black_box(serve(&streaming_small).unwrap());
-        }),
-    ));
-    // The ISSUE's headline run: five million requests through the
-    // streaming path in O(in-flight) heap. Seconds per run, so it
-    // samples a small fixed count and sits out `--quick` CI smoke.
-    if !quick {
-        let streaming_5m = streaming_scenario(5_000_000);
-        results.push((
-            "serve_loop/5M_req",
-            median_ns(3, || {
-                std::hint::black_box(serve(&streaming_5m).unwrap());
-            }),
-        ));
-    }
+    // Mid-size streaming row between the 500-request smoke and the 5M
+    // headline: large enough that the event loop (not setup) dominates,
+    // small enough for `--quick` and the CI regression gate.
+    let streaming_50k = streaming_scenario(50_000);
+    let streaming_5m = if quick {
+        None
+    } else {
+        Some(streaming_scenario(5_000_000))
+    };
     // The sweep harness end to end: 64 replicas (4 seeds x 4 rates x 4
     // fleet sizes) of a short churn stream through the thread pool,
     // shared-start preparation and aggregation included.
@@ -283,28 +238,160 @@ fn main() {
         }
     };
     assert_eq!(sweep_spec.replica_count(), 64);
-    results.push((
-        "sweep/64rep",
-        median_ns(iters, || {
-            std::hint::black_box(run_sweep(&sweep_spec).unwrap());
-        }),
-    ));
     // The shared kernel in isolation: ~2k requests × (2 ready + 2 done
     // + 1 head) events through a no-op driver.
     assert!(kernel_fanout_run(2_000) >= 10_000);
-    results.push((
+
+    // Benches as (name, iterations, op) so the `--compare` gate can
+    // re-measure an offender instead of failing on one noisy median.
+    type Bench<'a> = (&'a str, usize, Box<dyn FnMut() + 'a>);
+    let mut benches: Vec<Bench> = Vec::new();
+    benches.push((
+        "greedy_place/five-task",
+        iters * 20,
+        Box::new(|| {
+            std::hint::black_box(greedy_place(&multi).unwrap());
+        }),
+    ));
+    benches.push((
+        "optimal_placement/single-model",
+        iters,
+        Box::new(|| {
+            std::hint::black_box(optimal_placement(&single).unwrap());
+        }),
+    ));
+    benches.push((
+        "simulate/32req",
+        iters * 4,
+        Box::new(|| {
+            std::hint::black_box(simulate(&single, &sim_plan, &SimConfig::default()).unwrap());
+        }),
+    ));
+    benches.push((
+        "serve_loop/500req_fifo",
+        iters,
+        Box::new(|| {
+            std::hint::black_box(serve(&fifo).unwrap());
+        }),
+    ));
+    benches.push((
+        "serve_loop/500req_edf",
+        iters,
+        Box::new(|| {
+            std::hint::black_box(serve(&edf).unwrap());
+        }),
+    ));
+    benches.push((
+        "serve_loop/500req_churn_replan",
+        iters,
+        Box::new(|| {
+            std::hint::black_box(serve(&churn).unwrap());
+        }),
+    ));
+    // Batched online dispatch: the kernel's group-merge path (absent
+    // from the other serve benches, which run the singleton fast path).
+    benches.push((
+        "serve_loop/500req_batched",
+        iters,
+        Box::new(|| {
+            std::hint::black_box(serve(&batched).unwrap());
+        }),
+    ));
+    // Memory-flat streaming mode: slab recycling + sketch aggregation
+    // on the same loop (quick-safe size, for regression visibility).
+    benches.push((
+        "serve_loop/500req_streaming",
+        iters,
+        Box::new(|| {
+            std::hint::black_box(serve(&streaming_small).unwrap());
+        }),
+    ));
+    benches.push((
+        "serve_loop/50k_req_streaming",
+        if quick { 3 } else { 7 },
+        Box::new(|| {
+            std::hint::black_box(serve(&streaming_50k).unwrap());
+        }),
+    ));
+    // The ISSUE's headline run: five million requests through the
+    // streaming path in O(in-flight) heap. Seconds per run, so it
+    // samples a small fixed count and sits out `--quick` CI smoke.
+    if let Some(s5m) = &streaming_5m {
+        benches.push((
+            "serve_loop/5M_req",
+            3,
+            Box::new(|| {
+                std::hint::black_box(serve(s5m).unwrap());
+            }),
+        ));
+    }
+    benches.push((
+        "sweep/64rep",
+        iters,
+        Box::new(|| {
+            std::hint::black_box(run_sweep(&sweep_spec).unwrap());
+        }),
+    ));
+    benches.push((
         "kernel_step/2k_req_fanout",
-        median_ns(iters * 4, || {
+        iters * 4,
+        Box::new(|| {
             std::hint::black_box(kernel_fanout_run(2_000));
         }),
     ));
 
-    let mut file: BenchFile = std::fs::read_to_string(OUT_PATH)
+    let mut results: Vec<(&str, u64)> = benches
+        .iter_mut()
+        .map(|(name, it, op)| (*name, median_ns(*it, &mut **op)))
+        .collect();
+
+    let mut file: BenchFile = std::fs::read_to_string(compare.as_deref().unwrap_or(OUT_PATH))
         .ok()
         .and_then(|text| serde_json::from_str(&text).ok())
         .unwrap_or_default();
-    file.generated_by = "cargo run --release -p s2m3-bench --bin perf_baseline".to_string();
 
+    // Regression gate: judge each bench against its recorded
+    // after-median on its *best of three* medians — a single run on
+    // this box swings ±40% under throttle, so an offender gets two
+    // re-measures before the verdict. Reads only; never writes.
+    if let Some(path) = &compare {
+        let mut failures: Vec<String> = Vec::new();
+        println!(
+            "{:<34} {:>14} {:>14}  (gate: best-of-3 vs recorded after)",
+            "bench", "measured", "recorded"
+        );
+        for ((name, it, op), (_, ns)) in benches.iter_mut().zip(results.iter_mut()) {
+            let Some(recorded) = file.benches.get(*name).and_then(|e| e.after_ns) else {
+                println!("{name:<34} {ns:>14} {:>14}", "-");
+                continue;
+            };
+            let limit = recorded.saturating_mul(5) / 4;
+            for _ in 0..2 {
+                if *ns <= limit {
+                    break;
+                }
+                *ns = (*ns).min(median_ns(*it, &mut **op));
+            }
+            println!("{name:<34} {ns:>14} {recorded:>14}");
+            if *ns > limit {
+                failures.push(format!(
+                    "{name}: {ns} ns/op vs recorded {recorded} (+{:.0}% > 25%)",
+                    (*ns as f64 / recorded as f64 - 1.0) * 100.0
+                ));
+            }
+        }
+        if failures.is_empty() {
+            println!("perf gate passed: no bench regressed >25% vs {path}");
+            return;
+        }
+        eprintln!("perf gate FAILED vs {path}:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+
+    file.generated_by = "cargo run --release -p s2m3-bench --bin perf_baseline".to_string();
     let side = if record_before { "before" } else { "after" };
     println!("{:<34} {:>14}  ({side})", "bench", "median ns/op");
     for (name, ns) in &results {

@@ -201,6 +201,16 @@ impl Placement {
     pub fn is_empty(&self) -> bool {
         self.assignments.is_empty()
     }
+
+    /// Keeps only the assignments for which `f(module, device)` holds,
+    /// dropping modules left with no hosts. Equivalent to rebuilding
+    /// the surviving placement pair by pair, without the rebuild.
+    pub fn retain(&mut self, mut f: impl FnMut(&ModuleId, &DeviceId) -> bool) {
+        self.assignments.retain(|m, ds| {
+            ds.retain(|d| f(m, d));
+            !ds.is_empty()
+        });
+    }
 }
 
 /// Routing decision `y^q` for one request: exactly one hosting device per

@@ -300,13 +300,24 @@ impl ResolvedInstance {
     /// this instance's fleet (e.g. departed devices) are dropped, exactly
     /// as the string-path routing never offers them.
     pub fn resolve_placement(&self, placement: &Placement) -> Vec<Vec<u32>> {
-        let mut hosts = vec![Vec::new(); self.module_count()];
+        let mut hosts = Vec::new();
+        self.resolve_placement_into(placement, &mut hosts);
+        hosts
+    }
+
+    /// [`Self::resolve_placement`] into a caller-owned buffer: the
+    /// per-module host lists refill in place, so replan loops reuse
+    /// their capacity instead of reallocating the whole table.
+    pub fn resolve_placement_into(&self, placement: &Placement, hosts: &mut Vec<Vec<u32>>) {
+        hosts.resize_with(self.module_count(), Vec::new);
+        for h in hosts.iter_mut() {
+            h.clear();
+        }
         for (m, d) in placement.iter() {
             if let (Some(mi), Some(di)) = (self.module_index(m), self.device_index(d)) {
                 hosts[mi as usize].push(di);
             }
         }
-        hosts
     }
 
     /// Interns a [`Route`] into a dense module → device map
@@ -335,6 +346,25 @@ impl ResolvedInstance {
     ) -> Option<Vec<(u32, u32)>> {
         let rm = &self.models[model];
         let mut out = Vec::with_capacity(rm.encoders.len() + 1);
+        if self.route_model_into(model, profile, hosts, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// [`Self::route_model`] into a caller-owned buffer (cleared
+    /// first). Returns whether the model is routable; on `false` the
+    /// buffer is left empty. Selection is identical to `route_model`.
+    pub fn route_model_into(
+        &self,
+        model: usize,
+        profile: &RequestProfile,
+        hosts: &[Vec<u32>],
+        out: &mut Vec<(u32, u32)>,
+    ) -> bool {
+        let rm = &self.models[model];
+        out.clear();
         for &m in rm.encoders.iter().chain(std::iter::once(&rm.head)) {
             let units = profile.units(self.module_kinds[m as usize]);
             let mut best: Option<(f64, u32)> = None;
@@ -350,10 +380,13 @@ impl ResolvedInstance {
                     best = Some((t, d));
                 }
             }
-            let (_, d) = best?;
+            let Some((_, d)) = best else {
+                out.clear();
+                return false;
+            };
             out.push((m, d));
         }
-        Some(out)
+        true
     }
 
     /// End-to-end latency `t_total` (Eq. 1) of one `profile`-shaped

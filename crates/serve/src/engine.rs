@@ -45,7 +45,7 @@
 //! times. String ids survive only at the boundary: scenario parsing,
 //! replan diffs, and the serialized [`ServeReport`].
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use s2m3_core::adaptive::replan;
@@ -57,7 +57,9 @@ use s2m3_core::sketch::LatencySketch;
 use s2m3_data::sink::{ColumnWriter, CompletionRow};
 use s2m3_models::module::ModuleKind;
 use s2m3_net::fleet::Fleet;
-use s2m3_sim::kernel::{Device as LaneDevice, Driver, Kernel, Policy as KernelPolicy, RequestSlot};
+use s2m3_sim::kernel::{
+    Device as LaneDevice, Driver, Kernel, Policy as KernelPolicy, RequestSlot, Scheduler,
+};
 use s2m3_sim::workload::{WorkloadRequest, WorkloadStream};
 
 use crate::config::{FleetEventKind, ServeScenario, SloReplanTrigger};
@@ -234,7 +236,7 @@ struct SourceState {
 }
 
 /// One routed encoder of a cached per-model route.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct EncRoute {
     module: u32,
     /// Universe device index.
@@ -248,15 +250,18 @@ struct EncRoute {
 /// and instance *for one traffic source*, with every dispatch-time
 /// transfer precomputed. Valid until the next replan; every request of
 /// the (model, source) pair shares it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct ModelRoute {
     head_module: u32,
     head_uni: usize,
     head_units: f64,
     /// Raw-query transfer to the head device (generative heads), ns.
     head_query_tx_ns: u64,
-    /// Encoders in dispatch order (longest compute first).
-    encoders: Vec<EncRoute>,
+    /// Start of this route's encoders in [`Online::route_encs`], in
+    /// dispatch order (longest compute first).
+    enc_start: u32,
+    /// Number of encoders in this route.
+    enc_len: u32,
 }
 
 /// The online driver: everything scenario-specific the kernel does not
@@ -284,6 +289,22 @@ struct Online {
     /// `model * n_sources + source` (`None` = placement cannot serve
     /// it; arrivals shed).
     model_routes: Vec<Option<ModelRoute>>,
+    /// Flattened encoder pool: every [`ModelRoute`] names its encoders
+    /// as a `(start, len)` slice here, so a route refresh refills one
+    /// allocation instead of one `Vec` per (model, source) pair.
+    route_encs: Vec<EncRoute>,
+    /// Per-module host table reused across route refreshes.
+    hosts_scratch: Vec<Vec<u32>>,
+    /// Module-route scratch reused across route refreshes.
+    route_scratch: Vec<(u32, u32)>,
+    /// Dispatch-order scratch (`(module, device, t_compute)`) reused
+    /// across route refreshes.
+    encs_scratch: Vec<(u32, u32, f64)>,
+    /// Universe-indexed migration-cost accumulator
+    /// ([`Online::charge_migrations`] scratch).
+    migrate_cost: Vec<f64>,
+    /// Devices touched by the migration batch being charged.
+    migrate_hit: Vec<bool>,
     n_models: usize,
     devices: Vec<DevExtra>,
     /// Per-universe-device execution overhead, amortized when batching
@@ -298,13 +319,20 @@ struct Online {
     sink: Option<ColumnWriter<std::io::BufWriter<std::fs::File>>>,
     // --- workload ---
     /// The lazily pulled merged arrival stream: the driver holds at
-    /// most one future arrival (in `pending_arrival`) plus the
+    /// most one sampled batch (in `arrival_buf`) plus the
     /// constant-size per-source stream states — never the full
     /// materialized schedule.
     stream: WorkloadStream,
-    /// The next arrival, prefetched so its timestamp could be pushed
-    /// onto the event heap.
-    pending_arrival: Option<WorkloadRequest>,
+    /// Upcoming arrivals, sampled in batches so the per-source stream
+    /// merge amortizes; the event queue still holds at most one future
+    /// arrival at a time, and draw order matches one-at-a-time pulls
+    /// exactly (the stream owns its generators). Consumed front to
+    /// back via `arrival_cursor`, then refilled in place — a plain
+    /// `Vec` + index, so the per-arrival reads are straight-line
+    /// indexing with no ring-buffer wrap math.
+    arrival_buf: Vec<WorkloadRequest>,
+    /// Next unconsumed index into `arrival_buf`.
+    arrival_cursor: usize,
     /// Arrival sequence counter (`ReqInfo::seq` of the next arrival).
     next_seq: u64,
     /// Per-class `(deadline_ns, priority)` from the scenario's workload
@@ -329,6 +357,10 @@ struct Online {
     /// `snapshot_every` and doubles whenever `max_windows` forces a
     /// downsample.
     snapshot_stride: u64,
+    /// Outcomes left until the next snapshot — the running remainder
+    /// of `snapshot_stride`, kept so the per-outcome hot path is a
+    /// decrement instead of a 64-bit modulo.
+    until_snapshot: u64,
     /// Snapshot-count cap (`None`: retain every snapshot).
     max_windows: Option<usize>,
     last_snapshot_seen: u64,
@@ -363,11 +395,12 @@ impl Driver for Online {
         let rd = self.res_of_uni[device];
         let mut dur_s = 0.0;
         for &tid in group {
-            let task = &k.tasks[tid];
             dur_s += match rd {
-                Some(rd) => self
-                    .resolved
-                    .compute_time_units(task.module, rd, task.payload.units),
+                Some(rd) => self.resolved.compute_time_units(
+                    k.tasks.module(tid),
+                    rd,
+                    k.tasks.payload(tid).units,
+                ),
                 // Defensive: the device left between queueing and
                 // dispatch (its tasks are normally cancelled first).
                 None => 0.1,
@@ -380,9 +413,9 @@ impl Driver for Online {
         // The leader owns the lane: busy time (and the device's
         // execution count) charges once per merged run, followers ride
         // along at zero.
-        k.tasks[group[0]].payload.dur_ns = dur_ns;
+        k.tasks.payload_mut(group[0]).dur_ns = dur_ns;
         for &tid in &group[1..] {
-            k.tasks[tid].payload.dur_ns = 0;
+            k.tasks.payload_mut(tid).dur_ns = 0;
         }
         Ok(now + dur_ns)
     }
@@ -400,9 +433,8 @@ impl Driver for Online {
         // completions do not charge busy seconds the departed device
         // never finished serving.
         if lane_live {
-            let t = &k.tasks[tid];
-            let dev = &mut self.devices[t.device];
-            dev.usage.busy_s += secs(t.payload.dur_ns);
+            let dev = &mut self.devices[k.tasks.device(tid)];
+            dev.usage.busy_s += secs(k.tasks.payload(tid).dur_ns);
             dev.executions += 1;
         }
         Ok(())
@@ -410,7 +442,7 @@ impl Driver for Online {
 
     #[inline]
     fn encoder_ready_ns(&mut self, k: &mut K, tid: usize, now: u64) -> Result<u64, BoxedErr> {
-        Ok(now + k.tasks[tid].payload.output_tx_ns)
+        Ok(now + k.tasks.payload(tid).output_tx_ns)
     }
 
     fn head_done(&mut self, k: &mut K, req: usize, now: u64) -> Result<(), BoxedErr> {
@@ -425,8 +457,18 @@ impl Driver for Online {
     fn custom(&mut self, k: &mut K, event: ServeEv, now: u64) -> Result<(), BoxedErr> {
         match event {
             ServeEv::Fleet(idx) => {
-                let (kind, at_s) = (self.events[idx].kind.clone(), self.events[idx].at_s);
-                self.fleet_event(k, &kind, at_s, now)
+                // Lend the event's kind to the handler without cloning
+                // its strings: swap a placeholder in, restore after.
+                let at_s = self.events[idx].at_s;
+                let kind = std::mem::replace(
+                    &mut self.events[idx].kind,
+                    FleetEventKind::DeviceJoin {
+                        device: String::new(),
+                    },
+                );
+                let out = self.fleet_event(k, &kind, at_s, now);
+                self.events[idx].kind = kind;
+                out
             }
             ServeEv::Arrival(rid) => {
                 self.arrival(k, rid, now);
@@ -475,35 +517,42 @@ impl Online {
 
     /// Recomputes the per-(model, source) route cache against the
     /// current placement and instance. Called after every placement
-    /// change.
+    /// change. Allocation-free after warm-up: the host table, the
+    /// route/dispatch-order scratch, and the flattened encoder pool all
+    /// refill in place.
     fn refresh_model_routes(&mut self) {
-        let hosts = self.resolved.resolve_placement(&self.placement);
+        self.resolved
+            .resolve_placement_into(&self.placement, &mut self.hosts_scratch);
         let n_sources = self.sources.len();
-        let mut routes = Vec::with_capacity(self.n_models * n_sources);
+        self.model_routes.clear();
+        self.route_encs.clear();
+        let mut route = std::mem::take(&mut self.route_scratch);
+        let mut encs = std::mem::take(&mut self.encs_scratch);
         for m in 0..self.n_models {
             let profile = self.resolved.models()[m].profile;
-            let Some(route) = self.resolved.route_model(m, &profile, &hosts) else {
-                routes.extend((0..n_sources).map(|_| None));
+            if !self
+                .resolved
+                .route_model_into(m, &profile, &self.hosts_scratch, &mut route)
+            {
+                self.model_routes.extend((0..n_sources).map(|_| None));
                 continue;
-            };
+            }
             let &(head_m, head_d) = route.last().expect("route includes the head");
             let head_kind = self.resolved.module_kind(head_m);
             // Dispatch order: longest compute first, module id (==
             // index) breaking ties — Algorithm 1's send rule. Shared by
             // every source (routing ignores the query's origin).
-            let mut encs: Vec<(u32, u32, f64)> = route[..route.len() - 1]
-                .iter()
-                .map(|&(em, ed)| {
-                    let units = profile.units(self.resolved.module_kind(em));
-                    (em, ed, self.resolved.compute_time_units(em, ed, units))
-                })
-                .collect();
+            encs.clear();
+            encs.extend(route[..route.len() - 1].iter().map(|&(em, ed)| {
+                let units = profile.units(self.resolved.module_kind(em));
+                (em, ed, self.resolved.compute_time_units(em, ed, units))
+            }));
             encs.sort_by(|a, b| {
                 b.2.partial_cmp(&a.2)
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| a.0.cmp(&b.0))
             });
-            routes.extend(self.sources.iter().map(|src| {
+            for src in &self.sources {
                 let source = self.res_of_uni[src.uni].expect("sources never leave the fleet");
                 let head_query_tx_ns = if head_kind == ModuleKind::LanguageModel {
                     ns(self.resolved.transfer_time(
@@ -514,45 +563,52 @@ impl Online {
                 } else {
                     0
                 };
-                let encoders = encs
-                    .iter()
-                    .map(|&(em, ed, _)| {
-                        let kind = self.resolved.module_kind(em);
-                        let units = profile.units(kind);
-                        EncRoute {
-                            module: em,
-                            uni: self.uni_of_res[ed as usize],
-                            units,
-                            input_tx_ns: ns(self.resolved.transfer_time(
-                                source,
-                                ed,
-                                profile.input_bytes(kind),
-                            )),
-                            output_tx_ns: ns(self.resolved.transfer_time(
-                                ed,
-                                head_d,
-                                self.resolved.module_spec(em).output_bytes(units),
-                            )),
-                        }
-                    })
-                    .collect();
-                Some(ModelRoute {
+                let enc_start = self.route_encs.len() as u32;
+                self.route_encs.extend(encs.iter().map(|&(em, ed, _)| {
+                    let kind = self.resolved.module_kind(em);
+                    let units = profile.units(kind);
+                    EncRoute {
+                        module: em,
+                        uni: self.uni_of_res[ed as usize],
+                        units,
+                        input_tx_ns: ns(self.resolved.transfer_time(
+                            source,
+                            ed,
+                            profile.input_bytes(kind),
+                        )),
+                        output_tx_ns: ns(self.resolved.transfer_time(
+                            ed,
+                            head_d,
+                            self.resolved.module_spec(em).output_bytes(units),
+                        )),
+                    }
+                }));
+                self.model_routes.push(Some(ModelRoute {
                     head_module: head_m,
                     head_uni: self.uni_of_res[head_d as usize],
                     head_units: profile.units(head_kind),
                     head_query_tx_ns,
-                    encoders,
-                })
-            }));
+                    enc_start,
+                    enc_len: self.route_encs.len() as u32 - enc_start,
+                }));
+            }
         }
-        self.model_routes = routes;
+        self.route_scratch = route;
+        self.encs_scratch = encs;
     }
 
     /// Offers a request to its head device's admission queue.
     fn admit(&mut self, k: &mut K, rid: usize, now: u64) {
-        let (model, source) = {
+        let (model, source, seq, arrival_ns, deadline_ns, priority) = {
             let r = &self.requests[rid];
-            (r.model, r.source)
+            (
+                r.model,
+                r.source,
+                r.seq,
+                r.arrival_ns,
+                r.deadline_ns,
+                r.priority,
+            )
         };
         let Some(head_uni) = self.model_routes[model * self.sources.len() + source]
             .as_ref()
@@ -560,10 +616,6 @@ impl Online {
         else {
             self.record_shed(rid, now);
             return;
-        };
-        let (seq, arrival_ns, deadline_ns, priority) = {
-            let r = &self.requests[rid];
-            (r.seq, r.arrival_ns, r.deadline_ns, r.priority)
         };
         let outcome = self.devices[head_uni].admission.offer(QueuedRequest {
             id: seq,
@@ -607,7 +659,7 @@ impl Online {
             let r = &self.requests[rid];
             (r.model, r.source)
         };
-        let Some(mr) = self.model_routes[model * self.sources.len() + source].as_ref() else {
+        let Some(mr) = self.model_routes[model * self.sources.len() + source] else {
             self.record_shed(rid, now);
             return;
         };
@@ -625,14 +677,20 @@ impl Online {
                 dur_ns: 0,
             },
         );
-        let mut task_ids = Vec::with_capacity(1 + mr.encoders.len());
+        // The attempt's task list rebuilds inside the slot's existing
+        // buffer (taken so the slab borrow does not overlap the kernel
+        // calls below); recycled slots dispatch with zero allocations.
+        let mut task_ids = std::mem::take(&mut self.requests[rid].tasks);
+        task_ids.clear();
         task_ids.push(head_task);
 
         // Ready events push inline: task spawning never touches the
         // event queue, so the push sequence (hence the run) is the same
         // as staging them — without a second per-request allocation.
+        let encs = mr.enc_start as usize..(mr.enc_start + mr.enc_len) as usize;
         let mut pending = 0usize;
-        for e in &mr.encoders {
+        for ei in encs {
+            let e = self.route_encs[ei];
             let tid = k.spawn_task(
                 rid,
                 e.module,
@@ -687,7 +745,8 @@ impl Online {
 
     fn record_outcome(&mut self, outcome: Outcome) {
         self.slo.push(outcome);
-        if self.slo.total_seen().is_multiple_of(self.snapshot_stride) {
+        self.until_snapshot -= 1;
+        if self.until_snapshot == 0 {
             let mut snap = self.slo.snapshot(outcome.completed_at_s);
             snap.utilization = self.fleet_utilization(outcome.completed_at_s);
             self.report.windows.push(snap);
@@ -706,6 +765,11 @@ impl Online {
                     self.snapshot_stride = self.snapshot_stride.saturating_mul(2);
                 }
             }
+            // Re-arm: `total_seen` is a multiple of the old stride, so
+            // against a doubled stride the remainder is 0 or the old
+            // stride — exactly what the modulo formulation produced.
+            let rem = self.slo.total_seen() % self.snapshot_stride;
+            self.until_snapshot = self.snapshot_stride - rem;
         }
     }
 
@@ -787,25 +851,24 @@ impl Online {
             return;
         }
         let rid = handle.slot as usize;
-        let (task_ids, inflight_on) = {
-            let r = &mut self.requests[rid];
-            if r.done {
-                return;
-            }
-            (std::mem::take(&mut r.tasks), r.inflight_on.take())
-        };
-        if let Some(ui) = inflight_on {
+        if self.requests[rid].done {
+            return;
+        }
+        if let Some(ui) = self.requests[rid].inflight_on.take() {
             self.devices[ui].inflight = self.devices[ui].inflight.saturating_sub(1);
         }
-        for tid in task_ids {
-            // Only cancel a task that still belongs to this attempt:
-            // with task recycling, finished slots may already host
-            // another request's task.
-            let t = &mut k.tasks[tid];
-            if t.req == rid && !t.finished {
-                t.cancelled = true;
+        // Cancel in place — the task list is cleared rather than taken,
+        // so the slot keeps its buffer for the next attempt. Only
+        // cancel a task that still belongs to this attempt: with task
+        // recycling, finished slots may already host another request's
+        // task.
+        for i in 0..self.requests[rid].tasks.len() {
+            let tid = self.requests[rid].tasks[i];
+            if k.tasks.req(tid) == rid && !k.tasks.finished(tid) {
+                k.tasks.cancel(tid);
             }
         }
+        self.requests[rid].tasks.clear();
         self.report.retried += 1;
         self.admit(k, rid, now);
     }
@@ -818,12 +881,25 @@ impl Online {
         now: u64,
         migrations: &[s2m3_core::adaptive::Migration],
     ) {
-        let mut per_dev: BTreeMap<String, f64> = BTreeMap::new();
+        // Accumulate per-destination cost in universe-indexed scratch;
+        // the name-ordered sweep below reproduces the event order the
+        // old string-keyed map iteration gave — including the wake-up
+        // pushed for zero-cost destinations.
         for m in migrations {
-            *per_dev.entry(m.to.as_str().to_string()).or_default() += m.cost_s;
+            let ui = self
+                .uni_index(m.to.as_str())
+                .expect("migration target exists");
+            self.migrate_cost[ui] += m.cost_s;
+            self.migrate_hit[ui] = true;
         }
-        for (name, cost) in per_dev {
-            let ui = self.uni_index(&name).expect("migration target exists");
+        for i in 0..self.by_name_order.len() {
+            let ui = self.by_name_order[i];
+            if !self.migrate_hit[ui] {
+                continue;
+            }
+            let cost = self.migrate_cost[ui];
+            self.migrate_hit[ui] = false;
+            self.migrate_cost[ui] = 0.0;
             let dev = &mut k.devices[ui];
             dev.open_at_ns = dev.open_at_ns.max(now + ns(cost));
             // Wake the scheduler when the weights finish loading;
@@ -939,35 +1015,40 @@ impl Online {
             // Scan for stranded live tasks *before* resetting the
             // lanes: with task recycling the reset releases the
             // device's queued task slots, severing their request links.
-            for t in &k.tasks {
-                if !t.cancelled && !t.finished && t.device == ui && !self.requests[t.req].done {
-                    let r = &self.requests[t.req];
-                    disturbed.insert((r.seq, self.requests.handle_of(t.req).pack()));
+            for tid in 0..k.tasks.len() {
+                if k.tasks.cancelled(tid) || k.tasks.finished(tid) || k.tasks.device(tid) != ui {
+                    continue;
+                }
+                let req = k.tasks.req(tid);
+                if !self.requests[req].done {
+                    let seq = self.requests[req].seq;
+                    disturbed.insert((seq, self.requests.handle_of(req).pack()));
                 }
             }
             k.reset_device_lanes(ui);
         }
 
-        let old_placement = self.placement.clone();
         self.rebuild_instance(k).map_err(Box::new)?;
 
         // Replan controller: mandatory switches always apply; optional
         // ones must amortize within the horizon at the observed rate.
+        // (`rebuild_instance` never touches the placement and the gate
+        // only swaps it on accept, so replanning reads the current
+        // placement in place — no clone.)
         let decision =
-            replan(&self.instance, &old_placement).map_err(|e| Box::new(ServeError::Core(e)))?;
+            replan(&self.instance, &self.placement).map_err(|e| Box::new(ServeError::Core(e)))?;
         let accepted = self.gate_and_apply_replan(k, decision, description, at_s, now, 0);
         if !accepted {
-            // Keep serving on the surviving subset of the old placement.
-            let mut surviving = Placement::new();
-            for (m, d) in old_placement.iter() {
-                let survives = self
-                    .uni_index(d.as_str())
-                    .is_some_and(|ui| k.devices[ui].active);
-                if survives {
-                    surviving.place(m.clone(), d.clone());
-                }
-            }
-            self.placement = surviving;
+            // Keep serving on the surviving subset of the old
+            // placement: drop departed hosts in place.
+            let uni_names = &self.uni_names;
+            let devices = &k.devices;
+            self.placement.retain(|_, d| {
+                uni_names
+                    .iter()
+                    .position(|n| n == d.as_str())
+                    .is_some_and(|ui| devices[ui].active)
+            });
         }
         self.refresh_model_routes();
 
@@ -1079,9 +1160,8 @@ impl Online {
         if snap.p95_s <= self.deadline_s {
             return Ok(());
         }
-        let old_placement = self.placement.clone();
         let decision =
-            replan(&self.instance, &old_placement).map_err(|e| Box::new(ServeError::Core(e)))?;
+            replan(&self.instance, &self.placement).map_err(|e| Box::new(ServeError::Core(e)))?;
         if decision.migrations.is_empty() {
             // The breach is real but greedy has nothing better to offer
             // (pure overload): no decision to record.
@@ -1100,12 +1180,33 @@ impl Online {
         Ok(())
     }
 
+    /// Arrivals sampled from the workload stream per buffer refill.
+    const ARRIVAL_BATCH: usize = 64;
+
+    /// The next unscheduled arrival, sampling a fresh batch from the
+    /// stream when the buffer runs dry. Draws stay in stream order, so
+    /// batching is invisible to the generated workload.
+    fn peek_arrival(&mut self) -> Option<&WorkloadRequest> {
+        if self.arrival_cursor == self.arrival_buf.len() {
+            self.arrival_buf.clear();
+            self.arrival_cursor = 0;
+            for _ in 0..Self::ARRIVAL_BATCH {
+                match self.stream.next_request() {
+                    Some(r) => self.arrival_buf.push(r),
+                    None => break,
+                }
+            }
+        }
+        self.arrival_buf.get(self.arrival_cursor)
+    }
+
     fn arrival(&mut self, k: &mut K, rid: usize, now: u64) {
         self.report.arrived += 1;
-        let rec = self
-            .pending_arrival
-            .take()
-            .expect("arrival event fired without a prefetched record");
+        let rec = *self
+            .arrival_buf
+            .get(self.arrival_cursor)
+            .expect("arrival event fired without a buffered record");
+        self.arrival_cursor += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
         debug_assert_eq!(seq as usize, rid);
@@ -1118,23 +1219,26 @@ impl Online {
         if let Some(ci) = rec.class {
             self.class_stats[ci as usize].arrived += 1;
         }
-        let handle = self.requests.insert(ReqInfo {
-            seq,
-            arrival_ns: now,
-            deadline_ns: now + deadline_ns,
-            source: rec.source as usize,
-            model: rec.model as usize,
-            priority,
-            class: rec.class,
-            ..ReqInfo::default()
+        // `insert_with` resets every field in place: a recycled slot
+        // keeps its task buffer's capacity instead of dropping it.
+        let handle = self.requests.insert_with(|r| {
+            r.seq = seq;
+            r.arrival_ns = now;
+            r.deadline_ns = now + deadline_ns;
+            r.source = rec.source as usize;
+            r.model = rec.model as usize;
+            r.priority = priority;
+            r.class = rec.class;
+            r.inflight_on = None;
+            r.tasks.clear();
+            r.done = false;
         });
         let slot = handle.slot as usize;
         k.set_request(slot, RequestSlot::default());
-        // Prefetch the next arrival and schedule it lazily: the event
-        // heap and the driver hold at most one future arrival each.
-        if let Some(next) = self.stream.next_request() {
-            k.push_custom(next.at_ns, ServeEv::Arrival(rid + 1));
-            self.pending_arrival = Some(next);
+        // Schedule the next arrival lazily: the event queue holds at
+        // most one future arrival at a time.
+        if let Some(at_ns) = self.peek_arrival().map(|r| r.at_ns) {
+            k.push_custom(at_ns, ServeEv::Arrival(rid + 1));
         }
         self.admit(k, slot, now);
     }
@@ -1440,7 +1544,7 @@ impl ServeSession {
         //     (bit-for-bit the pre-workload stream).
         let workload = scenario.workload();
         let model_names: Vec<String> = scenario.models.iter().map(|m| m.name.clone()).collect();
-        let mut stream = workload
+        let stream = workload
             .stream(scenario.requests, &model_names)
             .map_err(|e| ServeError::BadScenario(e.to_string()))?;
         let mut sources = Vec::with_capacity(workload.sources.len());
@@ -1459,9 +1563,6 @@ impl ServeSession {
             }
             sources.push(SourceState { name, uni: ui });
         }
-        // Prefetch the first arrival; the rest stay in the generator
-        // and are pulled one at a time as arrival events fire.
-        let pending_arrival = stream.next_request();
         let class_table: Vec<(u64, u32)> = workload
             .classes
             .iter()
@@ -1583,6 +1684,10 @@ impl ServeSession {
                 immediate_head_fire: false,
                 max_batch: batch,
                 recycle_tasks: true,
+                // Adaptive: heap while the in-flight event set stays
+                // small (the measured steady state here), timing wheel
+                // if it ever grows past the spill threshold.
+                scheduler: Scheduler::Auto,
             },
             cap_requests.saturating_mul(max_fanout),
             cap_requests,
@@ -1593,6 +1698,7 @@ impl ServeSession {
             .iter()
             .map(|d| d.exec_overhead_s)
             .collect();
+        let n_uni = uni_names.len();
         let mut driver = Online {
             universe,
             uni_names,
@@ -1605,13 +1711,20 @@ impl ServeSession {
             placement,
             sources,
             model_routes: Vec::new(),
+            route_encs: Vec::new(),
+            hosts_scratch: Vec::new(),
+            route_scratch: Vec::new(),
+            encs_scratch: Vec::new(),
+            migrate_cost: vec![0.0; n_uni],
+            migrate_hit: vec![false; n_uni],
             n_models,
             devices,
             exec_overhead_s,
             requests: Slab::new(streaming, cap_requests),
             sink,
             stream,
-            pending_arrival,
+            arrival_buf: Vec::new(),
+            arrival_cursor: 0,
             next_seq: 0,
             class_table,
             class_names,
@@ -1626,6 +1739,7 @@ impl ServeSession {
             last_slo_eval_ns: 0,
             slo: SloWindow::new(scenario.slo_window.max(1)),
             snapshot_stride: scenario.snapshot_every.max(1) as u64,
+            until_snapshot: scenario.snapshot_every.max(1) as u64,
             max_windows: scenario.max_windows,
             last_snapshot_seen: 0,
             latencies: LatAgg::new(streaming, cap_requests),
@@ -1641,8 +1755,7 @@ impl ServeSession {
             kernel.push_custom(ns(ev.at_s.max(0.0)), ServeEv::Fleet(idx));
         }
         let first_at_ns = driver
-            .pending_arrival
-            .as_ref()
+            .peek_arrival()
             .expect("a non-empty stream yields a first arrival")
             .at_ns;
         kernel.push_custom(first_at_ns, ServeEv::Arrival(0));

@@ -200,6 +200,37 @@ proptest! {
         );
     }
 
+    /// Wheel-specific resumability: pause points landing *inside* a
+    /// level-0 bucket (2^21 ns ≈ 2.1 ms spans) while the near heap is
+    /// part-drained must be invisible. The timing wheel is plain state
+    /// with no drain-ahead, so slicing the run into sub-bucket steps at
+    /// odd nanosecond offsets yields a byte-identical report.
+    #[test]
+    fn pause_mid_bucket_is_byte_invisible(
+        policy in arb_policy(),
+        n in 30usize..90,
+        step_us in 997u64..4999,
+    ) {
+        let s = scenario(
+            policy,
+            ArrivalProcess::Poisson { rate_per_s: 2.0 },
+            Vec::new(),
+            n,
+            "prop/midbucket".to_string(),
+        );
+        let uninterrupted = serve(&s).unwrap();
+        let mut session = ServeSession::new(&s).unwrap();
+        let mut t = 0.0;
+        while !session.is_idle() {
+            // Odd microsecond-scale steps: virtually every pause falls
+            // mid-bucket, often between two same-bucket events.
+            t += step_us as f64 * 1e-6;
+            session.run_until(t).unwrap();
+        }
+        let resumed = session.finish();
+        prop_assert_eq!(&resumed, &uninterrupted);
+    }
+
     /// Windows are time-ordered with coherent percentiles, and device
     /// utilization stays in [0, 1] whatever the churn.
     #[test]

@@ -12,6 +12,15 @@
 //! a pure append-only `Vec` — slot i is always the i-th insertion — so
 //! the exact (non-streaming) serve path runs through the *same* code
 //! with byte-identical slot numbering to the historic `Vec<ReqInfo>`.
+//! In that mode every generation is 0, which gives the hot handle
+//! checks a branch-free fast path (see [`Slab::is_current`]).
+//!
+//! Values and slot state live in separate arrays (`values` /
+//! packed `gen | occupied` words), so handle validation never pulls a
+//! whole `ReqInfo` cache line, and freeing keeps the value in place —
+//! a recycled slot's heap buffers (e.g. a task list) retain their
+//! capacity for the next occupant instead of being dropped to
+//! `T::default()`.
 
 /// A generation-tagged reference to one slab slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,17 +47,16 @@ impl ReqHandle {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Entry<T> {
-    gen: u32,
-    occupied: bool,
-    value: T,
-}
+/// Occupancy flag, packed into each state word's low bit (generation in
+/// the high 31 bits).
+const OCCUPIED: u32 = 1;
 
 /// A generation-checked free-list slab (see the module docs).
 #[derive(Debug, Clone)]
 pub struct Slab<T> {
-    entries: Vec<Entry<T>>,
+    values: Vec<T>,
+    /// Per-slot `generation << 1 | occupied`.
+    state: Vec<u32>,
     free: Vec<u32>,
     recycle: bool,
     live: usize,
@@ -60,7 +68,8 @@ impl<T: Default> Slab<T> {
     /// LIFO before the table grows.
     pub fn new(recycle: bool, capacity: usize) -> Self {
         Slab {
-            entries: Vec::with_capacity(capacity),
+            values: Vec::with_capacity(capacity),
+            state: Vec::with_capacity(capacity),
             free: Vec::new(),
             recycle,
             live: 0,
@@ -70,54 +79,72 @@ impl<T: Default> Slab<T> {
     /// Inserts a value, returning its handle. Reuses a freed slot (and
     /// bumps its generation) when recycling.
     pub fn insert(&mut self, value: T) -> ReqHandle {
+        self.insert_with(|v| *v = value)
+    }
+
+    /// Inserts by resetting a slot in place, returning its handle. On a
+    /// recycled slot `reset` receives the *previous occupant's* value —
+    /// the caller must overwrite every field, and in exchange keeps any
+    /// heap capacity the old value held. Fresh slots receive
+    /// `T::default()`.
+    pub fn insert_with(&mut self, reset: impl FnOnce(&mut T)) -> ReqHandle {
         self.live += 1;
         if self.recycle {
             if let Some(slot) = self.free.pop() {
-                let e = &mut self.entries[slot as usize];
-                debug_assert!(!e.occupied);
-                e.gen = e.gen.wrapping_add(1);
-                e.occupied = true;
-                e.value = value;
-                return ReqHandle { slot, gen: e.gen };
+                let st = &mut self.state[slot as usize];
+                debug_assert!(*st & OCCUPIED == 0);
+                // Bump the generation and re-occupy in one word.
+                *st = st.wrapping_add(2) | OCCUPIED;
+                let gen = *st >> 1;
+                reset(&mut self.values[slot as usize]);
+                return ReqHandle { slot, gen };
             }
         }
-        let slot = self.entries.len() as u32;
-        self.entries.push(Entry {
-            gen: 0,
-            occupied: true,
-            value,
-        });
+        let slot = self.values.len() as u32;
+        let mut value = T::default();
+        reset(&mut value);
+        self.values.push(value);
+        self.state.push(OCCUPIED);
         ReqHandle { slot, gen: 0 }
     }
 
     /// Releases a slot back to the free list (no-op append-only mode
     /// keeps the value in place, preserving slot == insertion rank).
+    /// The value itself is *not* reset — the next [`Slab::insert_with`]
+    /// reuses it in place.
     pub fn free(&mut self, slot: usize) {
-        debug_assert!(self.entries[slot].occupied, "double free of slot {slot}");
+        debug_assert!(
+            self.state[slot] & OCCUPIED != 0,
+            "double free of slot {slot}"
+        );
         if !self.recycle {
             return;
         }
         self.live -= 1;
-        let e = &mut self.entries[slot];
-        e.occupied = false;
-        e.value = T::default();
+        self.state[slot] &= !OCCUPIED;
         self.free.push(slot as u32);
     }
 
     /// The current handle of an occupied slot.
     pub fn handle_of(&self, slot: usize) -> ReqHandle {
-        debug_assert!(self.entries[slot].occupied);
+        debug_assert!(self.state[slot] & OCCUPIED != 0);
         ReqHandle {
             slot: slot as u32,
-            gen: self.entries[slot].gen,
+            gen: self.state[slot] >> 1,
         }
     }
 
     /// Whether `handle` still names the value it was issued for.
+    #[inline]
     pub fn is_current(&self, handle: ReqHandle) -> bool {
-        self.entries
+        // Append-only mode never frees and never bumps generations:
+        // any gen-0 handle inside the table is current, no state load.
+        if !self.recycle {
+            return handle.gen == 0 && (handle.slot as usize) < self.values.len();
+        }
+        self.state
             .get(handle.slot as usize)
-            .is_some_and(|e| e.occupied && e.gen == handle.gen)
+            .is_some_and(|&st| st == (handle.gen << 1) | OCCUPIED)
     }
 
     /// Live (occupied) entries.
@@ -127,34 +154,39 @@ impl<T: Default> Slab<T> {
 
     /// Total slots ever allocated (the table's high-water mark).
     pub fn slots(&self) -> usize {
-        self.entries.len()
+        self.values.len()
     }
 
     /// Iterates occupied `(slot, value)` pairs in slot order.
     pub fn iter_occupied(&self) -> impl Iterator<Item = (usize, &T)> {
-        self.entries
+        self.values
             .iter()
             .enumerate()
-            .filter(|(_, e)| e.occupied)
-            .map(|(i, e)| (i, &e.value))
+            .filter(|&(i, _)| self.state[i] & OCCUPIED != 0)
     }
 }
 
 impl<T> std::ops::Index<usize> for Slab<T> {
     type Output = T;
 
+    #[inline]
     fn index(&self, slot: usize) -> &T {
-        let e = &self.entries[slot];
-        debug_assert!(e.occupied, "read of freed slot {slot}");
-        &e.value
+        debug_assert!(
+            self.state[slot] & OCCUPIED != 0,
+            "read of freed slot {slot}"
+        );
+        &self.values[slot]
     }
 }
 
 impl<T> std::ops::IndexMut<usize> for Slab<T> {
+    #[inline]
     fn index_mut(&mut self, slot: usize) -> &mut T {
-        let e = &mut self.entries[slot];
-        debug_assert!(e.occupied, "write to freed slot {slot}");
-        &mut e.value
+        debug_assert!(
+            self.state[slot] & OCCUPIED != 0,
+            "write to freed slot {slot}"
+        );
+        &mut self.values[slot]
     }
 }
 
@@ -213,5 +245,23 @@ mod tests {
         s.free(3);
         let seen: Vec<(usize, u64)> = s.iter_occupied().map(|(i, &v)| (i, v)).collect();
         assert_eq!(seen, vec![(0, 0), (2, 2), (4, 4)]);
+    }
+
+    #[test]
+    fn insert_with_keeps_recycled_heap_capacity() {
+        let mut s: Slab<Vec<u64>> = Slab::new(true, 2);
+        let a = s.insert_with(|v| v.extend([1, 2, 3]));
+        let cap = s[a.slot as usize].capacity();
+        assert!(cap >= 3);
+        s.free(a.slot as usize);
+        // The freed value keeps its buffer; the next occupant resets
+        // the contents but reuses the allocation.
+        let b = s.insert_with(|v| {
+            v.clear();
+            v.push(9);
+        });
+        assert_eq!(b.slot, a.slot);
+        assert_eq!(s[b.slot as usize], vec![9]);
+        assert!(s[b.slot as usize].capacity() >= cap);
     }
 }

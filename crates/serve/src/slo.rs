@@ -47,7 +47,10 @@ impl SloWindow {
         } else {
             self.buf[self.head] = outcome;
         }
-        self.head = (self.head + 1) % self.capacity;
+        self.head += 1;
+        if self.head == self.capacity {
+            self.head = 0;
+        }
         self.seen += 1;
     }
 

@@ -19,7 +19,7 @@ use s2m3_core::problem::{Instance, Request, Route};
 use s2m3_core::resolved::ResolvedInstance;
 use s2m3_models::module::ModuleKind;
 
-use crate::kernel::{Device, Driver, Kernel, Policy, RequestSlot};
+use crate::kernel::{Device, Driver, Kernel, Policy, RequestSlot, Scheduler};
 use crate::report::{GanttSpan, Phase, RequestTiming, SimReport};
 
 /// Simulation options.
@@ -124,19 +124,19 @@ impl Driver for Bounded<'_> {
         group: &[usize],
         now: u64,
     ) -> Result<u64, SimError> {
-        let dur: f64 = group.iter().map(|&g| k.tasks[g].payload.dur).sum::<f64>()
+        let dur: f64 = group.iter().map(|&g| k.tasks.payload(g).dur).sum::<f64>()
             - (group.len() as f64 - 1.0) * self.exec_overhead[device];
         let start = secs(now);
         let end = start + dur;
         for &g in group {
-            let t = &k.tasks[g];
+            let module = k.tasks.module(g);
             self.report.spans.push(GanttSpan {
                 device: self.resolved.device_name(device as u32).clone(),
-                request: Some(t.payload.request),
-                phase: if t.is_head {
-                    Phase::Head(self.resolved.module_name(t.module).clone())
+                request: Some(k.tasks.payload(g).request),
+                phase: if k.tasks.is_head(g) {
+                    Phase::Head(self.resolved.module_name(module).clone())
                 } else {
-                    Phase::Encode(self.resolved.module_name(t.module).clone())
+                    Phase::Encode(self.resolved.module_name(module).clone())
                 },
                 start,
                 end,
@@ -151,14 +151,14 @@ impl Driver for Bounded<'_> {
         tid: usize,
         now: u64,
     ) -> Result<u64, SimError> {
-        let info = k.tasks[tid].payload;
+        let info = *k.tasks.payload(tid);
         if info.output_tx > 0.0 {
-            let req = k.tasks[tid].req;
-            let head_dev = k.tasks[k.requests[req].head_task].device;
+            let req = k.tasks.req(tid);
+            let head_dev = k.tasks.device(k.requests[req].head_task);
             self.report.spans.push(GanttSpan {
                 device: self.resolved.device_name(head_dev as u32).clone(),
                 request: Some(info.request),
-                phase: Phase::OutputTx(self.resolved.module_name(k.tasks[tid].module).clone()),
+                phase: Phase::OutputTx(self.resolved.module_name(k.tasks.module(tid)).clone()),
                 start: secs(now),
                 end: secs(now) + info.output_tx,
             });
@@ -305,6 +305,9 @@ pub fn simulate_shared(
             // The Gantt chart indexes spans by task id; ids must stay
             // append-only.
             recycle_tasks: false,
+            // Bounded sims seed a small event set and drain once; the
+            // wheel's frontier bookkeeping buys nothing there.
+            scheduler: Scheduler::Auto,
         },
         tasks_cap,
         plan.routed.len(),

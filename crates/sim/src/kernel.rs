@@ -47,6 +47,8 @@
 //! and resuming later is indistinguishable from an uninterrupted run —
 //! the property `s2m3-serve` pins with its pause/resume proptest.
 
+pub mod wheel;
+
 use std::collections::VecDeque;
 
 /// A kernel event. `X` is the driver's custom-event payload.
@@ -65,34 +67,146 @@ enum Event<X> {
     Custom(X),
 }
 
-/// One executable unit of work: a module execution on a device.
-///
-/// `P` is the driver's per-task payload (durations, transfer times —
-/// whatever its timing hooks need), stored inline so the shared loop
-/// and the hooks touch one cache line per task instead of parallel
-/// tables.
-#[derive(Debug, Clone)]
-pub struct Task<P> {
+/// Task flag bits (packed into [`TaskMeta::flags`]).
+const TASK_HEAD: u8 = 1;
+const TASK_CANCELLED: u8 = 1 << 1;
+const TASK_FINISHED: u8 = 1 << 2;
+
+/// The kernel-facing half of a task, 24 bytes: everything the shared
+/// event loop reads while scheduling.
+#[derive(Debug, Clone, Copy)]
+struct TaskMeta {
     /// Dense request index this task belongs to.
-    pub req: usize,
+    req: u32,
     /// Interned module index (batch-merge key).
-    pub module: u32,
+    module: u32,
     /// Dense device index the task executes on.
-    pub device: usize,
-    /// Head tasks dispatch ahead of queued encoder work.
-    pub is_head: bool,
-    /// A cancelled task is skipped at dispatch and, if already running,
-    /// completes without touching its request.
-    pub cancelled: bool,
+    device: u32,
+    /// `TASK_HEAD` / `TASK_CANCELLED` / `TASK_FINISHED` bits.
+    flags: u8,
     /// The device's lane epoch when this task was dispatched; a stale
     /// epoch means the lane counter was force-reset (the device left
     /// the fleet) and this task no longer holds a lane.
-    pub lane_epoch: u64,
-    /// Set when the task's completion event fired: its work has left
+    lane_epoch: u64,
+}
+
+/// The task table, struct-of-arrays: scheduling metadata in one dense
+/// vec, driver payloads (durations, transfer times — whatever the
+/// timing hooks need) in a parallel vec.
+///
+/// The split keeps the event loop's working set tight: dispatch,
+/// cancellation scans, and fan-in bookkeeping walk 24-byte
+/// [`TaskMeta`] records (the serve driver's payload alone is twice
+/// that), and a payload is only loaded inside the driver hook that
+/// actually prices the task.
+#[derive(Debug)]
+pub struct TaskTable<P> {
+    entries: Vec<TaskEntry<P>>,
+}
+
+/// One task row: scheduling metadata and the driver payload side by
+/// side. Interleaved on purpose — every hot consumer (dispatch fixes a
+/// duration right after reading units, completion charges busy time
+/// next to the device index) touches both halves of the same task, so
+/// one row per cache line beats a meta/payload split. A split-array
+/// variant was measured ~4% slower end to end on the serve loop.
+#[derive(Debug, Clone)]
+struct TaskEntry<P> {
+    meta: TaskMeta,
+    payload: P,
+}
+
+impl<P> TaskTable<P> {
+    fn with_capacity(cap: usize) -> Self {
+        TaskTable {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Task-table slots (live plus, in recycling mode, free).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no task was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Dense request index `tid` belongs to.
+    #[inline]
+    pub fn req(&self, tid: usize) -> usize {
+        self.entries[tid].meta.req as usize
+    }
+
+    /// Interned module index (batch-merge key).
+    #[inline]
+    pub fn module(&self, tid: usize) -> u32 {
+        self.entries[tid].meta.module
+    }
+
+    /// Dense device index `tid` executes on.
+    #[inline]
+    pub fn device(&self, tid: usize) -> usize {
+        self.entries[tid].meta.device as usize
+    }
+
+    /// Head tasks dispatch ahead of queued encoder work.
+    #[inline]
+    pub fn is_head(&self, tid: usize) -> bool {
+        self.entries[tid].meta.flags & TASK_HEAD != 0
+    }
+
+    /// A cancelled task is skipped at dispatch and, if already running,
+    /// completes without touching its request.
+    #[inline]
+    pub fn cancelled(&self, tid: usize) -> bool {
+        self.entries[tid].meta.flags & TASK_CANCELLED != 0
+    }
+
+    /// Set once the task's completion event fired: its work has left
     /// the device, so later churn no longer disturbs it.
-    pub finished: bool,
-    /// Driver-defined payload, fixed at [`Kernel::spawn_task`].
-    pub payload: P,
+    #[inline]
+    pub fn finished(&self, tid: usize) -> bool {
+        self.entries[tid].meta.flags & TASK_FINISHED != 0
+    }
+
+    /// Marks `tid` cancelled (see [`TaskTable::cancelled`]).
+    #[inline]
+    pub fn cancel(&mut self, tid: usize) {
+        self.entries[tid].meta.flags |= TASK_CANCELLED;
+    }
+
+    /// Driver payload fixed at [`Kernel::spawn_task`].
+    #[inline]
+    pub fn payload(&self, tid: usize) -> &P {
+        &self.entries[tid].payload
+    }
+
+    /// Mutable driver payload (timing hooks fix durations here).
+    #[inline]
+    pub fn payload_mut(&mut self, tid: usize) -> &mut P {
+        &mut self.entries[tid].payload
+    }
+
+    #[inline]
+    fn mark_finished(&mut self, tid: usize) {
+        self.entries[tid].meta.flags |= TASK_FINISHED;
+    }
+
+    #[inline]
+    fn set_lane_epoch(&mut self, tid: usize, epoch: u64) {
+        self.entries[tid].meta.lane_epoch = epoch;
+    }
+
+    /// Marks `tid` finished and returns its (updated) metadata — the
+    /// completion path's single meta load.
+    #[inline]
+    fn finish(&mut self, tid: usize) -> TaskMeta {
+        let m = &mut self.entries[tid].meta;
+        m.flags |= TASK_FINISHED;
+        *m
+    }
 }
 
 /// Per-device executor state: a `lanes_total`-lane machine over two FIFO
@@ -153,6 +267,27 @@ pub struct RequestSlot {
     pub head_task: usize,
 }
 
+/// Which event-queue implementation backs the kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Adapt to the workload at runtime: start on the heap and spill
+    /// into the timing wheel only if the pending set ever exceeds
+    /// [`WHEEL_SPILL_LEN`]. Interleaved A/B runs measured the heap
+    /// fastest for the steady-state serve loop (a handful of in-flight
+    /// events — heap depth ~2, while every wheel event still pays
+    /// bucket routing plus a frontier advance) and the two at parity
+    /// by ~2k pending events, where heap depth starts to matter; the
+    /// spill threshold sits past that crossover so only genuinely
+    /// event-dense runs migrate. Both backends pop in identical
+    /// `(time_ns, seq)` order, so the switch is invisible in results.
+    #[default]
+    Auto,
+    /// Always the 4-ary packed-key min-heap.
+    Heap,
+    /// Always the hierarchical timing wheel ([`wheel::TimingWheel`]).
+    Wheel,
+}
+
 /// Scheduling-policy knobs that differ between the two engines but are
 /// fixed for a run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -174,10 +309,13 @@ pub struct Policy {
     /// append-only meaning; drivers that index history by task id
     /// (the bounded engine's Gantt spans) must leave this `false`.
     pub recycle_tasks: bool,
+    /// Event-queue implementation; see [`Scheduler`].
+    pub scheduler: Scheduler,
 }
 
-/// The kernel's event queue: a 4-ary min-heap over packed
-/// `(time_ns << 64) | seq` keys, stored as parallel key/payload arrays.
+/// A 4-ary min-heap over packed `(time_ns << 64) | seq` keys, stored
+/// as parallel key/payload arrays — the kernel's bounded-run scheduler
+/// and the timing wheel's near-window heap.
 ///
 /// Profiling the serve loop showed the event heap near the top of the
 /// hook-boundary cost added in the kernel extraction. Three structural
@@ -189,7 +327,7 @@ pub struct Policy {
 ///   payload;
 /// - **parallel arrays** — sift comparisons walk a dense `Vec<u128>`
 ///   (a 4-child group is 64 bytes, one cache line) and never load the
-///   events; payloads move only when a compare demands it;
+///   payloads; payloads move only when a compare demands it;
 /// - **arity 4** — half the tree depth of a binary heap, and a direct
 ///   sift-down that beats std's sift-to-bottom-then-back strategy on
 ///   the *small* heaps the lazy-arrival serving loop keeps (std's
@@ -201,38 +339,38 @@ pub struct Policy {
 /// Ordering is bit-exact with the old `BinaryHeap<Reverse<(u64, u64,
 /// Event)>>`: keys are unique, min-first by time then push sequence.
 #[derive(Debug)]
-struct EventHeap<X> {
+pub(crate) struct KeyHeap<T> {
     keys: Vec<u128>,
-    events: Vec<Event<X>>,
+    items: Vec<T>,
 }
 
-impl<X> EventHeap<X> {
+impl<T> KeyHeap<T> {
     const ARITY: usize = 4;
 
-    fn with_capacity(cap: usize) -> Self {
-        EventHeap {
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        KeyHeap {
             keys: Vec::with_capacity(cap),
-            events: Vec::with_capacity(cap),
+            items: Vec::with_capacity(cap),
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.keys.len()
     }
 
-    fn peek_key(&self) -> Option<u128> {
+    pub(crate) fn peek_key(&self) -> Option<u128> {
         self.keys.first().copied()
     }
 
     #[inline]
     fn swap(&mut self, a: usize, b: usize) {
         self.keys.swap(a, b);
-        self.events.swap(a, b);
+        self.items.swap(a, b);
     }
 
-    fn push(&mut self, key: u128, event: Event<X>) {
+    pub(crate) fn push(&mut self, key: u128, item: T) {
         self.keys.push(key);
-        self.events.push(event);
+        self.items.push(item);
         // Sift up. Events pushed in time order (the common case: work
         // scheduled at or after `now` into a heap whose root is `now`)
         // settle with zero swaps.
@@ -247,11 +385,11 @@ impl<X> EventHeap<X> {
         }
     }
 
-    fn pop(&mut self) -> Option<(u128, Event<X>)> {
+    pub(crate) fn pop(&mut self) -> Option<(u128, T)> {
         let key = *self.keys.first()?;
         let n = self.keys.len() - 1;
         self.keys.swap_remove(0);
-        let event = self.events.swap_remove(0);
+        let item = self.items.swap_remove(0);
         // Sift down, comparing keys only; the displaced last entry
         // rides down to its slot.
         let mut i = 0;
@@ -275,7 +413,91 @@ impl<X> EventHeap<X> {
             self.swap(i, min);
             i = min;
         }
-        Some((key, event))
+        Some((key, item))
+    }
+}
+
+/// Pending-event count past which an [`Scheduler::Auto`] queue drains
+/// its heap into the timing wheel. Measured crossover: heap and wheel
+/// run at parity near 2k pending events (`kernel_step/2k_req_fanout`);
+/// below that the heap wins outright, above it heap depth keeps
+/// growing while the wheel's per-event cost stays flat.
+const WHEEL_SPILL_LEN: usize = 4096;
+
+/// The kernel's event queue: heap, timing wheel, or the adaptive
+/// default that starts as a heap and spills into a wheel, per
+/// [`Policy::scheduler`] — dispatched through one enum so the run loop
+/// stays monomorphic over drivers (no dyn indirection per event).
+#[derive(Debug)]
+enum EventQueue<X> {
+    Heap(KeyHeap<Event<X>>),
+    Wheel(wheel::TimingWheel<Event<X>>),
+    /// [`Scheduler::Auto`]: a heap that converts itself into
+    /// [`EventQueue::Wheel`] the first time a push lands while more
+    /// than [`WHEEL_SPILL_LEN`] events are pending. The one-time drain
+    /// is O(n log n); both backends pop in the same global order, so
+    /// results are byte-identical wherever the switch happens.
+    Adaptive(KeyHeap<Event<X>>),
+}
+
+impl<X> EventQueue<X> {
+    fn for_policy(policy: &Policy, cap: usize) -> Self {
+        match policy.scheduler {
+            Scheduler::Auto => EventQueue::Adaptive(KeyHeap::with_capacity(cap)),
+            Scheduler::Heap => EventQueue::Heap(KeyHeap::with_capacity(cap)),
+            Scheduler::Wheel => EventQueue::Wheel(wheel::TimingWheel::with_capacity(cap)),
+        }
+    }
+
+    #[inline(always)]
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(h) | EventQueue::Adaptive(h) => h.len(),
+            EventQueue::Wheel(w) => w.len(),
+        }
+    }
+
+    #[inline(always)]
+    fn peek_key(&self) -> Option<u128> {
+        match self {
+            EventQueue::Heap(h) | EventQueue::Adaptive(h) => h.peek_key(),
+            EventQueue::Wheel(w) => w.peek_key(),
+        }
+    }
+
+    #[inline(always)]
+    fn push(&mut self, key: u128, event: Event<X>) {
+        match self {
+            EventQueue::Heap(h) => h.push(key, event),
+            EventQueue::Wheel(w) => w.push(key, event),
+            EventQueue::Adaptive(h) => {
+                h.push(key, event);
+                if h.len() > WHEEL_SPILL_LEN {
+                    self.spill_to_wheel();
+                }
+            }
+        }
+    }
+
+    /// Converts an [`EventQueue::Adaptive`] heap into a wheel by
+    /// draining it in key order (cold: runs at most once per kernel).
+    fn spill_to_wheel(&mut self) {
+        let EventQueue::Adaptive(h) = self else {
+            unreachable!("spill_to_wheel on a non-adaptive queue");
+        };
+        let mut w = wheel::TimingWheel::with_capacity(h.len());
+        while let Some((k, ev)) = h.pop() {
+            w.push(k, ev);
+        }
+        *self = EventQueue::Wheel(w);
+    }
+
+    #[inline(always)]
+    fn pop(&mut self) -> Option<(u128, Event<X>)> {
+        match self {
+            EventQueue::Heap(h) | EventQueue::Adaptive(h) => h.pop(),
+            EventQueue::Wheel(w) => w.pop(),
+        }
     }
 }
 
@@ -373,7 +595,7 @@ pub trait Driver: Sized {
 /// the pushes (the determinism both report formats rely on).
 #[derive(Debug)]
 pub struct Kernel<X, P> {
-    queue: EventHeap<X>,
+    queue: EventQueue<X>,
     seq: u64,
     now: u64,
     /// Reused dispatch-group buffer (one allocation for the whole run).
@@ -391,7 +613,7 @@ pub struct Kernel<X, P> {
     /// append-only (cancelled tasks are skipped, never removed); with
     /// it, slots of provably-unreferenced tasks return to `free_tasks`
     /// and are reused, keeping the table O(in-flight).
-    pub tasks: Vec<Task<P>>,
+    pub tasks: TaskTable<P>,
     /// Released task slots awaiting reuse (recycling mode only).
     free_tasks: Vec<usize>,
     /// Per-request fan-in state, indexed by dense request id.
@@ -418,14 +640,14 @@ impl<X, P> Kernel<X, P> {
             // arrivals keep it tiny; bounded runs fan in); a clamped
             // hint skips the growth reallocations without pinning
             // megabytes for huge request tables.
-            queue: EventHeap::with_capacity(tasks_cap.min(4096)),
+            queue: EventQueue::for_policy(&policy, tasks_cap.min(4096)),
             seq: 0,
             now: 0,
             scratch_group: Vec::new(),
             policy,
             module_batch_caps: Vec::new(),
             devices,
-            tasks: Vec::with_capacity(tasks_cap),
+            tasks: TaskTable::with_capacity(tasks_cap),
             free_tasks: Vec::new(),
             requests: Vec::with_capacity(requests_cap),
         }
@@ -490,24 +712,21 @@ impl<X, P> Kernel<X, P> {
         is_head: bool,
         payload: P,
     ) -> usize {
-        let task = Task {
-            req,
+        let meta = TaskMeta {
+            req: req as u32,
             module,
-            device,
-            is_head,
-            cancelled: false,
+            device: device as u32,
+            flags: if is_head { TASK_HEAD } else { 0 },
             lane_epoch: 0,
-            finished: false,
-            payload,
         };
         if self.policy.recycle_tasks {
             if let Some(tid) = self.free_tasks.pop() {
-                self.tasks[tid] = task;
+                self.tasks.entries[tid] = TaskEntry { meta, payload };
                 return tid;
             }
         }
         let tid = self.tasks.len();
-        self.tasks.push(task);
+        self.tasks.entries.push(TaskEntry { meta, payload });
         tid
     }
 
@@ -530,13 +749,13 @@ impl<X, P> Kernel<X, P> {
     pub fn reset_device_lanes(&mut self, di: usize) {
         if self.policy.recycle_tasks {
             while let Some(t) = self.devices[di].fifo_heads.pop_front() {
-                self.tasks[t].cancelled = true;
-                self.tasks[t].finished = true;
+                self.tasks.cancel(t);
+                self.tasks.mark_finished(t);
                 self.free_tasks.push(t);
             }
             while let Some(t) = self.devices[di].fifo.pop_front() {
-                self.tasks[t].cancelled = true;
-                self.tasks[t].finished = true;
+                self.tasks.cancel(t);
+                self.tasks.mark_finished(t);
                 self.free_tasks.push(t);
             }
         }
@@ -562,9 +781,9 @@ impl<X, P> Kernel<X, P> {
         self.now = now;
         match event {
             Event::Ready(tid) => {
-                if !self.tasks[tid].cancelled {
-                    let di = self.tasks[tid].device;
-                    if self.tasks[tid].is_head {
+                if !self.tasks.cancelled(tid) {
+                    let di = self.tasks.device(tid);
+                    if self.tasks.is_head(tid) {
                         self.devices[di].fifo_heads.push_back(tid);
                     } else {
                         self.devices[di].fifo.push_back(tid);
@@ -573,7 +792,7 @@ impl<X, P> Kernel<X, P> {
                 } else {
                     // Cancelled before it ever queued: this `Ready` was
                     // the task's only reference.
-                    self.tasks[tid].finished = true;
+                    self.tasks.mark_finished(tid);
                     self.release_task(tid);
                 }
             }
@@ -696,14 +915,14 @@ impl<X, P> Kernel<X, P> {
                     }
                     let mut next = None;
                     while let Some(t) = d.fifo_heads.pop_front().or_else(|| d.fifo.pop_front()) {
-                        if !self.tasks[t].cancelled {
+                        if !self.tasks.cancelled(t) {
                             next = Some(t);
                             break;
                         }
                         // A popped cancelled task leaves its last
                         // reference behind.
                         if self.policy.recycle_tasks {
-                            self.tasks[t].finished = true;
+                            self.tasks.mark_finished(t);
                             self.free_tasks.push(t);
                         }
                     }
@@ -711,7 +930,7 @@ impl<X, P> Kernel<X, P> {
                         return Ok(());
                     };
                     d.lanes_busy += 1;
-                    self.tasks[tid].lane_epoch = d.lane_epoch;
+                    self.tasks.set_lane_epoch(tid, d.lane_epoch);
                     tid
                 };
                 let end = driver.dispatched(self, di, &[tid], now)?;
@@ -732,12 +951,12 @@ impl<X, P> Kernel<X, P> {
                 // Next non-cancelled task, heads first.
                 let mut next = None;
                 while let Some(t) = d.fifo_heads.pop_front().or_else(|| d.fifo.pop_front()) {
-                    if !self.tasks[t].cancelled {
+                    if !self.tasks.cancelled(t) {
                         next = Some(t);
                         break;
                     }
                     if self.policy.recycle_tasks {
-                        self.tasks[t].finished = true;
+                        self.tasks.mark_finished(t);
                         self.free_tasks.push(t);
                     }
                 }
@@ -751,15 +970,14 @@ impl<X, P> Kernel<X, P> {
                 if let Some(global_cap) = self.policy.max_batch {
                     let cap = self
                         .module_batch_caps
-                        .get(self.tasks[tid].module as usize)
+                        .get(self.tasks.module(tid) as usize)
                         .copied()
                         .unwrap_or(global_cap);
                     while group.len() < cap {
                         let Some(&peek) = d.fifo.front() else { break };
-                        let t = &self.tasks[peek];
-                        if t.cancelled
-                            || t.is_head != self.tasks[tid].is_head
-                            || t.module != self.tasks[tid].module
+                        if self.tasks.cancelled(peek)
+                            || self.tasks.is_head(peek) != self.tasks.is_head(tid)
+                            || self.tasks.module(peek) != self.tasks.module(tid)
                         {
                             break;
                         }
@@ -769,7 +987,7 @@ impl<X, P> Kernel<X, P> {
                 d.lanes_busy += 1;
                 let epoch = d.lane_epoch;
                 for &g in &group {
-                    self.tasks[g].lane_epoch = epoch;
+                    self.tasks.set_lane_epoch(g, epoch);
                 }
             }
             let end = driver.dispatched(self, di, &group, now)?;
@@ -800,9 +1018,14 @@ impl<X, P> Kernel<X, P> {
         driver: &mut D,
     ) -> Result<(), D::Error> {
         let (di, req, is_head, lane_epoch, cancelled) = {
-            let t = &mut self.tasks[tid];
-            t.finished = true;
-            (t.device, t.req, t.is_head, t.lane_epoch, t.cancelled)
+            let m = self.tasks.finish(tid);
+            (
+                m.device as usize,
+                m.req as usize,
+                m.flags & TASK_HEAD != 0,
+                m.lane_epoch,
+                m.flags & TASK_CANCELLED != 0,
+            )
         };
         let lane_live = frees_lane && self.devices[di].lane_epoch == lane_epoch;
         if lane_live {
@@ -827,7 +1050,7 @@ impl<X, P> Kernel<X, P> {
                     // Enqueue directly so the head wins the lane this
                     // encoder just freed, ahead of later requests'
                     // queued work.
-                    let hdi = self.tasks[head_task].device;
+                    let hdi = self.tasks.device(head_task);
                     self.devices[hdi].fifo_heads.push_back(head_task);
                     if hdi != di {
                         self.try_dispatch(hdi, now, driver)?;
@@ -949,6 +1172,7 @@ mod tests {
                     immediate_head_fire: immediate,
                     max_batch: None,
                     recycle_tasks: false,
+                    scheduler: Scheduler::Auto,
                 },
             );
             let mut d = fixed(10);
@@ -1024,7 +1248,7 @@ mod tests {
         seed_fanout(&mut k);
         // Cancel one queued encoder before it runs: the head must never
         // fire (pending_encoders stays at 1).
-        k.tasks[2].cancelled = true;
+        k.tasks.cancel(2);
         k.run_until_idle(&mut d).unwrap();
         assert!(d.heads.is_empty());
         assert_eq!(k.requests[0].pending_encoders, 1);
@@ -1048,7 +1272,7 @@ mod tests {
         k.step(&mut d).unwrap();
         assert_eq!(k.devices[0].lanes_busy, 1);
         k.devices[0].reset_lanes();
-        k.tasks[t].cancelled = true;
+        k.tasks.cancel(t);
         k.run_until_idle(&mut d).unwrap();
         // The stale completion neither underflows the counter nor
         // revives the lane.
@@ -1058,7 +1282,7 @@ mod tests {
 
     #[test]
     fn event_heap_pops_in_key_order() {
-        let mut h: EventHeap<u32> = EventHeap::with_capacity(0);
+        let mut h: KeyHeap<Event<u32>> = KeyHeap::with_capacity(0);
         // Keys deliberately pushed out of order, with same-time entries
         // distinguished only by sequence (low 64 bits).
         let keys: [(u64, u64); 7] = [(5, 2), (1, 9), (5, 1), (0, 3), (9, 4), (1, 8), (0, 7)];
@@ -1085,6 +1309,7 @@ mod tests {
                 immediate_head_fire: false,
                 max_batch: Some(4),
                 recycle_tasks: false,
+                scheduler: Scheduler::Auto,
             },
         );
         k.module_batch_caps = caps;
@@ -1128,6 +1353,7 @@ mod tests {
                 immediate_head_fire: false,
                 max_batch: Some(4),
                 recycle_tasks: false,
+                scheduler: Scheduler::Auto,
             },
         );
         let mut d = fixed(10);
@@ -1164,6 +1390,7 @@ mod tests {
                     immediate_head_fire: false,
                     max_batch: None,
                     recycle_tasks: recycle,
+                    scheduler: Scheduler::Auto,
                 },
             );
             let mut d = fixed(10);
@@ -1206,6 +1433,7 @@ mod tests {
                 immediate_head_fire: false,
                 max_batch: None,
                 recycle_tasks: true,
+                scheduler: Scheduler::Auto,
             },
         );
         let mut d = fixed(10);
@@ -1230,9 +1458,41 @@ mod tests {
         // Queued tasks released immediately; the running one only when
         // its (stale) completion fires.
         assert_eq!(k.live_tasks(), 1);
-        k.tasks[0].cancelled = true;
+        k.tasks.cancel(0);
         k.run_until_idle(&mut d).unwrap();
         assert_eq!(k.live_tasks(), 0);
         assert_eq!(k.devices[0].lanes_busy, 0);
+    }
+    /// An `Auto` queue runs as a heap while small and spills into the
+    /// timing wheel — preserving exact pop order — once the pending
+    /// set crosses [`WHEEL_SPILL_LEN`].
+    #[test]
+    fn adaptive_queue_spills_to_wheel_in_order() {
+        let mut q: EventQueue<()> = EventQueue::for_policy(&Policy::default(), 16);
+        assert!(matches!(q, EventQueue::Adaptive(_)));
+        // A deterministic scatter of times, including duplicates.
+        let n = WHEEL_SPILL_LEN + 500;
+        let mut keys: Vec<u128> = Vec::with_capacity(n);
+        let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+        for seq in 0..n as u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let t = x >> 20; // ~44-bit times: spans several wheel levels
+            keys.push(((t as u128) << 64) | u128::from(seq));
+        }
+        for &k in &keys {
+            q.push(k, Event::Ready(0));
+        }
+        assert!(
+            matches!(q, EventQueue::Wheel(_)),
+            "queue should have spilled past {WHEEL_SPILL_LEN} pending"
+        );
+        keys.sort_unstable();
+        for &expect in &keys {
+            assert_eq!(q.peek_key(), Some(expect));
+            assert_eq!(q.pop().map(|(k, _)| k), Some(expect));
+        }
+        assert_eq!(q.pop().map(|(k, _)| k), None);
     }
 }

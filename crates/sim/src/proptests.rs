@@ -5,6 +5,8 @@ use proptest::prelude::*;
 use s2m3_core::plan::Plan;
 use s2m3_core::problem::Instance;
 
+use crate::kernel::wheel::TimingWheel;
+use crate::kernel::KeyHeap;
 use crate::workload::{
     latency_stats, mixed_stream, ArrivalProcess, ModelMix, ModelWeight, SourceSpec, WorkloadSpec,
 };
@@ -55,6 +57,47 @@ fn arb_arrival_process() -> impl Strategy<Value = ArrivalProcess> {
         proptest::collection::vec(-1.0f64..5.0, 0..8)
             .prop_map(|inter_arrival_s| ArrivalProcess::Trace { inter_arrival_s }),
     ]
+}
+
+/// One step of an interleaved push/pop schedule against the event
+/// queue (`(time_ns, seq)` packed keys).
+#[derive(Debug, Clone)]
+enum WheelOp {
+    /// Push `count` events at `clock + offset_ns` — bursts (`count > 1`)
+    /// land on the same tick, exercising seq-order tie-breaks.
+    Push { offset_ns: u64, count: usize },
+    /// Pop up to `n` events, comparing wheel and heap step by step.
+    Pop(usize),
+}
+
+/// Arbitrary serve-shaped schedules: mostly in-window offsets, some
+/// spilling into the coarse levels, some far past the wheel horizon
+/// (the overflow list), plus a near-`u64::MAX` saturation point.
+fn arb_offset_ns() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..5_000_000,
+        0u64..5_000_000,
+        0u64..500_000_000,
+        1_000_000_000u64..50_000_000_000_000,
+        Just(u64::MAX / 2),
+    ]
+}
+
+fn arb_wheel_ops() -> impl Strategy<Value = Vec<WheelOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (arb_offset_ns(), 1usize..5)
+                .prop_map(|(offset_ns, count)| WheelOp::Push { offset_ns, count }),
+            (arb_offset_ns(), 1usize..5)
+                .prop_map(|(offset_ns, count)| WheelOp::Push { offset_ns, count }),
+            (1usize..8).prop_map(WheelOp::Pop),
+        ],
+        1..250,
+    )
+}
+
+fn pack(time_ns: u64, seq: u64) -> u128 {
+    (u128::from(time_ns) << 64) | u128::from(seq)
 }
 
 proptest! {
@@ -304,5 +347,58 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The timing wheel is a drop-in replacement for the packed-key
+    /// heap: under arbitrary interleaved push/pop schedules — same-tick
+    /// bursts, far-future overflow spills, `u64`-saturating times — the
+    /// two structures pop identical `(key, item)` sequences and agree
+    /// on every intermediate `peek_key`.
+    #[test]
+    fn wheel_matches_heap_on_arbitrary_streams(ops in arb_wheel_ops()) {
+        let mut wheel: TimingWheel<u64> = TimingWheel::default();
+        let mut heap: KeyHeap<u64> = KeyHeap::with_capacity(0);
+        let mut seq = 0u64;
+        // Pushes ride the popped clock, like the kernel's `now`-anchored
+        // event pushes; the wheel itself accepts any time order.
+        let mut clock = 0u64;
+        for op in ops {
+            match op {
+                WheelOp::Push { offset_ns, count } => {
+                    for _ in 0..count {
+                        let key = pack(clock.saturating_add(offset_ns), seq);
+                        wheel.push(key, seq);
+                        heap.push(key, seq);
+                        seq += 1;
+                    }
+                }
+                WheelOp::Pop(n) => {
+                    for _ in 0..n {
+                        prop_assert_eq!(wheel.peek_key(), heap.peek_key());
+                        let (w, h) = (wheel.pop(), heap.pop());
+                        prop_assert_eq!(&w, &h);
+                        match w {
+                            Some((key, _)) => clock = (key >> 64) as u64,
+                            None => break,
+                        }
+                    }
+                }
+            }
+        }
+        // Drain the tail: every remaining event pops in identical order.
+        loop {
+            prop_assert_eq!(wheel.peek_key(), heap.peek_key());
+            prop_assert_eq!(wheel.len(), heap.len());
+            let (w, h) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(&w, &h);
+            if w.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
     }
 }

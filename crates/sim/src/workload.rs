@@ -511,6 +511,9 @@ pub struct WorkloadStream {
     n_models: u32,
     /// Requests popped so far (the spec-level round-robin index).
     merged_index: usize,
+    /// `merged_index % n_models`, maintained by wrap-around increment
+    /// so the per-request hot path carries no division.
+    merged_rr: u32,
     /// Requests the stream still owes.
     remaining: usize,
 }
@@ -541,13 +544,17 @@ impl WorkloadStream {
         let (at_ns, at_s, mut model) = source.head.take().expect("candidate exists");
         source.refill();
         if model == u32::MAX {
-            model = self.merged_index as u32 % self.n_models;
+            model = self.merged_rr;
         }
         let class = self
             .class_sampler
             .as_mut()
             .map(|cs| weighted_index(&cs.weights, cs.total, cs.unit.next()));
         self.merged_index += 1;
+        self.merged_rr += 1;
+        if self.merged_rr == self.n_models {
+            self.merged_rr = 0;
+        }
         self.remaining -= 1;
         Some(WorkloadRequest {
             at_ns,
@@ -893,6 +900,7 @@ impl WorkloadSpec {
             class_sampler,
             n_models,
             merged_index: 0,
+            merged_rr: 0,
             remaining: counts.iter().sum(),
         })
     }
