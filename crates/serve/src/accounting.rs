@@ -1,0 +1,281 @@
+//! Run accounting as a *record stream consumer*: SLO windows, latency
+//! aggregation, per-class counters, per-device usage, and the optional
+//! columnar completion sink, extracted from the serving driver so the
+//! same math can run either inline (sequential mode) or on a dedicated
+//! accounting worker fed a FIFO of [`ARec`]s (sharded mode). The
+//! records carry everything the math needs, in the exact order the
+//! sequential loop would have produced it, so both homes are
+//! byte-identical by construction.
+
+use s2m3_core::sketch::LatencySketch;
+use s2m3_data::sink::{ColumnWriter, CompletionRow};
+
+use crate::engine::ServeError;
+use crate::report::LatencySummary;
+use crate::slo::{DeviceUsage, Outcome, SloWindow, WindowSnapshot};
+
+/// Latency accumulator behind [`LatencySummary`]: the exact path keeps
+/// every sample (sorted once at `finish`, byte-identical to the golden
+/// fixtures), the streaming path folds into a fixed-size
+/// [`LatencySketch`] so memory stays flat over unbounded runs.
+#[derive(Debug, Clone)]
+pub(crate) enum LatAgg {
+    /// Every sample, summarized by an in-place sort at the end.
+    Exact(Vec<f64>),
+    /// Fixed-memory log-bucket histogram (≤ 1% quantile error).
+    Sketch(LatencySketch),
+}
+
+impl Default for LatAgg {
+    fn default() -> Self {
+        LatAgg::Exact(Vec::new())
+    }
+}
+
+impl LatAgg {
+    pub(crate) fn new(streaming: bool, capacity: usize) -> Self {
+        if streaming {
+            LatAgg::Sketch(LatencySketch::new())
+        } else {
+            LatAgg::Exact(Vec::with_capacity(capacity))
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&mut self, v: f64) {
+        match self {
+            LatAgg::Exact(samples) => samples.push(v),
+            LatAgg::Sketch(sketch) => sketch.record(v),
+        }
+    }
+
+    /// Folds the accumulator into a summary. Sorts the exact buffer in
+    /// place — one pass, no clone or reallocation.
+    pub(crate) fn summarize(&mut self) -> LatencySummary {
+        match self {
+            LatAgg::Exact(samples) => {
+                samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                LatencySummary::from_sorted(samples)
+            }
+            LatAgg::Sketch(sketch) => LatencySummary::from_sketch(sketch),
+        }
+    }
+}
+
+/// Running per-deadline-class counters, folded into
+/// [`ClassReport`](crate::report::ClassReport)s at the end of the run.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClassStats {
+    pub arrived: u64,
+    pub completed: u64,
+    pub shed: u64,
+    pub late: u64,
+    pub latencies: LatAgg,
+}
+
+/// One accounting record: a compact, order-preserving replay of the
+/// bookkeeping a driver event performed. Sequential mode applies these
+/// inline as it goes; sharded mode batches them over a channel to the
+/// accounting worker. Either way [`Accounting::apply`] is the only
+/// consumer, so the two modes cannot diverge.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ARec {
+    /// A request completed (drives counters, latency aggregation, the
+    /// SLO window, and the optional sink row).
+    Complete {
+        arrival_ns: u64,
+        finish_ns: u64,
+        /// Universe index of the head device (`u32::MAX`: none).
+        device: u32,
+        class: Option<u32>,
+        missed: bool,
+        latency_s: f64,
+    },
+    /// A request was shed at `at_s` (counters + SLO window only — no
+    /// latency sample, no sink row).
+    Shed {
+        at_s: f64,
+        latency_s: f64,
+        class: Option<u32>,
+    },
+    /// A classed request arrived.
+    ClassArrived { class: u32 },
+    /// A device finished an execution whose lane survived: charge busy
+    /// time and bump the execution count.
+    Charge { ui: u32, dur_ns: u64 },
+    /// A device joined the fleet at `at_s`.
+    Join { ui: u32, at_s: f64 },
+    /// A device left the fleet at `at_s`.
+    Leave { ui: u32, at_s: f64 },
+}
+
+/// The accounting state of one serving run. Owns everything the report
+/// derives from completions: the SLO ring, snapshot cadence, latency
+/// aggregators, class counters, per-device usage/executions, and the
+/// streaming sink.
+#[derive(Debug)]
+pub(crate) struct Accounting {
+    pub slo: SloWindow,
+    /// Completions between window snapshots. Starts at the scenario's
+    /// `snapshot_every` and doubles whenever `max_windows` forces a
+    /// downsample.
+    pub snapshot_stride: u64,
+    /// Outcomes left until the next snapshot — the running remainder
+    /// of `snapshot_stride`, kept so the per-outcome hot path is a
+    /// decrement instead of a 64-bit modulo.
+    pub until_snapshot: u64,
+    /// Snapshot-count cap (`None`: retain every snapshot).
+    pub max_windows: Option<usize>,
+    pub last_snapshot_seen: u64,
+    pub latencies: LatAgg,
+    pub class_stats: Vec<ClassStats>,
+    /// Per-universe-device usage, indexed by universe device index.
+    pub usage: Vec<DeviceUsage>,
+    /// Per-universe-device execution counts.
+    pub executions: Vec<u64>,
+    /// Optional columnar per-completion event sink (streaming mode
+    /// only): one row per completed request, O(1) memory.
+    pub sink: Option<ColumnWriter<std::io::BufWriter<std::fs::File>>>,
+    pub completed: u64,
+    pub late: u64,
+    pub shed: u64,
+    /// Rolling-window snapshots, in completion order (moved into the
+    /// report at `finish`).
+    pub windows: Vec<WindowSnapshot>,
+    pub last_completion_ns: u64,
+}
+
+impl Accounting {
+    /// Applies one record. The only mutation path for accounting state
+    /// in both execution modes.
+    #[inline]
+    pub fn apply(&mut self, rec: ARec) -> Result<(), ServeError> {
+        match rec {
+            ARec::Complete {
+                arrival_ns,
+                finish_ns,
+                device,
+                class,
+                missed,
+                latency_s,
+            } => {
+                if let Some(w) = self.sink.as_mut() {
+                    w.push(CompletionRow {
+                        arrival_ns,
+                        finish_ns,
+                        device,
+                        class,
+                        latency_s,
+                    })
+                    .map_err(|e| ServeError::Sink(e.to_string()))?;
+                }
+                self.completed += 1;
+                if missed {
+                    self.late += 1;
+                }
+                if let Some(ci) = class {
+                    let cs = &mut self.class_stats[ci as usize];
+                    cs.completed += 1;
+                    if missed {
+                        cs.late += 1;
+                    }
+                    cs.latencies.record(latency_s);
+                }
+                self.latencies.record(latency_s);
+                self.last_completion_ns = self.last_completion_ns.max(finish_ns);
+                self.outcome(Outcome {
+                    completed_at_s: finish_ns as f64 / 1.0e9,
+                    latency_s,
+                    missed,
+                });
+            }
+            ARec::Shed {
+                at_s,
+                latency_s,
+                class,
+            } => {
+                self.shed += 1;
+                if let Some(ci) = class {
+                    self.class_stats[ci as usize].shed += 1;
+                }
+                // A shed request is an SLO miss; the window records it
+                // at the deadline bound so percentiles reflect the
+                // rejection.
+                self.outcome(Outcome {
+                    completed_at_s: at_s,
+                    latency_s,
+                    missed: true,
+                });
+            }
+            ARec::ClassArrived { class } => {
+                self.class_stats[class as usize].arrived += 1;
+            }
+            ARec::Charge { ui, dur_ns } => {
+                self.usage[ui as usize].busy_s += dur_ns as f64 / 1.0e9;
+                self.executions[ui as usize] += 1;
+            }
+            ARec::Join { ui, at_s } => {
+                let u = &mut self.usage[ui as usize];
+                u.active = true;
+                u.active_since_s = at_s;
+            }
+            ARec::Leave { ui, at_s } => {
+                let u = &mut self.usage[ui as usize];
+                if u.active {
+                    u.active = false;
+                    u.active_s += (at_s - u.active_since_s).max(0.0);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Pushes one outcome into the SLO ring and emits a window snapshot
+    /// on the running cadence (with `max_windows` downsampling).
+    fn outcome(&mut self, outcome: Outcome) {
+        self.slo.push(outcome);
+        self.until_snapshot -= 1;
+        if self.until_snapshot == 0 {
+            let mut snap = self.slo.snapshot(outcome.completed_at_s);
+            snap.utilization = self.utilization(outcome.completed_at_s);
+            self.windows.push(snap);
+            self.last_snapshot_seen = self.slo.total_seen();
+            // Bounded-report mode: over the cap, drop every other
+            // retained snapshot and double the stride, so `windows`
+            // holds at most `max_windows` entries at a geometrically
+            // coarsening (still deterministic) cadence.
+            if let Some(cap) = self.max_windows {
+                if self.windows.len() >= cap.max(2) {
+                    let mut keep = false;
+                    self.windows.retain(|_| {
+                        keep = !keep;
+                        keep
+                    });
+                    self.snapshot_stride = self.snapshot_stride.saturating_mul(2);
+                }
+            }
+            // Re-arm: `total_seen` is a multiple of the old stride, so
+            // against a doubled stride the remainder is 0 or the old
+            // stride — exactly what the modulo formulation produced.
+            let rem = self.slo.total_seen() % self.snapshot_stride;
+            self.until_snapshot = self.snapshot_stride - rem;
+        }
+    }
+
+    /// Fleet-wide utilization at `now_s`: busy lane-seconds over
+    /// offered lane-seconds summed in universe device order
+    /// (deterministic).
+    pub fn utilization(&self, now_s: f64) -> f64 {
+        let mut busy = 0.0;
+        let mut offered = 0.0;
+        for u in &self.usage {
+            busy += u.busy_s;
+            offered += u.active_total_s(now_s) * u.lanes.max(1) as f64;
+        }
+        if offered <= 0.0 {
+            0.0
+        } else {
+            (busy / offered).min(1.0)
+        }
+    }
+}

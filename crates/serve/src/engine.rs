@@ -53,8 +53,7 @@ use s2m3_core::error::CoreError;
 use s2m3_core::placement::{greedy_place_resolved, PlacementOptions};
 use s2m3_core::problem::{Instance, Placement};
 use s2m3_core::resolved::ResolvedInstance;
-use s2m3_core::sketch::LatencySketch;
-use s2m3_data::sink::{ColumnWriter, CompletionRow};
+use s2m3_data::sink::ColumnWriter;
 use s2m3_models::module::ModuleKind;
 use s2m3_net::fleet::Fleet;
 use s2m3_sim::kernel::{
@@ -62,13 +61,14 @@ use s2m3_sim::kernel::{
 };
 use s2m3_sim::workload::{WorkloadRequest, WorkloadStream};
 
+use crate::accounting::{ARec, Accounting, ClassStats, LatAgg};
 use crate::config::{FleetEventKind, ServeScenario, SloReplanTrigger};
 use crate::queue::{Admission, AdmissionQueue, QueuedRequest};
-use crate::report::{
-    ClassReport, DeviceReport, EventRecord, LatencySummary, ReplanRecord, ServeReport,
-};
+use crate::report::{ClassReport, DeviceReport, EventRecord, ReplanRecord, ServeReport};
 use crate::slab::{ReqHandle, Slab};
-use crate::slo::{DeviceUsage, Outcome, SloWindow};
+use crate::slo::{DeviceUsage, SloWindow};
+
+mod parallel;
 
 /// Errors surfaced by the serving loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,7 +119,7 @@ enum ServeEv {
 }
 
 /// Per-task payload stored inline in the kernel's task table.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 struct TaskInfo {
     /// Work units of this execution (profile-dependent), fixed at
     /// dispatch.
@@ -158,73 +158,13 @@ struct ReqInfo {
     done: bool,
 }
 
-/// Driver-side per-device serving state (the kernel owns lanes/queues).
+/// Driver-side per-device serving state (the kernel owns lanes/queues;
+/// usage accounting lives in [`Accounting`]).
 #[derive(Debug)]
 struct DevExtra {
     /// Requests dispatched and not yet finished whose head lives here.
     inflight: usize,
     admission: AdmissionQueue,
-    usage: DeviceUsage,
-    executions: u64,
-}
-
-/// Latency accumulator behind [`LatencySummary`]: the exact path keeps
-/// every sample (sorted once at `finish`, byte-identical to the golden
-/// fixtures), the streaming path folds into a fixed-size
-/// [`LatencySketch`] so memory stays flat over unbounded runs.
-#[derive(Debug, Clone)]
-enum LatAgg {
-    /// Every sample, summarized by an in-place sort at the end.
-    Exact(Vec<f64>),
-    /// Fixed-memory log-bucket histogram (≤ 1% quantile error).
-    Sketch(LatencySketch),
-}
-
-impl Default for LatAgg {
-    fn default() -> Self {
-        LatAgg::Exact(Vec::new())
-    }
-}
-
-impl LatAgg {
-    fn new(streaming: bool, capacity: usize) -> Self {
-        if streaming {
-            LatAgg::Sketch(LatencySketch::new())
-        } else {
-            LatAgg::Exact(Vec::with_capacity(capacity))
-        }
-    }
-
-    #[inline]
-    fn record(&mut self, v: f64) {
-        match self {
-            LatAgg::Exact(samples) => samples.push(v),
-            LatAgg::Sketch(sketch) => sketch.record(v),
-        }
-    }
-
-    /// Folds the accumulator into a summary. Sorts the exact buffer in
-    /// place — one pass, no clone or reallocation.
-    fn summarize(&mut self) -> LatencySummary {
-        match self {
-            LatAgg::Exact(samples) => {
-                samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-                LatencySummary::from_sorted(samples)
-            }
-            LatAgg::Sketch(sketch) => LatencySummary::from_sketch(sketch),
-        }
-    }
-}
-
-/// Running per-deadline-class counters, folded into
-/// [`ClassReport`]s at the end of the run.
-#[derive(Debug, Clone, Default)]
-struct ClassStats {
-    arrived: u64,
-    completed: u64,
-    shed: u64,
-    late: u64,
-    latencies: LatAgg,
 }
 
 /// One resolved traffic source.
@@ -314,15 +254,23 @@ struct Online {
     /// ids are slots); streaming mode recycles completed/shed slots
     /// through the slab's free list so the table stays O(in-flight).
     requests: Slab<ReqInfo>,
-    /// Optional columnar per-completion event sink (streaming mode
-    /// only): one row per completed request, O(1) driver memory.
-    sink: Option<ColumnWriter<std::io::BufWriter<std::fs::File>>>,
     // --- workload ---
     /// The lazily pulled merged arrival stream: the driver holds at
     /// most one sampled batch (in `arrival_buf`) plus the
     /// constant-size per-source stream states — never the full
-    /// materialized schedule.
-    stream: WorkloadStream,
+    /// materialized schedule. `None` while a stream worker owns it
+    /// (sharded mode; see [`parallel`]).
+    stream: Option<WorkloadStream>,
+    /// Pre-sampled arrival batches from the stream worker, when one is
+    /// installed (replaces direct `stream` pulls, same draw order).
+    feed: Option<parallel::FeedLink>,
+    /// The encoder-shard hand-off link, once a shard is active:
+    /// dispatches route owned-device encoder tasks here instead of the
+    /// local event queue.
+    enc: Option<parallel::EncLink>,
+    /// The accounting off-load link, when an accounting worker owns
+    /// `acct` (records stream to it in apply order).
+    acct_tx: Option<parallel::AcctLink>,
     /// Upcoming arrivals, sampled in batches so the per-source stream
     /// merge amortizes; the event queue still holds at most one future
     /// arrival at a time, and draw order matches one-at-a-time pulls
@@ -340,8 +288,6 @@ struct Online {
     class_table: Vec<(u64, u32)>,
     /// Class names, indexed by class id (report boundary).
     class_names: Vec<String>,
-    /// Per-class running counters, indexed by class id.
-    class_stats: Vec<ClassStats>,
     events: Vec<crate::config::FleetEvent>,
     deadline_ns: u64,
     deadline_s: f64,
@@ -352,21 +298,11 @@ struct Online {
     /// Last virtual time the SLO trigger sampled the window, ns.
     last_slo_eval_ns: u64,
     // --- accounting ---
-    slo: SloWindow,
-    /// Completions between window snapshots. Starts at the scenario's
-    /// `snapshot_every` and doubles whenever `max_windows` forces a
-    /// downsample.
-    snapshot_stride: u64,
-    /// Outcomes left until the next snapshot — the running remainder
-    /// of `snapshot_stride`, kept so the per-outcome hot path is a
-    /// decrement instead of a 64-bit modulo.
-    until_snapshot: u64,
-    /// Snapshot-count cap (`None`: retain every snapshot).
-    max_windows: Option<usize>,
-    last_snapshot_seen: u64,
-    latencies: LatAgg,
+    /// The extracted accounting state ([`crate::accounting`]): applied
+    /// inline here in sequential mode, streamed to a worker in sharded
+    /// mode.
+    acct: Accounting,
     report: ServeReport,
-    last_completion_ns: u64,
 }
 
 type K = Kernel<ServeEv, TaskInfo>;
@@ -433,9 +369,10 @@ impl Driver for Online {
         // completions do not charge busy seconds the departed device
         // never finished serving.
         if lane_live {
-            let dev = &mut self.devices[k.tasks.device(tid)];
-            dev.usage.busy_s += secs(k.tasks.payload(tid).dur_ns);
-            dev.executions += 1;
+            self.acct_infallible(ARec::Charge {
+                ui: k.tasks.device(tid) as u32,
+                dur_ns: k.tasks.payload(tid).dur_ns,
+            });
         }
         Ok(())
     }
@@ -703,7 +640,26 @@ impl Online {
                 },
             );
             task_ids.push(tid);
-            k.push_ready(now + e.input_tx_ns, tid);
+            // An encoder on a shard-owned device executes remotely: the
+            // ready event ships over the link (stamped with the same
+            // arrival time the local push would have used) instead of
+            // entering this kernel's queue. The local task slot stays
+            // reserved so ids, fan-in state, and the free list match
+            // the sequential run exactly.
+            match self.enc.as_mut() {
+                Some(link) if link.owned[e.uni] => link.send_ready(
+                    now + e.input_tx_ns,
+                    parallel::ReadyMsg {
+                        tid: tid as u32,
+                        req: rid as u32,
+                        module: e.module,
+                        uni: e.uni as u32,
+                        units: e.units,
+                        output_tx_ns: e.output_tx_ns,
+                    },
+                ),
+                _ => k.push_ready(now + e.input_tx_ns, tid),
+            }
             pending += 1;
         }
 
@@ -727,50 +683,29 @@ impl Online {
         }
     }
 
-    /// Fleet-wide utilization at `now_s`: busy lane-seconds over offered
-    /// lane-seconds summed in universe device order (deterministic).
-    fn fleet_utilization(&self, now_s: f64) -> f64 {
-        let mut busy = 0.0;
-        let mut offered = 0.0;
-        for d in &self.devices {
-            busy += d.usage.busy_s;
-            offered += d.usage.active_total_s(now_s) * d.usage.lanes.max(1) as f64;
+    /// Applies a record that carries no sink row (those are the only
+    /// fallible kind) to the accounting stream.
+    #[inline]
+    fn acct_infallible(&mut self, rec: ARec) {
+        if let Some(link) = self.acct_tx.as_mut() {
+            link.push(rec);
+            return;
         }
-        if offered <= 0.0 {
-            0.0
-        } else {
-            (busy / offered).min(1.0)
-        }
+        self.acct
+            .apply(rec)
+            .expect("only completion records can fail");
     }
 
-    fn record_outcome(&mut self, outcome: Outcome) {
-        self.slo.push(outcome);
-        self.until_snapshot -= 1;
-        if self.until_snapshot == 0 {
-            let mut snap = self.slo.snapshot(outcome.completed_at_s);
-            snap.utilization = self.fleet_utilization(outcome.completed_at_s);
-            self.report.windows.push(snap);
-            self.last_snapshot_seen = self.slo.total_seen();
-            // Bounded-report mode: over the cap, drop every other
-            // retained snapshot and double the stride, so `windows`
-            // holds at most `max_windows` entries at a geometrically
-            // coarsening (still deterministic) cadence.
-            if let Some(cap) = self.max_windows {
-                if self.report.windows.len() >= cap.max(2) {
-                    let mut keep = false;
-                    self.report.windows.retain(|_| {
-                        keep = !keep;
-                        keep
-                    });
-                    self.snapshot_stride = self.snapshot_stride.saturating_mul(2);
-                }
-            }
-            // Re-arm: `total_seen` is a multiple of the old stride, so
-            // against a doubled stride the remainder is 0 or the old
-            // stride — exactly what the modulo formulation produced.
-            let rem = self.slo.total_seen() % self.snapshot_stride;
-            self.until_snapshot = self.snapshot_stride - rem;
+    /// Applies any record to the accounting stream: inline in
+    /// sequential mode, via the off-load link in sharded mode (where
+    /// sink errors surface asynchronously at the next slice boundary).
+    #[inline]
+    fn acct_apply(&mut self, rec: ARec) -> Result<(), BoxedErr> {
+        if let Some(link) = self.acct_tx.as_mut() {
+            link.push(rec);
+            return Ok(());
         }
+        self.acct.apply(rec).map_err(Box::new)
     }
 
     fn complete_request(&mut self, k: &mut K, rid: usize, now: u64) -> Result<(), BoxedErr> {
@@ -783,36 +718,15 @@ impl Online {
             self.devices[ui].inflight = self.devices[ui].inflight.saturating_sub(1);
         }
         let latency = secs(now - arrival_ns);
-        if let Some(w) = self.sink.as_mut() {
-            w.push(CompletionRow {
-                arrival_ns,
-                finish_ns: now,
-                device: head_dev.map_or(u32::MAX, |u| u as u32),
-                class,
-                latency_s: latency,
-            })
-            .map_err(|e| Box::new(ServeError::Sink(e.to_string())))?;
-        }
         let missed = now > deadline_ns;
-        self.report.completed += 1;
-        if missed {
-            self.report.late += 1;
-        }
-        if let Some(ci) = class {
-            let cs = &mut self.class_stats[ci as usize];
-            cs.completed += 1;
-            if missed {
-                cs.late += 1;
-            }
-            cs.latencies.record(latency);
-        }
-        self.latencies.record(latency);
-        self.last_completion_ns = self.last_completion_ns.max(now);
-        self.record_outcome(Outcome {
-            completed_at_s: secs(now),
-            latency_s: latency,
+        self.acct_apply(ARec::Complete {
+            arrival_ns,
+            finish_ns: now,
+            device: head_dev.map_or(u32::MAX, |u| u as u32),
+            class,
             missed,
-        });
+            latency_s: latency,
+        })?;
         if let Some(ui) = head_dev {
             self.drain_admission(k, ui, now);
         }
@@ -829,16 +743,12 @@ impl Online {
             r.done = true;
             (r.deadline_ns, r.arrival_ns, r.class)
         };
-        self.report.shed += 1;
-        if let Some(ci) = class {
-            self.class_stats[ci as usize].shed += 1;
-        }
         // A shed request is an SLO miss; the window records it at the
         // deadline bound so percentiles reflect the rejection.
-        self.record_outcome(Outcome {
-            completed_at_s: secs(now),
+        self.acct_infallible(ARec::Shed {
+            at_s: secs(now),
             latency_s: secs(deadline_ns.saturating_sub(arrival_ns)),
-            missed: true,
+            class,
         });
         self.requests.free(rid);
     }
@@ -955,9 +865,10 @@ impl Online {
                     ))));
                 }
                 k.devices[ui].active = true;
-                let dev = &mut self.devices[ui];
-                dev.usage.active = true;
-                dev.usage.active_since_s = at_s;
+                self.acct_infallible(ARec::Join {
+                    ui: ui as u32,
+                    at_s,
+                });
                 format!("{device} joins")
             }
             FleetEventKind::DeviceLeave { device } => {
@@ -978,11 +889,10 @@ impl Online {
                     ))));
                 };
                 k.devices[ui].active = false;
-                let dev = &mut self.devices[ui];
-                if dev.usage.active {
-                    dev.usage.active = false;
-                    dev.usage.active_s += (at_s - dev.usage.active_since_s).max(0.0);
-                }
+                self.acct_infallible(ARec::Leave {
+                    ui: ui as u32,
+                    at_s,
+                });
                 format!("{device} leaves")
             }
             FleetEventKind::DeviceSlowdown { device, factor } => {
@@ -1146,8 +1056,8 @@ impl Online {
         // `min_window` is clamped to the ring's capacity: a scenario
         // whose `slo_window` is smaller than the trigger's arming
         // threshold would otherwise never evaluate.
-        let arm_at = trig.min_window.max(1).min(self.slo.capacity());
-        if self.slo.len() < arm_at
+        let arm_at = trig.min_window.max(1).min(self.acct.slo.capacity());
+        if self.acct.slo.len() < arm_at
             || now
                 < self
                     .last_slo_eval_ns
@@ -1156,7 +1066,7 @@ impl Online {
             return Ok(());
         }
         self.last_slo_eval_ns = now;
-        let snap = self.slo.snapshot(secs(now));
+        let snap = self.acct.slo.snapshot(secs(now));
         if snap.p95_s <= self.deadline_s {
             return Ok(());
         }
@@ -1188,12 +1098,26 @@ impl Online {
     /// batching is invisible to the generated workload.
     fn peek_arrival(&mut self) -> Option<&WorkloadRequest> {
         if self.arrival_cursor == self.arrival_buf.len() {
-            self.arrival_buf.clear();
             self.arrival_cursor = 0;
-            for _ in 0..Self::ARRIVAL_BATCH {
-                match self.stream.next_request() {
-                    Some(r) => self.arrival_buf.push(r),
-                    None => break,
+            if let Some(feed) = self.feed.as_ref() {
+                // Sharded mode: swap in the stream worker's next
+                // pre-sampled batch and return the spent buffer as a
+                // credit. A closed channel (stream dry, worker gone)
+                // reads as an empty batch.
+                let batch = feed.rx.recv().unwrap_or_default();
+                let spent = std::mem::replace(&mut self.arrival_buf, batch);
+                let _ = feed.credit.send(spent);
+            } else {
+                self.arrival_buf.clear();
+                let stream = self
+                    .stream
+                    .as_mut()
+                    .expect("sequential mode retains the stream");
+                for _ in 0..Self::ARRIVAL_BATCH {
+                    match stream.next_request() {
+                        Some(r) => self.arrival_buf.push(r),
+                        None => break,
+                    }
                 }
             }
         }
@@ -1217,7 +1141,7 @@ impl Online {
             None => (self.deadline_ns, 0),
         };
         if let Some(ci) = rec.class {
-            self.class_stats[ci as usize].arrived += 1;
+            self.acct_infallible(ARec::ClassArrived { class: ci });
         }
         // `insert_with` resets every field in place: a recycled slot
         // keeps its task buffer's capacity instead of dropping it.
@@ -1244,7 +1168,7 @@ impl Online {
     }
 
     fn finish(mut self) -> ServeReport {
-        let now = self.last_completion_ns;
+        let now = self.acct.last_completion_ns;
         // Flush everything still unresolved so arrivals always balance:
         // first the admission queues (a bug if non-empty after an idle
         // run), then any request caught mid-flight — which exists only
@@ -1279,13 +1203,19 @@ impl Online {
         // Flush the sink's buffered tail. Best-effort: `finish()` has
         // no error channel, and every full row group already surfaced
         // its write errors through `complete_request`.
-        if let Some(w) = self.sink.take() {
+        if let Some(w) = self.acct.sink.take() {
             let _ = w.finish();
         }
 
+        // Fold the extracted accounting state into the report.
+        self.report.completed = self.acct.completed;
+        self.report.late = self.acct.late;
+        self.report.shed = self.acct.shed;
+        self.report.windows = std::mem::take(&mut self.acct.windows);
+
         let now_s = secs(now);
         self.report.makespan_s = now_s;
-        self.report.latency = self.latencies.summarize();
+        self.report.latency = self.acct.latencies.summarize();
         self.report.throughput_per_s = if now_s > 0.0 {
             self.report.completed as f64 / now_s
         } else {
@@ -1297,13 +1227,13 @@ impl Online {
             (self.report.late + self.report.shed) as f64 / self.report.arrived as f64
         };
         // Final rolling-window snapshot (unless one just landed there).
-        if self.slo.total_seen() != self.last_snapshot_seen {
-            let mut final_snap = self.slo.snapshot(now_s);
-            final_snap.utilization = self.fleet_utilization(now_s);
+        if self.acct.slo.total_seen() != self.acct.last_snapshot_seen {
+            let mut final_snap = self.acct.slo.snapshot(now_s);
+            final_snap.utilization = self.acct.utilization(now_s);
             self.report.windows.push(final_snap);
         }
         let class_names = std::mem::take(&mut self.class_names);
-        let mut class_stats = std::mem::take(&mut self.class_stats);
+        let mut class_stats = std::mem::take(&mut self.acct.class_stats);
         self.report.classes = class_names
             .iter()
             .zip(class_stats.iter_mut())
@@ -1325,13 +1255,13 @@ impl Online {
             .by_name_order
             .iter()
             .map(|&ui| {
-                let d = &self.devices[ui];
+                let u = &self.acct.usage[ui];
                 DeviceReport {
                     device: self.uni_names[ui].clone(),
-                    executions: d.executions,
-                    busy_s: d.usage.busy_s,
-                    active_s: d.usage.active_total_s(now_s),
-                    utilization: d.usage.utilization(now_s),
+                    executions: self.acct.executions[ui],
+                    busy_s: u.busy_s,
+                    active_s: u.active_total_s(now_s),
+                    utilization: u.utilization(now_s),
                 }
             })
             .collect();
@@ -1488,6 +1418,9 @@ pub fn prepare(scenario: &ServeScenario) -> Result<SharedStart, ServeError> {
 pub struct ServeSession {
     kernel: K,
     driver: Online,
+    /// Parallel backend state (`ServeScenario::threads ≥ 2`). Declared
+    /// after `driver` so the links disconnect before the pool joins.
+    par: Option<parallel::Par>,
 }
 
 impl ServeSession {
@@ -1607,18 +1540,21 @@ impl ServeSession {
         let devices: Vec<DevExtra> = universe
             .devices()
             .iter()
-            .enumerate()
-            .map(|(ui, d)| DevExtra {
+            .map(|_| DevExtra {
                 inflight: 0,
                 admission: AdmissionQueue::new(scenario.admission.clone()),
-                usage: DeviceUsage {
-                    busy_s: 0.0,
-                    active_since_s: 0.0,
-                    active_s: 0.0,
-                    active: active[ui],
-                    lanes: d.parallelism.max(1),
-                },
-                executions: 0,
+            })
+            .collect();
+        let usage: Vec<DeviceUsage> = universe
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(ui, d)| DeviceUsage {
+                busy_s: 0.0,
+                active_since_s: 0.0,
+                active_s: 0.0,
+                active: active[ui],
+                lanes: d.parallelism.max(1),
             })
             .collect();
 
@@ -1721,14 +1657,15 @@ impl ServeSession {
             devices,
             exec_overhead_s,
             requests: Slab::new(streaming, cap_requests),
-            sink,
-            stream,
+            stream: Some(stream),
+            feed: None,
+            enc: None,
+            acct_tx: None,
             arrival_buf: Vec::new(),
             arrival_cursor: 0,
             next_seq: 0,
             class_table,
             class_names,
-            class_stats,
             events,
             deadline_ns: ns(scenario.deadline_s.max(1e-3)),
             deadline_s: scenario.deadline_s.max(1e-3),
@@ -1737,17 +1674,27 @@ impl ServeSession {
             charge_switching_downtime: scenario.replan.charge_switching_downtime,
             slo_trigger: scenario.replan.slo_trigger,
             last_slo_eval_ns: 0,
-            slo: SloWindow::new(scenario.slo_window.max(1)),
-            snapshot_stride: scenario.snapshot_every.max(1) as u64,
-            until_snapshot: scenario.snapshot_every.max(1) as u64,
-            max_windows: scenario.max_windows,
-            last_snapshot_seen: 0,
-            latencies: LatAgg::new(streaming, cap_requests),
+            acct: Accounting {
+                slo: SloWindow::new(scenario.slo_window.max(1)),
+                snapshot_stride: scenario.snapshot_every.max(1) as u64,
+                until_snapshot: scenario.snapshot_every.max(1) as u64,
+                max_windows: scenario.max_windows,
+                last_snapshot_seen: 0,
+                latencies: LatAgg::new(streaming, cap_requests),
+                class_stats,
+                usage,
+                executions: vec![0; n_uni],
+                sink,
+                completed: 0,
+                late: 0,
+                shed: 0,
+                windows: Vec::new(),
+                last_completion_ns: 0,
+            },
             report: ServeReport {
                 seed: scenario.seed.clone(),
                 ..ServeReport::default()
             },
-            last_completion_ns: 0,
         };
         driver.refresh_model_routes();
 
@@ -1760,7 +1707,17 @@ impl ServeSession {
             .at_ns;
         kernel.push_custom(first_at_ns, ServeEv::Arrival(0));
 
-        Ok(ServeSession { kernel, driver })
+        let mut session = ServeSession {
+            kernel,
+            driver,
+            par: None,
+        };
+        // `threads ≥ 2` installs the parallel backend (workload
+        // pre-sampling, accounting off-load, and — once the fleet
+        // stops churning — the encoder shard). Reports stay
+        // byte-identical to the sequential run either way.
+        parallel::install(&mut session, scenario, shared);
+        Ok(session)
     }
 
     /// Processes every event up to `until_s` seconds of virtual time,
@@ -1770,9 +1727,11 @@ impl ServeSession {
     ///
     /// Scenario errors surfaced by fleet events or replanning.
     pub fn run_until(&mut self, until_s: f64) -> Result<u64, ServeError> {
-        self.kernel
-            .run_until(&mut self.driver, ns(until_s.max(0.0)))
-            .map_err(|e| *e)
+        let cap = ns(until_s.max(0.0));
+        if self.par.is_some() {
+            return self.par_run(cap);
+        }
+        self.kernel.run_until(&mut self.driver, cap).map_err(|e| *e)
     }
 
     /// Runs the session to idle (no events left).
@@ -1781,17 +1740,33 @@ impl ServeSession {
     ///
     /// Scenario errors surfaced by fleet events or replanning.
     pub fn run_to_idle(&mut self) -> Result<u64, ServeError> {
+        if self.par.is_some() {
+            return self.par_run(u64::MAX);
+        }
         self.kernel.run_until_idle(&mut self.driver).map_err(|e| *e)
     }
 
-    /// Whether every event has been processed.
+    /// Whether every event has been processed (on every shard, in
+    /// sharded mode).
     pub fn is_idle(&self) -> bool {
         self.kernel.pending_events() == 0
+            && self.driver.enc.as_ref().is_none_or(|l| l.outstanding == 0)
+            && self
+                .par
+                .as_ref()
+                .and_then(|p| p.enc.as_ref())
+                .is_none_or(|st| st.staged.is_empty() && st.e_promise == u64::MAX)
     }
 
-    /// Virtual time of the last processed event, seconds.
+    /// Virtual time of the last processed event, seconds (the furthest
+    /// shard's clock, in sharded mode).
     pub fn now_s(&self) -> f64 {
-        secs(self.kernel.now())
+        let e_now = self
+            .par
+            .as_ref()
+            .and_then(|p| p.enc.as_ref())
+            .map_or(0, |st| st.e_now_ns);
+        secs(self.kernel.now().max(e_now))
     }
 
     /// Consumes the session and produces the final report. Normally
@@ -1800,7 +1775,15 @@ impl ServeSession {
     /// events die with the session), so `arrived == completed + shed`
     /// holds in every report this type produces.
     pub fn finish(self) -> ServeReport {
-        self.driver.finish()
+        let ServeSession {
+            kernel: _,
+            mut driver,
+            par,
+        } = self;
+        if let Some(par) = par {
+            parallel::shutdown(&mut driver, par);
+        }
+        driver.finish()
     }
 }
 
@@ -1843,6 +1826,65 @@ mod tests {
         assert!(report.latency.p50_s > 0.0);
         assert!(report.throughput_per_s > 0.0);
         assert!(!report.windows.is_empty());
+    }
+
+    #[test]
+    #[ignore]
+    fn time_parallel_configs() {
+        let rate: f64 = std::env::var("PAR_RATE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.3);
+        let requests: usize = std::env::var("PAR_REQ")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2000);
+        let mut scenario = ServeScenario {
+            requests,
+            ..ServeScenario::churn_default()
+        };
+        scenario.arrivals = ArrivalProcess::Poisson { rate_per_s: rate };
+        scenario.streaming = Some(crate::config::StreamingConfig::default());
+        scenario.max_windows = Some(64);
+        if let Ok(q) = std::env::var("PAR_QUEUE") {
+            scenario.admission = AdmissionPolicy::ShedOnOverload {
+                max_queue: q.parse().unwrap(),
+            };
+        }
+        if let Ok(i) = std::env::var("PAR_INFLIGHT") {
+            scenario.max_inflight_per_device = i.parse().unwrap();
+        }
+        for threads in [0usize, 2, 4] {
+            let s = ServeScenario {
+                threads,
+                ..scenario.clone()
+            };
+            let t0 = std::time::Instant::now();
+            let r = serve(&s).unwrap();
+            eprintln!(
+                "threads={threads}: {:?} completed={} shed={}",
+                t0.elapsed(),
+                r.completed,
+                r.shed
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_serve_matches_sequential_bytes() {
+        let scenario = ServeScenario {
+            requests: 2000,
+            ..ServeScenario::churn_default()
+        };
+        let seq = serde_json::to_string(&serve(&scenario).unwrap()).unwrap();
+        for threads in [2usize, 3, 4] {
+            let par = ServeScenario {
+                threads,
+                ..scenario.clone()
+            };
+            let got = serde_json::to_string(&serve(&par).unwrap()).unwrap();
+            assert_eq!(got, seq, "threads={threads}");
+        }
     }
 
     #[test]

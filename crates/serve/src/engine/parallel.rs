@@ -1,0 +1,1219 @@
+//! The sharded serving backend: `ServeScenario::threads ≥ 2` splits one
+//! serving run across a persistent worker pool while keeping the
+//! [`ServeReport`](crate::report::ServeReport) **byte-identical to the
+//! sequential run at any thread count**.
+//!
+//! Three worker roles, each optional by thread budget:
+//!
+//! - **S (stream)** — pre-samples arrival batches from the merged
+//!   [`WorkloadStream`] into recycled buffers, so workload generation
+//!   overlaps event processing. Draw order is untouched (the stream
+//!   moves to the worker whole), so this is byte-invisible.
+//! - **A (accounting)** — consumes the driver's [`ARec`] stream in the
+//!   exact order the sequential loop would have applied it. One
+//!   producer, FIFO channel, same `Accounting::apply` consumer: byte-
+//!   identical by construction.
+//! - **E (encoder shard)** — the conservative (Chandy–Misra–Bryant)
+//!   partition: once the last scheduled fleet event has fired, every
+//!   device that hosts only encoder tasks moves — with its pending
+//!   events, original keys preserved — into a second kernel driven on
+//!   its own worker. Cross-shard transfers travel as timestamped
+//!   messages ([`ReadyMsg`] head→shard, [`DoneMsg`] shard→head), and
+//!   each side advances only below the other's published horizon
+//!   ([`HorizonCell`]); the lookahead that keeps the horizons ahead of
+//!   the clock is the minimum input-transfer latency onto the shard's
+//!   devices. Ambiguous same-nanosecond cross-shard orderings are
+//!   *detected* and degrade the run to a bit-exact sequential replay
+//!   ([`DegradeFlag`]), so a tie costs speed, never bytes.
+//!
+//! Everything here is driven from the session thread; the module is an
+//! implementation detail of [`ServeSession`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use rayon_lite::{ThreadPool, ThreadPoolBuilder};
+use s2m3_core::resolved::ResolvedInstance;
+use s2m3_sim::kernel::shard::{
+    Batcher, DegradeFlag, DegradeReason, HorizonCell, StagedInbox, Stamped, HORIZON_IDLE,
+};
+use s2m3_sim::kernel::Driver;
+use s2m3_sim::workload::{WorkloadRequest, WorkloadStream};
+
+use super::{
+    ns, BoxedErr, Online, ServeError, ServeEv, ServeScenario, ServeSession, SharedStart, TaskInfo,
+    K,
+};
+use crate::accounting::{ARec, Accounting, LatAgg};
+use crate::slo::SloWindow;
+
+/// Ready messages buffered per flush (head → shard).
+const READY_BATCH: usize = 64;
+/// Done messages buffered per flush (shard → head).
+const DONE_BATCH: usize = 64;
+/// Accounting records buffered per send to the A worker.
+const ACCT_BATCH: usize = 256;
+/// Arrival records per pre-sampled feed buffer.
+const FEED_BATCH: usize = 4096;
+/// Feed buffers in flight (bounds S-worker read-ahead memory).
+const FEED_CREDITS: usize = 4;
+/// Idle spins (yield) before parking on the channel.
+const SPIN_YIELDS: u32 = 64;
+/// Park timeout while waiting for the peer's horizon to move.
+const PARK: Duration = Duration::from_micros(100);
+/// Wall-clock without any cross-shard progress before declaring
+/// deadlock (degrades to the sequential replay, never hangs).
+const STALL_LIMIT: Duration = Duration::from_secs(5);
+
+/// An encoder task handed to the shard: everything `put_task` +
+/// `push_ready` need to mirror the head-side spawn exactly.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct ReadyMsg {
+    pub tid: u32,
+    pub req: u32,
+    pub module: u32,
+    pub uni: u32,
+    pub units: f64,
+    pub output_tx_ns: u64,
+}
+
+/// An encoder completion reported back to the head shard, stamped with
+/// the shard-side finish time (the instant sequential execution would
+/// have applied the fan-in).
+#[derive(Debug, Clone, Copy)]
+pub(super) struct DoneMsg {
+    pub tid: u32,
+    /// Head-readiness contribution (finish + embedding transfer), ns.
+    pub contrib_ns: u64,
+    /// Busy time to charge (leader of a merged batch; followers 0).
+    pub dur_ns: u64,
+    /// Whether the lane survived to completion (accounting gate).
+    pub lane_live: bool,
+}
+
+/// Head → shard control stream.
+pub(super) enum ToE {
+    /// Newly spawned encoder tasks, stamped with their ready times.
+    Ready(Vec<Stamped<ReadyMsg>>),
+    /// Extend the shard's processing cap to `until_ns` (slice bound).
+    Run { until_ns: u64 },
+    /// The head is blocked: its earliest known work item sits at `s_h`
+    /// and it has drained `seen` completion records so far. If `seen`
+    /// matches the shard's own sent count, no completion is in flight
+    /// (the channel is FIFO, so every earlier hand-off is already
+    /// staged) and the shard may leap its safe bound to
+    /// `min(s_h, own floor) + lookahead` in one hop instead of
+    /// ratcheting there in lookahead-sized horizon steps.
+    Quiet { s_h: u64, seen: u64 },
+    /// Drain and exit.
+    Finish,
+}
+
+/// Shard → head result stream.
+pub(super) enum FromE {
+    /// Encoder completions in non-decreasing τ order.
+    Done(Vec<Stamped<DoneMsg>>),
+    /// Progress report: `delta` events processed since the last report,
+    /// shard clock at `now_ns`.
+    Paused { delta: u64, now_ns: u64 },
+}
+
+/// The head side of the encoder-shard link, owned by [`Online`] so the
+/// dispatch hot path can route spawns without reaching into the
+/// session.
+pub(super) struct EncLink {
+    /// Universe devices owned by the shard.
+    pub owned: Vec<bool>,
+    pub to_e: Sender<ToE>,
+    pub ready: Batcher<Stamped<ReadyMsg>>,
+    /// Ready messages sent (or buffered) whose Done has not yet been
+    /// applied — while non-zero the shard can still produce work for
+    /// this side, so the published horizon must stay conservative.
+    pub outstanding: u64,
+}
+
+impl EncLink {
+    /// Buffers one encoder hand-off, flushing a full batch inline.
+    #[inline]
+    pub fn send_ready(&mut self, tau_ns: u64, msg: ReadyMsg) {
+        self.outstanding += 1;
+        if let Some(batch) = self.ready.push(Stamped { tau_ns, msg }) {
+            let _ = self.to_e.send(ToE::Ready(batch));
+        }
+    }
+}
+
+/// The head side of the accounting off-load link.
+pub(super) struct AcctLink {
+    pub tx: Sender<Vec<ARec>>,
+    pub buf: Batcher<ARec>,
+}
+
+impl AcctLink {
+    #[inline]
+    pub fn push(&mut self, rec: ARec) {
+        if let Some(batch) = self.buf.push(rec) {
+            let _ = self.tx.send(batch);
+        }
+    }
+
+    pub fn flush(&mut self) {
+        let batch = self.buf.take();
+        if !batch.is_empty() {
+            let _ = self.tx.send(batch);
+        }
+    }
+}
+
+/// The head side of the workload pre-sampling link. Buffers recycle:
+/// every received batch returns its displaced predecessor as a credit,
+/// so read-ahead memory is bounded by [`FEED_CREDITS`] buffers.
+pub(super) struct FeedLink {
+    pub rx: Receiver<Vec<WorkloadRequest>>,
+    pub credit: Sender<Vec<WorkloadRequest>>,
+}
+
+/// Session-side state of an activated encoder shard.
+pub(super) struct EncState {
+    pub from_e: Receiver<FromE>,
+    /// Received completions not yet merged (τ order).
+    pub staged: StagedInbox<DoneMsg>,
+    /// Max-monotone cache of the shard's published horizon.
+    pub e_promise: u64,
+    /// Events the shard has processed (cumulative).
+    pub e_count: u64,
+    /// Portion of `e_count` already returned to the caller.
+    pub e_counted: u64,
+    /// Shard clock high-water mark (reporting only).
+    pub e_now_ns: u64,
+    /// Last horizon published to the shard.
+    pub h_last_pub: u64,
+    /// Completion records drained from the shard (cumulative), echoed
+    /// in [`ToE::Quiet`] so the shard can prove the channel is empty.
+    pub done_seen: u64,
+    /// Last `(s_h, seen)` pair sent as a [`ToE::Quiet`].
+    pub last_quiet: Option<(u64, u64)>,
+    /// Shard lookahead (head-side copy, for the idle window march).
+    pub min_in: u64,
+}
+
+/// Everything the parallel backend keeps on the session (worker pool
+/// last: channels and links must disconnect before the joins).
+pub(super) struct Par {
+    pub degrade: Arc<DegradeFlag>,
+    pub h_cell: Arc<HorizonCell>,
+    pub e_cell: Arc<HorizonCell>,
+    /// First error the accounting worker hit (fatal at the next slice).
+    pub a_err: Arc<Mutex<Option<ServeError>>>,
+    /// Returns the accounting state at shutdown (A worker only).
+    pub acct_res: Option<Receiver<Accounting>>,
+    /// Replay inputs for the degrade path.
+    pub scenario: ServeScenario,
+    pub shared: SharedStart,
+    /// Every cap ever passed to `run_until`/`run_to_idle`, in order
+    /// (`u64::MAX` = to idle) — the degrade replay schedule.
+    pub caps: Vec<u64>,
+    /// Events already reported to the caller across completed slices.
+    pub reported: u64,
+    /// Virtual time of the last scheduled fleet event (shard activation
+    /// point: after it, placement and routes are frozen).
+    pub activate_at_ns: u64,
+    pub enc_attempted: bool,
+    pub enc: Option<EncState>,
+    pub pool: ThreadPool,
+}
+
+/// Internal error split: degrade falls back to the sequential replay,
+/// fatal surfaces to the caller.
+pub(super) enum ParErr {
+    Degrade,
+    Fatal(ServeError),
+}
+
+/// `x` lies beyond the slice cap (`MAX` cap means "idle": only the
+/// absorbing horizon counts as beyond).
+#[inline]
+fn above(x: u64, cap: u64) -> bool {
+    if cap == u64::MAX {
+        x == HORIZON_IDLE
+    } else {
+        x > cap
+    }
+}
+
+/// Installs the parallel backend on a freshly built session.
+/// `threads < 2` (and single-worker fleets that never activate a
+/// shard) keep the plain sequential path.
+pub(super) fn install(session: &mut ServeSession, scenario: &ServeScenario, shared: &SharedStart) {
+    let threads = scenario.threads;
+    if threads < 2 {
+        return;
+    }
+    let pool = ThreadPoolBuilder::new().num_threads(threads).build();
+    // One worker stays reserved for the encoder shard (spawned at
+    // activation); the rest host the stream and accounting roles.
+    let budget = pool.num_threads().saturating_sub(2);
+    let a_err: Arc<Mutex<Option<ServeError>>> = Arc::default();
+    let mut acct_res = None;
+    if budget >= 1 {
+        let (batch_tx, batch_rx) = channel::unbounded();
+        let (credit_tx, credit_rx) = channel::unbounded();
+        for _ in 0..FEED_CREDITS {
+            let _ = credit_tx.send(Vec::with_capacity(FEED_BATCH));
+        }
+        let stream = session
+            .driver
+            .stream
+            .take()
+            .expect("stream present at install");
+        pool.spawn(move || s_worker(stream, credit_rx, batch_tx));
+        session.driver.feed = Some(FeedLink {
+            rx: batch_rx,
+            credit: credit_tx,
+        });
+    }
+    // The accounting worker owns the SLO window, so it is incompatible
+    // with the SLO-breach replan trigger (which samples the window
+    // mid-run on the session thread).
+    if budget >= 2 && session.driver.slo_trigger.is_none() {
+        let (tx, rx) = channel::unbounded();
+        let (res_tx, res_rx) = channel::unbounded();
+        let acct = std::mem::replace(&mut session.driver.acct, placeholder_accounting());
+        let err = Arc::clone(&a_err);
+        pool.spawn(move || a_worker(acct, rx, res_tx, err));
+        session.driver.acct_tx = Some(AcctLink {
+            tx,
+            buf: Batcher::new(ACCT_BATCH),
+        });
+        acct_res = Some(res_rx);
+    }
+    let activate_at_ns = session
+        .driver
+        .events
+        .iter()
+        .map(|e| ns(e.at_s.max(0.0)))
+        .max()
+        .unwrap_or(0);
+    session.par = Some(Par {
+        degrade: Arc::new(DegradeFlag::new()),
+        h_cell: Arc::new(HorizonCell::new()),
+        e_cell: Arc::new(HorizonCell::new()),
+        a_err,
+        acct_res,
+        scenario: scenario.clone(),
+        shared: shared.clone(),
+        caps: Vec::new(),
+        reported: 0,
+        activate_at_ns,
+        enc_attempted: false,
+        enc: None,
+        pool,
+    });
+}
+
+/// An inert [`Accounting`] standing in on the driver while the real
+/// state lives on the A worker. Never read: every record routes through
+/// the link, the SLO trigger is disabled, and `finish` restores the
+/// real state first.
+fn placeholder_accounting() -> Accounting {
+    Accounting {
+        slo: SloWindow::new(1),
+        snapshot_stride: 1,
+        until_snapshot: 1,
+        max_windows: None,
+        last_snapshot_seen: 0,
+        latencies: LatAgg::default(),
+        class_stats: Vec::new(),
+        usage: Vec::new(),
+        executions: Vec::new(),
+        sink: None,
+        completed: 0,
+        late: 0,
+        shed: 0,
+        windows: Vec::new(),
+        last_completion_ns: 0,
+    }
+}
+
+/// The stream worker: refills recycled buffers with the next arrival
+/// batch. Exits when the stream dries up or the session drops its link.
+fn s_worker(
+    mut stream: WorkloadStream,
+    credit: Receiver<Vec<WorkloadRequest>>,
+    out: Sender<Vec<WorkloadRequest>>,
+) {
+    while let Ok(mut buf) = credit.recv() {
+        buf.clear();
+        while buf.len() < FEED_BATCH {
+            match stream.next_request() {
+                Some(r) => buf.push(r),
+                None => break,
+            }
+        }
+        let last = buf.len() < FEED_BATCH;
+        if out.send(buf).is_err() || last {
+            break;
+        }
+    }
+}
+
+/// The accounting worker: applies record batches in arrival order. On a
+/// sink error it parks the error for the session thread, drops the sink
+/// (later records keep the counters honest), and keeps consuming.
+fn a_worker(
+    mut acct: Accounting,
+    rx: Receiver<Vec<ARec>>,
+    res: Sender<Accounting>,
+    err: Arc<Mutex<Option<ServeError>>>,
+) {
+    while let Ok(batch) = rx.recv() {
+        for rec in batch {
+            if let Err(e) = acct.apply(rec) {
+                acct.sink = None;
+                let mut slot = err.lock().expect("accounting error cell");
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+            }
+        }
+    }
+    let _ = res.send(acct);
+}
+
+/// Tears the backend down and restores off-loaded state onto the
+/// driver (shared by `finish` and drop-free shutdown paths).
+pub(super) fn shutdown(driver: &mut Online, par: Par) {
+    if let Some(link) = driver.enc.take() {
+        let _ = link.to_e.send(ToE::Finish);
+    }
+    if let Some(mut link) = driver.acct_tx.take() {
+        link.flush();
+    }
+    driver.feed = None;
+    if let Some(rx) = par.acct_res.as_ref() {
+        if let Ok(acct) = rx.recv() {
+            driver.acct = acct;
+        }
+    }
+    // Dropping `par` disconnects the remaining channels and joins the
+    // pool (workers observe the disconnects and exit).
+    drop(par);
+}
+
+/// A staged encoder hand-off on the shard, ordered by `(τ, arrival
+/// rank)`: the head emits in its own processing order, so equal-τ
+/// injections replay the sequential push order exactly.
+struct StagedReady {
+    tau_ns: u64,
+    idx: u64,
+    msg: ReadyMsg,
+}
+
+impl PartialEq for StagedReady {
+    fn eq(&self, other: &Self) -> bool {
+        self.tau_ns == other.tau_ns && self.idx == other.idx
+    }
+}
+
+impl Eq for StagedReady {}
+
+impl PartialOrd for StagedReady {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for StagedReady {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.tau_ns, self.idx).cmp(&(other.tau_ns, other.idx))
+    }
+}
+
+/// The kernel driver running on the encoder shard: executes encoder
+/// tasks with the head driver's exact duration arithmetic, but
+/// *relocates* completion bookkeeping — instead of folding fan-in state
+/// locally, every finish ships back as a τ-stamped [`DoneMsg`]. Any
+/// event class the partition promised the shard would never see raises
+/// the degrade flag.
+struct EncDriver {
+    resolved: Arc<ResolvedInstance>,
+    res_of_uni: Vec<Option<u32>>,
+    exec_overhead_s: Vec<f64>,
+    done: Batcher<Stamped<DoneMsg>>,
+    to_h: Sender<FromE>,
+    /// `(lane_live, dur_ns)` captured by `task_finished` for the
+    /// `encoder_finished` call that immediately follows it.
+    cur: Option<(bool, u64)>,
+    /// Completion records pushed into the channel (cumulative) — the
+    /// shard's side of the [`ToE::Quiet`] in-flight check.
+    sent_items: u64,
+    degrade: Arc<DegradeFlag>,
+}
+
+impl Driver for EncDriver {
+    type Custom = ServeEv;
+    type Payload = TaskInfo;
+    type Error = BoxedErr;
+
+    #[inline]
+    fn dispatched(
+        &mut self,
+        k: &mut K,
+        device: usize,
+        group: &[usize],
+        now: u64,
+    ) -> Result<u64, BoxedErr> {
+        let rd = self.res_of_uni[device];
+        let mut dur_s = 0.0;
+        for &tid in group {
+            dur_s += match rd {
+                Some(rd) => self.resolved.compute_time_units(
+                    k.tasks.module(tid),
+                    rd,
+                    k.tasks.payload(tid).units,
+                ),
+                None => 0.1,
+            };
+        }
+        if group.len() > 1 {
+            dur_s -= (group.len() - 1) as f64 * self.exec_overhead_s[device];
+        }
+        let dur_ns = ns(dur_s);
+        k.tasks.payload_mut(group[0]).dur_ns = dur_ns;
+        for &tid in &group[1..] {
+            k.tasks.payload_mut(tid).dur_ns = 0;
+        }
+        Ok(now + dur_ns)
+    }
+
+    #[inline]
+    fn task_finished(
+        &mut self,
+        k: &mut K,
+        tid: usize,
+        _now: u64,
+        lane_live: bool,
+    ) -> Result<(), BoxedErr> {
+        if k.tasks.cancelled(tid) {
+            // Cancels require a replan, which cannot happen after
+            // activation: the partition's premise broke.
+            self.degrade.raise(DegradeReason::PartitionInvalidated);
+            self.cur = None;
+            return Ok(());
+        }
+        self.cur = Some((lane_live, k.tasks.payload(tid).dur_ns));
+        Ok(())
+    }
+
+    #[inline]
+    fn encoder_ready_ns(&mut self, k: &mut K, tid: usize, now: u64) -> Result<u64, BoxedErr> {
+        Ok(now + k.tasks.payload(tid).output_tx_ns)
+    }
+
+    fn encoder_finished(&mut self, k: &mut K, tid: usize, now: u64) -> Result<(), BoxedErr> {
+        let (lane_live, dur_ns) = self.cur.take().unwrap_or((false, 0));
+        let contrib_ns = now + k.tasks.payload(tid).output_tx_ns;
+        let stamped = Stamped {
+            tau_ns: now,
+            msg: DoneMsg {
+                tid: tid as u32,
+                contrib_ns,
+                dur_ns,
+                lane_live,
+            },
+        };
+        if let Some(batch) = self.done.push(stamped) {
+            self.sent_items += batch.len() as u64;
+            let _ = self.to_h.send(FromE::Done(batch));
+        }
+        Ok(())
+    }
+
+    fn head_done(&mut self, _k: &mut K, _req: usize, _now: u64) -> Result<(), BoxedErr> {
+        self.degrade.raise(DegradeReason::PartitionInvalidated);
+        Ok(())
+    }
+
+    fn custom(&mut self, _k: &mut K, _event: ServeEv, _now: u64) -> Result<(), BoxedErr> {
+        self.degrade.raise(DegradeReason::PartitionInvalidated);
+        Ok(())
+    }
+}
+
+/// The encoder-shard worker loop: a conservative logical process. Each
+/// round it (1) loads the head's horizon *then* drains the control
+/// channel (the publish protocol makes every message below an observed
+/// horizon visible), (2) injects staged hand-offs and processes local
+/// events strictly below `horizon + lookahead`, (3) flushes completions
+/// and re-publishes its own horizon. Same-nanosecond collisions between
+/// an injection and a local event are exactly the cross-shard ties the
+/// sequential order cannot be reconstructed from — they raise the
+/// degrade flag and the worker unwinds.
+struct EncWorker {
+    kernel: K,
+    driver: EncDriver,
+    rx: Receiver<ToE>,
+    staged: BinaryHeap<Reverse<StagedReady>>,
+    next_idx: u64,
+    h_cell: Arc<HorizonCell>,
+    e_cell: Arc<HorizonCell>,
+    degrade: Arc<DegradeFlag>,
+    /// Lookahead: minimum input-transfer latency onto an owned device.
+    min_in: u64,
+    run_cap: u64,
+    h_promise: u64,
+    e_count: u64,
+    e_reported: u64,
+    last_pub: u64,
+    /// Latest unevaluated [`ToE::Quiet`] (last one in a drain wins).
+    pending_quiet: Option<(u64, u64)>,
+    /// Monotone safe-bound floor established by matched Quiet rounds.
+    /// Each bound stays valid forever: every future hand-off descends
+    /// either from a head item ≥ `s_h` or from a completion this shard
+    /// emits at ≥ its own floor, so arrivals are ≥ the bound.
+    quiet_bound: u64,
+}
+
+impl EncWorker {
+    fn stage(&mut self, batch: Vec<Stamped<ReadyMsg>>) {
+        for s in batch {
+            self.staged.push(Reverse(StagedReady {
+                tau_ns: s.tau_ns,
+                idx: self.next_idx,
+                msg: s.msg,
+            }));
+            self.next_idx += 1;
+        }
+    }
+
+    fn handle(&mut self, msg: ToE, finished: &mut bool) {
+        match msg {
+            ToE::Ready(batch) => self.stage(batch),
+            ToE::Run { until_ns } => self.run_cap = self.run_cap.max(until_ns),
+            ToE::Quiet { s_h, seen } => self.pending_quiet = Some((s_h, seen)),
+            ToE::Finish => *finished = true,
+        }
+    }
+
+    fn run(mut self) {
+        let mut finished = false;
+        let mut idle_spins = 0u32;
+        'outer: loop {
+            // Horizon first, channel second (Release/Acquire pairing):
+            // any hand-off not yet drained after this load was sent
+            // under a promise ≥ the loaded bound.
+            self.h_promise = self.h_promise.max(self.h_cell.load());
+            loop {
+                match self.rx.try_recv() {
+                    Ok(m) => self.handle(m, &mut finished),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        finished = true;
+                        break;
+                    }
+                }
+            }
+            if finished || self.degrade.raised() {
+                break 'outer;
+            }
+            // A Quiet whose drain count matches proves the channel held
+            // nothing unaccounted when the head computed `s_h` (FIFO:
+            // every earlier hand-off is staged by now, every completion
+            // we sent was seen). The leap must be evaluated here —
+            // after the drain, before this round emits anything — while
+            // `sent_items` and the staged floor are both current.
+            if let Some((s_h, seen)) = self.pending_quiet.take() {
+                if seen == self.driver.sent_items {
+                    let floor = self
+                        .kernel
+                        .peek_time()
+                        .unwrap_or(u64::MAX)
+                        .min(self.staged.peek().map_or(u64::MAX, |Reverse(s)| s.tau_ns));
+                    self.quiet_bound = self
+                        .quiet_bound
+                        .max(s_h.min(floor).saturating_add(self.min_in));
+                }
+            }
+            let safe = self
+                .h_promise
+                .saturating_add(self.min_in)
+                .max(self.quiet_bound);
+            let mut progressed = false;
+            loop {
+                let ts = self.staged.peek().map_or(u64::MAX, |Reverse(s)| s.tau_ns);
+                let te = self.kernel.peek_time().unwrap_or(u64::MAX);
+                if ts < safe && ts <= self.run_cap {
+                    if ts < te {
+                        let Reverse(s) = self.staged.pop().expect("peeked");
+                        self.kernel.put_task(
+                            s.msg.tid as usize,
+                            s.msg.req as usize,
+                            s.msg.module,
+                            s.msg.uni as usize,
+                            false,
+                            TaskInfo {
+                                units: s.msg.units,
+                                output_tx_ns: s.msg.output_tx_ns,
+                                dur_ns: 0,
+                            },
+                        );
+                        self.kernel.push_ready(s.tau_ns, s.msg.tid as usize);
+                        progressed = true;
+                        continue;
+                    }
+                    if ts == te {
+                        // An injection and a local event at the same
+                        // nanosecond: their sequential interleaving is
+                        // unrecoverable here.
+                        self.degrade.raise(DegradeReason::TimestampTie);
+                        break 'outer;
+                    }
+                }
+                if te < safe && te <= self.run_cap {
+                    // `te < safe` ⇒ `safe ≥ 1`; the bound is ≥ te, so
+                    // at least one event fires per chunk.
+                    let bound = self.run_cap.min(safe - 1).min(ts.saturating_sub(1));
+                    match self.kernel.run_until(&mut self.driver, bound) {
+                        Ok(n) => {
+                            self.e_count += n;
+                            progressed |= n > 0;
+                        }
+                        Err(_) => {
+                            self.degrade.raise(DegradeReason::PartitionInvalidated);
+                            break 'outer;
+                        }
+                    }
+                    if self.degrade.raised() {
+                        break 'outer;
+                    }
+                    continue;
+                }
+                break;
+            }
+            // Flush results and the progress report *before* publishing
+            // the new horizon, per the HorizonCell protocol.
+            let mut sent = false;
+            let batch = self.driver.done.take();
+            if !batch.is_empty() {
+                self.driver.sent_items += batch.len() as u64;
+                let _ = self.driver.to_h.send(FromE::Done(batch));
+                sent = true;
+            }
+            if self.e_count > self.e_reported {
+                let _ = self.driver.to_h.send(FromE::Paused {
+                    delta: self.e_count - self.e_reported,
+                    now_ns: self.kernel.now(),
+                });
+                self.e_reported = self.e_count;
+                sent = true;
+            }
+            let promise = self
+                .kernel
+                .peek_time()
+                .unwrap_or(HORIZON_IDLE)
+                .min(
+                    self.staged
+                        .peek()
+                        .map_or(HORIZON_IDLE, |Reverse(s)| s.tau_ns),
+                )
+                .min(safe);
+            if promise > self.last_pub {
+                // Advancing the horizon with no payload in flight is
+                // the null-message case: send an empty progress report
+                // so a parked head wakes now instead of timing out.
+                if !sent {
+                    let _ = self.driver.to_h.send(FromE::Paused {
+                        delta: 0,
+                        now_ns: self.kernel.now(),
+                    });
+                }
+                self.e_cell.publish(promise);
+                self.e_cell.tick();
+                self.last_pub = promise;
+            }
+            if progressed {
+                idle_spins = 0;
+                continue;
+            }
+            idle_spins += 1;
+            if idle_spins < SPIN_YIELDS {
+                std::thread::yield_now();
+                continue;
+            }
+            match self.rx.recv_timeout(PARK) {
+                Ok(m) => {
+                    self.handle(m, &mut finished);
+                    idle_spins = 0;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => finished = true,
+            }
+            if finished || self.degrade.raised() {
+                break;
+            }
+        }
+    }
+}
+
+impl ServeSession {
+    /// The parallel run loop: one slice per caller-visible
+    /// `run_until`/`run_to_idle` call (`cap == u64::MAX` means idle).
+    /// Returns the same event count the sequential slice would have.
+    pub(super) fn par_run(&mut self, cap: u64) -> Result<u64, ServeError> {
+        let mut par = self.par.take().expect("par_run without backend");
+        par.caps.push(cap);
+        match self.par_drive(&mut par, cap) {
+            Ok(n) => {
+                par.reported += n;
+                self.par = Some(par);
+                Ok(n)
+            }
+            Err(ParErr::Degrade) => self.par_degrade(par),
+            Err(ParErr::Fatal(e)) => {
+                self.par = Some(par);
+                Err(e)
+            }
+        }
+    }
+
+    /// One slice: sequential until the activation point, the merged
+    /// conservative loop afterwards.
+    fn par_drive(&mut self, par: &mut Par, cap: u64) -> Result<u64, ParErr> {
+        if par.degrade.raised() {
+            return Err(ParErr::Degrade);
+        }
+        check_a(par)?;
+        let mut n: u64 = 0;
+        if par.enc.is_none() {
+            if par.enc_attempted || cap < par.activate_at_ns {
+                // Sharding declined (or not yet reachable): the slice
+                // runs sequentially on this thread — S and A still
+                // overlap.
+                n += self.run_h(cap)?;
+                self.flush_links();
+                check_a(par)?;
+                return Ok(n);
+            }
+            n += self.run_h(par.activate_at_ns)?;
+            par.enc_attempted = true;
+            self.try_activate(par);
+            if par.enc.is_none() {
+                n += self.run_h(cap)?;
+                self.flush_links();
+                check_a(par)?;
+                return Ok(n);
+            }
+        }
+        n += self.par_merged(par, cap)?;
+        self.flush_links();
+        check_a(par)?;
+        Ok(n)
+    }
+
+    /// Plain sequential processing up to `cap` on the session thread.
+    fn run_h(&mut self, cap: u64) -> Result<u64, ParErr> {
+        let r = if cap == u64::MAX {
+            self.kernel.run_until_idle(&mut self.driver)
+        } else {
+            self.kernel.run_until(&mut self.driver, cap)
+        };
+        r.map_err(|e| ParErr::Fatal(*e))
+    }
+
+    /// Flushes buffered accounting records at a slice boundary.
+    fn flush_links(&mut self) {
+        if let Some(link) = self.driver.acct_tx.as_mut() {
+            link.flush();
+        }
+    }
+
+    /// Decides whether the device set supports an encoder shard under
+    /// the frozen post-churn placement, and if so splits the kernel and
+    /// spawns the shard worker. Declining is always safe: the session
+    /// simply keeps running sequentially.
+    fn try_activate(&mut self, par: &mut Par) {
+        // The SLO trigger replans between fleet events — placement
+        // would not stay frozen.
+        if self.driver.slo_trigger.is_some() {
+            return;
+        }
+        let n_uni = self.driver.uni_names.len();
+        let mut excluded = vec![false; n_uni];
+        if let Some(ui) = self
+            .driver
+            .uni_index(self.driver.universe.requester().as_str())
+        {
+            excluded[ui] = true;
+        }
+        for s in &self.driver.sources {
+            excluded[s.uni] = true;
+        }
+        for mr in self.driver.model_routes.iter().flatten() {
+            excluded[mr.head_uni] = true;
+        }
+        let mut owned = vec![false; n_uni];
+        for mr in self.driver.model_routes.iter().flatten() {
+            let encs = mr.enc_start as usize..(mr.enc_start + mr.enc_len) as usize;
+            for ei in encs {
+                let uni = self.driver.route_encs[ei].uni;
+                if !excluded[uni] {
+                    owned[uni] = true;
+                }
+            }
+        }
+        if !owned.iter().any(|&o| o) {
+            return;
+        }
+        // Lookahead floor: the shard only ever receives work delayed by
+        // an input transfer; zero lookahead cannot ratchet horizons.
+        let mut min_in = u64::MAX;
+        for mr in self.driver.model_routes.iter().flatten() {
+            let encs = mr.enc_start as usize..(mr.enc_start + mr.enc_len) as usize;
+            for ei in encs {
+                let e = &self.driver.route_encs[ei];
+                if owned[e.uni] {
+                    min_in = min_in.min(e.input_tx_ns);
+                }
+            }
+        }
+        if min_in == 0 || min_in == u64::MAX {
+            return;
+        }
+        // A cancelled task still awaiting its completion event would
+        // need accounting the shard cannot replicate; also count the
+        // in-flight work the shard inherits (its completions decrement
+        // `outstanding` like freshly routed ones).
+        let mut outstanding = 0u64;
+        for tid in 0..self.kernel.tasks.len() {
+            if !owned[self.kernel.tasks.device(tid)] || self.kernel.tasks.finished(tid) {
+                continue;
+            }
+            if self.kernel.tasks.cancelled(tid) {
+                return;
+            }
+            outstanding += 1;
+        }
+        // Split: the shard's kernel is a clone keeping only owned-
+        // device events (original keys — the determinism anchor), the
+        // session kernel drops exactly those.
+        let mut e_kernel = self.kernel.clone();
+        self.kernel.retain_events_where_device(&owned, false);
+        e_kernel.retain_events_where_device(&owned, true);
+        let (to_e_tx, to_e_rx) = channel::unbounded();
+        let (to_h_tx, to_h_rx) = channel::unbounded();
+        let now = self.kernel.now();
+        par.h_cell.publish(now);
+        let worker = EncWorker {
+            kernel: e_kernel,
+            driver: EncDriver {
+                resolved: Arc::clone(&self.driver.resolved),
+                res_of_uni: self.driver.res_of_uni.clone(),
+                exec_overhead_s: self.driver.exec_overhead_s.clone(),
+                done: Batcher::new(DONE_BATCH),
+                to_h: to_h_tx,
+                cur: None,
+                sent_items: 0,
+                degrade: Arc::clone(&par.degrade),
+            },
+            rx: to_e_rx,
+            staged: BinaryHeap::new(),
+            next_idx: 0,
+            h_cell: Arc::clone(&par.h_cell),
+            e_cell: Arc::clone(&par.e_cell),
+            degrade: Arc::clone(&par.degrade),
+            min_in,
+            run_cap: 0,
+            h_promise: 0,
+            e_count: 0,
+            e_reported: 0,
+            last_pub: 0,
+            pending_quiet: None,
+            quiet_bound: 0,
+        };
+        par.pool.spawn(move || worker.run());
+        self.driver.enc = Some(EncLink {
+            owned,
+            to_e: to_e_tx,
+            ready: Batcher::new(READY_BATCH),
+            outstanding,
+        });
+        par.enc = Some(EncState {
+            from_e: to_h_rx,
+            staged: StagedInbox::new(),
+            e_promise: 0,
+            e_count: 0,
+            e_counted: 0,
+            e_now_ns: now,
+            h_last_pub: now,
+            done_seen: 0,
+            last_quiet: None,
+            min_in,
+        });
+    }
+
+    /// The merged conservative loop on the session thread: interleaves
+    /// local events and staged shard completions in global `(time,
+    /// push-order)` order, publishing its own horizon each round. The
+    /// slice ends when both shards have provably nothing left at or
+    /// below `cap`.
+    fn par_merged(&mut self, par: &mut Par, cap: u64) -> Result<u64, ParErr> {
+        let Par {
+            ref degrade,
+            ref h_cell,
+            ref e_cell,
+            ref a_err,
+            ref mut enc,
+            ..
+        } = *par;
+        let st = enc.as_mut().expect("merged loop without shard");
+        {
+            let link = self.driver.enc.as_ref().expect("merged loop link");
+            if link.to_e.send(ToE::Run { until_ns: cap }).is_err() {
+                degrade.raise(DegradeReason::Deadlock);
+                return Err(ParErr::Degrade);
+            }
+        }
+        let mut n_h: u64 = 0;
+        let mut idle_spins = 0u32;
+        let mut last_progress = Instant::now();
+        loop {
+            if degrade.raised() {
+                return Err(ParErr::Degrade);
+            }
+            if let Some(e) = a_err.lock().expect("accounting error cell").take() {
+                return Err(ParErr::Fatal(e));
+            }
+            // Horizon before channel (Release/Acquire pairing).
+            st.e_promise = st.e_promise.max(e_cell.load());
+            let ep = st.e_promise;
+            let mut progressed = false;
+            loop {
+                match st.from_e.try_recv() {
+                    Ok(FromE::Done(batch)) => {
+                        st.done_seen += batch.len() as u64;
+                        st.staged.extend(batch);
+                        progressed = true;
+                    }
+                    Ok(FromE::Paused { delta, now_ns }) => {
+                        st.e_count += delta;
+                        st.e_now_ns = st.e_now_ns.max(now_ns);
+                        progressed = true;
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        // The shard exited without Finish: degrade (the
+                        // flag check above catches its own reasons).
+                        degrade.raise(DegradeReason::Deadlock);
+                        return Err(ParErr::Degrade);
+                    }
+                }
+            }
+            loop {
+                let ts = st.staged.next_tau().unwrap_or(u64::MAX);
+                let th = self.kernel.peek_time().unwrap_or(u64::MAX);
+                if ts <= cap && ts < th {
+                    let s = st.staged.pop().expect("peeked");
+                    apply_done(&mut self.kernel, &mut self.driver, s)?;
+                    progressed = true;
+                    continue;
+                }
+                if ts <= cap && ts == th && th != u64::MAX {
+                    degrade.raise(DegradeReason::TimestampTie);
+                    return Err(ParErr::Degrade);
+                }
+                if th != u64::MAX
+                    && th <= cap
+                    && ts == u64::MAX
+                    && self.driver.enc.as_ref().is_some_and(|l| l.outstanding == 0)
+                {
+                    // The shard is provably empty (no hand-off
+                    // outstanding, nothing staged): it cannot emit
+                    // anything until this side dispatches, and any
+                    // completion descending from a dispatch in this
+                    // window lands at ≥ `th + lookahead`. March one
+                    // lookahead-wide window at full local speed — the
+                    // sparse regime needs no horizon round-trips.
+                    let bound = cap.min(th.saturating_add(st.min_in).saturating_sub(1));
+                    let c = self
+                        .kernel
+                        .run_until(&mut self.driver, bound)
+                        .map_err(|e| ParErr::Fatal(*e))?;
+                    n_h += c;
+                    progressed |= c > 0;
+                    continue;
+                }
+                if th <= cap && th < ep && th < ts {
+                    // `th < ep` ⇒ `ep ≥ 1`, `th < ts` ⇒ `ts ≥ 1`: the
+                    // bound is ≥ th, so the chunk always advances.
+                    let bound = cap.min(ep - 1).min(ts.saturating_sub(1));
+                    let c = self
+                        .kernel
+                        .run_until(&mut self.driver, bound)
+                        .map_err(|e| ParErr::Fatal(*e))?;
+                    n_h += c;
+                    progressed |= c > 0;
+                    continue;
+                }
+                break;
+            }
+            // Flush hand-offs *then* publish (HorizonCell protocol) —
+            // and flush every round: a buffered Ready the shard is
+            // waiting on must never outlive this iteration.
+            let (outstanding, sent) = {
+                let link = self.driver.enc.as_mut().expect("merged loop link");
+                let batch = link.ready.take();
+                let sent = !batch.is_empty();
+                if sent && link.to_e.send(ToE::Ready(batch)).is_err() {
+                    degrade.raise(DegradeReason::Deadlock);
+                    return Err(ParErr::Degrade);
+                }
+                (link.outstanding, sent)
+            };
+            let th = self.kernel.peek_time().unwrap_or(HORIZON_IDLE);
+            let ts = st.staged.next_tau().unwrap_or(HORIZON_IDLE);
+            let ph = th
+                .min(ts)
+                .min(if outstanding > 0 { ep } else { HORIZON_IDLE });
+            if ph > st.h_last_pub {
+                // Null-message broadcast: a horizon advance with no
+                // payload still wakes a parked shard immediately (the
+                // redundant `Run` merges as a no-op on arrival).
+                if !sent {
+                    let link = self.driver.enc.as_ref().expect("merged loop link");
+                    let _ = link.to_e.send(ToE::Run { until_ns: cap });
+                }
+                h_cell.publish(ph);
+                h_cell.tick();
+                st.h_last_pub = ph;
+            }
+            if !progressed && outstanding > 0 {
+                // Blocked behind the shard: tell it exactly where this
+                // side's own work floor sits and how many completions
+                // have been drained, so it can leap its safe bound in
+                // one hop (see [`ToE::Quiet`]) instead of ratcheting
+                // through lookahead-sized steps.
+                let quiet = (th.min(ts), st.done_seen);
+                if st.last_quiet != Some(quiet) {
+                    let link = self.driver.enc.as_ref().expect("merged loop link");
+                    let send = ToE::Quiet {
+                        s_h: quiet.0,
+                        seen: quiet.1,
+                    };
+                    if link.to_e.send(send).is_err() {
+                        degrade.raise(DegradeReason::Deadlock);
+                        return Err(ParErr::Degrade);
+                    }
+                    st.last_quiet = Some(quiet);
+                }
+            }
+            if above(th, cap) && above(ts, cap) && above(ep, cap) {
+                let delta = st.e_count - st.e_counted;
+                st.e_counted = st.e_count;
+                return Ok(n_h + delta);
+            }
+            if progressed {
+                idle_spins = 0;
+                last_progress = Instant::now();
+                continue;
+            }
+            if last_progress.elapsed() > STALL_LIMIT {
+                degrade.raise(DegradeReason::Deadlock);
+                return Err(ParErr::Degrade);
+            }
+            idle_spins += 1;
+            if idle_spins < SPIN_YIELDS {
+                std::thread::yield_now();
+                continue;
+            }
+            match st.from_e.recv_timeout(PARK) {
+                Ok(FromE::Done(batch)) => {
+                    st.done_seen += batch.len() as u64;
+                    st.staged.extend(batch);
+                    idle_spins = 0;
+                }
+                Ok(FromE::Paused { delta, now_ns }) => {
+                    st.e_count += delta;
+                    st.e_now_ns = st.e_now_ns.max(now_ns);
+                    idle_spins = 0;
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    degrade.raise(DegradeReason::Deadlock);
+                    return Err(ParErr::Degrade);
+                }
+            }
+        }
+    }
+
+    /// Bit-exact sequential fallback: tear the backend down, rebuild
+    /// the session from the scenario, and replay every historical slice
+    /// cap. Returns the current slice's event count as if it had run
+    /// parallel — a degrade costs wall-clock, never bytes.
+    fn par_degrade(&mut self, par: Par) -> Result<u64, ServeError> {
+        // Teardown order matters for the streaming sink: every handle
+        // to the old file must flush and close before the fresh session
+        // re-creates (truncates) it. The inline sink drops here …
+        self.driver.acct.sink = None;
+        self.driver.enc = None;
+        self.driver.acct_tx = None;
+        self.driver.feed = None;
+        let Par {
+            scenario,
+            shared,
+            caps,
+            reported,
+            ..
+        } = par;
+        // … and the A worker's copy flushes inside the pool join above
+        // (destructuring dropped the channels and pool: the unclaimed
+        // accounting state — old sink included — died with them).
+        let mut scenario = scenario;
+        scenario.threads = 0;
+        let mut fresh = ServeSession::with_shared(&scenario, &shared)?;
+        let mut total: u64 = 0;
+        for &c in &caps {
+            total += fresh.run_h(c).map_err(|e| match e {
+                ParErr::Fatal(e) => e,
+                ParErr::Degrade => unreachable!("sequential replay cannot degrade"),
+            })?;
+        }
+        *self = fresh;
+        Ok(total.saturating_sub(reported))
+    }
+}
+
+/// Merges one shard completion at its stamped time: the exact tail of
+/// the sequential `finish_task` path for a non-cancelled encoder —
+/// busy-time charge, fan-in contribution (which may arm the head), and
+/// slot retirement — relocated to the shard boundary.
+fn apply_done(kernel: &mut K, driver: &mut Online, s: Stamped<DoneMsg>) -> Result<(), ParErr> {
+    let tid = s.msg.tid as usize;
+    let tau = s.tau_ns;
+    if s.msg.lane_live {
+        driver.acct_infallible(ARec::Charge {
+            ui: kernel.tasks.device(tid) as u32,
+            dur_ns: s.msg.dur_ns,
+        });
+    }
+    if let Some(hdi) = kernel.apply_encoder_contribution(tid, s.msg.contrib_ns, tau) {
+        kernel
+            .try_dispatch(hdi, tau, driver)
+            .map_err(|e| ParErr::Fatal(*e))?;
+    }
+    kernel.retire_task(tid);
+    if let Some(link) = driver.enc.as_mut() {
+        link.outstanding -= 1;
+    }
+    Ok(())
+}
+
+/// Fatal-error check against the accounting worker's parked error.
+fn check_a(par: &Par) -> Result<(), ParErr> {
+    if let Some(e) = par.a_err.lock().expect("accounting error cell").take() {
+        return Err(ParErr::Fatal(e));
+    }
+    Ok(())
+}

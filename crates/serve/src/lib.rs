@@ -42,12 +42,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod accounting;
 pub mod config;
 pub mod engine;
 pub mod queue;
 pub mod report;
 pub mod slab;
 pub mod slo;
+pub mod trace;
 
 #[cfg(test)]
 mod proptests;

@@ -1,0 +1,342 @@
+//! Conservative-synchronization primitives for sharded discrete-event
+//! execution (Chandy–Misra–Bryant style).
+//!
+//! A sharded run partitions the device set across workers, each
+//! advancing its own event queue. Correctness rests on the classic
+//! conservative invariant: a shard may process its next event at time
+//! `t` only once every neighbor has *promised* never to send it a
+//! message stamped earlier than `t`. Promises here are **horizons** —
+//! monotonically non-decreasing lower bounds published through
+//! [`HorizonCell`]s — and the lookahead that keeps them ahead of the
+//! sender's own clock is the precomputed per-link transfer latency
+//! floor (a message crossing a link cannot arrive sooner than the
+//! link's minimum transfer time plus the receiver's minimum service
+//! time). Publishing a horizon with no accompanying message is exactly
+//! the null-message trick: it lets a sparse shard lift its neighbors'
+//! safe bounds without doing work.
+//!
+//! Determinism is stronger than the usual conservative guarantee.
+//! Event keys stay globally ordered `(time_ns, seq)` with sequence
+//! numbers assigned at push time; a shard split preserves original
+//! keys ([`super::Kernel::retain_events_where_device`]), and ambiguous
+//! same-time cross-shard orderings are *detected* at merge points and
+//! reported through a [`DegradeFlag`] so the caller can fall back to a
+//! bit-exact sequential replay. A flag therefore only ever costs
+//! speed, never changes a result.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// The horizon value meaning "idle: no future message will ever be
+/// sent below any bound" (saturating arithmetic keeps it absorbing).
+pub const HORIZON_IDLE: u64 = u64::MAX;
+
+/// A cache-line-padded, monotonically non-decreasing published lower
+/// bound ("this side will never emit a message stamped below the
+/// value"), plus a progress counter used by deadlock heuristics to
+/// tell "quiescent" from "stuck".
+///
+/// Protocol: the publisher flushes any batched messages *first*, then
+/// stores the new horizon with `Release`; a consumer `Acquire`-loads
+/// the horizon and *then* drains its channel, so every message below
+/// an observed horizon is already visible. Consumers must keep their
+/// own max-monotone cache: a publisher-side refinement may lower the
+/// raw cell between reads it is entitled to (e.g. after injecting a
+/// message that was already covered by a previous promise), and the
+/// consumer's previously observed bound remains valid.
+#[repr(align(64))]
+#[derive(Debug)]
+pub struct HorizonCell {
+    horizon_ns: AtomicU64,
+    progress: AtomicU64,
+}
+
+impl HorizonCell {
+    /// A fresh cell promising nothing (horizon 0).
+    pub fn new() -> Self {
+        HorizonCell {
+            horizon_ns: AtomicU64::new(0),
+            progress: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes a new lower bound. Call *after* flushing every message
+    /// stamped below it.
+    #[inline]
+    pub fn publish(&self, horizon_ns: u64) {
+        self.horizon_ns.store(horizon_ns, Ordering::Release);
+    }
+
+    /// The currently published bound.
+    #[inline]
+    pub fn load(&self) -> u64 {
+        self.horizon_ns.load(Ordering::Acquire)
+    }
+
+    /// Bumps the progress counter (any unit of real work).
+    #[inline]
+    pub fn tick(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The progress counter, for stuck-versus-quiescent heuristics.
+    #[inline]
+    pub fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for HorizonCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Why a sharded run degraded to the sequential replay path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum DegradeReason {
+    /// No degradation.
+    None = 0,
+    /// Two shards held events at the same nanosecond whose relative
+    /// order the split-key invariant cannot decide.
+    TimestampTie = 1,
+    /// A replan moved a head (or other coordinator-owned role) onto a
+    /// worker-owned device, invalidating the partition.
+    PartitionInvalidated = 2,
+    /// A lookahead floor collapsed to zero, so no horizon can ever get
+    /// ahead of the sender's clock.
+    ZeroLookahead = 3,
+    /// Both sides blocked on each other's horizon without progress.
+    Deadlock = 4,
+}
+
+impl DegradeReason {
+    fn from_u32(v: u32) -> Self {
+        match v {
+            1 => DegradeReason::TimestampTie,
+            2 => DegradeReason::PartitionInvalidated,
+            3 => DegradeReason::ZeroLookahead,
+            4 => DegradeReason::Deadlock,
+            _ => DegradeReason::None,
+        }
+    }
+}
+
+/// A sticky cross-thread "this parallel run can no longer prove it
+/// matches the sequential order" latch. First reason wins; every
+/// participant polls it at its merge points and unwinds cleanly.
+#[derive(Debug, Default)]
+pub struct DegradeFlag {
+    reason: AtomicU32,
+}
+
+impl DegradeFlag {
+    /// A fresh, unraised flag.
+    pub fn new() -> Self {
+        DegradeFlag::default()
+    }
+
+    /// Raises the flag (first reason sticks).
+    pub fn raise(&self, reason: DegradeReason) {
+        let _ = self.reason.compare_exchange(
+            DegradeReason::None as u32,
+            reason as u32,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// The first raised reason, if any.
+    pub fn get(&self) -> Option<DegradeReason> {
+        match DegradeReason::from_u32(self.reason.load(Ordering::Acquire)) {
+            DegradeReason::None => None,
+            r => Some(r),
+        }
+    }
+
+    /// Whether any participant raised the flag.
+    #[inline]
+    pub fn raised(&self) -> bool {
+        self.reason.load(Ordering::Acquire) != DegradeReason::None as u32
+    }
+}
+
+/// A message stamped with the sender's virtual time at emission — the
+/// τ the receiver merges against its own event clock.
+#[derive(Debug, Clone, Copy)]
+pub struct Stamped<T> {
+    /// Sender virtual time at emission, nanoseconds.
+    pub tau_ns: u64,
+    /// The payload.
+    pub msg: T,
+}
+
+/// An amortizing send buffer: the vendored channel takes a mutex per
+/// `send`, so shards move `Vec` batches instead of single messages.
+/// Flush happens on capacity and — crucially, per the [`HorizonCell`]
+/// protocol — immediately before publishing any horizon.
+#[derive(Debug)]
+pub struct Batcher<T> {
+    buf: Vec<T>,
+    cap: usize,
+}
+
+impl<T> Batcher<T> {
+    /// An empty batcher flushing every `cap` items.
+    pub fn new(cap: usize) -> Self {
+        Batcher {
+            buf: Vec::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Buffers one item; returns a full batch to send when the buffer
+    /// reached capacity.
+    #[inline]
+    pub fn push(&mut self, item: T) -> Option<Vec<T>> {
+        self.buf.push(item);
+        if self.buf.len() >= self.cap {
+            Some(self.take())
+        } else {
+            None
+        }
+    }
+
+    /// Drains the buffer (empty `Vec` when nothing is pending — callers
+    /// skip the send).
+    #[inline]
+    pub fn take(&mut self) -> Vec<T> {
+        std::mem::replace(&mut self.buf, Vec::with_capacity(self.cap))
+    }
+
+    /// Whether anything is buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A τ-ordered staging area for messages received from one sender.
+/// Senders emit in their own non-decreasing virtual-time order, so a
+/// FIFO suffices; the receiver injects strictly below its local clock
+/// bound and leaves the rest staged.
+#[derive(Debug)]
+pub struct StagedInbox<T> {
+    queue: std::collections::VecDeque<Stamped<T>>,
+}
+
+impl<T> StagedInbox<T> {
+    /// An empty inbox.
+    pub fn new() -> Self {
+        StagedInbox {
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Stages a batch (already in sender τ order).
+    pub fn extend(&mut self, batch: Vec<Stamped<T>>) {
+        self.queue.extend(batch);
+    }
+
+    /// τ of the next staged message, or `None` when empty.
+    #[inline]
+    pub fn next_tau(&self) -> Option<u64> {
+        self.queue.front().map(|s| s.tau_ns)
+    }
+
+    /// Pops the next staged message if its τ is **strictly below**
+    /// `bound_ns` (the receiver's next local event time or safe
+    /// horizon). Equal stamps stay staged: the caller decides tie
+    /// policy explicitly.
+    #[inline]
+    pub fn pop_below(&mut self, bound_ns: u64) -> Option<Stamped<T>> {
+        if self.queue.front().is_some_and(|s| s.tau_ns < bound_ns) {
+            self.queue.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Unconditionally pops the next staged message.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Stamped<T>> {
+        self.queue.pop_front()
+    }
+
+    /// Staged messages not yet injected.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is staged.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+impl<T> Default for StagedInbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_cell_publishes_and_ticks() {
+        let c = HorizonCell::new();
+        assert_eq!(c.load(), 0);
+        c.publish(42);
+        assert_eq!(c.load(), 42);
+        c.tick();
+        c.tick();
+        assert_eq!(c.progress(), 2);
+    }
+
+    #[test]
+    fn degrade_flag_first_reason_sticks() {
+        let f = DegradeFlag::new();
+        assert!(!f.raised());
+        assert_eq!(f.get(), None);
+        f.raise(DegradeReason::TimestampTie);
+        f.raise(DegradeReason::Deadlock);
+        assert_eq!(f.get(), Some(DegradeReason::TimestampTie));
+    }
+
+    #[test]
+    fn batcher_flushes_at_capacity() {
+        let mut b = Batcher::new(3);
+        assert!(b.push(1).is_none());
+        assert!(b.push(2).is_none());
+        let batch = b.push(3).expect("third push flushes");
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert!(b.is_empty());
+        b.push(4);
+        assert_eq!(b.take(), vec![4]);
+    }
+
+    #[test]
+    fn staged_inbox_pops_strictly_below_bound() {
+        let mut ib = StagedInbox::new();
+        ib.extend(vec![
+            Stamped {
+                tau_ns: 5,
+                msg: 'a',
+            },
+            Stamped {
+                tau_ns: 9,
+                msg: 'b',
+            },
+        ]);
+        assert_eq!(ib.next_tau(), Some(5));
+        assert_eq!(ib.pop_below(9).map(|s| s.msg), Some('a'));
+        // Equal stamp stays staged: tie policy is the caller's call.
+        assert_eq!(ib.pop_below(9).map(|s| s.msg), None);
+        assert_eq!(ib.pop_below(10).map(|s| s.msg), Some('b'));
+        assert!(ib.is_empty());
+    }
+}

@@ -58,7 +58,8 @@ pub mod spec;
 mod proptests;
 
 pub use report::{
-    Band, CellReport, CellScalars, FrontierPoint, ReplicaSummary, SweepReport, TimeBand,
+    bootstrap_ci95, replan_gain, Band, CellReport, CellScalars, Ci95, FrontierPoint,
+    ReplicaSummary, SweepReport, TimeBand,
 };
 pub use run::{run_sweep, run_sweep_on};
 pub use spec::{scale_arrivals, SweepSpec};

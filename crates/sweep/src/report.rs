@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use s2m3_serve::ServeReport;
+use s2m3_serve::{ReplanRecord, ServeReport, WindowSnapshot};
 
 /// p50/p95/p99 of one metric across a cell's replicas.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,13 +53,110 @@ pub struct TimeBand {
     pub utilization: Band,
 }
 
+/// A 95% confidence interval from the replica-indexed bootstrap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ci95 {
+    /// Lower bound (2.5th percentile of the bootstrap distribution).
+    pub lo: f64,
+    /// Upper bound (97.5th percentile of the bootstrap distribution).
+    pub hi: f64,
+}
+
+/// Bootstrap resamples per interval. Enough for stable 2.5/97.5
+/// percentile ranks; small enough that aggregation stays trivial next
+/// to replica execution.
+const BOOTSTRAP_RESAMPLES: usize = 200;
+
+/// 95% CI on the mean of `samples` via a deterministic bootstrap.
+///
+/// Resample `b` draws its indices from a SplitMix64 stream seeded by
+/// `b` alone, so the interval depends only on the sample values *in
+/// slice order* — and cells aggregate replicas in replica-index order,
+/// which makes the CI byte-identical at any sweep thread count. `None`
+/// when `samples` is empty.
+#[must_use]
+pub fn bootstrap_ci95(samples: &[f64]) -> Option<Ci95> {
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    if samples.is_empty() {
+        return None;
+    }
+    let n = samples.len();
+    let mut means = Vec::with_capacity(BOOTSTRAP_RESAMPLES);
+    for b in 0..BOOTSTRAP_RESAMPLES {
+        let mut state = (b as u64).wrapping_mul(0xa076_1d64_78bd_642f);
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += samples[(splitmix64(&mut state) % n as u64) as usize];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pick = |q: f64| {
+        let rank = (q * means.len() as f64).ceil() as usize;
+        means[rank.clamp(1, means.len()) - 1]
+    };
+    Some(Ci95 {
+        lo: pick(0.025),
+        hi: pick(0.975),
+    })
+}
+
+/// One replica's replan gain: the drop in rolling deadline-miss rate
+/// across its accepted replans. For each accepted replan at time `t`,
+/// the gain is (mean window miss rate over `[t − horizon, t)`) minus
+/// (mean over `[t, t + horizon)`) — positive when replanning helped.
+/// The replica's gain averages over the accepted replans that have
+/// window snapshots on both sides; `None` when none do (including runs
+/// that never accepted a replan).
+#[must_use]
+pub fn replan_gain(
+    replans: &[ReplanRecord],
+    windows: &[WindowSnapshot],
+    horizon_s: f64,
+) -> Option<f64> {
+    let mut gains = Vec::new();
+    for r in replans.iter().filter(|r| r.accepted) {
+        let mean_miss = |lo: f64, hi: f64| {
+            let vals: Vec<f64> = windows
+                .iter()
+                .filter(|w| w.at_s >= lo && w.at_s < hi)
+                .map(|w| w.miss_rate)
+                .collect();
+            (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+        };
+        if let (Some(before), Some(after)) = (
+            mean_miss(r.at_s - horizon_s, r.at_s),
+            mean_miss(r.at_s, r.at_s + horizon_s),
+        ) {
+            gains.push(before - after);
+        }
+    }
+    (!gains.is_empty()).then(|| gains.iter().sum::<f64>() / gains.len() as f64)
+}
+
 /// Scalar whole-run summaries of one cell, averaged over replicas.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellScalars {
     /// Mean deadline-miss rate: (late + shed) / arrived.
     pub miss_rate_mean: f64,
+    /// 95% bootstrap CI on the mean miss rate (`null` for empty cells).
+    #[serde(default)]
+    pub miss_rate_ci95: Option<Ci95>,
     /// Worst replica's miss rate.
     pub miss_rate_max: f64,
+    /// Mean replan gain over replicas with a measurable gain (`null`
+    /// when no replica accepted a replan with windows on both sides).
+    #[serde(default)]
+    pub replan_gain_mean: Option<f64>,
+    /// 95% bootstrap CI on the mean replan gain.
+    #[serde(default)]
+    pub replan_gain_ci95: Option<Ci95>,
     /// Mean of per-replica p95 latency, seconds.
     pub latency_p95_mean_s: f64,
     /// Mean completion throughput, requests per virtual second.
@@ -100,6 +197,16 @@ pub struct FrontierPoint {
     pub max_rate_per_s: Option<f64>,
     /// Mean miss rate observed at the frontier scale.
     pub miss_rate: Option<f64>,
+    /// 95% bootstrap CI on that miss rate.
+    #[serde(default)]
+    pub miss_rate_ci95: Option<Ci95>,
+    /// Mean replan gain at the frontier scale (see
+    /// [`CellScalars::replan_gain_mean`]).
+    #[serde(default)]
+    pub replan_gain: Option<f64>,
+    /// 95% bootstrap CI on that replan gain.
+    #[serde(default)]
+    pub replan_gain_ci95: Option<Ci95>,
 }
 
 /// The deterministic product of a sweep: same spec ⇒ byte-identical
@@ -152,19 +259,38 @@ impl SweepReport {
             self.replicas
         ));
         out.push_str(&format!(
-            "{:>6}  {:>6}  {:>9}  {:>9}  {:>9}  {:>9}\n",
-            "fleet", "scale", "rate/s", "miss", "p95 s", "thru/s"
+            "{:>6}  {:>6}  {:>9}  {:>9}  {:>17}  {:>9}  {:>9}  {:>15}\n",
+            "fleet", "scale", "rate/s", "miss", "miss 95% CI", "p95 s", "thru/s", "replan gain"
         ));
+        let pct_ci = |ci: Option<Ci95>| {
+            ci.map_or_else(
+                || "-".to_string(),
+                |c| format!("[{:.2}, {:.2}]%", c.lo * 100.0, c.hi * 100.0),
+            )
+        };
         for c in &self.cells {
+            let gain = match (c.scalars.replan_gain_mean, c.scalars.replan_gain_ci95) {
+                (Some(g), Some(ci)) => {
+                    format!(
+                        "{:+.2} [{:+.2},{:+.2}]pp",
+                        g * 100.0,
+                        ci.lo * 100.0,
+                        ci.hi * 100.0
+                    )
+                }
+                _ => "-".to_string(),
+            };
             out.push_str(&format!(
-                "{:>6}  {:>6.2}  {:>9}  {:>8.2}%  {:>9.3}  {:>9.3}\n",
+                "{:>6}  {:>6.2}  {:>9}  {:>8.2}%  {:>17}  {:>9.3}  {:>9.3}  {:>15}\n",
                 c.fleet_size,
                 c.rate_scale,
                 c.offered_rate_per_s
                     .map_or_else(|| "-".to_string(), |r| format!("{r:.3}")),
                 c.scalars.miss_rate_mean * 100.0,
+                pct_ci(c.scalars.miss_rate_ci95),
                 c.scalars.latency_p95_mean_s,
                 c.scalars.throughput_mean_per_s,
+                gain,
             ));
         }
         out.push_str(&format!(
@@ -174,12 +300,26 @@ impl SweepReport {
         for f in &self.frontier {
             match f.max_rate_scale {
                 Some(scale) => out.push_str(&format!(
-                    "  {} devices: up to x{:.2}{} ({:.2}% miss)\n",
+                    "  {} devices: up to x{:.2}{} ({:.2}% miss{}{})\n",
                     f.fleet_size,
                     scale,
                     f.max_rate_per_s
                         .map_or_else(String::new, |r| format!(" = {r:.3} req/s")),
                     f.miss_rate.unwrap_or(0.0) * 100.0,
+                    f.miss_rate_ci95.map_or_else(String::new, |ci| format!(
+                        ", 95% CI [{:.2}, {:.2}]%",
+                        ci.lo * 100.0,
+                        ci.hi * 100.0
+                    )),
+                    match (f.replan_gain, f.replan_gain_ci95) {
+                        (Some(g), Some(ci)) => format!(
+                            ", replan gain {:+.2}pp [{:+.2}, {:+.2}]",
+                            g * 100.0,
+                            ci.lo * 100.0,
+                            ci.hi * 100.0
+                        ),
+                        _ => String::new(),
+                    },
                 )),
                 None => out.push_str(&format!(
                     "  {} devices: no swept rate met the budget\n",
@@ -206,6 +346,9 @@ pub struct ReplicaSummary {
     pub shed: u64,
     /// Virtual time when the last request finished, seconds.
     pub makespan_s: f64,
+    /// Miss-rate drop across accepted replans (see [`replan_gain`]);
+    /// `None` when the run has no measurable replan.
+    pub replan_gain: Option<f64>,
     /// `(bin index, latency p95, miss rate, utilization)` — the last
     /// window snapshot falling in each bin, in bin order.
     pub bins: Vec<(usize, f64, f64, f64)>,
@@ -232,6 +375,7 @@ impl ReplicaSummary {
             throughput_per_s: report.throughput_per_s,
             shed: report.shed,
             makespan_s: report.makespan_s,
+            replan_gain: replan_gain(&report.replans, &report.windows, bin_s),
             bins,
         }
     }
@@ -247,9 +391,17 @@ pub fn aggregate_cell(
     bin_s: f64,
 ) -> CellReport {
     let n = replicas.len().max(1) as f64;
+    // Replica-index order fixes both the float sums and the bootstrap
+    // index stream, so these scalars are thread-count-invariant.
+    let miss: Vec<f64> = replicas.iter().map(|r| r.miss_rate).collect();
+    let gains: Vec<f64> = replicas.iter().filter_map(|r| r.replan_gain).collect();
     let scalars = CellScalars {
         miss_rate_mean: replicas.iter().map(|r| r.miss_rate).sum::<f64>() / n,
+        miss_rate_ci95: bootstrap_ci95(&miss),
         miss_rate_max: replicas.iter().map(|r| r.miss_rate).fold(0.0, f64::max),
+        replan_gain_mean: (!gains.is_empty())
+            .then(|| gains.iter().sum::<f64>() / gains.len() as f64),
+        replan_gain_ci95: bootstrap_ci95(&gains),
         latency_p95_mean_s: replicas.iter().map(|r| r.latency_p95_s).sum::<f64>() / n,
         throughput_mean_per_s: replicas.iter().map(|r| r.throughput_per_s).sum::<f64>() / n,
         shed_mean: replicas.iter().map(|r| r.shed as f64).sum::<f64>() / n,
@@ -326,6 +478,9 @@ pub fn capacity_frontier(cells: &[CellReport], budget: f64) -> Vec<FrontierPoint
                 max_rate_scale: best.map(|c| c.rate_scale),
                 max_rate_per_s: best.and_then(|c| c.offered_rate_per_s),
                 miss_rate: best.map(|c| c.scalars.miss_rate_mean),
+                miss_rate_ci95: best.and_then(|c| c.scalars.miss_rate_ci95),
+                replan_gain: best.and_then(|c| c.scalars.replan_gain_mean),
+                replan_gain_ci95: best.and_then(|c| c.scalars.replan_gain_ci95),
             }
         })
         .collect()
@@ -361,6 +516,7 @@ mod tests {
             throughput_per_s: 2.0,
             shed: 1,
             makespan_s: 100.0,
+            replan_gain: None,
             bins,
         }
     }
@@ -394,7 +550,10 @@ mod tests {
             replicas: 1,
             scalars: CellScalars {
                 miss_rate_mean: miss,
+                miss_rate_ci95: Some(Ci95 { lo: miss, hi: miss }),
                 miss_rate_max: miss,
+                replan_gain_mean: None,
+                replan_gain_ci95: None,
                 latency_p95_mean_s: 1.0,
                 throughput_mean_per_s: 1.0,
                 shed_mean: 0.0,
@@ -427,6 +586,108 @@ mod tests {
         let f = capacity_frontier(&[cell(2, 0.5, 0.9)], 0.01);
         assert_eq!(f[0].max_rate_scale, None);
         assert_eq!(f[0].miss_rate, None);
+    }
+
+    #[test]
+    fn bootstrap_ci_is_deterministic_and_brackets_the_mean() {
+        let samples: Vec<f64> = (0..40).map(|i| f64::from(i) / 40.0).collect();
+        let a = bootstrap_ci95(&samples).unwrap();
+        let b = bootstrap_ci95(&samples).unwrap();
+        assert_eq!(a, b, "same samples in same order ⇒ same interval");
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(a.lo <= mean && mean <= a.hi);
+        assert!(a.lo < a.hi, "spread samples get a non-degenerate CI");
+        // Degenerate cases.
+        let one = bootstrap_ci95(&[0.25]).unwrap();
+        assert_eq!((one.lo, one.hi), (0.25, 0.25));
+        assert!(bootstrap_ci95(&[]).is_none());
+    }
+
+    fn window(at_s: f64, miss_rate: f64) -> WindowSnapshot {
+        WindowSnapshot {
+            at_s,
+            window: 16,
+            p50_s: 1.0,
+            p95_s: 2.0,
+            p99_s: 3.0,
+            miss_rate,
+            utilization: 0.5,
+        }
+    }
+
+    fn replan(at_s: f64, accepted: bool) -> ReplanRecord {
+        ReplanRecord {
+            at_s,
+            trigger: "test".into(),
+            mandatory: false,
+            break_even_requests: Some(10),
+            observed_rate_per_s: 0.3,
+            accepted,
+            switching_cost_s: if accepted { 1.0 } else { 0.0 },
+            migrations: usize::from(accepted),
+        }
+    }
+
+    #[test]
+    fn replan_gain_measures_before_after_miss_drop() {
+        let windows = vec![
+            window(80.0, 0.4),
+            window(95.0, 0.2),
+            window(110.0, 0.1),
+            window(120.0, 0.0),
+        ];
+        // Accepted replan at t=100 with a 100 s horizon: before mean
+        // (0.4 + 0.2)/2 = 0.3, after mean (0.1 + 0.0)/2 = 0.05.
+        let g = replan_gain(&[replan(100.0, true)], &windows, 100.0).unwrap();
+        assert!((g - 0.25).abs() < 1e-12, "{g}");
+        // Rejected replans and replans without windows on both sides
+        // contribute nothing.
+        assert!(replan_gain(&[replan(100.0, false)], &windows, 100.0).is_none());
+        assert!(replan_gain(&[replan(100.0, true)], &windows[..2], 100.0).is_none());
+        assert!(replan_gain(&[], &windows, 100.0).is_none());
+    }
+
+    #[test]
+    fn aggregate_cell_bootstraps_miss_and_gain() {
+        let mut a = summary(0.1, vec![]);
+        a.replan_gain = Some(0.05);
+        let mut b = summary(0.3, vec![]);
+        b.replan_gain = Some(0.15);
+        let c = summary(0.2, vec![]); // no measurable replan
+        let cell = aggregate_cell(4, 1.0, Some(0.3), &[a, b, c], 600.0);
+        let ci = cell.scalars.miss_rate_ci95.unwrap();
+        assert!(ci.lo >= 0.1 && ci.hi <= 0.3 && ci.lo <= ci.hi);
+        let gain = cell.scalars.replan_gain_mean.unwrap();
+        assert!((gain - 0.10).abs() < 1e-12);
+        let gci = cell.scalars.replan_gain_ci95.unwrap();
+        assert!(gci.lo >= 0.05 && gci.hi <= 0.15);
+        // A cell with no measurable replans reports null gains.
+        let none = aggregate_cell(4, 1.0, Some(0.3), &[summary(0.1, vec![])], 600.0);
+        assert!(none.scalars.replan_gain_mean.is_none());
+        assert!(none.scalars.replan_gain_ci95.is_none());
+        assert!(none.scalars.miss_rate_ci95.is_some());
+    }
+
+    #[test]
+    fn summary_renders_ci_columns() {
+        let mut c = cell(2, 1.0, 0.005);
+        c.scalars.replan_gain_mean = Some(0.02);
+        c.scalars.replan_gain_ci95 = Some(Ci95 { lo: 0.01, hi: 0.03 });
+        let report = SweepReport {
+            seed: "s".into(),
+            seeds_per_cell: 1,
+            replicas: 1,
+            miss_budget: 0.01,
+            bin_s: 600.0,
+            cells: vec![c.clone()],
+            frontier: capacity_frontier(&[c], 0.01),
+        };
+        let text = report.render_summary();
+        assert!(text.contains("miss 95% CI"), "{text}");
+        assert!(text.contains("[0.50, 0.50]%"), "{text}");
+        assert!(text.contains("replan gain"), "{text}");
+        assert!(text.contains("+2.00"), "{text}");
+        assert!(text.contains("95% CI [0.50, 0.50]%"), "{text}");
     }
 
     #[test]
