@@ -37,7 +37,10 @@ use s2m3_core::placement::greedy_place;
 use s2m3_core::plan::Plan;
 use s2m3_core::problem::Instance;
 use s2m3_core::upper::optimal_placement;
-use s2m3_serve::{serve, AdmissionPolicy, BatchPolicy, ServeScenario, StreamingConfig};
+use s2m3_serve::{
+    serve, AdmissionPolicy, BatchPolicy, BudgetEnforcement, BudgetPolicy, ServeScenario,
+    StreamingConfig,
+};
 use s2m3_sim::engine::{simulate, SimConfig};
 use s2m3_sim::kernel::{Device, Driver, Kernel, Policy, RequestSlot};
 use s2m3_sweep::{run_sweep, SweepSpec};
@@ -200,6 +203,17 @@ fn main() {
         });
         s
     };
+    // A cap tight enough to bind (the 500-request EDF run uses ~12
+    // device-seconds per 60 s window uncapped), so the row times the
+    // budget gate, the defer heap, and window-boundary re-admission —
+    // not just the pricing fast path.
+    let budget = {
+        let mut s = serve_scenario(500, AdmissionPolicy::EarliestDeadlineFirst, false);
+        let mut policy = BudgetPolicy::device_seconds(6.0);
+        policy.enforcement = BudgetEnforcement::DeferThenShed;
+        s.budget = Some(policy);
+        s
+    };
     let streaming_scenario = |requests: usize| {
         let mut s = serve_scenario(
             requests,
@@ -311,6 +325,15 @@ fn main() {
         iters,
         Box::new(|| {
             std::hint::black_box(serve(&batched).unwrap());
+        }),
+    ));
+    // The budget gate on the dispatch path: route pricing, per-window
+    // reservation, deferral, and BudgetWake re-admission.
+    benches.push((
+        "serve_loop/500req_budget",
+        iters,
+        Box::new(|| {
+            std::hint::black_box(serve(&budget).unwrap());
         }),
     ));
     // Memory-flat streaming mode: slab recycling + sketch aggregation

@@ -40,6 +40,8 @@ COMMANDS:
              [--policy fifo|edf|shed] [--queue N] [--seed S] [--json]
              [--slo-replan COOLDOWN_S] [--mix M=W,M=W,...] [--batch N]
              [--streaming] [--sink FILE] [--max-windows N] [--threads N]
+             [--budget-cap COST] [--budget-metric energy|device-seconds|custom:RATE]
+             [--budget-window S] [--budget-mode defer|shed|defer-shed]
              [--trace FILE] [--capture-trace FILE] [--print-config]
                                online serving control plane: admission
                                control, SLO windows, live replanning under
@@ -58,7 +60,13 @@ COMMANDS:
                                the event loop across N threads (identical
                                bytes, 0|1 = sequential); --trace replays
                                a recorded workload file, --capture-trace
-                               records this run's arrivals for replay
+                               records this run's arrivals for replay;
+                               --budget-cap enforces a per-window
+                               fleet-wide cost cap online (deferring or
+                               shedding the lowest-priority work first),
+                               priced in device-seconds, joules
+                               (--budget-metric energy), or a flat
+                               per-device-second rate (custom:RATE)
   sweep      [--config FILE] [--seeds N] [--requests N] [--threads N]
              [--budget F] [--json] [--print-config]
                                parallel Monte Carlo sweep: the serving
@@ -313,6 +321,53 @@ pub fn serve_cmd(args: &Args) -> CmdResult {
     }
     if let Some(t) = args.flags.get("threads") {
         scenario.threads = t.parse().map_err(|_| "bad --threads")?;
+    }
+    if let Some(cap) = args.flags.get("budget-cap") {
+        let policy = scenario
+            .budget
+            .get_or_insert_with(|| s2m3_serve::BudgetPolicy::device_seconds(0.0));
+        policy.cap_per_window = cap.parse().map_err(|_| "bad --budget-cap")?;
+    }
+    if let Some(metric) = args.flags.get("budget-metric") {
+        let policy = scenario
+            .budget
+            .as_mut()
+            .ok_or("--budget-metric needs --budget-cap (or a config with a budget)")?;
+        policy.metric = match metric.as_str() {
+            "energy" => s2m3_serve::BudgetMetric::Energy,
+            "device-seconds" => s2m3_serve::BudgetMetric::DeviceSeconds,
+            other => match other.strip_prefix("custom:").and_then(|r| r.parse().ok()) {
+                Some(per_device_rate) => s2m3_serve::BudgetMetric::Custom { per_device_rate },
+                None => {
+                    return Err(format!(
+                        "bad --budget-metric '{other}' (energy|device-seconds|custom:RATE)"
+                    ))
+                }
+            },
+        };
+    }
+    if let Some(w) = args.flags.get("budget-window") {
+        let policy = scenario
+            .budget
+            .as_mut()
+            .ok_or("--budget-window needs --budget-cap (or a config with a budget)")?;
+        policy.window_s = w.parse().map_err(|_| "bad --budget-window")?;
+    }
+    if let Some(mode) = args.flags.get("budget-mode") {
+        let policy = scenario
+            .budget
+            .as_mut()
+            .ok_or("--budget-mode needs --budget-cap (or a config with a budget)")?;
+        policy.enforcement = match mode.as_str() {
+            "defer" => s2m3_serve::BudgetEnforcement::Defer,
+            "shed" => s2m3_serve::BudgetEnforcement::Shed,
+            "defer-shed" => s2m3_serve::BudgetEnforcement::DeferThenShed,
+            other => {
+                return Err(format!(
+                    "bad --budget-mode '{other}' (defer|shed|defer-shed)"
+                ))
+            }
+        };
     }
     if let Some(path) = args.flags.get("trace") {
         let text = std::fs::read_to_string(path)
@@ -660,6 +715,86 @@ mod tests {
         assert!(run(&["serve", "--mix", "CLIP ViT-B/16=lots"]).is_err());
         assert!(run(&["serve", "--requests", "10", "--mix", "nope=1"]).is_err());
         assert!(run(&["serve", "--batch", "many"]).is_err());
+    }
+
+    #[test]
+    fn serve_budget_flags_enable_and_shape_the_cap() {
+        // --budget-cap alone turns the budget on (device-seconds,
+        // defer-then-shed defaults) and the summary reports adherence.
+        let out = run(&[
+            "serve",
+            "--requests",
+            "60",
+            "--rate",
+            "2.0",
+            "--seed",
+            "b",
+            "--budget-cap",
+            "2.5",
+        ])
+        .unwrap();
+        assert!(out.contains("budget cap 2.50/60s window"), "{out}");
+        assert!(out.contains("adherence 100.0%"), "{out}");
+        let json = run(&[
+            "serve",
+            "--requests",
+            "60",
+            "--rate",
+            "2.0",
+            "--seed",
+            "b",
+            "--budget-cap",
+            "2.5",
+            "--json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"adherence\": 1.0"), "{json}");
+
+        // The satellite flags reshape metric, window, and enforcement.
+        let config = run(&[
+            "serve",
+            "--budget-cap",
+            "900",
+            "--budget-metric",
+            "energy",
+            "--budget-window",
+            "30",
+            "--budget-mode",
+            "shed",
+            "--print-config",
+        ])
+        .unwrap();
+        assert!(config.contains("\"cap_per_window\": 900"), "{config}");
+        assert!(config.contains("Energy"), "{config}");
+        assert!(config.contains("\"window_s\": 30"), "{config}");
+        assert!(config.contains("Shed"), "{config}");
+        let custom = run(&[
+            "serve",
+            "--budget-cap",
+            "5",
+            "--budget-metric",
+            "custom:0.25",
+            "--print-config",
+        ])
+        .unwrap();
+        assert!(custom.contains("\"per_device_rate\": 0.25"), "{custom}");
+
+        // Budget-free scenarios carry a null policy and keep the
+        // budget section out of the report entirely.
+        let free = run(&["serve", "--print-config"]).unwrap();
+        assert!(free.contains("\"budget\": null"), "{free}");
+
+        // Modifier flags without a cap, and malformed values, fail loudly.
+        assert!(run(&["serve", "--budget-metric", "energy"]).is_err());
+        assert!(run(&["serve", "--budget-window", "30"]).is_err());
+        assert!(run(&["serve", "--budget-mode", "shed"]).is_err());
+        assert!(run(&["serve", "--budget-cap", "lots"]).is_err());
+        assert!(run(&["serve", "--budget-cap", "5", "--budget-metric", "carbon"]).is_err());
+        assert!(run(&["serve", "--budget-cap", "5", "--budget-mode", "panic"]).is_err());
+        assert!(
+            run(&["serve", "--budget-cap", "-1"]).is_err(),
+            "validate() rejects"
+        );
     }
 
     #[test]

@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adaptive;
+pub mod cost;
 pub mod error;
 pub mod objective;
 pub mod partition;
@@ -73,6 +74,7 @@ pub mod upper;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::adaptive::{replan, ReplanDecision};
+    pub use crate::cost::CostModel;
     pub use crate::error::CoreError;
     pub use crate::objective::{total_latency, validate};
     pub use crate::partition::greedy_place_partitioned;
@@ -85,5 +87,6 @@ pub mod prelude {
     pub use crate::upper::optimal_placement;
 }
 
+pub use cost::CostModel;
 pub use error::CoreError;
 pub use problem::{Instance, Placement, Request, RequestProfile, Route};

@@ -301,6 +301,11 @@ pub struct ServeScenario {
     /// trades threads for wall-clock. Absent/`null` parses as `0`.
     #[serde(with = "zero_or_count")]
     pub threads: usize,
+    /// Optional per-window fleet-wide cost cap (see [`crate::budget`]).
+    /// `None` (the default, and what every pre-budget scenario JSON
+    /// parses as) serves uncapped — byte-identical to the golden
+    /// fixtures.
+    pub budget: Option<crate::budget::BudgetPolicy>,
 }
 
 impl ServeScenario {
@@ -352,6 +357,7 @@ impl ServeScenario {
             streaming: None,
             max_windows: None,
             threads: 0,
+            budget: None,
         }
     }
 
@@ -445,6 +451,7 @@ mod tests {
                 !l.contains("\"streaming\"")
                     && !l.contains("\"max_windows\"")
                     && !l.contains("\"threads\"")
+                    && !l.contains("\"budget\"")
             })
             .collect::<Vec<_>>()
             .join("\n")
@@ -453,12 +460,14 @@ mod tests {
         assert_eq!(parsed.streaming, None);
         assert_eq!(parsed.max_windows, None);
         assert_eq!(parsed.threads, 0);
+        assert_eq!(parsed.budget, None);
         assert_eq!(parsed, s);
 
         s.streaming = Some(StreamingConfig {
             sink: Some("completions.bin".to_string()),
         });
         s.max_windows = Some(64);
+        s.budget = Some(crate::budget::BudgetPolicy::device_seconds(3.5));
         let back = ServeScenario::from_json(&s.to_json().unwrap()).unwrap();
         assert_eq!(s, back);
     }

@@ -62,6 +62,7 @@ use s2m3_sim::kernel::{
 use s2m3_sim::workload::{WorkloadRequest, WorkloadStream};
 
 use crate::accounting::{ARec, Accounting, ClassStats, LatAgg};
+use crate::budget::{BudgetEnforcement, BudgetMetric, BudgetState, Deferred};
 use crate::config::{FleetEventKind, ServeScenario, SloReplanTrigger};
 use crate::queue::{Admission, AdmissionQueue, QueuedRequest};
 use crate::report::{ClassReport, DeviceReport, EventRecord, ReplanRecord, ServeReport};
@@ -116,6 +117,19 @@ enum ServeEv {
     Fleet(usize),
     /// Request `rid` arrives.
     Arrival(usize),
+    /// A fresh budget window opens: re-admit deferred requests.
+    BudgetWake,
+}
+
+/// What the budget gate decided for a popped request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BudgetVerdict {
+    /// Within budget (or no budget): dispatch now.
+    Dispatch,
+    /// Parked in the deferred heap until the next window.
+    Defer,
+    /// Rejected by enforcement (counts as a shed).
+    Shed,
 }
 
 /// Per-task payload stored inline in the kernel's task table.
@@ -153,6 +167,12 @@ struct ReqInfo {
     /// Universe index of the device charged with this request's
     /// in-flight slot, when dispatched.
     inflight_on: Option<usize>,
+    /// Whether the budget gate has priced this request (the uncapped
+    /// shadow counter charges once per request).
+    budget_seen: bool,
+    /// When the budget first deferred this request (`u64::MAX`: never);
+    /// the latency price accrues from here at eventual dispatch.
+    first_defer_ns: u64,
     /// Task indices of the current attempt.
     tasks: Vec<usize>,
     done: bool,
@@ -302,6 +322,22 @@ struct Online {
     /// inline here in sequential mode, streamed to a worker in sharded
     /// mode.
     acct: Accounting,
+    // --- budget ---
+    /// Budget-enforcement state (`scenario.budget`); `None` serves
+    /// uncapped, byte-identical to the pre-budget engine. Lives on the
+    /// session thread only: dispatch is always head-side, so budget
+    /// decisions never reach the encoder shard.
+    budget: Option<BudgetState>,
+    /// Per-universe-device cost rate (spend units per busy second),
+    /// priced from the policy's metric. Empty without a budget.
+    cost_rates: Vec<f64>,
+    /// Per-model route cost under the current placement — head plus
+    /// encoder compute seconds, each times its host's rate. Refreshed
+    /// with the route cache; empty without a budget.
+    route_costs: Vec<f64>,
+    /// Re-admission scratch: the deferred heap drains here before
+    /// requests re-enter `admit` (which may re-defer into the heap).
+    budget_wake_scratch: Vec<Deferred>,
     report: ServeReport,
 }
 
@@ -411,6 +447,10 @@ impl Driver for Online {
                 self.arrival(k, rid, now);
                 Ok(())
             }
+            ServeEv::BudgetWake => {
+                self.budget_wake(k, now);
+                Ok(())
+            }
         }
     }
 }
@@ -463,6 +503,7 @@ impl Online {
         let n_sources = self.sources.len();
         self.model_routes.clear();
         self.route_encs.clear();
+        self.route_costs.clear();
         let mut route = std::mem::take(&mut self.route_scratch);
         let mut encs = std::mem::take(&mut self.encs_scratch);
         for m in 0..self.n_models {
@@ -472,6 +513,11 @@ impl Online {
                 .route_model_into(m, &profile, &self.hosts_scratch, &mut route)
             {
                 self.model_routes.extend((0..n_sources).map(|_| None));
+                if self.budget.is_some() {
+                    // Unroutable models shed at admission, before the
+                    // budget gate: the placeholder keeps model indexing.
+                    self.route_costs.push(0.0);
+                }
                 continue;
             }
             let &(head_m, head_d) = route.last().expect("route includes the head");
@@ -489,6 +535,18 @@ impl Online {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then_with(|| a.0.cmp(&b.0))
             });
+            if self.budget.is_some() {
+                // Price the route once per model (routing ignores the
+                // query's origin, so every source shares the cost).
+                let head_t =
+                    self.resolved
+                        .compute_time_units(head_m, head_d, profile.units(head_kind));
+                let mut cost = head_t * self.cost_rates[self.uni_of_res[head_d as usize]];
+                for &(_, ed, t) in encs.iter() {
+                    cost += t * self.cost_rates[self.uni_of_res[ed as usize]];
+                }
+                self.route_costs.push(cost);
+            }
             for src in &self.sources {
                 let source = self.res_of_uni[src.uni].expect("sources never leave the fleet");
                 let head_query_tx_ns = if head_kind == ModuleKind::LanguageModel {
@@ -586,8 +644,114 @@ impl Online {
             let Some(qr) = popped else { return };
             let handle = ReqHandle::unpack(qr.handle);
             debug_assert!(self.requests.is_current(handle));
-            self.dispatch_request(k, handle.slot as usize, now);
+            match self.budget_gate(k, &qr, now) {
+                BudgetVerdict::Dispatch => self.dispatch_request(k, handle.slot as usize, now),
+                // Parked (or rejected): the pop freed no request slot,
+                // so keep draining — EDF pop order already gave this
+                // window's headroom to the highest-priority work first.
+                BudgetVerdict::Defer => {}
+                BudgetVerdict::Shed => self.record_shed(handle.slot as usize, now),
+            }
         }
+    }
+
+    /// Prices a popped request against the open budget window. Always
+    /// `Dispatch` without a budget (the zero-cost fast path).
+    fn budget_gate(&mut self, k: &mut K, qr: &QueuedRequest, now: u64) -> BudgetVerdict {
+        let Some(budget) = self.budget.as_mut() else {
+            return BudgetVerdict::Dispatch;
+        };
+        let slot = ReqHandle::unpack(qr.handle).slot as usize;
+        let (model, class) = {
+            let r = &self.requests[slot];
+            (r.model, r.class)
+        };
+        let cost = self.route_costs[model];
+        budget.roll(now);
+        if !self.requests[slot].budget_seen {
+            self.requests[slot].budget_seen = true;
+            budget.charge_shadow(cost);
+        }
+        if budget.fits(cost) {
+            budget.charge(cost);
+            let first_defer = self.requests[slot].first_defer_ns;
+            if first_defer != u64::MAX {
+                budget.pay_latency_price(now.saturating_sub(first_defer));
+            }
+            return BudgetVerdict::Dispatch;
+        }
+        // The open window cannot afford it. A request whose solo cost
+        // exceeds the cap can never fit any window: shed it under every
+        // mode rather than park it forever.
+        let shed = cost > budget.policy.cap_per_window
+            || match budget.policy.enforcement {
+                BudgetEnforcement::Shed => true,
+                BudgetEnforcement::Defer => false,
+                BudgetEnforcement::DeferThenShed => now > qr.deadline_ns,
+            };
+        if shed {
+            budget.note_shed(class);
+            return BudgetVerdict::Shed;
+        }
+        if self.requests[slot].first_defer_ns == u64::MAX {
+            self.requests[slot].first_defer_ns = now;
+            budget.note_deferred(class);
+        }
+        budget.push_deferred(Deferred {
+            urgency: u32::MAX - qr.priority,
+            deadline_ns: qr.deadline_ns,
+            arrival_ns: qr.arrival_ns,
+            seq: qr.id,
+            handle: qr.handle,
+        });
+        self.schedule_budget_wake(k);
+        BudgetVerdict::Defer
+    }
+
+    /// Schedules a `BudgetWake` at the next window boundary (deduped:
+    /// at most one pending wake) while any request sits parked.
+    fn schedule_budget_wake(&mut self, k: &mut K) {
+        let Some(budget) = self.budget.as_mut() else {
+            return;
+        };
+        if !budget.has_deferred() {
+            return;
+        }
+        let at = budget.next_window_start_ns();
+        if budget.wake_at != Some(at) {
+            budget.wake_at = Some(at);
+            k.push_custom(at, ServeEv::BudgetWake);
+        }
+    }
+
+    /// A fresh budget window opened: re-admit every parked request,
+    /// EDF order. Re-admission runs through the normal `admit` path, so
+    /// a request the new window still cannot afford simply re-parks
+    /// (via the drained scratch, never the live heap — no livelock).
+    fn budget_wake(&mut self, k: &mut K, now: u64) {
+        let mut scratch = std::mem::take(&mut self.budget_wake_scratch);
+        {
+            let Some(budget) = self.budget.as_mut() else {
+                return;
+            };
+            if budget.wake_at == Some(now) {
+                budget.wake_at = None;
+            }
+            budget.roll(now);
+            budget.drain_deferred_into(&mut scratch);
+        }
+        for d in &scratch {
+            let handle = ReqHandle::unpack(d.handle);
+            // Parked requests can be resolved elsewhere (an early
+            // `finish` sheds them): skip anything no longer live.
+            if !self.requests.is_current(handle) || self.requests[handle.slot as usize].done {
+                continue;
+            }
+            self.admit(k, handle.slot as usize, now);
+        }
+        scratch.clear();
+        self.budget_wake_scratch = scratch;
+        self.schedule_budget_wake(k);
     }
 
     /// Expands a request into module tasks from its model's cached route.
@@ -977,6 +1141,44 @@ impl Online {
         self.devices.iter().map(|d| d.admission.len() as u64).sum()
     }
 
+    /// Mean per-request route cost (over routable models) the fleet
+    /// would pay under `placement`, priced by the active cost rates.
+    /// Clobbers the routing scratch — callers always run
+    /// [`Online::refresh_model_routes`] after any placement change, so
+    /// the scratch is re-derived either way.
+    fn mean_route_cost(&mut self, placement: &Placement) -> f64 {
+        self.resolved
+            .resolve_placement_into(placement, &mut self.hosts_scratch);
+        let mut route = std::mem::take(&mut self.route_scratch);
+        let mut total = 0.0;
+        let mut routable = 0usize;
+        for m in 0..self.n_models {
+            let profile = self.resolved.models()[m].profile;
+            if !self
+                .resolved
+                .route_model_into(m, &profile, &self.hosts_scratch, &mut route)
+            {
+                continue;
+            }
+            // The route's last entry is the head: summing every module
+            // covers head + encoders alike.
+            let mut cost = 0.0;
+            for &(em, ed) in route.iter() {
+                let units = profile.units(self.resolved.module_kind(em));
+                cost += self.resolved.compute_time_units(em, ed, units)
+                    * self.cost_rates[self.uni_of_res[ed as usize]];
+            }
+            total += cost;
+            routable += 1;
+        }
+        self.route_scratch = route;
+        if routable == 0 {
+            0.0
+        } else {
+            total / routable as f64
+        }
+    }
+
     /// The shared replan gate: computes the observed-rate break-even
     /// acceptance test, records the evaluation in the report, and — if
     /// accepted — installs the new placement and charges migration
@@ -1013,8 +1215,23 @@ impl Online {
         let expected_in_horizon = observed_rate * self.horizon_s;
         let break_even = decision.break_even_requests();
         let effective = decision.break_even_requests_with_queue(queued);
+        // Budget-feasibility term: a candidate whose steady-state spend
+        // (observed rate × window × mean route cost) would breach the
+        // cap is rejected before the latency comparison. Mandatory
+        // switches bypass it — refusing them would strand the fleet.
+        let budget_feasible = match self
+            .budget
+            .as_ref()
+            .map(|b| (b.policy.window_s, b.policy.cap_per_window))
+        {
+            Some((window_s, cap)) if !decision.mandatory() => {
+                observed_rate * window_s * self.mean_route_cost(&decision.placement) <= cap
+            }
+            _ => true,
+        };
         let accepted = decision.mandatory()
-            || matches!(effective, Some(b) if (b as f64) <= expected_in_horizon);
+            || (budget_feasible
+                && matches!(effective, Some(b) if (b as f64) <= expected_in_horizon));
         self.report.replans.push(ReplanRecord {
             at_s,
             trigger,
@@ -1154,6 +1371,8 @@ impl Online {
             r.priority = priority;
             r.class = rec.class;
             r.inflight_on = None;
+            r.budget_seen = false;
+            r.first_defer_ns = u64::MAX;
             r.tasks.clear();
             r.done = false;
         });
@@ -1265,7 +1484,30 @@ impl Online {
                 }
             })
             .collect();
+        if let Some(budget) = self.budget.take() {
+            let priorities: Vec<u32> = self.class_table.iter().map(|&(_, p)| p).collect();
+            self.report.budget = Some(budget.finish(&class_names, &priorities));
+        }
         self.report
+    }
+}
+
+/// Builds the [`CostModel`](s2m3_core::CostModel) a budget metric
+/// prices busy device-seconds with.
+fn budget_cost_model(metric: &BudgetMetric) -> s2m3_core::CostModel {
+    match metric {
+        BudgetMetric::DeviceSeconds => s2m3_core::CostModel::uniform(1.0),
+        BudgetMetric::Custom { per_device_rate } => s2m3_core::CostModel::uniform(*per_device_rate),
+        // Marginal energy: joules per busy second above idle, from the
+        // simulator's default power profiles. Unprofiled devices cost
+        // nothing (the model's default rate stays 0).
+        BudgetMetric::Energy => {
+            let mut model = s2m3_core::CostModel::uniform(0.0);
+            for (device, profile) in s2m3_sim::energy::default_profiles() {
+                model.set_rate(device, (profile.active_w - profile.idle_w).max(0.0));
+            }
+            model
+        }
     }
 }
 
@@ -1514,6 +1756,26 @@ impl ServeSession {
             })
             .collect();
 
+        // --- Budget enforcement: validate the policy and price every
+        //     universe device once (rates never change mid-run). ---
+        let budget = match &scenario.budget {
+            Some(policy) => {
+                policy.validate().map_err(ServeError::BadScenario)?;
+                Some(BudgetState::new(policy.clone(), class_names.len()))
+            }
+            None => None,
+        };
+        let cost_rates: Vec<f64> = match &scenario.budget {
+            Some(policy) => {
+                let cost_model = budget_cost_model(&policy.metric);
+                uni_names
+                    .iter()
+                    .map(|n| cost_model.rate(&n.as_str().into()))
+                    .collect()
+            }
+            None => Vec::new(),
+        };
+
         // --- Instance, placement, resolved index maps: the
         //     replica-invariant prefix, shared instead of rebuilt. ---
         let instance = shared.instance.clone();
@@ -1691,6 +1953,10 @@ impl ServeSession {
                 windows: Vec::new(),
                 last_completion_ns: 0,
             },
+            budget,
+            cost_rates,
+            route_costs: Vec::new(),
+            budget_wake_scratch: Vec::new(),
             report: ServeReport {
                 seed: scenario.seed.clone(),
                 ..ServeReport::default()
@@ -1867,6 +2133,114 @@ mod tests {
                 r.completed,
                 r.shed
             );
+        }
+    }
+
+    fn budget_policy(
+        cap: f64,
+        window_s: f64,
+        enforcement: BudgetEnforcement,
+    ) -> crate::budget::BudgetPolicy {
+        crate::budget::BudgetPolicy {
+            cap_per_window: cap,
+            metric: crate::budget::BudgetMetric::DeviceSeconds,
+            window_s,
+            enforcement,
+        }
+    }
+
+    #[test]
+    fn roomy_budget_changes_nothing_but_adds_the_report() {
+        let uncapped = serve(&small_scenario(300)).unwrap();
+        let mut s = small_scenario(300);
+        s.budget = Some(budget_policy(1e18, 60.0, BudgetEnforcement::DeferThenShed));
+        let mut capped = serve(&s).unwrap();
+        let b = capped.budget.take().expect("budget report present");
+        assert_eq!(capped, uncapped, "a roomy cap must not alter serving");
+        assert_eq!(b.deferred, 0);
+        assert_eq!(b.shed, 0);
+        assert_eq!(b.adherence, 1.0);
+        assert!(b.spend_total > 0.0);
+        assert!((b.spend_total - b.shadow_spend_total).abs() < 1e-9);
+        assert_eq!(b.dispatched, capped.completed);
+    }
+
+    #[test]
+    fn tight_budget_defers_within_cap_and_recovers() {
+        let uncapped = serve(&small_scenario(200)).unwrap();
+        let busy: f64 = uncapped.devices.iter().map(|d| d.busy_s).sum();
+        let cost_per_req = busy / uncapped.completed as f64;
+        let mut s = small_scenario(200);
+        s.budget = Some(budget_policy(
+            3.0 * cost_per_req,
+            uncapped.makespan_s / 10.0,
+            BudgetEnforcement::Defer,
+        ));
+        let r = serve(&s).unwrap();
+        assert_eq!(r.arrived, 200);
+        assert_eq!(r.completed + r.shed, 200, "deferred requests are conserved");
+        let b = r.budget.as_ref().unwrap();
+        assert!(b.deferred > 0, "a ~3-requests-per-window cap must defer");
+        assert!(b.latency_price_s > 0.0);
+        assert_eq!(
+            b.windows_over_cap, 0,
+            "reserve-at-dispatch never overspends"
+        );
+        assert_eq!(b.adherence, 1.0);
+        for w in &b.windows {
+            assert!(w.spend <= b.cap_per_window + 1e-9);
+        }
+        assert!(b.shadow_spend_total >= b.spend_total - 1e-9);
+        assert!(
+            r.latency.p95_s >= uncapped.latency.p95_s,
+            "deferral cannot speed requests up"
+        );
+    }
+
+    #[test]
+    fn budget_shed_mode_rejects_what_it_cannot_afford() {
+        let uncapped = serve(&small_scenario(200)).unwrap();
+        let busy: f64 = uncapped.devices.iter().map(|d| d.busy_s).sum();
+        let cost_per_req = busy / uncapped.completed as f64;
+        let mut s = small_scenario(200);
+        s.budget = Some(budget_policy(
+            2.0 * cost_per_req,
+            uncapped.makespan_s / 5.0,
+            BudgetEnforcement::Shed,
+        ));
+        let r = serve(&s).unwrap();
+        let b = r.budget.as_ref().unwrap();
+        assert_eq!(r.completed + r.shed, r.arrived);
+        assert!(b.shed > 0, "a tight cap under Shed must reject work");
+        assert_eq!(b.deferred, 0, "Shed mode never defers");
+        assert!(r.shed >= b.shed, "budget sheds are sheds");
+        for w in &b.windows {
+            assert!(w.spend <= b.cap_per_window + 1e-9);
+        }
+    }
+
+    #[test]
+    fn budget_reports_match_across_thread_counts() {
+        let uncapped = serve(&small_scenario(200)).unwrap();
+        let busy: f64 = uncapped.devices.iter().map(|d| d.busy_s).sum();
+        let cost_per_req = busy / uncapped.completed as f64;
+        let mut scenario = ServeScenario {
+            requests: 1000,
+            ..ServeScenario::churn_default()
+        };
+        scenario.budget = Some(budget_policy(
+            4.0 * cost_per_req,
+            uncapped.makespan_s / 10.0,
+            BudgetEnforcement::DeferThenShed,
+        ));
+        let seq = serde_json::to_string(&serve(&scenario).unwrap()).unwrap();
+        for threads in [2usize, 4] {
+            let par = ServeScenario {
+                threads,
+                ..scenario.clone()
+            };
+            let got = serde_json::to_string(&serve(&par).unwrap()).unwrap();
+            assert_eq!(got, seq, "threads={threads}");
         }
     }
 

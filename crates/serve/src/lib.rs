@@ -23,7 +23,10 @@
 //! - **live replanning** — [`FleetEvent`]s (join/leave/slowdown) wake a
 //!   controller that calls [`s2m3_core::adaptive::replan`], accepts
 //!   migrations only when their break-even clears the observed arrival
-//!   rate, and charges switching costs as destination-device downtime.
+//!   rate, and charges switching costs as destination-device downtime;
+//! - **budget enforcement** — an optional per-window fleet-wide cost
+//!   cap ([`budget`]): dispatches reserve their route's priced cost and
+//!   the lowest-priority work defers or sheds when a window runs dry.
 //!
 //! ## Example
 //!
@@ -43,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 mod accounting;
+pub mod budget;
 pub mod config;
 pub mod engine;
 pub mod queue;
@@ -54,6 +58,9 @@ pub mod trace;
 #[cfg(test)]
 mod proptests;
 
+pub use budget::{
+    BudgetClassReport, BudgetEnforcement, BudgetMetric, BudgetPolicy, BudgetReport, BudgetWindow,
+};
 pub use config::{
     AdmissionPolicy, BatchPolicy, FleetEvent, FleetEventKind, KindBatchCap, ModelDeployment,
     ReplanPolicy, ServeScenario, SloReplanTrigger, StreamingConfig, TrafficSource,

@@ -134,7 +134,11 @@ pub struct DeviceReport {
 }
 
 /// The full, deterministic output of a serving run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+///
+/// Serialization note: `budget` is omitted when `None` (hand-written
+/// `Serialize` below), so budget-free runs keep the exact JSON shape
+/// pinned by `tests/fixtures/serve_churn_*.json`.
+#[derive(Debug, Clone, PartialEq, Deserialize, Default)]
 pub struct ServeReport {
     /// Scenario seed label (same seed ⇒ identical report).
     pub seed: String,
@@ -167,6 +171,38 @@ pub struct ServeReport {
     pub replans: Vec<ReplanRecord>,
     /// Per-device serving statistics, in name order.
     pub devices: Vec<DeviceReport>,
+    /// Budget-enforcement summary; present only when the scenario ran
+    /// with a [`BudgetPolicy`](crate::budget::BudgetPolicy).
+    pub budget: Option<crate::budget::BudgetReport>,
+}
+
+impl Serialize for ServeReport {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut obj: Vec<(String, serde::value::Value)> = vec![
+            ("seed".to_string(), serde::to_value(&self.seed)?),
+            ("arrived".to_string(), serde::to_value(&self.arrived)?),
+            ("completed".to_string(), serde::to_value(&self.completed)?),
+            ("shed".to_string(), serde::to_value(&self.shed)?),
+            ("late".to_string(), serde::to_value(&self.late)?),
+            ("miss_rate".to_string(), serde::to_value(&self.miss_rate)?),
+            ("retried".to_string(), serde::to_value(&self.retried)?),
+            ("latency".to_string(), serde::to_value(&self.latency)?),
+            (
+                "throughput_per_s".to_string(),
+                serde::to_value(&self.throughput_per_s)?,
+            ),
+            ("makespan_s".to_string(), serde::to_value(&self.makespan_s)?),
+            ("classes".to_string(), serde::to_value(&self.classes)?),
+            ("windows".to_string(), serde::to_value(&self.windows)?),
+            ("events".to_string(), serde::to_value(&self.events)?),
+            ("replans".to_string(), serde::to_value(&self.replans)?),
+            ("devices".to_string(), serde::to_value(&self.devices)?),
+        ];
+        if let Some(budget) = &self.budget {
+            obj.push(("budget".to_string(), serde::to_value(budget)?));
+        }
+        s.serialize_value(serde::value::Value::Object(obj))
+    }
 }
 
 impl ServeReport {
@@ -261,6 +297,28 @@ impl ServeReport {
                 100.0 * d.utilization
             );
         }
+        if let Some(b) = &self.budget {
+            let _ = writeln!(
+                out,
+                "budget cap {:.2}/{:.0}s window  spend {:.2} (uncapped {:.2})  \
+                 adherence {:.1}%  deferred {}  shed {}  latency price {:.1}s",
+                b.cap_per_window,
+                b.window_s,
+                b.spend_total,
+                b.shadow_spend_total,
+                100.0 * b.adherence,
+                b.deferred,
+                b.shed,
+                b.latency_price_s
+            );
+            for c in &b.classes {
+                let _ = writeln!(
+                    out,
+                    "budget class {:<12} prio {:>3}  {:>6} deferred  {:>6} shed",
+                    c.class, c.priority, c.deferred, c.shed
+                );
+            }
+        }
         out
     }
 }
@@ -318,8 +376,13 @@ mod tests {
                 migrations: 2,
             }],
             devices: vec![],
+            budget: None,
         };
-        let back: ServeReport = serde_json::from_str(&report.to_json().unwrap()).unwrap();
+        let json = report.to_json().unwrap();
+        // `budget: None` must leave the JSON shape untouched — the
+        // pre-budget golden fixtures depend on the key being absent.
+        assert!(!json.contains("\"budget\""));
+        let back: ServeReport = serde_json::from_str(&json).unwrap();
         assert_eq!(report, back);
         assert_eq!(report.accepted_replans(), 1);
         let text = report.render_summary();
@@ -327,5 +390,44 @@ mod tests {
         assert!(text.contains("desktop leaves"));
         assert!(text.contains("p95"));
         assert!(text.contains("interactive"));
+        assert!(!text.contains("budget cap"));
+
+        let mut capped = report.clone();
+        capped.budget = Some(crate::budget::BudgetReport {
+            cap_per_window: 4.0,
+            window_s: 10.0,
+            metric: crate::budget::BudgetMetric::DeviceSeconds,
+            enforcement: crate::budget::BudgetEnforcement::DeferThenShed,
+            windows_total: 2,
+            windows_over_cap: 0,
+            adherence: 1.0,
+            spend_total: 6.5,
+            shadow_spend_total: 9.0,
+            dispatched: 7,
+            deferred: 2,
+            shed: 1,
+            latency_price_s: 3.25,
+            classes: vec![crate::budget::BudgetClassReport {
+                class: "interactive".into(),
+                priority: 2,
+                deferred: 2,
+                shed: 1,
+            }],
+            windows: vec![crate::budget::BudgetWindow {
+                index: 0,
+                spend: 3.5,
+                shadow_spend: 5.0,
+                dispatched: 4,
+                deferred: 2,
+                shed: 1,
+            }],
+        });
+        let json = capped.to_json().unwrap();
+        assert!(json.contains("\"budget\""));
+        let back: ServeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(capped, back);
+        let text = capped.render_summary();
+        assert!(text.contains("budget cap 4.00"));
+        assert!(text.contains("latency price 3.2s"));
     }
 }

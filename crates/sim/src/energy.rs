@@ -7,6 +7,12 @@
 //! The profile numbers are typical published figures for the Table III
 //! hardware class (Jetson Nano 10 W mode, M-series laptop package power,
 //! desktop CPU under AVX load, P40 server board + host).
+//!
+//! These profiles also price the serve-time budget cap: with the
+//! `Energy` metric, `s2m3_serve::budget` charges each dispatch
+//! `(active_w − idle_w)` joules per busy second through a
+//! `s2m3_core::CostModel` built from [`default_profiles`], enforcing a
+//! per-window joule budget online.
 
 use std::collections::BTreeMap;
 

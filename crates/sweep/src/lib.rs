@@ -58,8 +58,8 @@ pub mod spec;
 mod proptests;
 
 pub use report::{
-    bootstrap_ci95, replan_gain, Band, CellReport, CellScalars, Ci95, FrontierPoint,
-    ReplicaSummary, SweepReport, TimeBand,
+    bootstrap_ci95, cost_slo_frontier, replan_gain, Band, CellReport, CellScalars, Ci95,
+    CostSloPoint, FrontierPoint, ReplicaSummary, SweepReport, TimeBand,
 };
 pub use run::{run_sweep, run_sweep_on};
 pub use spec::{scale_arrivals, SweepSpec};

@@ -165,6 +165,19 @@ pub struct CellScalars {
     pub shed_mean: f64,
     /// Mean of per-replica makespan, virtual seconds.
     pub makespan_mean_s: f64,
+    /// Mean budget adherence (fraction of windows at or under the cap)
+    /// over replicas that served under a budget; `null` when none did.
+    #[serde(default)]
+    pub budget_adherence_mean: Option<f64>,
+    /// p50/p95/p99 of per-replica budget adherence.
+    #[serde(default)]
+    pub budget_adherence_band: Option<Band>,
+    /// Mean per-window budget spend across budgeted replicas.
+    #[serde(default)]
+    pub budget_spend_mean_per_window: Option<f64>,
+    /// Mean total queueing delay charged to the budget gate, seconds.
+    #[serde(default)]
+    pub budget_latency_price_mean_s: Option<f64>,
 }
 
 /// One (rate-scale × fleet-size) grid cell.
@@ -209,6 +222,27 @@ pub struct FrontierPoint {
     pub replan_gain_ci95: Option<Ci95>,
 }
 
+/// One cell's position on the cost × SLO frontier: what the budget
+/// bought (per-window spend, adherence) against what it cost in
+/// service quality (p95 latency, miss rate, queueing delay).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostSloPoint {
+    /// Active devices at t = 0.
+    pub fleet_size: usize,
+    /// Arrival-rate multiplier applied to the base workload.
+    pub rate_scale: f64,
+    /// Mean per-window budget spend across the cell's replicas.
+    pub spend_per_window: f64,
+    /// Mean fraction of windows at or under the cap.
+    pub adherence: f64,
+    /// Mean of per-replica p95 latency, seconds.
+    pub latency_p95_s: f64,
+    /// Mean deadline-miss rate.
+    pub miss_rate: f64,
+    /// Mean total queueing delay charged to the budget gate, seconds.
+    pub latency_price_s: f64,
+}
+
 /// The deterministic product of a sweep: same spec ⇒ byte-identical
 /// JSON at any thread count.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -227,6 +261,11 @@ pub struct SweepReport {
     pub cells: Vec<CellReport>,
     /// Max sustainable rate per fleet size (the capacity frontier).
     pub frontier: Vec<FrontierPoint>,
+    /// Cost × SLO frontier: one point per cell whose replicas served
+    /// under a budget, in cell order. `None` for budget-free sweeps
+    /// (an `Option` so pre-budget report JSON still parses).
+    #[serde(default)]
+    pub cost_slo: Option<Vec<CostSloPoint>>,
 }
 
 impl SweepReport {
@@ -327,6 +366,21 @@ impl SweepReport {
                 )),
             }
         }
+        if let Some(points) = self.cost_slo.as_deref().filter(|p| !p.is_empty()) {
+            out.push_str("cost x SLO frontier:\n");
+            for p in points {
+                out.push_str(&format!(
+                    "  {} devices x{:.2}: spend {:.2}/window  adherence {:.1}%  p95 {:.3} s  miss {:.2}%  latency price {:.1} s\n",
+                    p.fleet_size,
+                    p.rate_scale,
+                    p.spend_per_window,
+                    p.adherence * 100.0,
+                    p.latency_p95_s,
+                    p.miss_rate * 100.0,
+                    p.latency_price_s,
+                ));
+            }
+        }
         out
     }
 }
@@ -349,6 +403,13 @@ pub struct ReplicaSummary {
     /// Miss-rate drop across accepted replans (see [`replan_gain`]);
     /// `None` when the run has no measurable replan.
     pub replan_gain: Option<f64>,
+    /// Budget adherence (fraction of windows at or under the cap);
+    /// `None` when the replica served without a budget.
+    pub budget_adherence: Option<f64>,
+    /// Mean per-window budget spend.
+    pub budget_spend_per_window: Option<f64>,
+    /// Total queueing delay charged to the budget gate, seconds.
+    pub budget_latency_price_s: Option<f64>,
     /// `(bin index, latency p95, miss rate, utilization)` — the last
     /// window snapshot falling in each bin, in bin order.
     pub bins: Vec<(usize, f64, f64, f64)>,
@@ -369,6 +430,7 @@ impl ReplicaSummary {
                 _ => bins.push(entry),
             }
         }
+        let budget = report.budget.as_ref();
         ReplicaSummary {
             miss_rate: report.miss_rate,
             latency_p95_s: report.latency.p95_s,
@@ -376,6 +438,9 @@ impl ReplicaSummary {
             shed: report.shed,
             makespan_s: report.makespan_s,
             replan_gain: replan_gain(&report.replans, &report.windows, bin_s),
+            budget_adherence: budget.map(|b| b.adherence),
+            budget_spend_per_window: budget.map(|b| b.spend_total / b.windows_total.max(1) as f64),
+            budget_latency_price_s: budget.map(|b| b.latency_price_s),
             bins,
         }
     }
@@ -395,6 +460,17 @@ pub fn aggregate_cell(
     // index stream, so these scalars are thread-count-invariant.
     let miss: Vec<f64> = replicas.iter().map(|r| r.miss_rate).collect();
     let gains: Vec<f64> = replicas.iter().filter_map(|r| r.replan_gain).collect();
+    let adherence: Vec<f64> = replicas.iter().filter_map(|r| r.budget_adherence).collect();
+    let mean_of =
+        |vals: &[f64]| (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64);
+    let spends: Vec<f64> = replicas
+        .iter()
+        .filter_map(|r| r.budget_spend_per_window)
+        .collect();
+    let prices: Vec<f64> = replicas
+        .iter()
+        .filter_map(|r| r.budget_latency_price_s)
+        .collect();
     let scalars = CellScalars {
         miss_rate_mean: replicas.iter().map(|r| r.miss_rate).sum::<f64>() / n,
         miss_rate_ci95: bootstrap_ci95(&miss),
@@ -406,6 +482,10 @@ pub fn aggregate_cell(
         throughput_mean_per_s: replicas.iter().map(|r| r.throughput_per_s).sum::<f64>() / n,
         shed_mean: replicas.iter().map(|r| r.shed as f64).sum::<f64>() / n,
         makespan_mean_s: replicas.iter().map(|r| r.makespan_s).sum::<f64>() / n,
+        budget_adherence_mean: mean_of(&adherence),
+        budget_adherence_band: Band::from_samples(&adherence),
+        budget_spend_mean_per_window: mean_of(&spends),
+        budget_latency_price_mean_s: mean_of(&prices),
     };
     let max_bin = replicas
         .iter()
@@ -486,6 +566,28 @@ pub fn capacity_frontier(cells: &[CellReport], budget: f64) -> Vec<FrontierPoint
         .collect()
 }
 
+/// Pairs each budgeted cell's cost (mean per-window spend, adherence)
+/// with its service quality (p95 latency, miss rate, queueing delay) —
+/// the table the cap-vs-SLO trade-off is read from. Cells whose
+/// replicas ran without a budget are skipped, so the frontier is empty
+/// for budget-free sweeps.
+pub fn cost_slo_frontier(cells: &[CellReport]) -> Vec<CostSloPoint> {
+    cells
+        .iter()
+        .filter_map(|c| {
+            Some(CostSloPoint {
+                fleet_size: c.fleet_size,
+                rate_scale: c.rate_scale,
+                spend_per_window: c.scalars.budget_spend_mean_per_window?,
+                adherence: c.scalars.budget_adherence_mean?,
+                latency_p95_s: c.scalars.latency_p95_mean_s,
+                miss_rate: c.scalars.miss_rate_mean,
+                latency_price_s: c.scalars.budget_latency_price_mean_s?,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +619,9 @@ mod tests {
             shed: 1,
             makespan_s: 100.0,
             replan_gain: None,
+            budget_adherence: None,
+            budget_spend_per_window: None,
+            budget_latency_price_s: None,
             bins,
         }
     }
@@ -558,6 +663,10 @@ mod tests {
                 throughput_mean_per_s: 1.0,
                 shed_mean: 0.0,
                 makespan_mean_s: 10.0,
+                budget_adherence_mean: None,
+                budget_adherence_band: None,
+                budget_spend_mean_per_window: None,
+                budget_latency_price_mean_s: None,
             },
             bands: Vec::new(),
         }
@@ -681,9 +790,14 @@ mod tests {
             bin_s: 600.0,
             cells: vec![c.clone()],
             frontier: capacity_frontier(&[c], 0.01),
+            cost_slo: None,
         };
         let text = report.render_summary();
         assert!(text.contains("miss 95% CI"), "{text}");
+        assert!(
+            !text.contains("cost x SLO"),
+            "budget-free sweeps skip the section: {text}"
+        );
         assert!(text.contains("[0.50, 0.50]%"), "{text}");
         assert!(text.contains("replan gain"), "{text}");
         assert!(text.contains("+2.00"), "{text}");
@@ -700,11 +814,103 @@ mod tests {
             bin_s: 600.0,
             cells: vec![cell(2, 1.0, 0.0)],
             frontier: capacity_frontier(&[cell(2, 1.0, 0.0)], 0.01),
+            cost_slo: None,
         };
         let back = SweepReport::from_json(&report.to_json().unwrap()).unwrap();
         assert_eq!(report, back);
         let text = report.render_summary();
         assert!(text.contains("capacity frontier"));
         assert!(text.contains("2 devices"));
+    }
+
+    fn budget_summary(adherence: f64, spend: f64, price: f64) -> ReplicaSummary {
+        let mut s = summary(0.1, vec![]);
+        s.budget_adherence = Some(adherence);
+        s.budget_spend_per_window = Some(spend);
+        s.budget_latency_price_s = Some(price);
+        s
+    }
+
+    #[test]
+    fn aggregate_cell_bands_budget_adherence() {
+        let cell = aggregate_cell(
+            4,
+            1.0,
+            Some(0.3),
+            &[
+                budget_summary(1.0, 3.0, 0.5),
+                budget_summary(0.8, 5.0, 1.5),
+                summary(0.1, vec![]), // budget-free replica contributes nothing
+            ],
+            600.0,
+        );
+        let s = &cell.scalars;
+        assert!((s.budget_adherence_mean.unwrap() - 0.9).abs() < 1e-12);
+        let band = s.budget_adherence_band.as_ref().unwrap();
+        assert_eq!((band.p50, band.p99), (0.8, 1.0));
+        assert!((s.budget_spend_mean_per_window.unwrap() - 4.0).abs() < 1e-12);
+        assert!((s.budget_latency_price_mean_s.unwrap() - 1.0).abs() < 1e-12);
+        // A budget-free cell reports nulls across the board.
+        let none = aggregate_cell(4, 1.0, Some(0.3), &[summary(0.1, vec![])], 600.0);
+        assert!(none.scalars.budget_adherence_mean.is_none());
+        assert!(none.scalars.budget_adherence_band.is_none());
+        assert!(none.scalars.budget_spend_mean_per_window.is_none());
+        assert!(none.scalars.budget_latency_price_mean_s.is_none());
+    }
+
+    #[test]
+    fn cost_slo_frontier_pairs_spend_with_service_quality() {
+        let budgeted = aggregate_cell(2, 1.0, Some(0.3), &[budget_summary(0.95, 4.0, 2.0)], 600.0);
+        let free = cell(4, 1.0, 0.0);
+        let points = cost_slo_frontier(&[budgeted.clone(), free]);
+        assert_eq!(points.len(), 1, "budget-free cells are skipped");
+        let p = &points[0];
+        assert_eq!((p.fleet_size, p.rate_scale), (2, 1.0));
+        assert!((p.spend_per_window - 4.0).abs() < 1e-12);
+        assert!((p.adherence - 0.95).abs() < 1e-12);
+        assert!((p.latency_price_s - 2.0).abs() < 1e-12);
+        let report = SweepReport {
+            seed: "s".into(),
+            seeds_per_cell: 1,
+            replicas: 1,
+            miss_budget: 0.01,
+            bin_s: 600.0,
+            cells: vec![budgeted.clone()],
+            frontier: capacity_frontier(&[budgeted], 0.01),
+            cost_slo: Some(points),
+        };
+        let text = report.render_summary();
+        assert!(text.contains("cost x SLO frontier"), "{text}");
+        assert!(text.contains("spend 4.00/window"), "{text}");
+        assert!(text.contains("adherence 95.0%"), "{text}");
+        let back = SweepReport::from_json(&report.to_json().unwrap()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn old_sweep_json_without_budget_fields_still_parses() {
+        let report = SweepReport {
+            seed: "s".into(),
+            seeds_per_cell: 1,
+            replicas: 1,
+            miss_budget: 0.01,
+            bin_s: 600.0,
+            cells: vec![cell(2, 1.0, 0.0)],
+            frontier: Vec::new(),
+            cost_slo: None,
+        };
+        // Strip every budget line the way a pre-budget report would
+        // have looked, then parse: the new fields must default.
+        let json: String = report
+            .to_json()
+            .unwrap()
+            .lines()
+            .filter(|l| !l.contains("budget_") && !l.contains("cost_slo"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .replace("\"makespan_mean_s\": 10.0,", "\"makespan_mean_s\": 10.0")
+            .replace("\"frontier\": [],", "\"frontier\": []");
+        let back = SweepReport::from_json(&json).unwrap();
+        assert_eq!(report, back);
     }
 }

@@ -8,7 +8,9 @@ use rayon_lite::{ThreadPool, ThreadPoolBuilder};
 
 use s2m3_serve::{prepare, ServeSession, SharedStart};
 
-use crate::report::{aggregate_cell, capacity_frontier, CellReport, ReplicaSummary, SweepReport};
+use crate::report::{
+    aggregate_cell, capacity_frontier, cost_slo_frontier, CellReport, ReplicaSummary, SweepReport,
+};
 use crate::spec::SweepSpec;
 use crate::SweepError;
 
@@ -104,6 +106,8 @@ pub fn run_sweep_on(spec: &SweepSpec, pool: &ThreadPool) -> Result<SweepReport, 
         })
         .collect();
     let frontier = capacity_frontier(&cells, spec.miss_budget);
+    let points = cost_slo_frontier(&cells);
+    let cost_slo = (!points.is_empty()).then_some(points);
     Ok(SweepReport {
         seed: spec.base.seed.clone(),
         seeds_per_cell: spec.seeds,
@@ -112,6 +116,7 @@ pub fn run_sweep_on(spec: &SweepSpec, pool: &ThreadPool) -> Result<SweepReport, 
         bin_s: spec.bin_s,
         cells,
         frontier,
+        cost_slo,
     })
 }
 
@@ -176,6 +181,28 @@ mod tests {
         let a = run_sweep(&sequential).unwrap().to_json().unwrap();
         let b = run_sweep(&sharded).unwrap().to_json().unwrap();
         assert_eq!(a, b, "sharded replicas must not change sweep bytes");
+    }
+
+    #[test]
+    fn budgeted_base_scenario_flows_into_every_cell() {
+        let mut spec = tiny_spec();
+        spec.base.budget = Some(s2m3_serve::BudgetPolicy::device_seconds(2.0));
+        let report = run_sweep(&spec).unwrap();
+        assert_eq!(
+            report.cost_slo.as_ref().map(Vec::len),
+            Some(report.cells.len())
+        );
+        for c in &report.cells {
+            // Reserve-at-dispatch accounting never lets a window
+            // overspend, so adherence is 1.0 across the grid.
+            assert_eq!(c.scalars.budget_adherence_mean, Some(1.0));
+            assert!(c.scalars.budget_spend_mean_per_window.unwrap() <= 2.0 + 1e-9);
+        }
+        let text = report.render_summary();
+        assert!(text.contains("cost x SLO frontier"), "{text}");
+        // And the budget-free grid keeps the section out entirely.
+        let free = run_sweep(&tiny_spec()).unwrap();
+        assert!(free.cost_slo.is_none());
     }
 
     #[test]

@@ -114,6 +114,29 @@ fn batched_serve_report_matches_its_golden_fixture() {
 }
 
 #[test]
+fn absent_budget_leaves_every_serve_golden_byte_identical() {
+    // PR 10's budget subsystem threads `Option`s through the scenario
+    // and the report; with `budget: None` (every pre-budget config)
+    // nothing may shift — not a key, not a float, not a line. Both
+    // serve goldens are pinned as-captured before the subsystem
+    // existed, so this test doubles as the no-regeneration proof.
+    let scenario = ServeScenario::churn_default();
+    assert!(scenario.budget.is_none(), "default scenario stays uncapped");
+    let report = serve(&scenario).unwrap();
+    assert!(report.budget.is_none(), "no policy, no budget section");
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    assert!(
+        !json.contains("budget"),
+        "uncapped report JSON must not mention the budget at all"
+    );
+    assert_eq!(
+        json,
+        fixture("serve_churn_default.json").trim_end(),
+        "budget: None must leave the serve golden byte-identical"
+    );
+}
+
+#[test]
 fn chunked_serve_session_matches_the_golden_fixture() {
     // The resumable-kernel guarantee against the pinned bytes: running
     // the default churn scenario in 2 500 s virtual-time slices (pause,
